@@ -1,0 +1,83 @@
+-- paper_tour.sql — the whole SIGMOD'86 paper as one shell script.
+-- Run with:  dune exec bin/aimsh.exe -- -f examples/paper_tour.sql
+
+-- Section 2: the DEPARTMENTS hierarchy (Table 5) ---------------------
+CREATE TABLE DEPARTMENTS (
+  DNO INT, MGRNO INT,
+  PROJECTS TABLE (PNO INT, PNAME TEXT,
+                  MEMBERS TABLE (EMPNO INT, FUNCTION TEXT)),
+  BUDGET INT,
+  EQUIP TABLE (QU INT, TYPE TEXT));
+
+INSERT INTO DEPARTMENTS VALUES
+  (314, 56194,
+   {(17, 'CGA',  {(39582, 'Leader'), (56019, 'Consultant'), (69011, 'Secretary')}),
+    (23, 'HEAP', {(58912, 'Staff'), (90011, 'Leader'), (78218, 'Secretary'), (98902, 'Staff')})},
+   320000,
+   {(2, '3278'), (3, 'PC/AT'), (1, 'PC')}),
+  (218, 71349,
+   {(25, 'TEXT', {(12723, 'Staff'), (89211, 'Staff'), (92100, 'Leader'),
+                  (89921, 'Consultant'), (95023, 'Secretary'), (44512, 'Consultant')})},
+   440000,
+   {(2, '3278'), (2, 'PC/AT'), (1, '3179'), (1, 'PC/GA')}),
+  (417, 91093,
+   {(37, 'NEBS', {(87710, 'Secretary'), (81193, 'Leader'), (75913, 'Staff'), (96001, 'Staff')})},
+   360000,
+   {(1, '4361'), (4, 'PC/XT'), (4, 'PC/AT'), (2, '3278'), (1, '3276'), (1, '3179'), (1, 'PC/GA')});
+
+-- Example 1: implicit result structure
+SELECT * FROM DEPARTMENTS;
+
+-- Example 4: unnest to a flat table (Table 7)
+SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS;
+
+-- Example 5: EXISTS over a subtable
+SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT';
+
+-- Example 6: nested ALL (empty on this data, as the paper notes)
+SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant';
+
+-- Section 4.2: indexes with hierarchical addresses ------------------
+CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO);
+CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION);
+
+EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.PROJECTS : (y.PNO = 17 AND EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant');
+
+SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.PROJECTS : (y.PNO = 17 AND EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant');
+
+-- parts of complex objects are directly updatable --------------------
+INSERT INTO DEPARTMENTS.PROJECTS WHERE DNO = 417 VALUES (99, 'AIM2', {(11111, 'Staff')});
+UPDATE DEPARTMENTS.PROJECTS.MEMBERS SET FUNCTION = 'Manager' WHERE FUNCTION = 'Leader';
+DELETE FROM DEPARTMENTS.PROJECTS.MEMBERS WHERE FUNCTION = 'Secretary';
+SELECT y.PNO, COUNT(y.MEMBERS) AS STAFFING FROM x IN DEPARTMENTS, y IN x.PROJECTS;
+
+-- Table 6 / Example 8: ordered tables + text support -----------------
+CREATE TABLE REPORTS (REPNO TEXT, AUTHORS LIST (NAME TEXT), TITLE TEXT,
+                      DESCRIPTORS TABLE (WORD TEXT, WEIGHT FLOAT));
+INSERT INTO REPORTS VALUES
+  ('0179', <('Jones')>, 'Concurrency and Consistency Control',
+   {('Concurrency Control', 0.6), ('Recovery', 0.3), ('Distribution', 0.1)}),
+  ('0189', <('Abraham'), ('Medley')>, 'Text Editing and String Search',
+   {('Formatting', 0.3), ('Editing', 0.7)}),
+  ('0292', <('Meyer'), ('Bach'), ('Racer')>, 'Branch and Bound Optimization',
+   {('Branch and Bound', 0.6), ('Genetic Collection', 0.4)});
+
+CREATE TEXT INDEX ON REPORTS (TITLE);
+
+SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones';
+SELECT x.REPNO, x.TITLE FROM x IN REPORTS
+WHERE x.TITLE CONTAINS '*onsisten*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones';
+
+-- Section 5: time versions -------------------------------------------
+CREATE TABLE BUDGETS (DNO INT, BUDGET INT) WITH VERSIONS;
+INSERT INTO BUDGETS VALUES (314, 320000);
+UPDATE BUDGETS SET BUDGET = 500000 WHERE DNO = 314 AT DATE '1984-06-01';
+SELECT x.BUDGET FROM x IN BUDGETS ASOF DATE '1984-01-15';
+SELECT x.BUDGET FROM x IN BUDGETS;
+
+SHOW TABLES;

@@ -1,0 +1,84 @@
+(* Bench harness helpers: a thin wrapper around Bechamel for wall-time
+   numbers, plus page-access accounting helpers, plus paper-style table
+   printing.  Used by every experiment section in [main.ml]. *)
+
+open Bechamel
+open Toolkit
+
+(* Run a group of thunks under Bechamel and return ns/run estimates. *)
+let measure ?(quota = 0.25) (cases : (string * (unit -> unit)) list) : (string * float) list =
+  let tests =
+    List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) cases
+  in
+  let grouped = Test.make_grouped ~name:"" ~fmt:"%s%s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.merge ols instances [ Analyze.all ols (List.hd instances) raw ] in
+  let clock = Measure.label (List.hd instances) in
+  let by_clock = Hashtbl.find results clock in
+  List.map
+    (fun (name, _) ->
+      let key = "" ^ name in
+      let est =
+        match Hashtbl.find_opt by_clock key with
+        | Some ols_result -> (
+            match Analyze.OLS.estimates ols_result with Some [ e ] -> e | _ -> nan)
+        | None -> nan
+      in
+      (name, est))
+    cases
+
+let ns_to_string ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1_000. then Printf.sprintf "%.0f ns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.2f us" (ns /. 1_000.)
+  else if ns < 1_000_000_000. then Printf.sprintf "%.2f ms" (ns /. 1_000_000.)
+  else Printf.sprintf "%.2f s" (ns /. 1_000_000_000.)
+
+(* One-shot timing for operations too slow / stateful for Bechamel. *)
+let time_once fn =
+  let t0 = Unix.gettimeofday () in
+  let r = fn () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+(* --- section / table printing ------------------------------------------ *)
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "================================================================\n%!"
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+let print_table ~header rows = print_string (Ascii_table.render ~header rows)
+
+let exit_code = ref 0
+
+(* Correctness assertions inline with the bench output: the harness
+   both *regenerates* each artefact and *checks* it. *)
+let check name ok =
+  Printf.printf "[%s] %s\n%!" (if ok then "OK  " else "FAIL") name;
+  if not ok then exit_code := 1
+
+(* --- page-access accounting ----------------------------------------------- *)
+
+module BP = Nf2_storage.Buffer_pool
+module D = Nf2_storage.Disk
+
+(* Logical page accesses (buffer requests) and physical reads during [fn]. *)
+let count_accesses pool disk fn =
+  BP.reset_stats pool;
+  D.reset_stats disk;
+  let r = fn () in
+  let p = BP.stats pool in
+  let d = D.stats disk in
+  (r, p.BP.hits + p.BP.misses, d.D.reads)
+
+let fresh_env ?(page_size = 4096) ?(frames = 64) () =
+  let disk = D.create ~page_size () in
+  let pool = BP.create ~frames disk in
+  (disk, pool)

@@ -1,0 +1,120 @@
+(* aimsh — interactive shell / script runner for the AIM-II prototype.
+
+   Usage:
+     aimsh                 interactive REPL (statements end with ';')
+     aimsh -f script.sql   run a script
+     aimsh -e 'STMT; ...'  run statements from the command line
+     aimsh --demo          preload the paper's example tables (Tables 1-8)
+
+   Meta commands in the REPL:
+     \q            quit        \plan         show the last query plan
+     \demo         load demo   \stats        disk/pool counters
+     \save <path>  persist     (reopen with: aimsh -d <path>)
+
+   With -d FILE -j JOURNAL the session is durable: it recovers from the
+   checkpoint + journal on start, journals every mutation, and \save
+   checkpoints (truncating the journal).
+*)
+
+module Db = Nf2.Db
+module P = Nf2_workload.Paper_data
+module D = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+
+let load_demo db =
+  Nf2.Demo.load db;
+  print_endline "demo tables loaded: DEPARTMENTS, *_1NF, EMPLOYEES_1NF, REPORTS"
+
+let run_input db input =
+  try List.iter (fun r -> print_string (Db.render_result r); print_newline ()) (Db.exec db input) with
+  | Db.Db_error m -> Printf.printf "error: %s\n" m
+  | Nf2_lang.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
+  | Nf2_lang.Lexer.Lex_error m -> Printf.printf "lex error: %s\n" m
+  | Nf2_lang.Eval.Eval_error m -> Printf.printf "error: %s\n" m
+  | Nf2_model.Schema.Schema_error m -> Printf.printf "schema error: %s\n" m
+  | Nf2_model.Value.Value_error m -> Printf.printf "value error: %s\n" m
+
+let print_stats db =
+  let d = D.stats (Db.disk db) in
+  let p = BP.stats (Db.pool db) in
+  Printf.printf "disk: %d pages, %d reads, %d writes | pool: %d hits, %d misses, %d evictions\n"
+    (D.npages (Db.disk db)) d.D.reads d.D.writes p.BP.hits p.BP.misses p.BP.evictions
+
+let repl db =
+  print_endline "AIM-II NF2 prototype shell. Statements end with ';'.  \\q quits, \\demo loads the paper tables.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "aim> " else "...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\' then begin
+          (match String.split_on_char ' ' trimmed with
+          | [ "\\q" ] -> exit 0
+          | [ "\\demo" ] -> load_demo db
+          | [ "\\plan" ] -> List.iter print_endline (Db.last_plan db)
+          | [ "\\stats" ] -> print_stats db
+          | [ "\\save"; path ] ->
+              Db.checkpoint db ~db_path:path;
+              Printf.printf "database checkpointed to %s\n" path
+          | _ -> print_endline "unknown meta command");
+          loop ()
+        end
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';' then begin
+            let input = Buffer.contents buf in
+            Buffer.clear buf;
+            run_input db input
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec find_flag flag = function
+    | f :: path :: _ when f = flag -> Some path
+    | _ :: rest -> find_flag flag rest
+    | [] -> None
+  in
+  let db_path = find_flag "-d" args and journal_path = find_flag "-j" args in
+  let db =
+    match db_path, journal_path with
+    | Some dp, Some jp ->
+        let db = Db.recover ~db_path:dp ~journal_path:jp () in
+        Printf.printf "recovered %s + %s (%s)\n" dp jp (String.concat ", " (Db.table_names db));
+        db
+    | Some path, None when Sys.file_exists path ->
+        let db = Db.load path in
+        Printf.printf "opened %s (%s)\n" path (String.concat ", " (Db.table_names db));
+        db
+    | None, Some jp ->
+        let db = Db.recover ~db_path:"/nonexistent-checkpoint" ~journal_path:jp () in
+        Printf.printf "recovered from journal %s\n" jp;
+        db
+    | _ -> Db.create ()
+  in
+  let rec go = function
+    | [] -> repl db
+    | "--demo" :: rest ->
+        load_demo db;
+        go rest
+    | "-e" :: stmts :: rest ->
+        run_input db stmts;
+        if rest = [] then () else go rest
+    | "-f" :: file :: rest ->
+        let input = In_channel.with_open_text file In_channel.input_all in
+        run_input db input;
+        if rest = [] then () else go rest
+    | "-d" :: _ :: rest -> go rest
+    | "-j" :: _ :: rest -> go rest
+    | "--help" :: _ ->
+        print_endline "usage: aimsh [--demo] [-d db-file] [-j journal] [-e 'STMTS'] [-f script.sql]"
+    | _ :: rest -> go rest
+  in
+  go (List.tl args)

@@ -1,0 +1,1 @@
+examples/cad_assembly.ml: List Nf2 Nf2_model Nf2_storage Nf2_workload Printf String

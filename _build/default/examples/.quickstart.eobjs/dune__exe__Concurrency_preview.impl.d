@@ -1,0 +1,1 @@
+examples/concurrency_preview.ml: List Nf2_lock Nf2_model Printf String

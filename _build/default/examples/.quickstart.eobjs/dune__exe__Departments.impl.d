@@ -1,0 +1,1 @@
+examples/departments.ml: List Nf2 Nf2_model Nf2_workload Printf String

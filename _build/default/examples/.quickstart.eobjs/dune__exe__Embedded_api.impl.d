@@ -1,0 +1,1 @@
+examples/embedded_api.ml: List Nf2 Nf2_algebra Nf2_model Printf

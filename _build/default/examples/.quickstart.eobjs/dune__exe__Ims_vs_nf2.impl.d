@@ -1,0 +1,1 @@
+examples/ims_vs_nf2.ml: List Nf2 Nf2_algebra Nf2_baseline Nf2_model Nf2_storage Nf2_workload Printf String

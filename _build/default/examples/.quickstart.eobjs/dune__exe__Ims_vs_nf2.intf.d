@@ -1,0 +1,1 @@
+examples/ims_vs_nf2.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Nf2 Printf

@@ -1,0 +1,1 @@
+examples/reports.ml: List Nf2 Printf String

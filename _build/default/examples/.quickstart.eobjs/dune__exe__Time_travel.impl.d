@@ -1,0 +1,1 @@
+examples/time_travel.ml: List Nf2 Printf

@@ -1,0 +1,39 @@
+(* Predicate locking preview: the concurrency-control approach the
+   paper cites (/DPS82, DPS83/) for AIM-II's future multi-user version.
+   The prototype itself was single-user, so this demo drives the lock
+   table directly rather than concurrent sessions.
+
+   Run with:  dune exec examples/concurrency_preview.exe *)
+
+module L = Nf2_lock.Predicate_lock
+module Atom = Nf2_model.Atom
+
+let show outcome =
+  match outcome with
+  | L.Granted -> "granted"
+  | L.Blocked holders -> "blocked on txn " ^ String.concat "," (List.map string_of_int holders)
+  | L.Deadlock cycle -> "DEADLOCK with txn " ^ String.concat "," (List.map string_of_int cycle)
+
+let () =
+  let lt = L.create () in
+  let t1 = L.begin_txn lt and t2 = L.begin_txn lt in
+  let dept_range lo hi =
+    { L.table = "DEPARTMENTS"; restrictions = [ ([ "DNO" ], L.Between (Atom.Int lo, Atom.Int hi)) ] }
+  in
+  let dept_point d = { L.table = "DEPARTMENTS"; restrictions = [ ([ "DNO" ], L.Eq (Atom.Int d)) ] } in
+
+  Printf.printf "t%d: S-lock DEPARTMENTS(DNO in [300,400])   -> %s\n" t1
+    (show (L.acquire lt t1 L.Shared (dept_range 300 400)));
+  Printf.printf "t%d: X-lock DEPARTMENTS(DNO = 218)          -> %s   (disjoint: no conflict)\n" t2
+    (show (L.acquire lt t2 L.Exclusive (dept_point 218)));
+  Printf.printf "t%d: X-lock DEPARTMENTS(DNO = 350)          -> %s   (phantom protection!)\n" t2
+    (show (L.acquire lt t2 L.Exclusive (dept_point 350)));
+  Printf.printf "t%d: X-lock DEPARTMENTS(DNO = 218)          -> %s   (would close a cycle)\n" t1
+    (show (L.acquire lt t1 L.Exclusive (dept_point 218)));
+  Printf.printf "t%d commits (two-phase release)\n" t1;
+  L.release_all lt t1;
+  Printf.printf "t%d: X-lock DEPARTMENTS(DNO = 350) retried  -> %s\n" t2
+    (show (L.acquire lt t2 L.Exclusive (dept_point 350)));
+  print_endline "\nNote how DNO=350 conflicts with the [300,400] range lock even";
+  print_endline "though no department 350 exists: predicate locks subsume the";
+  print_endline "phantom problem that physical tuple locks cannot handle."

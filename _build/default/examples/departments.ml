@@ -1,0 +1,63 @@
+(* The office-automation scenario of Section 2 of the paper: the
+   DEPARTMENTS hierarchy (Table 5), its 1NF decomposition (Tables 1-4),
+   and the Section 3 example queries, printed as the paper shows them.
+
+   Run with:  dune exec examples/departments.exe *)
+
+module Db = Nf2.Db
+module Schema = Nf2_model.Schema
+module P = Nf2_workload.Paper_data
+
+let header title =
+  Printf.printf "\n=== %s %s\n" title (String.make (max 0 (66 - String.length title)) '=')
+
+let show db stmt =
+  Printf.printf "aim> %s\n" stmt;
+  List.iter (fun r -> print_endline (Db.render_result r)) (Db.exec db stmt)
+
+let () =
+  let db = Nf2.Demo.create () in
+
+  header "Fig 1: the DEPARTMENTS hierarchy (IMS-style segment view)";
+  print_string (Schema.render_segment_tree P.departments);
+
+  header "Table 5: the NF2 DEPARTMENTS table";
+  show db "SELECT * FROM DEPARTMENTS";
+
+  header "Tables 1-4: the 1NF decomposition needs four flat tables";
+  show db "SELECT * FROM DEPARTMENTS_1NF";
+  show db "SELECT * FROM PROJECTS_1NF";
+
+  header "Example 4: unnest to a flat table (Table 7)";
+  show db
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+     FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS";
+
+  header "...the same against the flat tables needs explicit joins";
+  show db
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+     FROM x IN DEPARTMENTS_1NF, y IN PROJECTS_1NF, z IN MEMBERS_1NF \
+     WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO";
+
+  header "Example 5: departments using a PC/AT (EXISTS)";
+  show db
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+     WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'";
+
+  header "Example 6: departments with only consultants (ALL; empty)";
+  show db
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+     WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'";
+
+  header "Fig 5: managers by name via a second join";
+  show db
+    "SELECT x.DNO, m.LNAME, m.FNAME, m.SEX \
+     FROM x IN DEPARTMENTS, m IN EMPLOYEES_1NF WHERE x.MGRNO = m.EMPNO";
+
+  header "Section 4.2: indexes with hierarchical addresses";
+  show db "CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)";
+  show db "CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO)";
+  show db
+    "SELECT x.DNO FROM x IN DEPARTMENTS \
+     WHERE EXISTS y IN x.PROJECTS : (y.PNO = 17 AND EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant')";
+  Printf.printf "plan: %s\n" (String.concat "; " (Db.last_plan db))

@@ -1,0 +1,48 @@
+(* The embedded application-programming interface of Section 3: "it
+   imbeds both DDL and DML statements of the extended NF2 data model
+   into a high level programming language.  A DDL/DML pre-compiler ...
+   translates the imbedded NF2 statements into subroutine calls [that]
+   invoke the AIM-II run-time system."
+
+   In OCaml the pre-compiler becomes [Db.prepare]: the statement is
+   parsed once; the host program executes it repeatedly with bound
+   parameters — here, a payroll-style sweep over the departments.
+
+   Run with:  dune exec examples/embedded_api.exe *)
+
+module Db = Nf2.Db
+module Atom = Nf2_model.Atom
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+
+let () =
+  let db = Nf2.Demo.create () in
+
+  (* "declare cursor"-style prepared query with two host variables *)
+  let members_of =
+    Db.prepare db
+      "SELECT z.EMPNO, z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS \
+       WHERE x.DNO = ? AND y.PNO = ?"
+  in
+  (* prepared DML: grant a budget raise *)
+  let raise_budget = Db.prepare db "UPDATE DEPARTMENTS SET BUDGET = BUDGET + ? WHERE DNO = ?" in
+
+  (* host-language loop over (department, project) pairs *)
+  let targets = [ (314, 17); (314, 23); (218, 25); (417, 37) ] in
+  List.iter
+    (fun (dno, pno) ->
+      match Db.execute db members_of [ Atom.Int dno; Atom.Int pno ] with
+      | Db.Rows rel ->
+          Printf.printf "department %d, project %d: %d member(s)\n" dno pno (Rel.cardinality rel);
+          if Rel.cardinality rel >= 4 then begin
+            (* big project: the host program decides to raise the budget *)
+            ignore (Db.execute db raise_budget [ Atom.Int 10_000; Atom.Int dno ]);
+            Printf.printf "  -> budget of %d raised by 10000\n" dno
+          end
+      | Db.Msg _ -> ())
+    targets;
+
+  print_endline "\nfinal budgets:";
+  List.iter
+    (fun r -> print_string (Db.render_result r))
+    (Db.exec db "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ORDER BY DNO")

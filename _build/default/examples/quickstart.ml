@@ -1,0 +1,42 @@
+(* Quickstart: create a database, define an extended NF2 table, insert
+   nested data, and query it — all through the public [Nf2.Db] API.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Db = Nf2.Db
+
+let show db stmt =
+  Printf.printf "aim> %s\n" stmt;
+  List.iter (fun r -> print_endline (Db.render_result r)) (Db.exec db stmt)
+
+let () =
+  let db = Db.create () in
+
+  (* An unordered table with a nested relation: curly braces in the
+     paper's notation.  LIST (...) would declare an ordered table. *)
+  show db
+    "CREATE TABLE ORDERS (ORDERNO INT, CUSTOMER TEXT, ITEMS TABLE (SKU TEXT, QTY INT, PRICE FLOAT))";
+
+  (* Nested literals use { } for relations and < > for lists. *)
+  show db
+    "INSERT INTO ORDERS VALUES \
+     (1, 'Heidelberg Scientific Center', {('disk-pack', 2, 1200.0), ('terminal-3278', 6, 850.0)}), \
+     (2, 'Karlsruhe Robotics Lab', {('gripper', 1, 4200.0)})";
+
+  (* Plain selection over top-level attributes. *)
+  show db "SELECT x.ORDERNO, x.CUSTOMER FROM x IN ORDERS";
+
+  (* Quantified predicates reach inside the nested relation. *)
+  show db "SELECT x.ORDERNO FROM x IN ORDERS WHERE EXISTS i IN x.ITEMS : i.QTY > 4";
+
+  (* Unnesting: one result row per item. *)
+  show db "SELECT x.ORDERNO, i.SKU, i.QTY, i.PRICE FROM x IN ORDERS, i IN x.ITEMS";
+
+  (* Aggregates over nested tables. *)
+  show db "SELECT x.ORDERNO, COUNT(x.ITEMS) AS LINES, SUM(x.ITEMS.QTY) AS PIECES FROM x IN ORDERS";
+
+  (* Partial update of complex objects: add a line item to order 2. *)
+  show db "INSERT INTO ORDERS.ITEMS WHERE ORDERNO = 2 VALUES ('controller', 2, 990.0)";
+  show db "SELECT * FROM ORDERS";
+
+  print_endline "quickstart done."

@@ -1,0 +1,48 @@
+(* Ordered tables (lists) and text support: the REPORTS table of the
+   paper (Table 6), list subscripting (Example 8), and masked text
+   search backed by the word-fragment index (Section 5).
+
+   Run with:  dune exec examples/reports.exe *)
+
+module Db = Nf2.Db
+
+let header title =
+  Printf.printf "\n=== %s %s\n" title (String.make (max 0 (66 - String.length title)) '=')
+
+let show db stmt =
+  Printf.printf "aim> %s\n" stmt;
+  List.iter (fun r -> print_endline (Db.render_result r)) (Db.exec db stmt)
+
+let () =
+  let db = Db.create () in
+
+  header "Table 6: REPORTS with an ordered AUTHORS list";
+  show db
+    "CREATE TABLE REPORTS (REPNO TEXT, AUTHORS LIST (NAME TEXT), TITLE TEXT, \
+     DESCRIPTORS TABLE (WORD TEXT, WEIGHT FLOAT))";
+  show db
+    "INSERT INTO REPORTS VALUES \
+     ('0179', <('Jones')>, 'Concurrency and Consistency Control', \
+     {('Concurrency Control', 0.6), ('Recovery', 0.3), ('Distribution', 0.1)}), \
+     ('0189', <('Abraham'), ('Medley')>, 'Text Editing and String Search', \
+     {('Formatting', 0.3), ('Editing', 0.7)}), \
+     ('0292', <('Meyer'), ('Bach'), ('Racer')>, 'Branch and Bound Optimization', \
+     {('Branch and Bound', 0.6), ('Genetic Collection', 0.4)})";
+  show db "SELECT * FROM REPORTS";
+
+  header "Example 8: reports where Jones is the FIRST author";
+  show db "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones'";
+
+  header "List order matters: second authors";
+  show db "SELECT x.REPNO, x.AUTHORS[2].NAME AS SECOND_AUTHOR FROM x IN REPORTS WHERE x.REPNO = '0292'";
+
+  header "Section 5: masked text search via the word-fragment index";
+  show db "CREATE TEXT INDEX ON REPORTS (TITLE)";
+  show db
+    "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS \
+     WHERE x.TITLE CONTAINS '*onsisten*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones'";
+  Printf.printf "plan: %s\n" (String.concat "; " (Db.last_plan db));
+
+  header "Descriptors: weighted keywords as a nested relation";
+  show db
+    "SELECT x.REPNO, d.WORD, d.WEIGHT FROM x IN REPORTS, d IN x.DESCRIPTORS WHERE d.WEIGHT >= 0.5"

@@ -1,0 +1,52 @@
+(* Temporal support (Section 5): a versioned DEPARTMENTS table evolves
+   over 1983-1984; ASOF queries reconstruct past states — including the
+   paper's own example ("all projects which department 314 has had on
+   January 15th, 1984").
+
+   Run with:  dune exec examples/time_travel.exe *)
+
+module Db = Nf2.Db
+
+let show db stmt =
+  Printf.printf "aim> %s\n" stmt;
+  List.iter (fun r -> print_endline (Db.render_result r)) (Db.exec db stmt)
+
+let () =
+  let db = Db.create () in
+
+  show db
+    "CREATE TABLE DEPARTMENTS (DNO INT, MGRNO INT, \
+     PROJECTS TABLE (PNO INT, PNAME TEXT), BUDGET INT) WITH VERSIONS";
+
+  (* 1983: the department is founded with two projects *)
+  show db
+    "INSERT INTO DEPARTMENTS VALUES (314, 56194, {(17, 'CGA'), (23, 'HEAP')}, 320000)";
+
+  (* mid-1984: budget raise *)
+  show db "UPDATE DEPARTMENTS SET BUDGET = 500000 WHERE DNO = 314 AT DATE '1984-06-01'";
+
+  (* 1985: new manager *)
+  show db "UPDATE DEPARTMENTS SET MGRNO = 71349 WHERE DNO = 314 AT DATE '1985-02-01'";
+
+  print_endline "\n--- the paper's ASOF query: projects of 314 on Jan 15th, 1984 ---";
+  show db
+    "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS ASOF DATE '1984-01-15', y IN x.PROJECTS \
+     WHERE x.DNO = 314";
+
+  print_endline "--- budget through time ---";
+  List.iter
+    (fun date ->
+      Printf.printf "as of %s:\n" date;
+      show db
+        (Printf.sprintf
+           "SELECT x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS ASOF DATE '%s' WHERE x.DNO = 314" date))
+    [ "1984-01-15"; "1984-06-01"; "1985-06-01" ];
+
+  print_endline "--- current state ---";
+  show db "SELECT x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314";
+
+  (* deletion is also a temporal event *)
+  show db "DELETE FROM DEPARTMENTS WHERE DNO = 314 AT DATE '1986-01-01'";
+  print_endline "--- after deletion: the past is still queryable ---";
+  show db "SELECT x.DNO FROM x IN DEPARTMENTS";
+  show db "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ASOF DATE '1985-06-01'"

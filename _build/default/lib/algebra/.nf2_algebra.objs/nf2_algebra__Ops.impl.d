@@ -1,0 +1,1 @@
+lib/algebra/ops.ml: Hashtbl List Nf2_model Option Rel String

@@ -1,0 +1,1 @@
+lib/algebra/ops.mli: Nf2_model Rel

@@ -1,0 +1,1 @@
+lib/algebra/rel.ml: Fmt List Nf2_model

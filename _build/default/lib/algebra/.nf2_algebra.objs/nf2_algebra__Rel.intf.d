@@ -1,0 +1,1 @@
+lib/algebra/rel.mli: Format Nf2_model

@@ -1,0 +1,52 @@
+(* Typed in-memory relations: a schema table paired with a value table.
+   This is the currency of the NF2 algebra operators (Jaeschke/Schek
+   /JS82, SS86/) and of query-language results. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+type t = { schema : Schema.table; data : Value.table }
+
+exception Algebra_error of string
+
+let algebra_error fmt = Fmt.kstr (fun s -> raise (Algebra_error s)) fmt
+
+let make schema data =
+  if data.Value.kind <> schema.Schema.kind then
+    algebra_error "table kind does not match schema kind";
+  List.iter (Value.check_tuple schema) data.Value.tuples;
+  { schema; data }
+
+(* Unchecked constructor for operators that guarantee conformance. *)
+let trusted schema data = { schema; data }
+
+let of_tuples ?(kind = Schema.Set) schema tuples =
+  make { schema with Schema.kind } { Value.kind; tuples }
+
+let tuples t = t.data.Value.tuples
+let cardinality t = List.length t.data.Value.tuples
+let kind t = t.data.Value.kind
+let is_empty t = t.data.Value.tuples = []
+
+let equal a b =
+  (* schema names are not part of equality; structure + contents are *)
+  Value.equal_table a.data b.data
+
+(* Set-semantic canonicalisation: sorts and dedups Set-kind tables
+   recursively (List-kind keep their order). *)
+let rec canonicalize_v (v : Value.v) : Value.v =
+  match v with
+  | Value.Atom _ -> v
+  | Value.Table tb -> Value.Table (canonicalize_table tb)
+
+and canonicalize_table (tb : Value.table) : Value.table =
+  let tuples = List.map (List.map canonicalize_v) tb.Value.tuples in
+  match tb.Value.kind with
+  | Schema.List -> { tb with Value.tuples }
+  | Schema.Set -> { tb with Value.tuples = Value.dedup tuples }
+
+let canonicalize t = { t with data = canonicalize_table t.data }
+
+let render ?(name = "RESULT") t =
+  Value.render_named { Schema.name; table = t.schema } t.data

@@ -1,0 +1,41 @@
+(** Typed in-memory relations: a schema table paired with a value
+    table — the currency of the NF² algebra operators and of
+    query-language results. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+type t = { schema : Schema.table; data : Value.table }
+
+exception Algebra_error of string
+
+val algebra_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Checked constructor: kinds must agree, every tuple must conform.
+    @raise Value.Value_error / Algebra_error otherwise. *)
+val make : Schema.table -> Value.table -> t
+
+(** Unchecked constructor for operators that guarantee conformance. *)
+val trusted : Schema.table -> Value.table -> t
+
+(** Build from a named schema's table and a tuple list. *)
+val of_tuples : ?kind:Schema.kind -> Schema.table -> Value.tuple list -> t
+
+val tuples : t -> Value.tuple list
+val cardinality : t -> int
+val kind : t -> Schema.kind
+val is_empty : t -> bool
+
+(** Structural + content equality; attribute names are not compared,
+    Set-kind contents compare order-insensitively. *)
+val equal : t -> t -> bool
+
+(** Sort and dedup Set-kind tables recursively (Lists keep order). *)
+val canonicalize : t -> t
+
+val canonicalize_table : Value.table -> Value.table
+val canonicalize_v : Value.v -> Value.v
+
+(** Paper-style nested-box rendering with a [{ NAME }] headline. *)
+val render : ?name:string -> t -> string

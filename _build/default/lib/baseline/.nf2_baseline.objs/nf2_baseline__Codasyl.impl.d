@@ -1,0 +1,1 @@
+lib/baseline/codasyl.ml: Codec Fmt List Nf2_model Nf2_storage String

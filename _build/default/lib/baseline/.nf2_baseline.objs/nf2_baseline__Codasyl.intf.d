@@ -1,0 +1,1 @@
+lib/baseline/codasyl.mli: Nf2_model Nf2_storage

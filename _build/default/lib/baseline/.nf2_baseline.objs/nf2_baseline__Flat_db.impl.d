@@ -1,0 +1,1 @@
+lib/baseline/flat_db.ml: Codec Fmt Hashtbl List Nf2_algebra Nf2_model Nf2_storage

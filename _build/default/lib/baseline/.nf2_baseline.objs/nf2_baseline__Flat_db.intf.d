@@ -1,0 +1,1 @@
+lib/baseline/flat_db.mli: Nf2_algebra Nf2_model Nf2_storage

@@ -1,0 +1,1 @@
+lib/baseline/ims.ml: Codec Fmt Hashtbl List Nf2_model Nf2_storage String

@@ -1,0 +1,1 @@
+lib/baseline/ims.mli: Nf2_model Nf2_storage

@@ -1,0 +1,1 @@
+lib/baseline/lorie.ml: Codec Fmt List Nf2_model Nf2_storage String

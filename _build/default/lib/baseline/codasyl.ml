@@ -1,0 +1,244 @@
+(* A CODASYL/DBTG-style implementation of NF2 objects, the other
+   classic technique Section 4.1 lists: "since any hierarchical object
+   can be seen as a composition of (possibly many) 1:n relationships,
+   the implementation techniques for COSETs /Sch74/ can be used for NF2
+   objects as well.  Therefore, lists, chains, and pointer arrays ...
+   are also candidates."
+
+   Every table-valued attribute becomes a DBTG set (owner = the parent
+   tuple, members = the element tuples).  Two of the classic set
+   implementations are provided:
+
+   - [Chain]: the owner record stores the first member's TID; each
+     member stores the next member's TID (a singly linked chain, NEXT
+     pointers in DBTG terms).  Walking the set is a pointer chase with
+     one record read per member.
+   - [Pointer_array]: the owner record stores the TID array of all its
+     members ("attached pointer array").  Walking the set reads the
+     owner once and then each member directly — the design that the
+     AIM-II Mini Directory generalises.
+
+   Records of each tuple type live in their own heap, shared by all
+   objects (no per-object clustering), as a CODASYL record type's
+   realm would be. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Heap = Nf2_storage.Heap
+module Tid = Nf2_storage.Tid
+
+exception Codasyl_error of string
+
+let codasyl_error fmt = Fmt.kstr (fun s -> raise (Codasyl_error s)) fmt
+
+type mode = Chain | Pointer_array
+
+let mode_name = function Chain -> "chain" | Pointer_array -> "pointer array"
+
+type level = { path : string; heap : Heap.t }
+
+type t = {
+  schema : Schema.t;
+  mode : mode;
+  levels : level list;
+  mutable roots : Tid.t list;
+  mutable record_reads : int; (* navigation cost counter *)
+}
+
+let no_tid = { Tid.page = -1; slot = -1 }
+let is_no_tid tid = tid.Tid.page = -1
+
+(* Record: atoms; chain mode: next-in-set TID + per-set first-member
+   TIDs; pointer-array mode: per-set member TID arrays. *)
+let encode_record ~atoms ~next ~sets =
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b (List.length atoms);
+  List.iter (Atom.encode b) atoms;
+  Tid.encode b next;
+  Codec.put_uvarint b (List.length sets);
+  List.iter
+    (fun tids ->
+      Codec.put_uvarint b (List.length tids);
+      List.iter (Tid.encode b) tids)
+    sets;
+  Codec.contents b
+
+let decode_record payload =
+  let src = Codec.source_of_string payload in
+  let n = Codec.get_uvarint src in
+  let atoms = List.init n (fun _ -> Atom.decode src) in
+  let next = Tid.decode src in
+  let nsets = Codec.get_uvarint src in
+  let sets =
+    List.init nsets (fun _ ->
+        let k = Codec.get_uvarint src in
+        List.init k (fun _ -> Tid.decode src))
+  in
+  (atoms, next, sets)
+
+let rec level_paths prefix (tbl : Schema.table) =
+  prefix
+  :: List.concat_map
+       (fun (f : Schema.field) ->
+         match f.Schema.attr with
+         | Schema.Table sub -> level_paths (prefix ^ "." ^ f.Schema.name) sub
+         | Schema.Atomic _ -> [])
+       tbl.Schema.fields
+
+let create ?(mode = Chain) pool (schema : Schema.t) =
+  let levels =
+    List.map (fun path -> { path; heap = Heap.create pool }) (level_paths schema.Schema.name schema.Schema.table)
+  in
+  { schema; mode; levels; roots = []; record_reads = 0 }
+
+let level t path =
+  match List.find_opt (fun l -> l.path = path) t.levels with
+  | Some l -> l
+  | None -> codasyl_error "no level %s" path
+
+let reads t = t.record_reads
+let reset_reads t = t.record_reads <- 0
+
+let read_record t lv tid =
+  t.record_reads <- t.record_reads + 1;
+  decode_record (Heap.read_exn lv.heap tid)
+
+let first_level_atoms (tbl : Schema.table) (tup : Value.tuple) =
+  List.concat
+    (List.map2
+       (fun (f : Schema.field) v ->
+         match f.Schema.attr, v with Schema.Atomic _, Value.Atom a -> [ a ] | _ -> [])
+       tbl.Schema.fields tup)
+
+let table_attrs (tbl : Schema.table) (tup : Value.tuple) =
+  List.concat
+    (List.map2
+       (fun (f : Schema.field) v ->
+         match f.Schema.attr, v with
+         | Schema.Table sub, Value.Table inner -> [ (f.Schema.name, sub, inner) ]
+         | _ -> [])
+       tbl.Schema.fields tup)
+
+(* Insert one (sub)tuple and its set members. *)
+let rec insert_tuple t ~path (tbl : Schema.table) (tup : Value.tuple) : Tid.t =
+  let lv = level t path in
+  let atoms = first_level_atoms tbl tup in
+  let member_lists =
+    List.map
+      (fun (name, sub, inner) ->
+        let cpath = path ^ "." ^ name in
+        List.map (fun child -> insert_tuple t ~path:cpath sub child) inner.Value.tuples)
+      (table_attrs tbl tup)
+  in
+  match t.mode with
+  | Pointer_array -> Heap.insert lv.heap (encode_record ~atoms ~next:no_tid ~sets:member_lists)
+  | Chain ->
+      (* thread NEXT pointers through each member chain *)
+      List.iter
+        (fun (members, (name, _, _)) ->
+          let cpath = path ^ "." ^ name in
+          let clv = level t cpath in
+          let rec thread = function
+            | a :: (b :: _ as rest) ->
+                let atoms, _, sets = decode_record (Heap.read_exn clv.heap a) in
+                Heap.update clv.heap a (encode_record ~atoms ~next:b ~sets);
+                thread rest
+            | _ -> ()
+          in
+          thread members)
+        (List.combine member_lists (table_attrs tbl tup));
+      let firsts = List.map (function [] -> [] | first :: _ -> [ first ]) member_lists in
+      Heap.insert lv.heap (encode_record ~atoms ~next:no_tid ~sets:firsts)
+
+let insert t (tup : Value.tuple) : Tid.t =
+  Value.check_tuple t.schema.Schema.table tup;
+  let tid = insert_tuple t ~path:t.schema.Schema.name t.schema.Schema.table tup in
+  t.roots <- tid :: t.roots;
+  tid
+
+let roots t = List.rev t.roots
+
+(* Member TIDs of one set occurrence. *)
+let members_of t ~path (set_entry : Tid.t list) ~(cpath : string) : Tid.t list =
+  ignore path;
+  match t.mode with
+  | Pointer_array -> set_entry
+  | Chain -> (
+      match set_entry with
+      | [] -> []
+      | [ first ] ->
+          let clv = level t cpath in
+          let rec walk tid acc =
+            if is_no_tid tid then List.rev acc
+            else
+              let _, next, _ = read_record t clv tid in
+              walk next (tid :: acc)
+          in
+          walk first []
+      | _ -> codasyl_error "chain set with multiple heads")
+
+let rec fetch_tuple t ~path (tbl : Schema.table) (tid : Tid.t) : Value.tuple =
+  let lv = level t path in
+  let atoms, _, sets = read_record t lv tid in
+  let atoms = ref atoms and sets = ref sets in
+  List.map
+    (fun (f : Schema.field) ->
+      match f.Schema.attr with
+      | Schema.Atomic _ -> (
+          match !atoms with
+          | a :: rest ->
+              atoms := rest;
+              Value.Atom a
+          | [] -> codasyl_error "record too short")
+      | Schema.Table sub ->
+          let entry =
+            match !sets with
+            | s :: rest ->
+                sets := rest;
+                s
+            | [] -> codasyl_error "missing set entry"
+          in
+          let cpath = path ^ "." ^ f.Schema.name in
+          let members = members_of t ~path entry ~cpath in
+          Value.Table
+            { Value.kind = sub.Schema.kind; tuples = List.map (fetch_tuple t ~path:cpath sub) members })
+    tbl.Schema.fields
+
+let fetch t (tid : Tid.t) : Value.tuple =
+  fetch_tuple t ~path:t.schema.Schema.name t.schema.Schema.table tid
+
+(* Record reads needed to reach member [idx] of a top-level set: the
+   chain implementation must chase [idx+1] pointers; the pointer array
+   jumps directly (the trade-off the paper weighs for MD subtuples). *)
+let locate_member t (root : Tid.t) ~(attr : string) ~(idx : int) : Tid.t =
+  let tbl = t.schema.Schema.table in
+  let lv = level t t.schema.Schema.name in
+  let _, _, sets = read_record t lv root in
+  let pos =
+    let rec go i = function
+      | [] -> codasyl_error "no table attr %s" attr
+      | (g : Schema.field) :: gs ->
+          if String.uppercase_ascii g.Schema.name = String.uppercase_ascii attr then i
+          else go (match g.Schema.attr with Schema.Table _ -> i + 1 | Schema.Atomic _ -> i) gs
+    in
+    go 0 tbl.Schema.fields
+  in
+  let cpath = t.schema.Schema.name ^ "." ^ attr in
+  match t.mode with
+  | Pointer_array -> (
+      match List.nth_opt (List.nth sets pos) idx with
+      | Some tid -> tid
+      | None -> codasyl_error "member %d out of range" idx)
+  | Chain -> (
+      let clv = level t cpath in
+      let rec walk tid i =
+        if is_no_tid tid then codasyl_error "member %d out of range" idx
+        else if i = idx then tid
+        else
+          let _, next, _ = read_record t clv tid in
+          walk next (i + 1)
+      in
+      match List.nth sets pos with
+      | [] -> codasyl_error "member %d out of range" idx
+      | first :: _ -> walk first 0)

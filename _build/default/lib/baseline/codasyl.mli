@@ -1,0 +1,40 @@
+(** A CODASYL/DBTG-style implementation of NF² objects: every
+    table-valued attribute becomes a set (owner = parent tuple, members
+    = element tuples), implemented as either NEXT-pointer chains or
+    attached pointer arrays — the COSET techniques Section 4.1 cites as
+    candidates for NF² objects (and which the Mini Directory
+    generalises). *)
+
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Tid = Nf2_storage.Tid
+
+exception Codasyl_error of string
+
+type mode =
+  | Chain  (** owner -> first member; members chain via NEXT *)
+  | Pointer_array  (** owner holds all member TIDs *)
+
+val mode_name : mode -> string
+
+type t
+
+val create : ?mode:mode -> Nf2_storage.Buffer_pool.t -> Schema.t -> t
+
+(** Store one NF² object as owner/member records; returns the owner
+    (root) record's TID. *)
+val insert : t -> Value.tuple -> Tid.t
+
+val roots : t -> Tid.t list
+
+(** Reconstruct an object by walking its sets. *)
+val fetch : t -> Tid.t -> Value.tuple
+
+(** Record reads performed so far (navigation cost counter). *)
+val reads : t -> int
+
+val reset_reads : t -> unit
+
+(** TID of member [idx] of a top-level set: a chain chases [idx+1]
+    pointers; a pointer array jumps directly. *)
+val locate_member : t -> Tid.t -> attr:string -> idx:int -> Tid.t

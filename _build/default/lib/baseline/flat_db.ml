@@ -1,0 +1,153 @@
+(* The pure-relational baseline: full 1NF decomposition.
+
+   An NF2 table is split into one flat table per nesting level; each
+   child level carries a surrogate parent id (plus its own surrogate
+   id when it has children).  Reconstruction of the hierarchy — and
+   any query that the NF2 table answers by navigation — requires
+   joins, which is the cost the paper's Example 4 remark ("hierarchical
+   tables can be used to store pre-computed (materialized) joins")
+   points at. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Heap = Nf2_storage.Heap
+module Rel = Nf2_algebra.Rel
+
+exception Flat_error of string
+
+let flat_error fmt = Fmt.kstr (fun s -> raise (Flat_error s)) fmt
+
+type level = {
+  path : string;
+  (* flat schema of this level: [SID; PID; own atoms] — SID/PID are
+     surrogate keys managed by the system *)
+  fields : Schema.field list;
+  heap : Heap.t;
+}
+
+type t = { schema : Schema.t; levels : level list; mutable next_sid : int }
+
+let atoms_fields (tbl : Schema.table) =
+  List.filter
+    (fun (f : Schema.field) -> match f.Schema.attr with Schema.Atomic _ -> true | _ -> false)
+    tbl.Schema.fields
+
+let rec collect_levels prefix (tbl : Schema.table) : (string * Schema.field list) list =
+  (prefix, Schema.int_ "SID" :: Schema.int_ "PID" :: atoms_fields tbl)
+  :: List.concat_map
+       (fun (f : Schema.field) ->
+         match f.Schema.attr with
+         | Schema.Table sub -> collect_levels (prefix ^ "." ^ f.Schema.name) sub
+         | Schema.Atomic _ -> [])
+       tbl.Schema.fields
+
+let create pool (schema : Schema.t) =
+  let levels =
+    List.map
+      (fun (path, fields) -> { path; fields; heap = Heap.create pool })
+      (collect_levels schema.Schema.name schema.Schema.table)
+  in
+  { schema; levels; next_sid = 0 }
+
+let level t path =
+  match List.find_opt (fun l -> l.path = path) t.levels with
+  | Some l -> l
+  | None -> flat_error "no level %s" path
+
+let encode_row atoms =
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b (List.length atoms);
+  List.iter (Atom.encode b) atoms;
+  Codec.contents b
+
+let decode_row payload =
+  let src = Codec.source_of_string payload in
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Atom.decode src)
+
+let first_level_atoms (tbl : Schema.table) (tup : Value.tuple) =
+  List.concat
+    (List.map2
+       (fun (f : Schema.field) v ->
+         match f.Schema.attr, v with Schema.Atomic _, Value.Atom a -> [ a ] | _ -> [])
+       tbl.Schema.fields tup)
+
+(* Insert one NF2 tuple, decomposing it over the levels; returns the
+   root surrogate id. *)
+let insert t (tup : Value.tuple) : int =
+  Value.check_tuple t.schema.Schema.table tup;
+  let rec go path (tbl : Schema.table) ~pid tup =
+    let sid = t.next_sid in
+    t.next_sid <- t.next_sid + 1;
+    let lv = level t path in
+    ignore (Heap.insert lv.heap (encode_row (Atom.Int sid :: Atom.Int pid :: first_level_atoms tbl tup)));
+    List.iter2
+      (fun (f : Schema.field) v ->
+        match f.Schema.attr, v with
+        | Schema.Table sub, Value.Table inner ->
+            List.iter (fun child -> ignore (go (path ^ "." ^ f.Schema.name) sub ~pid:sid child)) inner.Value.tuples
+        | _ -> ())
+      tbl.Schema.fields tup;
+    sid
+  in
+  go t.schema.Schema.name t.schema.Schema.table ~pid:(-1) tup
+
+(* All rows of a level as an in-memory relation (SID/PID exposed). *)
+let level_rel t path : Rel.t =
+  let lv = level t path in
+  let tuples =
+    Heap.fold lv.heap (fun acc _ payload -> List.map (fun a -> Value.Atom a) (decode_row payload) :: acc) []
+  in
+  Rel.of_tuples { Schema.kind = Schema.Set; fields = lv.fields } (List.rev tuples)
+
+(* Reconstruct all NF2 tuples (with their root SIDs) by joining the
+   levels back together — the work the integrated NF2 store avoids. *)
+let reconstruct_with_sids t : (int * Value.tuple) list =
+  let groups : (string, (int, (int * Atom.t list) list ref) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun lv ->
+      let by_pid = Hashtbl.create 64 in
+      Heap.iter lv.heap (fun _ payload ->
+          match decode_row payload with
+          | Atom.Int sid :: Atom.Int pid :: atoms -> (
+              match Hashtbl.find_opt by_pid pid with
+              | Some cell -> cell := (sid, atoms) :: !cell
+              | None -> Hashtbl.add by_pid pid (ref [ (sid, atoms) ]))
+          | _ -> flat_error "malformed row");
+      Hashtbl.add groups lv.path by_pid)
+    t.levels;
+  let children path pid =
+    match Hashtbl.find_opt groups path with
+    | None -> []
+    | Some by_pid -> (
+        match Hashtbl.find_opt by_pid pid with Some cell -> List.rev !cell | None -> [])
+  in
+  let rec build path (tbl : Schema.table) (sid, atoms) : Value.tuple =
+    let rem = ref atoms in
+    List.map
+      (fun (f : Schema.field) ->
+        match f.Schema.attr with
+        | Schema.Atomic _ -> (
+            match !rem with
+            | a :: rest ->
+                rem := rest;
+                Value.Atom a
+            | [] -> flat_error "row too short")
+        | Schema.Table sub ->
+            let cpath = path ^ "." ^ f.Schema.name in
+            Value.Table
+              { Value.kind = sub.Schema.kind; tuples = List.map (build cpath sub) (children cpath sid) })
+      tbl.Schema.fields
+  in
+  List.map
+    (fun (sid, atoms) -> (sid, build t.schema.Schema.name t.schema.Schema.table (sid, atoms)))
+    (children t.schema.Schema.name (-1))
+
+let reconstruct t : Value.tuple list = List.map snd (reconstruct_with_sids t)
+
+(* Reconstruct a single object by root SID. *)
+let fetch t (root_sid : int) : Value.tuple =
+  match List.assoc_opt root_sid (reconstruct_with_sids t) with
+  | Some tup -> tup
+  | None -> flat_error "no object with SID %d" root_sid

@@ -1,0 +1,31 @@
+(** The pure-relational baseline: full 1NF decomposition.
+
+    An NF² table is split into one flat table per nesting level with
+    surrogate SID/PID keys; reconstructing the hierarchy — or answering
+    any query the NF² table answers by navigation — requires joins (the
+    cost behind the paper's "materialised joins" remark in Example 4). *)
+
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+
+exception Flat_error of string
+
+type t
+
+val create : Nf2_storage.Buffer_pool.t -> Schema.t -> t
+
+(** Decompose and store one NF² tuple; returns its root surrogate id. *)
+val insert : t -> Value.tuple -> int
+
+(** One level's rows as a relation (SID/PID exposed), e.g.
+    ["DEPARTMENTS.PROJECTS.MEMBERS"]. *)
+val level_rel : t -> string -> Rel.t
+
+(** Join the levels back into the NF² tuples. *)
+val reconstruct : t -> Value.tuple list
+
+val reconstruct_with_sids : t -> (int * Value.tuple) list
+
+(** Reconstruct a single object by root SID.  @raise Flat_error. *)
+val fetch : t -> int -> Value.tuple

@@ -1,0 +1,334 @@
+(* An IMS-style hierarchical database, as the paper's Section 2 and
+   4.1 reference it: the DEPARTMENTS hierarchy of Fig 1 "in an IMS
+   database could be modelled by defining the segment types and parent
+   child relations", retrieved with "navigational language constructs
+   like 'get next' (GN) and 'get next within parent' (GNP)".
+
+   All four classic storage organisations are modelled, differing in
+   how a root (GU with a root SSA) is located; dependants always follow
+   in hierarchic sequence:
+
+   - HSAM  (hierarchic sequential): strictly sequential; GU of a root
+     scans from the front of the database.
+   - HISAM (hierarchic indexed sequential): an ordered root-key index
+     locates the record; sequential processing in key order remains
+     possible.
+   - HDAM  (hierarchic direct): a hash on the root key reaches the
+     record directly; no useful key order.
+   - HIDAM (hierarchic indexed direct): an ordered index over root
+     keys pointing at direct records — keyed access plus ordered
+     sequential processing.
+
+   In this simulation HISAM/HIDAM share an ordered association list as
+   the root index and HDAM a hash table; the cost difference that
+   matters to the experiments — direct/indexed entry vs front-to-back
+   scan — is faithfully reproduced.
+
+   The cursor API mirrors DL/I calls: GU (get unique, with segment
+   search arguments), GN (get next), GNP (get next within parent).
+   Segment names are the table attribute names of the NF2 schema; the
+   root segment is the schema name itself. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Heap = Nf2_storage.Heap
+module Tid = Nf2_storage.Tid
+
+exception Ims_error of string
+
+let ims_error fmt = Fmt.kstr (fun s -> raise (Ims_error s)) fmt
+
+type organisation = HSAM | HISAM | HDAM | HIDAM
+
+let organisation_name = function
+  | HSAM -> "HSAM"
+  | HISAM -> "HISAM"
+  | HDAM -> "HDAM"
+  | HIDAM -> "HIDAM"
+
+(* A stored segment occurrence. *)
+type segment = {
+  seg_type : string; (* e.g. "DEPARTMENTS", "PROJECTS", "MEMBERS" *)
+  level : int; (* root = 0 *)
+  fields : Atom.t list; (* the segment's own (atomic) fields *)
+}
+
+type t = {
+  schema : Schema.t;
+  organisation : organisation;
+  heap : Heap.t;
+  mutable sequence : Tid.t list; (* hierarchic sequence, stored order (HSAM view) *)
+  root_directory : (string, Tid.t list) Hashtbl.t; (* HDAM/HIDAM: root-key -> record's segments *)
+  mutable root_index : (string * Tid.t list) list; (* HISAM/HIDAM: ordered root index *)
+}
+
+(* --- segment codec ----------------------------------------------------- *)
+
+let encode_segment (s : segment) =
+  let b = Codec.create_sink () in
+  Codec.put_string b s.seg_type;
+  Codec.put_uvarint b s.level;
+  Codec.put_uvarint b (List.length s.fields);
+  List.iter (Atom.encode b) s.fields;
+  Codec.contents b
+
+let decode_segment payload : segment =
+  let src = Codec.source_of_string payload in
+  let seg_type = Codec.get_string src in
+  let level = Codec.get_uvarint src in
+  let n = Codec.get_uvarint src in
+  { seg_type; level; fields = List.init n (fun _ -> Atom.decode src) }
+
+(* --- segment hierarchy from the NF2 schema ------------------------------ *)
+
+let atomic_fields (tbl : Schema.table) =
+  List.filter_map
+    (fun (f : Schema.field) ->
+      match f.Schema.attr with Schema.Atomic _ -> Some f.Schema.name | Schema.Table _ -> None)
+    tbl.Schema.fields
+
+(* All segment types with their levels and parents, preorder. *)
+let segment_types (schema : Schema.t) : (string * int * string option) list =
+  let rec go name (tbl : Schema.table) level parent acc =
+    let acc = (name, level, parent) :: acc in
+    List.fold_left
+      (fun acc (f : Schema.field) ->
+        match f.Schema.attr with
+        | Schema.Table sub -> go f.Schema.name sub (level + 1) (Some name) acc
+        | Schema.Atomic _ -> acc)
+      acc tbl.Schema.fields
+  in
+  List.rev (go schema.Schema.name schema.Schema.table 0 None [])
+
+(* Flatten one NF2 tuple into its hierarchic segment sequence. *)
+let segments_of_tuple (schema : Schema.t) (tup : Value.tuple) : segment list =
+  let first_level_atoms (tbl : Schema.table) (tp : Value.tuple) =
+    List.concat
+      (List.map2
+         (fun (f : Schema.field) v ->
+           match f.Schema.attr, v with Schema.Atomic _, Value.Atom a -> [ a ] | _ -> [])
+         tbl.Schema.fields tp)
+  in
+  let rec go name (tbl : Schema.table) (tp : Value.tuple) level acc =
+    let acc = { seg_type = name; level; fields = first_level_atoms tbl tp } :: acc in
+    List.fold_left2
+      (fun acc (f : Schema.field) v ->
+        match f.Schema.attr, v with
+        | Schema.Table sub, Value.Table inner ->
+            List.fold_left (fun acc child -> go f.Schema.name sub child (level + 1) acc) acc
+              inner.Value.tuples
+        | _ -> acc)
+      acc tbl.Schema.fields tp
+  in
+  List.rev (go schema.Schema.name schema.Schema.table tup 0 [])
+
+(* --- database construction ----------------------------------------------- *)
+
+let root_key (s : segment) =
+  match s.fields with
+  | a :: _ -> Atom.to_string a
+  | [] -> ims_error "root segment without fields"
+
+let create ?(organisation = HSAM) pool (schema : Schema.t) =
+  {
+    schema;
+    organisation;
+    heap = Heap.create pool;
+    sequence = [];
+    root_directory = Hashtbl.create 64;
+    root_index = [];
+  }
+
+(* Insert one database record (a root and its dependants), appended in
+   hierarchic sequence. *)
+let insert t (tup : Value.tuple) =
+  Value.check_tuple t.schema.Schema.table tup;
+  let segs = segments_of_tuple t.schema tup in
+  let tids = List.map (fun s -> Heap.insert t.heap (encode_segment s)) segs in
+  t.sequence <- t.sequence @ tids;
+  match segs with
+  | root :: _ ->
+      let key = root_key root in
+      Hashtbl.replace t.root_directory key tids;
+      t.root_index <-
+        List.merge (fun (a, _) (b, _) -> String.compare a b) [ (key, tids) ]
+          (List.filter (fun (k, _) -> k <> key) t.root_index)
+  | [] -> ()
+
+let load ?organisation pool schema tuples =
+  let t = create ?organisation pool schema in
+  List.iter (insert t) tuples;
+  t
+
+(* --- DL/I-style cursor ------------------------------------------------------ *)
+
+type cursor = {
+  db : t;
+  mutable pending : Tid.t list; (* rest of the hierarchic sequence *)
+  mutable parent_level : int option; (* set by GNP *)
+  mutable reads : int; (* segments fetched — the navigation cost *)
+}
+
+let open_cursor t = { db = t; pending = t.sequence; parent_level = None; reads = 0 }
+
+let reads c = c.reads
+
+let fetch c tid =
+  c.reads <- c.reads + 1;
+  decode_segment (Heap.read_exn c.db.heap tid)
+
+(* Segment search argument: (field position, expected atom). *)
+type ssa = { seg : string; tests : (int * Atom.t) list }
+
+let seg_matches (s : segment) (a : ssa) =
+  String.uppercase_ascii s.seg_type = String.uppercase_ascii a.seg
+  && List.for_all
+       (fun (i, expect) ->
+         match List.nth_opt s.fields i with Some got -> Atom.equal got expect | None -> false)
+       a.tests
+
+(* GN: next segment in hierarchic sequence, optionally of one type. *)
+let get_next ?segment (c : cursor) : segment option =
+  let rec go () =
+    match c.pending with
+    | [] -> None
+    | tid :: rest ->
+        let s = fetch c tid in
+        c.pending <- rest;
+        let type_ok =
+          match segment with
+          | None -> true
+          | Some name -> String.uppercase_ascii s.seg_type = String.uppercase_ascii name
+        in
+        if type_ok then Some s else go ()
+  in
+  go ()
+
+(* GU: position on the first segment satisfying the SSA chain, scanning
+   from the front (HSAM) or entering through the root hash (HDAM). *)
+let get_unique (c : cursor) (ssas : ssa list) : segment option =
+  (match ssas, c.db.organisation with
+  | { seg; tests = (0, key) :: _ } :: _, (HDAM | HIDAM)
+    when String.uppercase_ascii seg = String.uppercase_ascii c.db.schema.Schema.name -> (
+      (* direct entry via the root directory (HIDAM's index lookup is
+         modelled with the same one-probe cost) *)
+      match Hashtbl.find_opt c.db.root_directory (Atom.to_string key) with
+      | Some tids -> c.pending <- tids
+      | None -> c.pending <- [])
+  | { seg; tests = (0, key) :: _ } :: _, HISAM
+    when String.uppercase_ascii seg = String.uppercase_ascii c.db.schema.Schema.name -> (
+      (* indexed-sequential entry: binary probe of the ordered index
+         (modelled as an assoc lookup; cost = O(log n) probes, not a
+         scan of the data) *)
+      match List.assoc_opt (Atom.to_string key) c.db.root_index with
+      | Some tids -> c.pending <- tids
+      | None -> c.pending <- [])
+  | _ -> c.pending <- c.db.sequence);
+  (* after a parent SSA matches at level L, the child SSA may only
+     match inside that parent's subtree (level > L) *)
+  let rec go (remaining : ssa list) ~(floor : int option) =
+    match remaining with
+    | [] -> None
+    | a :: rest -> (
+        match next_matching c a ~floor with
+        | Some s -> if rest = [] then Some s else go rest ~floor:(Some s.level)
+        | None -> None)
+  and next_matching c a ~floor =
+    let rec scan () =
+      match c.pending with
+      | [] -> None
+      | tid :: rest -> (
+          let s = fetch c tid in
+          match floor with
+          | Some l when s.level <= l -> None (* left the parent's subtree *)
+          | _ ->
+              c.pending <- rest;
+              if seg_matches s a then Some s else scan ())
+    in
+    scan ()
+  in
+  go ssas ~floor:None
+
+(* GNP: next segment under the current parent (set the parent level
+   first with [set_parent_level]); iteration stops when the sequence
+   returns to the parent's level or above. *)
+let set_parent_level c level = c.parent_level <- Some level
+
+let get_next_within_parent ?segment (c : cursor) : segment option =
+  let plevel = match c.parent_level with Some l -> l | None -> ims_error "GNP without parent" in
+  let rec go () =
+    match c.pending with
+    | [] -> None
+    | tid :: rest ->
+        let s = fetch c tid in
+        if s.level <= plevel then None (* left the parent's subtree *)
+        else begin
+          c.pending <- rest;
+          let type_ok =
+            match segment with
+            | None -> true
+            | Some name -> String.uppercase_ascii s.seg_type = String.uppercase_ascii name
+          in
+          if type_ok then Some s else go ()
+        end
+  in
+  go ()
+
+(* --- reconstruction (for correctness checks) --------------------------------- *)
+
+let reconstruct t : Value.tuple list =
+  (* replay the hierarchic sequence into NF2 tuples *)
+  let segs = List.map (fun tid -> decode_segment (Heap.read_exn t.heap tid)) t.sequence in
+  let rec build (tbl : Schema.table) name level (stream : segment list ref) : Value.tuple option =
+    match !stream with
+    | s :: rest
+      when s.level = level && String.uppercase_ascii s.seg_type = String.uppercase_ascii name ->
+        stream := rest;
+        let atoms = ref s.fields in
+        let tup =
+          List.map
+            (fun (f : Schema.field) ->
+              match f.Schema.attr with
+              | Schema.Atomic _ -> (
+                  match !atoms with
+                  | a :: more ->
+                      atoms := more;
+                      Value.Atom a
+                  | [] -> ims_error "segment too short")
+              | Schema.Table sub ->
+                  let children = ref [] in
+                  let rec collect () =
+                    match build sub f.Schema.name (level + 1) stream with
+                    | Some child ->
+                        children := child :: !children;
+                        collect ()
+                    | None -> ()
+                  in
+                  collect ();
+                  Value.Table { Value.kind = sub.Schema.kind; tuples = List.rev !children })
+            tbl.Schema.fields
+        in
+        Some tup
+    | _ -> None
+  in
+  let stream = ref segs in
+  let acc = ref [] in
+  let rec all () =
+    match build t.schema.Schema.table t.schema.Schema.name 0 stream with
+    | Some tup ->
+        acc := tup :: !acc;
+        all ()
+    | None -> ()
+  in
+  all ();
+  List.rev !acc
+
+(* Children of subtables do not all interleave correctly under the
+   naive preorder replay when a segment type appears under multiple
+   parents with different field shapes; the NF2 schemas used here have
+   unique segment names, which [segment_types] can verify. *)
+let check_unique_segments (schema : Schema.t) =
+  let names = List.map (fun (n, _, _) -> String.uppercase_ascii n) (segment_types schema) in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    ims_error "segment names must be unique in the hierarchy"

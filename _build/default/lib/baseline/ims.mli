@@ -1,0 +1,84 @@
+(** An IMS-style hierarchical database — the system the paper's
+    Section 2 contrasts with the NF² approach (Fig 1), retrieved with
+    DL/I-like navigational calls: GU (get unique), GN (get next), GNP
+    (get next within parent).
+
+    All four classic storage organisations are modelled; they differ in
+    how GU locates a root, the cost difference the experiments measure. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Tid = Nf2_storage.Tid
+
+exception Ims_error of string
+
+type organisation =
+  | HSAM  (** hierarchic sequential: GU scans from the front *)
+  | HISAM  (** indexed sequential: ordered root index *)
+  | HDAM  (** hierarchic direct: hashed root entry *)
+  | HIDAM  (** indexed direct: ordered index over direct records *)
+
+val organisation_name : organisation -> string
+
+(** A stored segment occurrence: type name (= NF² attribute name; the
+    root segment is the schema name), level (root = 0), own atomic
+    fields. *)
+type segment = { seg_type : string; level : int; fields : Atom.t list }
+
+type t
+
+val create : ?organisation:organisation -> Nf2_storage.Buffer_pool.t -> Schema.t -> t
+
+(** Store one database record (root + dependants in hierarchic
+    sequence). *)
+val insert : t -> Value.tuple -> unit
+
+val load : ?organisation:organisation -> Nf2_storage.Buffer_pool.t -> Schema.t -> Value.tuple list -> t
+
+(** Segment types of a schema: (name, level, parent), preorder —
+    the Fig 1 segment hierarchy. *)
+val segment_types : Schema.t -> (string * int * string option) list
+
+(** Atomic fields of one nesting level. *)
+val atomic_fields : Schema.table -> string list
+
+(** Flatten one tuple into its hierarchic segment sequence. *)
+val segments_of_tuple : Schema.t -> Value.tuple -> segment list
+
+(** {1 DL/I-style cursor} *)
+
+type cursor
+
+val open_cursor : t -> cursor
+
+(** Segments fetched so far — the navigation cost. *)
+val reads : cursor -> int
+
+(** Segment search argument: segment type plus (field position,
+    expected value) qualifications. *)
+type ssa = { seg : string; tests : (int * Atom.t) list }
+
+(** GN: next segment in hierarchic sequence, optionally of one type. *)
+val get_next : ?segment:string -> cursor -> segment option
+
+(** GU: position on the first segment satisfying the SSA chain; child
+    SSAs match only within the parent's subtree.  Entry cost depends on
+    the organisation. *)
+val get_unique : cursor -> ssa list -> segment option
+
+(** Set the parent level for subsequent GNP calls. *)
+val set_parent_level : cursor -> int -> unit
+
+(** GNP: next segment under the current parent; [None] when the
+    sequence leaves the parent's subtree. *)
+val get_next_within_parent : ?segment:string -> cursor -> segment option
+
+(** {1 Verification helpers} *)
+
+(** Replay the hierarchic sequence back into NF² tuples. *)
+val reconstruct : t -> Value.tuple list
+
+(** @raise Ims_error when segment names are not unique in the hierarchy
+    (required by [reconstruct]). *)
+val check_unique_segments : Schema.t -> unit

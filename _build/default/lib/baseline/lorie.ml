@@ -1,0 +1,223 @@
+(* The "on-top" baseline: complex objects as linked flat tuples, after
+   Lorie/Plouffe /LP83/ and Haskin/Lorie /HL82/ (Section 1 and 4.1 of
+   the paper).
+
+   "A complex object is implemented as a series of tuples logically
+   linked together.  The tuples are stored as part of normal, flat
+   tables with additional attributes not seen by the user ...  Child,
+   sibling, father, and root pointers are used for that purpose."
+
+   One heap file per tuple type (= per nesting level), shared by all
+   objects — i.e. no per-object clustering, which is exactly the
+   performance disadvantage the paper attributes to this approach.
+   Each stored tuple carries:
+     - its first-level atoms,
+     - father and root TIDs,
+     - a sibling TID (next element of the same subtable instance),
+     - one first-child TID per table-valued attribute. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Heap = Nf2_storage.Heap
+module Tid = Nf2_storage.Tid
+
+exception Lorie_error of string
+
+let lorie_error fmt = Fmt.kstr (fun s -> raise (Lorie_error s)) fmt
+
+type level = { path : string; heap : Heap.t }
+
+type t = {
+  schema : Schema.t;
+  levels : level list; (* one per tuple type, root level first *)
+  mutable roots : Tid.t list;
+}
+
+let no_tid = { Tid.page = -1; slot = -1 }
+let is_no_tid tid = tid.Tid.page = -1
+
+(* Stored record: atoms, father, root, sibling, child heads. *)
+let encode_record atoms ~father ~root ~sibling ~children =
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b (List.length atoms);
+  List.iter (Atom.encode b) atoms;
+  Tid.encode b father;
+  Tid.encode b root;
+  Tid.encode b sibling;
+  Codec.put_uvarint b (List.length children);
+  List.iter (Tid.encode b) children;
+  Codec.contents b
+
+let decode_record payload =
+  let src = Codec.source_of_string payload in
+  let n = Codec.get_uvarint src in
+  let atoms = List.init n (fun _ -> Atom.decode src) in
+  let father = Tid.decode src in
+  let root = Tid.decode src in
+  let sibling = Tid.decode src in
+  let nc = Codec.get_uvarint src in
+  let children = List.init nc (fun _ -> Tid.decode src) in
+  (atoms, father, root, sibling, children)
+
+(* Enumerate tuple types (nesting levels) of a schema, depth first. *)
+let rec level_paths prefix (tbl : Schema.table) =
+  prefix
+  :: List.concat_map
+       (fun (f : Schema.field) ->
+         match f.Schema.attr with
+         | Schema.Table sub -> level_paths (prefix ^ "." ^ f.Schema.name) sub
+         | Schema.Atomic _ -> [])
+       tbl.Schema.fields
+
+let create pool (schema : Schema.t) =
+  let levels =
+    List.map (fun path -> { path; heap = Heap.create pool }) (level_paths schema.Schema.name schema.Schema.table)
+  in
+  { schema; levels; roots = [] }
+
+let level t path =
+  match List.find_opt (fun l -> l.path = path) t.levels with
+  | Some l -> l
+  | None -> lorie_error "no level %s" path
+
+let first_level_atoms (tbl : Schema.table) (tup : Value.tuple) =
+  List.concat
+    (List.map2
+       (fun (f : Schema.field) v ->
+         match f.Schema.attr, v with Schema.Atomic _, Value.Atom a -> [ a ] | _ -> [])
+       tbl.Schema.fields tup)
+
+let table_attrs (tbl : Schema.table) (tup : Value.tuple) =
+  List.concat
+    (List.map2
+       (fun (f : Schema.field) v ->
+         match f.Schema.attr, v with
+         | Schema.Table sub, Value.Table inner -> [ (f.Schema.name, sub, inner) ]
+         | _ -> [])
+       tbl.Schema.fields tup)
+
+(* Insert one (sub)tuple and, recursively, its children; returns its
+   TID.  Children are inserted first so the father's child-head
+   pointers are known; sibling chains are threaded right-to-left.
+   Father pointers require a second pass: children are written with
+   father = no_tid and patched after the father's TID is known. *)
+let rec insert_tuple t ~path (tbl : Schema.table) ~root ~father (tup : Value.tuple) : Tid.t =
+  let lv = level t path in
+  let atoms = first_level_atoms tbl tup in
+  let children_heads =
+    List.map
+      (fun (name, sub, inner) ->
+        let cpath = path ^ "." ^ name in
+        (* build the sibling chain back to front *)
+        List.fold_right
+          (fun ctup next ->
+            let ct = insert_tuple t ~path:cpath sub ~root ~father:no_tid ctup in
+            set_sibling t ~path:cpath ct next;
+            ct)
+          inner.Value.tuples no_tid)
+      (table_attrs tbl tup)
+  in
+  let tid = Heap.insert lv.heap (encode_record atoms ~father ~root ~sibling:no_tid ~children:children_heads) in
+  let root = if is_no_tid root then tid else root in
+  (* patch self root if we are the root; patch children's father *)
+  if is_no_tid father then begin
+    let atoms, _, _, sibling, children = decode_record (Heap.read_exn lv.heap tid) in
+    Heap.update lv.heap tid (encode_record atoms ~father:no_tid ~root ~sibling ~children)
+  end;
+  List.iter2
+    (fun (name, _, _) head ->
+      let cpath = path ^ "." ^ name in
+      patch_fathers t ~path:cpath ~father:tid ~root head)
+    (table_attrs tbl tup) children_heads;
+  tid
+
+and set_sibling t ~path tid sibling =
+  let lv = level t path in
+  let atoms, father, root, _, children = decode_record (Heap.read_exn lv.heap tid) in
+  Heap.update lv.heap tid (encode_record atoms ~father ~root ~sibling ~children)
+
+and patch_fathers t ~path ~father ~root head =
+  let lv = level t path in
+  let rec go tid =
+    if not (is_no_tid tid) then begin
+      let atoms, _, _, sibling, children = decode_record (Heap.read_exn lv.heap tid) in
+      Heap.update lv.heap tid (encode_record atoms ~father ~root ~sibling ~children);
+      go sibling
+    end
+  in
+  go head
+
+let insert t (tup : Value.tuple) : Tid.t =
+  Value.check_tuple t.schema.Schema.table tup;
+  let tid = insert_tuple t ~path:t.schema.Schema.name t.schema.Schema.table ~root:no_tid ~father:no_tid tup in
+  t.roots <- tid :: t.roots;
+  tid
+
+(* --- retrieval ----------------------------------------------------------- *)
+
+let rec fetch_tuple t ~path (tbl : Schema.table) (tid : Tid.t) : Value.tuple =
+  let lv = level t path in
+  let atoms, _, _, _, children = decode_record (Heap.read_exn lv.heap tid) in
+  let atoms = ref atoms and children = ref children in
+  List.map
+    (fun (f : Schema.field) ->
+      match f.Schema.attr with
+      | Schema.Atomic _ -> (
+          match !atoms with
+          | a :: rest ->
+              atoms := rest;
+              Value.Atom a
+          | [] -> lorie_error "record too short")
+      | Schema.Table sub ->
+          let head =
+            match !children with
+            | c :: rest ->
+                children := rest;
+                c
+            | [] -> lorie_error "missing child head"
+          in
+          let cpath = path ^ "." ^ f.Schema.name in
+          let clv = level t cpath in
+          let rec chain tid acc =
+            if is_no_tid tid then List.rev acc
+            else
+              let _, _, _, sibling, _ = decode_record (Heap.read_exn clv.heap tid) in
+              chain sibling (fetch_tuple t ~path:cpath sub tid :: acc)
+          in
+          Value.Table { Value.kind = sub.Schema.kind; tuples = chain head [] })
+    tbl.Schema.fields
+
+let fetch t (tid : Tid.t) : Value.tuple = fetch_tuple t ~path:t.schema.Schema.name t.schema.Schema.table tid
+
+let roots t = List.rev t.roots
+
+(* Partial retrieval à la fetch_path: must follow pointer chains
+   through *stored tuples* (no separate structural information — the
+   disadvantage discussed in Section 4.1: navigation touches data). *)
+let fetch_element t (tid : Tid.t) ~(attr : string) ~(idx : int) : Value.tuple =
+  let tbl = t.schema.Schema.table in
+  let _, f = Schema.field_exn tbl attr in
+  let sub = match f.Schema.attr with Schema.Table s -> s | _ -> lorie_error "%s is atomic" attr in
+  let lv = level t t.schema.Schema.name in
+  let _, _, _, _, children = decode_record (Heap.read_exn lv.heap tid) in
+  (* child-head position among table attrs *)
+  let pos =
+    let rec go i = function
+      | [] -> lorie_error "no table attr %s" attr
+      | (g : Schema.field) :: gs ->
+          if String.uppercase_ascii g.Schema.name = String.uppercase_ascii attr then i
+          else go (match g.Schema.attr with Schema.Table _ -> i + 1 | Schema.Atomic _ -> i) gs
+    in
+    go 0 tbl.Schema.fields
+  in
+  let cpath = t.schema.Schema.name ^ "." ^ attr in
+  let clv = level t cpath in
+  let rec walk tid i =
+    if is_no_tid tid then lorie_error "element %d out of range" idx
+    else if i = idx then fetch_tuple t ~path:cpath sub tid
+    else
+      let _, _, _, sibling, _ = decode_record (Heap.read_exn clv.heap tid) in
+      walk sibling (i + 1)
+  in
+  walk (List.nth children pos) 0

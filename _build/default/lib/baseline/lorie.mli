@@ -1,0 +1,30 @@
+(** The "on-top" baseline: complex objects as linked flat tuples, after
+    Lorie/Plouffe (/LP83/) and Haskin/Lorie (/HL82/) — tuples stored in
+    ordinary flat tables (one heap per tuple type) with system-managed
+    child / sibling / father / root pointer attributes.  No per-object
+    clustering: exactly the performance disadvantage the paper
+    attributes to extending an existing DBMS instead of integrating
+    complex objects (Sections 1 and 4.1). *)
+
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Tid = Nf2_storage.Tid
+
+exception Lorie_error of string
+
+type t
+
+val create : Nf2_storage.Buffer_pool.t -> Schema.t -> t
+
+(** Store a complex object as linked tuples; returns the root tuple's
+    TID. *)
+val insert : t -> Value.tuple -> Tid.t
+
+(** Reconstruct an object by following child/sibling chains. *)
+val fetch : t -> Tid.t -> Value.tuple
+
+val roots : t -> Tid.t list
+
+(** Element access by pointer chasing through stored tuples — no
+    separate structural information, so navigation touches data. *)
+val fetch_element : t -> Tid.t -> attr:string -> idx:int -> Value.tuple

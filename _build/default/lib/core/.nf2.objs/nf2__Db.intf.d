@@ -1,0 +1,1 @@
+lib/core/db.mli: Nf2_algebra Nf2_lang Nf2_model Nf2_storage

@@ -1,0 +1,1 @@
+lib/core/demo.ml: Db Nf2_workload

@@ -1,0 +1,1 @@
+lib/core/demo.mli: Db Nf2_storage

@@ -1,0 +1,1022 @@
+(* The AIM-II database engine: catalog + storage + access paths +
+   temporal support behind one handle, with [exec] interpreting the
+   query language.  This is the public entry point of the library. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module MD = Nf2_storage.Mini_directory
+module Disk = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module OS = Nf2_storage.Object_store
+module Tid = Nf2_storage.Tid
+module VI = Nf2_index.Value_index
+module TI = Nf2_index.Text_index
+module VS = Nf2_temporal.Version_store
+module Tname = Nf2_tname.Tuple_name
+open Nf2_lang
+
+exception Db_error of string
+
+let db_error fmt = Fmt.kstr (fun s -> raise (Db_error s)) fmt
+
+type index_info = { iname : string; ipath : Schema.path; vindex : VI.t }
+
+type table_info = {
+  schema : Schema.t;
+  versioned : bool;
+  store : OS.t;
+  vstore : VS.t option;
+  mutable ids : (Tid.t * int) list; (* versioned: root (stale) unused; id list *)
+  mutable indexes : index_info list;
+  mutable text_indexes : (Schema.path * TI.t) list;
+}
+
+type t = {
+  mutable disk : Disk.t;
+  mutable pool : BP.t;
+  layout : MD.layout;
+  clustering : bool;
+  tables : (string, table_info) Hashtbl.t; (* key: uppercased name *)
+  mutable tnames : Tname.registry;
+  mutable last_plan : string list;
+  mutable journal : out_channel option; (* logical statement log *)
+  mutable journal_path : string option;
+  mutable replaying : bool;
+  mutable txn : txn_state option; (* open transaction, if any *)
+}
+
+and txn_state = { snapshot : string; mutable pending_journal : string list }
+
+type result = Rows of Rel.t | Msg of string
+
+let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering = true) () =
+  let disk = Disk.create ~page_size () in
+  let pool = BP.create ~frames disk in
+  {
+    disk;
+    pool;
+    layout;
+    clustering;
+    tables = Hashtbl.create 16;
+    tnames = Tname.create_registry ();
+    last_plan = [];
+    journal = None;
+    journal_path = None;
+    replaying = false;
+    txn = None;
+  }
+
+let disk t = t.disk
+let pool t = t.pool
+let last_plan t = List.rev t.last_plan
+
+let find_table t name = Hashtbl.find_opt t.tables (String.uppercase_ascii name)
+
+let table_exn t name =
+  match find_table t name with
+  | Some ti -> ti
+  | None -> db_error "no such table: %s" name
+
+let table_names t =
+  Hashtbl.fold (fun _ ti acc -> ti.schema.Schema.name :: acc) t.tables [] |> List.sort String.compare
+
+(* --- schema construction from DDL ------------------------------------- *)
+
+let rec fields_of_defs (defs : Ast.field_def list) : Schema.field list =
+  List.map
+    (fun (d : Ast.field_def) ->
+      match d.Ast.ftype with
+      | Ast.T_atom ty -> { Schema.name = d.Ast.fname; attr = Schema.Atomic ty }
+      | Ast.T_table (kind, sub) ->
+          { Schema.name = d.Ast.fname; attr = Schema.Table { Schema.kind; fields = fields_of_defs sub } })
+    defs
+
+(* --- literal -> value conversion, schema-directed ----------------------- *)
+
+let rec value_of_literal (attr : Schema.attr) (l : Ast.literal_value) : Value.v =
+  match attr, l with
+  | Schema.Atomic ty, Ast.L_atom a ->
+      (* permit INT literals in FLOAT columns *)
+      let a = match ty, a with Atom.Tfloat, Atom.Int v -> Atom.Float (float_of_int v) | _ -> a in
+      if not (Atom.conforms ty a) then
+        db_error "literal %s does not conform to %s" (Atom.to_literal a) (Atom.type_name ty);
+      Value.Atom a
+  | Schema.Table sub, Ast.L_table (kind, rows) ->
+      if kind <> sub.Schema.kind then db_error "table literal kind mismatch ({ } vs < >)";
+      Value.Table { Value.kind = kind; tuples = List.map (tuple_of_literals sub) rows }
+  | Schema.Atomic _, Ast.L_table _ -> db_error "table literal in atomic attribute"
+  | Schema.Table _, Ast.L_atom _ -> db_error "atomic literal in table attribute"
+  | _, Ast.L_param i -> db_error "unbound parameter ?%d (use Db.prepare/execute)" i
+
+and tuple_of_literals (tbl : Schema.table) (row : Ast.literal_value list) : Value.tuple =
+  if List.length row <> List.length tbl.Schema.fields then
+    db_error "literal row arity mismatch (expected %d attributes)" (List.length tbl.Schema.fields);
+  List.map2 (fun (f : Schema.field) l -> value_of_literal f.Schema.attr l) tbl.Schema.fields row
+
+(* --- catalog for the evaluator ------------------------------------------- *)
+
+let catalog t : Eval.catalog =
+ fun name ->
+  match find_table t name with
+  | None -> None
+  | Some ti ->
+      let scan () =
+        match ti.vstore with
+        | Some vs -> VS.current_all vs ti.schema
+        | None -> List.map (OS.fetch ti.store ti.schema) (OS.roots ti.store)
+      in
+      let scan_asof =
+        match ti.vstore with
+        | Some vs -> Some (fun ts -> VS.snapshot vs ti.schema ~ts)
+        | None -> None
+      in
+      let roots, fetch_root =
+        match ti.vstore with
+        | Some _ -> (None, None)
+        | None ->
+            ( Some (fun () -> OS.roots ti.store),
+              Some (fun root -> OS.fetch ti.store ti.schema root) )
+      in
+      Some
+        {
+          Eval.schema = ti.schema;
+          versioned = ti.versioned;
+          scan;
+          scan_asof;
+          roots;
+          fetch_root;
+          indexes = List.map (fun ii -> (ii.ipath, ii.vindex)) ti.indexes;
+          text_indexes = ti.text_indexes;
+        }
+
+(* --- index maintenance ------------------------------------------------------ *)
+
+let deindex_object ti root =
+  List.iter (fun ii -> VI.remove_object ii.vindex root) ti.indexes;
+  List.iter (fun (_, tix) -> TI.remove_object tix root) ti.text_indexes
+
+let reindex_object ti root =
+  List.iter (fun ii -> VI.insert_object ii.vindex root) ti.indexes;
+  List.iter (fun (_, tix) -> TI.insert_object tix root) ti.text_indexes
+
+(* --- helpers for DML -------------------------------------------------------- *)
+
+(* Roots of objects satisfying [where]; tuples are bound to an implicit
+   variable so unqualified attributes resolve. *)
+let matching_roots t ti (where : Ast.pred option) : (Tid.t * Value.tuple) list =
+  let roots = OS.roots ti.store in
+  List.filter_map
+    (fun root ->
+      let tup = OS.fetch ti.store ti.schema root in
+      let keep =
+        match where with
+        | None -> true
+        | Some w -> Eval.eval_pred (catalog t) [ ("#row", (ti.schema.Schema.table, tup)) ] w
+      in
+      if keep then Some (root, tup) else None)
+    roots
+
+let matching_ids t ti (where : Ast.pred option) : int list =
+  match ti.vstore with
+  | None -> db_error "internal: matching_ids on unversioned table"
+  | Some vs ->
+      List.filter
+        (fun id ->
+          let tup = VS.current vs ti.schema id in
+          match where with
+          | None -> true
+          | Some w -> Eval.eval_pred (catalog t) [ ("#row", (ti.schema.Schema.table, tup)) ] w)
+        (VS.ids vs)
+
+let eval_ts t (e : Ast.expr option) ~(vs : VS.t) : int =
+  match e with
+  | None -> vs.VS.clock (* reuse current clock: same-instant version *)
+  | Some e -> (
+      match Eval.eval_expr (catalog t) [] e with
+      | Value.Atom (Atom.Date d) -> d
+      | Value.Atom (Atom.Int i) -> i
+      | _ -> db_error "AT expression must be a date or integer")
+
+(* Transaction hooks are installed after persistence is defined (they
+   snapshot/restore whole database images). *)
+let txn_begin_ref : (t -> unit) ref = ref (fun _ -> db_error "transactions unavailable")
+let txn_commit_ref : (t -> unit) ref = ref (fun _ -> db_error "transactions unavailable")
+let txn_rollback_ref : (t -> unit) ref = ref (fun _ -> db_error "transactions unavailable")
+let txn_begin t = !txn_begin_ref t
+let txn_commit t = !txn_commit_ref t
+let txn_rollback t = !txn_rollback_ref t
+
+(* Rebuild a table under a changed schema (ALTER): fresh object store,
+   reinserted rows, indexes rebuilt where their paths still resolve. *)
+let rebuild_table t ti (schema' : Schema.t) (tuples : Value.tuple list) =
+  let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+  List.iter (fun tup -> ignore (OS.insert store schema' tup)) tuples;
+  let still_resolves path =
+    match Schema.resolve_path schema'.Schema.table path with
+    | Schema.Atomic _ -> true
+    | Schema.Table _ -> false
+    | exception Schema.Schema_error _ -> false
+  in
+  let indexes =
+    List.filter_map
+      (fun ii ->
+        (* rebuilt indexes use hierarchical addressing, the production
+           strategy; strawman strategies exist for experiments only *)
+        if still_resolves ii.ipath then
+          Some { ii with vindex = VI.create store schema' VI.Hierarchical ii.ipath }
+        else None)
+      ti.indexes
+  in
+  let text_indexes =
+    List.filter_map
+      (fun (path, _) ->
+        if still_resolves path then Some (path, TI.create store schema' path) else None)
+      ti.text_indexes
+  in
+  Hashtbl.replace t.tables
+    (String.uppercase_ascii schema'.Schema.name)
+    { ti with schema = schema'; store; indexes; text_indexes }
+
+(* Elements of the subtable at [sub_path] (inside every nesting level)
+   satisfying [where]; returns (steps-to-element, env) pairs where env
+   binds the element and all its ancestors for SET expressions. *)
+let matching_elements t ti (root : Tid.t) (sub_path : string list) (where : Ast.pred option) :
+    (OS.step list * Eval.env) list =
+  let tup = OS.fetch ti.store ti.schema root in
+  let acc = ref [] in
+  let rec go (tbl : Schema.table) (cur : Value.tuple) (steps_rev : OS.step list) (env : Eval.env)
+      (path : string list) =
+    match path with
+    | [] -> ()
+    | attr :: rest -> (
+        match Schema.field_exn tbl attr with
+        | _, { Schema.attr = Schema.Table sub; _ } -> (
+            match Value.field tbl cur attr with
+            | Value.Table inner ->
+                List.iteri
+                  (fun i etup ->
+                    let steps_rev' = OS.Elem i :: OS.Attr attr :: steps_rev in
+                    let env' = ("#elem", (sub, etup)) :: env in
+                    if rest = [] then begin
+                      let keep =
+                        match where with
+                        | None -> true
+                        | Some w -> Eval.eval_pred (catalog t) env' w
+                      in
+                      if keep then acc := (List.rev steps_rev', env') :: !acc
+                    end
+                    else go sub etup steps_rev' env' rest)
+                  inner.Value.tuples
+            | _ -> ())
+        | _ -> db_error "%s is not a subtable attribute" attr)
+  in
+  go ti.schema.Schema.table tup [] [ ("#row", (ti.schema.Schema.table, tup)) ] sub_path;
+  List.rev !acc
+
+(* --- statement execution -------------------------------------------------------- *)
+
+let exec_stmt t (stmt : Ast.stmt) : result =
+  match stmt with
+  | Ast.Select q ->
+      t.last_plan <- [];
+      let rel = Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) (catalog t) q in
+      Rows rel
+  | Ast.Begin_txn ->
+      txn_begin t;
+      Msg "transaction started"
+  | Ast.Commit ->
+      txn_commit t;
+      Msg "committed"
+  | Ast.Rollback ->
+      txn_rollback t;
+      Msg "rolled back"
+  | Ast.Show_tables -> Msg (String.concat "\n" (table_names t))
+  | Ast.Describe name ->
+      let ti = table_exn t name in
+      Msg (Schema.to_string ti.schema ^ "\n" ^ Schema.render_segment_tree ti.schema)
+  | Ast.Create_table { name; fields; versioned } ->
+      if find_table t name <> None then db_error "table %s already exists" name;
+      let schema =
+        Schema.validate { Schema.name = String.uppercase_ascii name; table = { Schema.kind = Schema.Set; fields = fields_of_defs fields } }
+      in
+      let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+      let vstore = if versioned then Some (VS.create store t.pool) else None in
+      Hashtbl.replace t.tables (String.uppercase_ascii name)
+        { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] };
+      Msg (Printf.sprintf "table %s created%s" (String.uppercase_ascii name) (if versioned then " (versioned)" else ""))
+  | Ast.Drop_table name ->
+      let _ = table_exn t name in
+      Hashtbl.remove t.tables (String.uppercase_ascii name);
+      Msg (Printf.sprintf "table %s dropped" (String.uppercase_ascii name))
+  | Ast.Create_index { table; path; strategy } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "indexes on versioned tables are not supported";
+      let strategy =
+        match strategy with Ast.S_data -> VI.Data_tid | Ast.S_root -> VI.Root_tid | Ast.S_hier -> VI.Hierarchical
+      in
+      let vindex = VI.create ti.store ti.schema strategy path in
+      let iname = Printf.sprintf "IDX_%s_%s" (String.uppercase_ascii table) (String.concat "_" path) in
+      ti.indexes <- { iname; ipath = path; vindex } :: ti.indexes;
+      Msg (Printf.sprintf "index %s created (%s)" iname (VI.strategy_name strategy))
+  | Ast.Create_text_index { table; path } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "text indexes on versioned tables are not supported";
+      let tix = TI.create ti.store ti.schema path in
+      ti.text_indexes <- (path, tix) :: ti.text_indexes;
+      Msg (Printf.sprintf "text index on %s(%s) created" (String.uppercase_ascii table) (String.concat "." path))
+  | Ast.Insert { table; sub_path = []; where = None; rows } ->
+      let ti = table_exn t table in
+      let tuples = List.map (tuple_of_literals ti.schema.Schema.table) rows in
+      (match ti.vstore with
+      | Some vs -> List.iter (fun tup -> ignore (VS.insert vs ti.schema ~ts:vs.VS.clock tup)) tuples
+      | None ->
+          List.iter
+            (fun tup ->
+              let root = OS.insert ti.store ti.schema tup in
+              reindex_object ti root)
+            tuples);
+      Msg (Printf.sprintf "%d row(s) inserted into %s" (List.length rows) (String.uppercase_ascii table))
+  | Ast.Insert { table; sub_path = []; where = Some _; _ } ->
+      db_error "INSERT INTO %s: WHERE requires a subtable path" table
+  | Ast.Insert { table; sub_path; where; rows } ->
+      (* insert into a subtable of selected complex objects *)
+      let ti = table_exn t table in
+      if ti.versioned then db_error "subtable insert on versioned tables is not supported";
+      let sub =
+        match Schema.resolve_path ti.schema.Schema.table sub_path with
+        | Schema.Table sub -> sub
+        | Schema.Atomic _ -> db_error "%s is not a subtable" (String.concat "." sub_path)
+      in
+      let tuples = List.map (tuple_of_literals sub) rows in
+      let steps = List.map (fun a -> OS.Attr a) sub_path in
+      let targets = matching_roots t ti where in
+      List.iter
+        (fun (root, _) ->
+          deindex_object ti root;
+          List.iter (fun tup -> OS.append_element ti.store ti.schema root steps tup) tuples;
+          reindex_object ti root)
+        targets;
+      Msg
+        (Printf.sprintf "%d row(s) inserted into %s of %d object(s)" (List.length rows)
+           (String.concat "." sub_path) (List.length targets))
+  | Ast.Explain q ->
+      t.last_plan <- [];
+      let rel = Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) (catalog t) q in
+      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      Msg
+        (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) (Rel.cardinality rel)
+           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+  | Ast.Alter_add { table; field } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "ALTER on versioned tables is not supported";
+      let new_field = List.hd (fields_of_defs [ field ]) in
+      let schema' =
+        Schema.validate
+          { ti.schema with Schema.table = { ti.schema.Schema.table with Schema.fields = ti.schema.Schema.table.Schema.fields @ [ new_field ] } }
+      in
+      (* default value for existing objects: NULL / empty table *)
+      let default =
+        match new_field.Schema.attr with
+        | Schema.Atomic _ -> Value.null
+        | Schema.Table sub -> Value.Table { Value.kind = sub.Schema.kind; tuples = [] }
+      in
+      let tuples = List.map (fun r -> OS.fetch ti.store ti.schema r @ [ default ]) (OS.roots ti.store) in
+      rebuild_table t ti schema' tuples;
+      Msg (Printf.sprintf "attribute %s added to %s" new_field.Schema.name (String.uppercase_ascii table))
+  | Ast.Alter_drop { table; attr } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "ALTER on versioned tables is not supported";
+      let idx =
+        match Schema.find_field ti.schema.Schema.table attr with
+        | Some (i, _) -> i
+        | None -> db_error "no attribute %s in %s" attr table
+      in
+      let fields = List.filteri (fun i _ -> i <> idx) ti.schema.Schema.table.Schema.fields in
+      if fields = [] then db_error "cannot drop the last attribute of %s" table;
+      let schema' =
+        Schema.validate { ti.schema with Schema.table = { ti.schema.Schema.table with Schema.fields } }
+      in
+      let tuples =
+        List.map
+          (fun r -> List.filteri (fun i _ -> i <> idx) (OS.fetch ti.store ti.schema r))
+          (OS.roots ti.store)
+      in
+      rebuild_table t ti schema' tuples;
+      Msg (Printf.sprintf "attribute %s dropped from %s" (String.uppercase_ascii attr) (String.uppercase_ascii table))
+  | Ast.Update { table; sub_path = _ :: _ as sub_path; sets; where; at } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "subtable update on versioned tables is not supported";
+      if at <> None then db_error "AT applies to versioned tables only";
+      let sub =
+        match Schema.resolve_path ti.schema.Schema.table sub_path with
+        | Schema.Table sub -> sub
+        | Schema.Atomic _ -> db_error "%s is not a subtable" (String.concat "." sub_path)
+      in
+      (* reject SETs of unknown or non-atomic element attributes *)
+      List.iter
+        (fun (a, _) ->
+          match Schema.find_field sub a with
+          | Some (_, { Schema.attr = Schema.Atomic _; _ }) -> ()
+          | Some _ -> db_error "SET %s: only atomic attributes can be updated" a
+          | None -> db_error "SET %s: unknown attribute of %s" a (String.concat "." sub_path))
+        sets;
+      let count = ref 0 in
+      List.iter
+        (fun root ->
+          let targets = matching_elements t ti root sub_path where in
+          if targets <> [] then begin
+            deindex_object ti root;
+            List.iter
+              (fun (steps, env) ->
+                match OS.fetch_path ti.store ti.schema root steps with
+                | Value.Table { tuples = [ etup ]; _ } ->
+                    let atoms =
+                      List.filter_map
+                        (fun (f : Schema.field) ->
+                          match f.Schema.attr with
+                          | Schema.Table _ -> None
+                          | Schema.Atomic ty -> (
+                              match
+                                List.find_opt
+                                  (fun (a, _) -> String.uppercase_ascii a = String.uppercase_ascii f.Schema.name)
+                                  sets
+                              with
+                              | None -> (
+                                  match Value.field sub etup f.Schema.name with
+                                  | Value.Atom a -> Some a
+                                  | _ -> None)
+                              | Some (_, e) -> (
+                                  match Eval.eval_expr (catalog t) env e with
+                                  | Value.Atom a ->
+                                      let a =
+                                        match ty, a with
+                                        | Atom.Tfloat, Atom.Int v -> Atom.Float (float_of_int v)
+                                        | _ -> a
+                                      in
+                                      if not (Atom.conforms ty a) then db_error "SET %s: type mismatch" f.Schema.name;
+                                      Some a
+                                  | _ -> db_error "SET %s: expected atomic value" f.Schema.name)))
+                        sub.Schema.fields
+                    in
+                    OS.update_atoms ti.store ti.schema root steps atoms;
+                    incr count
+                | _ -> ())
+              targets;
+            reindex_object ti root
+          end)
+        (OS.roots ti.store);
+      Msg (Printf.sprintf "%d element(s) updated in %s" !count (String.concat "." sub_path))
+  | Ast.Delete { table; sub_path = _ :: _ as sub_path; where; at } ->
+      let ti = table_exn t table in
+      if ti.versioned then db_error "subtable delete on versioned tables is not supported";
+      if at <> None then db_error "AT applies to versioned tables only";
+      (match Schema.resolve_path ti.schema.Schema.table sub_path with
+      | Schema.Table _ -> ()
+      | Schema.Atomic _ -> db_error "%s is not a subtable" (String.concat "." sub_path));
+      let count = ref 0 in
+      List.iter
+        (fun root ->
+          let targets = matching_elements t ti root sub_path where in
+          if targets <> [] then begin
+            deindex_object ti root;
+            (* delete deepest-last indices first so shallower ones stay valid *)
+            let sorted =
+              List.sort
+                (fun (a, _) (b, _) -> compare (List.rev a) (List.rev b))
+                targets
+              |> List.rev
+            in
+            List.iter
+              (fun (steps, _) ->
+                match List.rev steps with
+                | OS.Elem idx :: rev_prefix ->
+                    OS.delete_element ti.store ti.schema root (List.rev rev_prefix) ~idx;
+                    incr count
+                | _ -> ())
+              sorted;
+            reindex_object ti root
+          end)
+        (OS.roots ti.store);
+      Msg (Printf.sprintf "%d element(s) deleted from %s" !count (String.concat "." sub_path))
+  | Ast.Update { table; sub_path = []; sets; where; at } -> (
+      let ti = table_exn t table in
+      (* updated first-level atoms of a tuple *)
+      let new_atoms (tup : Value.tuple) : Atom.t list =
+        let env = [ ("#row", (ti.schema.Schema.table, tup)) ] in
+        List.filter_map
+          (fun (f : Schema.field) ->
+            match f.Schema.attr with
+            | Schema.Table _ -> None
+            | Schema.Atomic ty -> (
+                let current = Value.field ti.schema.Schema.table tup f.Schema.name in
+                match
+                  List.find_opt
+                    (fun (a, _) -> String.uppercase_ascii a = String.uppercase_ascii f.Schema.name)
+                    sets
+                with
+                | None -> ( match current with Value.Atom a -> Some a | _ -> None)
+                | Some (_, e) -> (
+                    match Eval.eval_expr (catalog t) env e with
+                    | Value.Atom a ->
+                        let a = match ty, a with Atom.Tfloat, Atom.Int v -> Atom.Float (float_of_int v) | _ -> a in
+                        if not (Atom.conforms ty a) then
+                          db_error "SET %s: type mismatch" f.Schema.name;
+                        Some a
+                    | _ -> db_error "SET %s: expected atomic value" f.Schema.name)))
+          ti.schema.Schema.table.Schema.fields
+      in
+      (* reject SETs of unknown or table-valued attributes *)
+      List.iter
+        (fun (a, _) ->
+          match Schema.find_field ti.schema.Schema.table a with
+          | Some (_, { Schema.attr = Schema.Atomic _; _ }) -> ()
+          | Some _ -> db_error "SET %s: only atomic attributes can be updated" a
+          | None -> db_error "SET %s: unknown attribute" a)
+        sets;
+      match ti.vstore with
+      | Some vs ->
+          let ts = eval_ts t at ~vs in
+          let ids = matching_ids t ti where in
+          List.iter
+            (fun id ->
+              let tup = VS.current vs ti.schema id in
+              VS.update_atoms vs ti.schema id ~ts [] (new_atoms tup))
+            ids;
+          Msg (Printf.sprintf "%d row(s) updated in %s" (List.length ids) (String.uppercase_ascii table))
+      | None ->
+          let targets = matching_roots t ti where in
+          List.iter
+            (fun (root, tup) ->
+              deindex_object ti root;
+              OS.update_atoms ti.store ti.schema root [] (new_atoms tup);
+              reindex_object ti root)
+            targets;
+          Msg (Printf.sprintf "%d row(s) updated in %s" (List.length targets) (String.uppercase_ascii table)))
+  | Ast.Delete { table; sub_path = []; where; at } -> (
+      let ti = table_exn t table in
+      match ti.vstore with
+      | Some vs ->
+          let ts = eval_ts t at ~vs in
+          let ids = matching_ids t ti where in
+          List.iter (fun id -> VS.delete vs ti.schema id ~ts) ids;
+          Msg (Printf.sprintf "%d row(s) deleted from %s" (List.length ids) (String.uppercase_ascii table))
+      | None ->
+          let targets = matching_roots t ti where in
+          List.iter
+            (fun (root, _) ->
+              deindex_object ti root;
+              OS.delete ti.store ti.schema root)
+            targets;
+          Msg (Printf.sprintf "%d row(s) deleted from %s" (List.length targets) (String.uppercase_ascii table)))
+
+(* Is the statement a mutation (worth journaling)? *)
+let mutates = function
+  | Ast.Select _ | Ast.Explain _ | Ast.Show_tables | Ast.Describe _
+  | Ast.Begin_txn | Ast.Commit | Ast.Rollback ->
+      false
+  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Create_text_index _
+  | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter_add _ | Ast.Alter_drop _ ->
+      true
+
+(* Journal entries are length-prefixed statement sources so multi-line
+   statements replay exactly. *)
+let journal_write t (source : string) =
+  match t.journal with
+  | Some oc when not t.replaying ->
+      Printf.fprintf oc "%d\n%s\n" (String.length source) source;
+      flush oc
+  | _ -> ()
+
+(* During a transaction, journal entries are buffered and published at
+   COMMIT (so a crash mid-transaction recovers to the state before
+   BEGIN — atomicity via the logical log). *)
+let journal_or_buffer t (source : string) =
+  match t.txn with
+  | Some st when not t.replaying -> st.pending_journal <- source :: st.pending_journal
+  | _ -> journal_write t source
+
+let exec t (input : string) : result list =
+  let stmts = Parser.parse_script input in
+  let results = List.map (exec_stmt t) stmts in
+  (* journal after successful execution: the whole script is one entry
+     when any statement mutates *)
+  if List.exists mutates stmts then journal_or_buffer t input;
+  results
+
+(* Single-statement convenience. *)
+let exec1 t input : result =
+  match exec t input with
+  | [ r ] -> r
+  | rs -> Msg (Printf.sprintf "%d statements executed" (List.length rs))
+
+(* Run a query string, expecting rows. *)
+let query t input : Rel.t =
+  match exec1 t input with
+  | Rows rel -> rel
+  | Msg m -> db_error "expected rows, got: %s" m
+
+let render_result = function
+  | Rows rel -> Rel.render rel
+  | Msg m -> m
+
+(* --- typed API (bypassing the language) -------------------------------------- *)
+
+(* Register a table from an existing schema value (used by examples and
+   fixtures; DDL via [exec] is the normal route). *)
+let register_table t (schema : Schema.t) ?(versioned = false) (rows : Value.tuple list) =
+  let key = String.uppercase_ascii schema.Schema.name in
+  if Hashtbl.mem t.tables key then db_error "table %s already exists" schema.Schema.name;
+  let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+  let vstore = if versioned then Some (VS.create store t.pool) else None in
+  let ti = { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] } in
+  Hashtbl.replace t.tables key ti;
+  (match vstore with
+  | Some vs -> List.iter (fun tup -> ignore (VS.insert vs schema ~ts:0 tup)) rows
+  | None -> List.iter (fun tup -> ignore (OS.insert ti.store schema tup)) rows)
+
+let insert_tuple t ~table (tup : Value.tuple) : Tid.t =
+  let ti = table_exn t table in
+  (match ti.vstore with Some _ -> db_error "use the language for versioned tables" | None -> ());
+  let root = OS.insert ti.store ti.schema tup in
+  reindex_object ti root;
+  root
+
+let fetch_tuple t ~table (root : Tid.t) : Value.tuple =
+  let ti = table_exn t table in
+  OS.fetch ti.store ti.schema root
+
+let table_schema t ~table = (table_exn t table).schema
+let table_store t ~table = (table_exn t table).store
+let table_roots t ~table = OS.roots (table_exn t table).store
+
+(* --- prepared statements ------------------------------------------------------------ *)
+
+(* The embedded-API analogue (Section 3): parse once, execute many
+   times with '?' parameters bound per call. *)
+type prepared = { pstmt : Ast.stmt; nparams : int; source : string }
+
+let prepare _t (input : string) : prepared =
+  let pstmt, nparams = Parser.parse_prepared input in
+  { pstmt; nparams; source = input }
+
+let execute t (p : prepared) (values : Atom.t list) : result =
+  if List.length values <> p.nparams then
+    db_error "prepared statement needs %d parameter(s), got %d" p.nparams (List.length values);
+  exec_stmt t (Params.bind_stmt p.pstmt values)
+
+(* --- persistence ------------------------------------------------------------------- *)
+
+let magic = "AIMII001"
+
+let put_int_list b xs =
+  Codec.put_uvarint b (List.length xs);
+  List.iter (Codec.put_varint b) xs
+
+let get_int_list src =
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Codec.get_varint src)
+
+let put_path b (p : Schema.path) =
+  Codec.put_uvarint b (List.length p);
+  List.iter (Codec.put_string b) p
+
+let get_path src : Schema.path =
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Codec.get_string src)
+
+let put_step b = function
+  | OS.Attr a ->
+      Codec.put_u8 b 0;
+      Codec.put_string b a
+  | OS.Elem i ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b i
+
+let get_step src =
+  match Codec.get_u8 src with
+  | 0 -> OS.Attr (Codec.get_string src)
+  | 1 -> OS.Elem (Codec.get_uvarint src)
+  | n -> Codec.decode_error "Db: step tag %d" n
+
+(* Serialise the whole database — page images plus catalog metadata —
+   into one file.  TIDs, Mini-TIDs, and t-name tokens stay valid across
+   save/load because the page images persist byte-for-byte. *)
+let encode_db t : string =
+  BP.flush_all t.pool;
+  let b = Codec.create_sink () in
+  Buffer.add_string b magic;
+  Codec.put_uvarint b (Disk.page_size t.disk);
+  Codec.put_u8 b (match t.layout with MD.SS1 -> 1 | MD.SS2 -> 2 | MD.SS3 -> 3);
+  Codec.put_bool b t.clustering;
+  let pages = Disk.export_pages t.disk in
+  Codec.put_uvarint b (Array.length pages);
+  Array.iter (fun p -> Buffer.add_bytes b p) pages;
+  (* catalog *)
+  let tables = Hashtbl.fold (fun _ ti acc -> ti :: acc) t.tables [] in
+  Codec.put_uvarint b (List.length tables);
+  List.iter
+    (fun ti ->
+      Schema.encode b ti.schema;
+      Codec.put_bool b ti.versioned;
+      let dir_pages, data_pages, free_pages = OS.export_meta ti.store in
+      put_int_list b dir_pages;
+      put_int_list b data_pages;
+      put_int_list b free_pages;
+      Codec.put_uvarint b (List.length ti.indexes);
+      List.iter
+        (fun ii ->
+          put_path b ii.ipath;
+          Codec.put_u8 b
+            (match VI.strategy ii.vindex with VI.Data_tid -> 0 | VI.Root_tid -> 1 | VI.Hierarchical -> 2))
+        ti.indexes;
+      Codec.put_uvarint b (List.length ti.text_indexes);
+      List.iter (fun (p, _) -> put_path b p) ti.text_indexes;
+      match ti.vstore with
+      | None -> Codec.put_bool b false
+      | Some vs ->
+          Codec.put_bool b true;
+          let x = VS.export vs in
+          Codec.put_varint b x.VS.x_next_id;
+          Codec.put_varint b x.VS.x_clock;
+          put_int_list b x.VS.x_delta_pages;
+          Codec.put_uvarint b (List.length x.VS.x_objects);
+          List.iter
+            (fun (id, root, created, deleted_at, versions) ->
+              Codec.put_varint b id;
+              Tid.encode b root;
+              Codec.put_varint b created;
+              (match deleted_at with
+              | None -> Codec.put_bool b false
+              | Some d ->
+                  Codec.put_bool b true;
+                  Codec.put_varint b d);
+              Codec.put_uvarint b (List.length versions);
+              List.iter
+                (fun (ts, delta) ->
+                  Codec.put_varint b ts;
+                  match delta with
+                  | None -> Codec.put_bool b false
+                  | Some dt ->
+                      Codec.put_bool b true;
+                      Tid.encode b dt)
+                versions)
+            x.VS.x_objects)
+    tables;
+  (* tuple names *)
+  let names = Tname.all t.tnames in
+  Codec.put_uvarint b (List.length names);
+  List.iter
+    (fun (token, (tn : Tname.t)) ->
+      Codec.put_string b token;
+      Codec.put_string b tn.Tname.table;
+      (match tn.Tname.kind with
+      | Tname.K_object -> Codec.put_u8 b 0
+      | Tname.K_subobject -> Codec.put_u8 b 1
+      | Tname.K_subtable i ->
+          Codec.put_u8 b 2;
+          Codec.put_uvarint b i);
+      Tid.encode b tn.Tname.root;
+      Codec.put_uvarint b (List.length tn.Tname.steps);
+      List.iter (put_step b) tn.Tname.steps)
+    names;
+  Codec.contents b
+
+let save t (path : string) =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (encode_db t))
+
+let decode_db ?(frames = 256) (data : string) : t =
+  if String.length data < String.length magic || String.sub data 0 (String.length magic) <> magic
+  then db_error "not an AIM-II database image";
+  let src = Codec.source_of_string (String.sub data (String.length magic) (String.length data - String.length magic)) in
+  let page_size = Codec.get_uvarint src in
+  let layout =
+    match Codec.get_u8 src with
+    | 1 -> MD.SS1
+    | 2 -> MD.SS2
+    | 3 -> MD.SS3
+    | n -> Codec.decode_error "Db.load: layout %d" n
+  in
+  let clustering = Codec.get_bool src in
+  let npages = Codec.get_uvarint src in
+  let pages =
+    Array.init npages (fun _ -> Bytes.of_string (Codec.get_fixed src page_size))
+  in
+  let disk = Disk.of_pages ~page_size pages in
+  let pool = BP.create ~frames disk in
+  let t =
+    {
+      disk;
+      pool;
+      layout;
+      clustering;
+      tables = Hashtbl.create 16;
+      tnames = Tname.create_registry ();
+      last_plan = [];
+      journal = None;
+      journal_path = None;
+      replaying = false;
+      txn = None;
+    }
+  in
+  let ntables = Codec.get_uvarint src in
+  for _ = 1 to ntables do
+    let schema = Schema.decode src in
+    let versioned = Codec.get_bool src in
+    let dir_pages = get_int_list src in
+    let data_pages = get_int_list src in
+    let free_pages = get_int_list src in
+    let store = OS.restore ~layout ~clustering pool ~dir_pages ~data_pages ~free_pages in
+    let nidx = Codec.get_uvarint src in
+    let index_specs =
+      List.init nidx (fun _ ->
+          let p = get_path src in
+          let strategy =
+            match Codec.get_u8 src with
+            | 0 -> VI.Data_tid
+            | 1 -> VI.Root_tid
+            | 2 -> VI.Hierarchical
+            | n -> Codec.decode_error "Db.load: strategy %d" n
+          in
+          (p, strategy))
+    in
+    let ntidx = Codec.get_uvarint src in
+    let text_paths = List.init ntidx (fun _ -> get_path src) in
+    let vstore =
+      if Codec.get_bool src then begin
+        let x_next_id = Codec.get_varint src in
+        let x_clock = Codec.get_varint src in
+        let x_delta_pages = get_int_list src in
+        let nobj = Codec.get_uvarint src in
+        let x_objects =
+          List.init nobj (fun _ ->
+              let id = Codec.get_varint src in
+              let root = Tid.decode src in
+              let created = Codec.get_varint src in
+              let deleted_at = if Codec.get_bool src then Some (Codec.get_varint src) else None in
+              let nv = Codec.get_uvarint src in
+              let versions =
+                List.init nv (fun _ ->
+                    let ts = Codec.get_varint src in
+                    let delta = if Codec.get_bool src then Some (Tid.decode src) else None in
+                    (ts, delta))
+              in
+              (id, root, created, deleted_at, versions))
+        in
+        Some (VS.restore store pool { VS.x_next_id; x_clock; x_delta_pages; x_objects })
+      end
+      else None
+    in
+    let indexes =
+      List.map
+        (fun (p, strategy) ->
+          {
+            iname = Printf.sprintf "IDX_%s_%s" schema.Schema.name (String.concat "_" p);
+            ipath = p;
+            vindex = VI.create store schema strategy p;
+          })
+        index_specs
+    in
+    let text_indexes = List.map (fun p -> (p, TI.create store schema p)) text_paths in
+    Hashtbl.replace t.tables (String.uppercase_ascii schema.Schema.name)
+      { schema; versioned; store; vstore; ids = []; indexes; text_indexes }
+  done;
+  let nnames = Codec.get_uvarint src in
+  let names =
+    List.init nnames (fun _ ->
+        let token = Codec.get_string src in
+        let table = Codec.get_string src in
+        let kind =
+          match Codec.get_u8 src with
+          | 0 -> Tname.K_object
+          | 1 -> Tname.K_subobject
+          | 2 -> Tname.K_subtable (Codec.get_uvarint src)
+          | n -> Codec.decode_error "Db.load: tname kind %d" n
+        in
+        let root = Tid.decode src in
+        let nsteps = Codec.get_uvarint src in
+        let steps = List.init nsteps (fun _ -> get_step src) in
+        (token, { Tname.table; kind; root; steps }))
+  in
+  t.tnames <- Tname.restore_registry names;
+  t
+
+let load ?frames (path : string) : t =
+  decode_db ?frames (In_channel.with_open_bin path In_channel.input_all)
+
+(* --- transactions ------------------------------------------------------------------
+
+   Single-user transactions (the prototype itself is single-user, as
+   the paper states): BEGIN snapshots the database image; ROLLBACK
+   restores it; COMMIT publishes the transaction's journal entries so
+   recovery replays exactly the committed work.  Mutations between
+   BEGIN and COMMIT are buffered rather than journaled. *)
+
+let in_txn t = t.txn <> None
+
+let begin_txn t =
+  if in_txn t then db_error "transaction already open";
+  t.txn <- Some { snapshot = encode_db t; pending_journal = [] }
+
+let commit t =
+  match t.txn with
+  | None -> db_error "COMMIT without BEGIN"
+  | Some st ->
+      t.txn <- None;
+      List.iter (journal_write t) (List.rev st.pending_journal)
+
+(* Restore every stateful field from the snapshot image. *)
+let rollback t =
+  match t.txn with
+  | None -> db_error "ROLLBACK without BEGIN"
+  | Some st ->
+      let t' = decode_db st.snapshot in
+      t.disk <- t'.disk;
+      t.pool <- t'.pool;
+      Hashtbl.reset t.tables;
+      Hashtbl.iter (fun k v -> Hashtbl.replace t.tables k v) t'.tables;
+      t.tnames <- t'.tnames;
+      t.txn <- None
+
+let () =
+  txn_begin_ref := begin_txn;
+  txn_commit_ref := commit;
+  txn_rollback_ref := rollback
+
+(* --- journaling and recovery --------------------------------------------------------- *)
+
+(* Attach a logical statement journal: every successfully executed
+   mutating script is appended (length-prefixed) and flushed, so the
+   state can be recovered as checkpoint + replay after a crash. *)
+let attach_journal t (path : string) =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  t.journal <- Some oc;
+  t.journal_path <- Some path
+
+let detach_journal t =
+  (match t.journal with Some oc -> close_out oc | None -> ());
+  t.journal <- None;
+  t.journal_path <- None
+
+(* Checkpoint: persist the database image and truncate the journal —
+   recovery afterwards starts from this image. *)
+let checkpoint t ~db_path =
+  save t db_path;
+  match t.journal_path with
+  | Some jp ->
+      (match t.journal with Some oc -> close_out oc | None -> ());
+      let oc = open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 jp in
+      t.journal <- Some oc
+  | None -> ()
+
+let read_journal (path : string) : string list =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_bin path (fun ic ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some len_line -> (
+              match int_of_string_opt len_line with
+              | None -> List.rev acc (* torn tail: stop at the last complete entry *)
+              | Some len -> (
+                  let buf = Bytes.create len in
+                  match In_channel.really_input ic buf 0 len with
+                  | None -> List.rev acc
+                  | Some () ->
+                      (* trailing newline *)
+                      ignore (In_channel.input_line ic);
+                      go (Bytes.to_string buf :: acc)))
+        in
+        go [])
+
+(* Crash recovery: load the checkpoint image (or start empty when none
+   exists) and replay the journal's committed entries. *)
+let recover ?frames ~db_path ~journal_path () : t =
+  let t = if Sys.file_exists db_path then load ?frames db_path else create () in
+  t.replaying <- true;
+  List.iter (fun source -> ignore (exec t source)) (read_journal journal_path);
+  t.replaying <- false;
+  attach_journal t journal_path;
+  t
+
+(* --- tuple names ------------------------------------------------------------------ *)
+
+let tname_object t ~table (root : Tid.t) : string =
+  let ti = table_exn t table in
+  Tname.register t.tnames (Tname.of_object ~table:ti.schema.Schema.name root)
+
+let tname_subobject t ~table (root : Tid.t) (steps : OS.step list) : string =
+  let ti = table_exn t table in
+  Tname.register t.tnames (Tname.of_subobject ~table:ti.schema.Schema.name root steps)
+
+let tname_subtable t ~table (root : Tid.t) (steps : OS.step list) : string =
+  let ti = table_exn t table in
+  Tname.register t.tnames (Tname.of_subtable ~table:ti.schema.Schema.name root steps)
+
+let resolve_tname t (token : string) : Value.v =
+  let tn = Tname.find_token t.tnames token in
+  let ti = table_exn t tn.Tname.table in
+  Tname.resolve ti.store ti.schema tn

@@ -1,0 +1,151 @@
+(** The AIM-II database engine: catalog + storage + access paths +
+    temporal support behind one handle, with {!exec} interpreting the
+    query language.  This is the main entry point of the library.
+
+    {[
+      let db = Nf2.Db.create () in
+      ignore (Nf2.Db.exec db "CREATE TABLE T (A INT, XS TABLE (X INT))");
+      ignore (Nf2.Db.exec db "INSERT INTO T VALUES (1, {(10)})");
+      let rel = Nf2.Db.query db "SELECT t.A, x.X FROM t IN T, x IN t.XS" in
+      print_string (Nf2_algebra.Rel.render rel)
+    ]} *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module MD = Nf2_storage.Mini_directory
+module Disk = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module OS = Nf2_storage.Object_store
+module Tid = Nf2_storage.Tid
+
+exception Db_error of string
+
+type t
+
+(** A statement's outcome: a relation or an informational message. *)
+type result = Rows of Rel.t | Msg of string
+
+(** [create ()] makes an empty single-user database on a simulated
+    disk.  [layout] selects the Mini Directory structure for complex
+    objects (default SS3, AIM-II's choice); [clustering:false] disables
+    per-object page clustering (ablation). *)
+val create :
+  ?page_size:int -> ?frames:int -> ?layout:MD.layout -> ?clustering:bool -> unit -> t
+
+(** {1 Executing the language} *)
+
+(** Run a script ([';'-separated statements]); results in order.
+    @raise Db_error, Nf2_lang.Parser.Parse_error,
+           Nf2_lang.Eval.Eval_error on failures. *)
+val exec : t -> string -> result list
+
+(** Run exactly one statement. *)
+val exec1 : t -> string -> result
+
+(** Run one query, expecting rows.  @raise Db_error otherwise. *)
+val query : t -> string -> Rel.t
+
+val render_result : result -> string
+
+(** Planner notes of the most recent query ("full scan of T",
+    "scan T via index(...)", "hash join ..."), oldest first. *)
+val last_plan : t -> string list
+
+(** {1 Catalog} *)
+
+val table_names : t -> string list
+val table_schema : t -> table:string -> Schema.t
+val table_store : t -> table:string -> OS.t
+val table_roots : t -> table:string -> Tid.t list
+
+(** Register a table from an existing schema value with initial rows
+    (examples/fixtures; DDL via {!exec} is the normal route). *)
+val register_table : t -> Schema.t -> ?versioned:bool -> Value.tuple list -> unit
+
+(** {1 Typed API (bypassing the language)} *)
+
+val insert_tuple : t -> table:string -> Value.tuple -> Tid.t
+val fetch_tuple : t -> table:string -> Tid.t -> Value.tuple
+
+(** {1 Tuple names (Section 4.3)} *)
+
+(** Mint a stable token naming a whole complex object / a (complex or
+    flat) subobject / a subtable.  Tokens survive unrelated updates and
+    object relocation. *)
+val tname_object : t -> table:string -> Tid.t -> string
+
+val tname_subobject : t -> table:string -> Tid.t -> OS.step list -> string
+val tname_subtable : t -> table:string -> Tid.t -> OS.step list -> string
+
+(** Dereference a token.  @raise Nf2_tname.Tuple_name.Tname_error. *)
+val resolve_tname : t -> string -> Value.v
+
+(** {1 Prepared statements}
+
+    The embedded-API analogue of the paper's DDL/DML pre-compiler
+    (Section 3): a statement with ['?'] placeholders is parsed once and
+    executed many times with atoms bound per call. *)
+
+type prepared
+
+val prepare : t -> string -> prepared
+
+(** @raise Db_error on a parameter-count mismatch. *)
+val execute : t -> prepared -> Atom.t list -> result
+
+(** {1 Persistence}
+
+    The whole database — page images plus catalog metadata — round-trips
+    through a single file.  TIDs, Mini-TIDs, and t-name tokens stay
+    valid across save/load because the page images persist
+    byte-for-byte; indexes are rebuilt on load. *)
+
+val save : t -> string -> unit
+
+(** @raise Db_error on a malformed file. *)
+val load : ?frames:int -> string -> t
+
+(** {1 Transactions (single-user)}
+
+    [BEGIN; ...; COMMIT] / [ROLLBACK] in the language, or the calls
+    below.  BEGIN snapshots the database image; ROLLBACK restores it;
+    COMMIT publishes the transaction's buffered journal entries, so a
+    crash mid-transaction recovers to the pre-BEGIN state. *)
+
+val begin_txn : t -> unit
+val commit : t -> unit
+val rollback : t -> unit
+val in_txn : t -> bool
+
+(** {1 Journaling and crash recovery}
+
+    A logical statement journal turns {!save} checkpoints into a
+    recoverable store: every successfully executed mutating script is
+    appended (length-prefixed) and flushed; {!recover} loads the last
+    checkpoint and replays committed entries, tolerating a torn tail. *)
+
+val attach_journal : t -> string -> unit
+val detach_journal : t -> unit
+
+(** Persist the image and truncate the journal atomically enough for
+    this single-user prototype. *)
+val checkpoint : t -> db_path:string -> unit
+
+(** Load [db_path] (or start empty) and replay [journal_path]. *)
+val recover : ?frames:int -> db_path:string -> journal_path:string -> unit -> t
+
+(** {1 Introspection (experiments, shell)} *)
+
+val disk : t -> Disk.t
+val pool : t -> BP.t
+
+(** The evaluator-facing catalog view of this database (tests, custom
+    evaluation pipelines). *)
+val catalog : t -> Nf2_lang.Eval.catalog
+
+(**/**)
+
+(* internal: statement-level entry used by the shell *)
+val exec_stmt : t -> Nf2_lang.Ast.stmt -> result

@@ -1,0 +1,19 @@
+(* Loads the paper's example tables (Tables 1-8) into a database —
+   shared by the shell's \demo command, the integration tests, and the
+   bench harness. *)
+
+module P = Nf2_workload.Paper_data
+
+let load (db : Db.t) =
+  Db.register_table db P.departments P.departments_rows;
+  Db.register_table db P.departments_1nf P.departments_1nf_rows;
+  Db.register_table db P.projects_1nf P.projects_1nf_rows;
+  Db.register_table db P.members_1nf P.members_1nf_rows;
+  Db.register_table db P.equip_1nf P.equip_1nf_rows;
+  Db.register_table db P.employees_1nf P.employees_1nf_rows;
+  Db.register_table db P.reports P.reports_rows
+
+let create ?page_size ?frames ?layout ?clustering () =
+  let db = Db.create ?page_size ?frames ?layout ?clustering () in
+  load db;
+  db

@@ -1,0 +1,15 @@
+(** Loads the paper's example tables (Tables 1-8) into a database —
+    shared by the shell's [\demo] command, the integration tests, and
+    the bench harness. *)
+
+val load : Db.t -> unit
+
+(** A fresh database with the demo tables, forwarding the options of
+    {!Db.create}. *)
+val create :
+  ?page_size:int ->
+  ?frames:int ->
+  ?layout:Nf2_storage.Mini_directory.layout ->
+  ?clustering:bool ->
+  unit ->
+  Db.t

@@ -1,0 +1,1 @@
+lib/index/bptree.ml: Bytes Char Int List String

@@ -1,0 +1,1 @@
+lib/index/text_index.ml: Bptree List Masked Nf2_model Nf2_storage Set String

@@ -1,0 +1,1 @@
+lib/index/text_index.mli: Masked Nf2_model Nf2_storage

@@ -1,0 +1,1 @@
+lib/index/value_index.ml: Bptree List Nf2_model Nf2_storage Option

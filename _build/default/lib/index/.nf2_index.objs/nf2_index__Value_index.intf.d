@@ -1,0 +1,1 @@
+lib/index/value_index.mli: Nf2_model Nf2_storage

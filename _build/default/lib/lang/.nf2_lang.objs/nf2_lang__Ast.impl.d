@@ -1,0 +1,1 @@
+lib/lang/ast.ml: List Nf2_model Printf String

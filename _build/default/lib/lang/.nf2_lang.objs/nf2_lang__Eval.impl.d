@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Ast Float Fmt Hashtbl Lazy List Masked Nf2_algebra Nf2_index Nf2_model Nf2_storage Option Printf Rewrite String

@@ -1,0 +1,1 @@
+lib/lang/eval.mli: Ast Nf2_algebra Nf2_index Nf2_model Nf2_storage

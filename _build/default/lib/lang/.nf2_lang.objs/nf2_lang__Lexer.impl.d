@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Fmt List Nf2_model String

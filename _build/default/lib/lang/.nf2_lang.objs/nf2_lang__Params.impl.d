@@ -1,0 +1,1 @@
+lib/lang/params.ml: Array Ast Fmt List Nf2_model Option

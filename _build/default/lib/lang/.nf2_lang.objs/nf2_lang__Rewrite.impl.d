@@ -1,0 +1,1 @@
+lib/lang/rewrite.ml: Ast Float List Nf2_model Option

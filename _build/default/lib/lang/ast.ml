@@ -1,0 +1,160 @@
+(* Abstract syntax of the AIM-II query language: a SELECT-FROM-WHERE
+   language generalised to NF2 tables (Section 3 of the paper, after
+   /PT85, PA86/), plus the DDL and DML needed to define and maintain
+   extended NF2 tables. *)
+
+module Atom = Nf2_model.Atom
+
+type path = { var : string option; steps : path_step list }
+
+and path_step = Field of string | Subscript of int (* 1-based, lists *)
+
+type expr =
+  | Const of Atom.t
+  | Param of int (* 1-based '?' placeholder, bound at execution *)
+  | Path of path
+  | Subquery of query
+  | Binop of binop * expr * expr
+  | Neg of expr
+  | Agg of agg * expr option (* COUNT(T), SUM(x.A), ... over a table expr *)
+
+and binop = Add | Sub | Mul | Div
+
+and agg = Count | Sum | Min | Max | Avg
+
+and pred =
+  | Cmp of cmp * expr * expr
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Exists of range * pred
+  | Forall of range * pred
+  | Contains of expr * string (* masked pattern *)
+  | Bool_expr of expr (* e.g. a BOOL attribute used directly *)
+
+and cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+and range = { rvar : string; source : source; asof : expr option }
+
+and source = Table_src of string | Path_src of path
+
+and sel_item = { expr : expr; alias : string option }
+
+and order_item = { key : expr; descending : bool }
+
+and query = {
+  distinct : bool;
+  select : sel_list;
+  from : range list;
+  where : pred option;
+  order_by : order_item list;
+}
+
+and sel_list = Star | Items of sel_item list
+
+(* --- DDL / DML ------------------------------------------------------- *)
+
+type field_def = { fname : string; ftype : type_def }
+
+and type_def =
+  | T_atom of Atom.ty
+  | T_table of Nf2_model.Schema.kind * field_def list
+
+type literal_value =
+  | L_atom of Atom.t
+  | L_param of int (* '?' placeholder in a VALUES literal *)
+  | L_table of Nf2_model.Schema.kind * literal_value list list (* rows of values *)
+
+type index_strategy = S_data | S_root | S_hier
+
+type stmt =
+  | Select of query
+  | Create_table of { name : string; fields : field_def list; versioned : bool }
+  | Drop_table of string
+  | Create_index of { table : string; path : string list; strategy : index_strategy }
+  | Create_text_index of { table : string; path : string list }
+  | Insert of { table : string; sub_path : string list; where : pred option; rows : literal_value list list }
+  | Update of {
+      table : string;
+      sub_path : string list;  (* non-empty: update elements of a subtable *)
+      sets : (string * expr) list;
+      where : pred option;
+      at : expr option;
+    }
+  | Delete of {
+      table : string;
+      sub_path : string list;  (* non-empty: delete elements of a subtable *)
+      where : pred option;
+      at : expr option;
+    }
+  | Alter_add of { table : string; field : field_def }
+  | Alter_drop of { table : string; attr : string }
+  | Explain of query
+  | Begin_txn
+  | Commit
+  | Rollback
+  | Show_tables
+  | Describe of string
+
+(* --- printing (used for parser round-trip tests and EXPLAIN) ---------- *)
+
+let path_to_string (p : path) =
+  let steps =
+    List.map (function Field f -> "." ^ f | Subscript i -> Printf.sprintf "[%d]" i) p.steps
+  in
+  let base = match p.var with Some v -> v | None -> "" in
+  let s = base ^ String.concat "" steps in
+  if String.length s > 0 && s.[0] = '.' then String.sub s 1 (String.length s - 1) else s
+
+let rec expr_to_string = function
+  | Const a -> Atom.to_literal a
+  | Param i -> Printf.sprintf "?%d" i
+  | Path p -> path_to_string p
+  | Subquery q -> "(" ^ query_to_string q ^ ")"
+  | Binop (op, a, b) ->
+      let o = match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" in
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) o (expr_to_string b)
+  | Neg e -> "(-" ^ expr_to_string e ^ ")"
+  | Agg (a, e) ->
+      let n = match a with Count -> "COUNT" | Sum -> "SUM" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG" in
+      n ^ "(" ^ (match e with Some e -> expr_to_string e | None -> "*") ^ ")"
+
+and pred_to_string = function
+  | Cmp (c, a, b) ->
+      let o = match c with Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" in
+      Printf.sprintf "%s %s %s" (expr_to_string a) o (expr_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (pred_to_string a) (pred_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (pred_to_string a) (pred_to_string b)
+  | Not p -> "NOT (" ^ pred_to_string p ^ ")"
+  | Exists (r, p) -> Printf.sprintf "EXISTS %s: %s" (range_to_string r) (pred_to_string p)
+  | Forall (r, p) -> Printf.sprintf "ALL %s: %s" (range_to_string r) (pred_to_string p)
+  | Contains (e, pat) -> Printf.sprintf "%s CONTAINS '%s'" (expr_to_string e) pat
+  | Bool_expr e -> expr_to_string e
+
+and range_to_string r =
+  let src = match r.source with Table_src t -> t | Path_src p -> path_to_string p in
+  let asof = match r.asof with Some e -> " ASOF " ^ expr_to_string e | None -> "" in
+  Printf.sprintf "%s IN %s%s" r.rvar src asof
+
+and query_to_string q =
+  let sel =
+    match q.select with
+    | Star -> "*"
+    | Items items ->
+        String.concat ", "
+          (List.map
+             (fun { expr; alias } ->
+               expr_to_string expr ^ match alias with Some a -> " AS " ^ a | None -> "")
+             items)
+  in
+  let from = String.concat ", " (List.map range_to_string q.from) in
+  let where = match q.where with Some p -> " WHERE " ^ pred_to_string p | None -> "" in
+  let order =
+    match q.order_by with
+    | [] -> ""
+    | items ->
+        " ORDER BY "
+        ^ String.concat ", "
+            (List.map (fun { key; descending } -> expr_to_string key ^ if descending then " DESC" else "") items)
+  in
+  Printf.sprintf "SELECT %s%s FROM %s%s%s" (if q.distinct then "DISTINCT " else "") sel from where order

@@ -1,0 +1,775 @@
+(* Evaluator for the AIM-II query language.
+
+   Queries evaluate over a catalog of stored tables by (possibly
+   nested) iteration of tuple variables, exactly following the "loop"
+   mental model the paper gives for tuple-variable bindings (Section
+   3, Example 2).  A small planner recognises indexable predicate
+   shapes on single-table queries — equality on an indexed path,
+   quantifier chains ending in an indexed equality, CONTAINS with a
+   text index, and the Fig 7b conjunctive same-subobject shape (solved
+   by hierarchical-address prefix join) — and restricts the outer loop
+   to candidate objects.  The full predicate is always re-checked. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module Aops = Nf2_algebra.Ops
+module VI = Nf2_index.Value_index
+module TI = Nf2_index.Text_index
+module Tid = Nf2_storage.Tid
+open Ast
+
+exception Eval_error of string
+
+let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+(* --- catalog interface ------------------------------------------------ *)
+
+type source_table = {
+  schema : Schema.t;
+  versioned : bool;
+  scan : unit -> Value.tuple list;
+  scan_asof : (int -> Value.tuple list) option;
+  roots : (unit -> Tid.t list) option;
+  fetch_root : (Tid.t -> Value.tuple) option;
+  indexes : (Schema.path * VI.t) list;
+  text_indexes : (Schema.path * TI.t) list;
+}
+
+type catalog = string -> source_table option
+
+(* --- environments ------------------------------------------------------ *)
+
+(* innermost binding first *)
+type env = (string * (Schema.table * Value.tuple)) list
+
+let lookup_var (env : env) v =
+  List.find_opt (fun (name, _) -> String.uppercase_ascii name = String.uppercase_ascii v) env
+  |> Option.map snd
+
+(* --- path resolution ----------------------------------------------------- *)
+
+(* A resolved path value: either a positioned tuple (with its schema) or
+   a plain value (atom or table with its schema attr). *)
+type pv = P_tuple of Schema.table * Value.tuple | P_value of Schema.attr * Value.v
+
+let rec walk_steps (cur : pv) (steps : path_step list) : pv =
+  match steps with
+  | [] -> cur
+  | Field f :: rest -> (
+      match cur with
+      | P_tuple (tbl, tup) ->
+          let _, fd = Schema.field_exn tbl f in
+          walk_steps (P_value (fd.Schema.attr, Value.field tbl tup f)) rest
+      | P_value (Schema.Table sub, Value.Table inner) ->
+          (* implicit projection across the subtable's tuples *)
+          let _, fd = Schema.field_exn sub f in
+          let vs = List.map (fun t -> [ Value.field sub t f ]) inner.Value.tuples in
+          let attr =
+            Schema.Table { Schema.kind = inner.Value.kind; fields = [ { Schema.name = f; attr = fd.Schema.attr } ] }
+          in
+          walk_steps (P_value (attr, Value.Table { Value.kind = inner.Value.kind; tuples = vs })) rest
+      | P_value (Schema.Atomic _, _) -> eval_error "cannot select attribute %s of an atomic value" f
+      | P_value _ -> eval_error "schema mismatch at %s" f)
+  | Subscript i :: rest -> (
+      match cur with
+      | P_value (Schema.Table sub, Value.Table inner) ->
+          if sub.Schema.kind <> Schema.List then eval_error "subscript on an unordered table";
+          (match List.nth_opt inner.Value.tuples (i - 1) with
+          | Some tup -> walk_steps (P_tuple (sub, tup)) rest
+          | None -> eval_error "subscript [%d] out of range" i)
+      | _ -> eval_error "subscript on a non-table value")
+
+let resolve_path (env : env) (p : path) : pv =
+  match p.var with
+  | None -> eval_error "path without head"
+  | Some head -> (
+      match lookup_var env head with
+      | Some (tbl, tup) -> walk_steps (P_tuple (tbl, tup)) p.steps
+      | None -> (
+          (* unqualified attribute: innermost variable owning it wins *)
+          let rec search = function
+            | [] -> eval_error "unknown variable or attribute %s" head
+            | (_, (tbl, tup)) :: rest -> (
+                match Schema.find_field tbl head with
+                | Some (_, fd) ->
+                    walk_steps (P_value (fd.Schema.attr, Value.field tbl tup head)) p.steps
+                | None -> search rest)
+          in
+          search env))
+
+(* Collapse a resolved path into a Value.v; a positioned tuple becomes a
+   one-tuple table (so Example 8's x.AUTHORS[1] can be compared). *)
+let pv_to_value = function
+  | P_value (_, v) -> v
+  | P_tuple (tbl, tup) -> Value.Table { Value.kind = tbl.Schema.kind; tuples = [ tup ] }
+
+(* Coerce a value to an atom where a scalar is expected: single-attr,
+   single-tuple tables collapse. *)
+let rec coerce_atom (v : Value.v) : Atom.t option =
+  match v with
+  | Value.Atom a -> Some a
+  | Value.Table { tuples = [ [ single ] ]; _ } -> coerce_atom single
+  | Value.Table _ -> None
+
+(* --- typing (result schemas) ---------------------------------------------- *)
+
+type tenv = (string * Schema.table) list
+
+let lookup_tvar (tenv : tenv) v =
+  List.find_opt (fun (name, _) -> String.uppercase_ascii name = String.uppercase_ascii v) tenv
+  |> Option.map snd
+
+type ety = E_atom of Atom.ty option | E_table of Schema.table
+
+let rec type_steps (cur : ety) steps =
+  match steps with
+  | [] -> cur
+  | Field f :: rest -> (
+      match cur with
+      | E_table tbl -> (
+          let _, fd = Schema.field_exn tbl f in
+          match fd.Schema.attr with
+          | Schema.Atomic ty -> type_steps (E_atom (Some ty)) rest
+          | Schema.Table sub -> type_steps (E_table sub) rest)
+      | E_atom _ -> eval_error "cannot select attribute %s of an atomic value" f)
+  | Subscript _ :: rest -> (
+      match cur with
+      | E_table sub -> (
+          match rest with
+          | Field _ :: _ ->
+              (* further attribute selection inside the element *)
+              type_steps (E_table sub) rest
+          | _ -> (
+              (* element of a list: single-attr elements collapse to atoms *)
+              match sub.Schema.fields with
+              | [ { Schema.attr = Schema.Atomic ty; _ } ] -> type_steps (E_atom (Some ty)) rest
+              | _ -> type_steps (E_table { sub with Schema.kind = Schema.Set }) rest))
+      | E_atom _ -> eval_error "subscript on an atomic value")
+
+let type_path (catalog : catalog) (tenv : tenv) (p : path) : ety =
+  match p.var with
+  | None -> eval_error "path without head"
+  | Some head -> (
+      match lookup_tvar tenv head with
+      | Some tbl -> (
+          match p.steps with
+          | [] -> E_table tbl (* whole variable *)
+          | steps -> type_steps (E_table tbl) steps)
+      | None -> (
+          let rec search = function
+            | [] -> eval_error "unknown variable or attribute %s" head
+            | (_, tbl) :: rest -> (
+                match Schema.find_field tbl head with
+                | Some (_, fd) -> (
+                    let base =
+                      match fd.Schema.attr with
+                      | Schema.Atomic ty -> E_atom (Some ty)
+                      | Schema.Table sub -> E_table sub
+                    in
+                    match p.steps with [] -> base | steps -> type_steps base steps)
+                | None -> search rest)
+          in
+          let _ = catalog in
+          search tenv))
+
+(* --- range resolution -------------------------------------------------------- *)
+
+(* A range source at typing time: its element schema. *)
+let type_source (catalog : catalog) (tenv : tenv) (r : range) : Schema.table =
+  match r.source with
+  | Table_src name -> (
+      match catalog name with
+      | Some st -> st.schema.Schema.table
+      | None -> (
+          (* maybe an unqualified subtable attribute of a var in scope *)
+          match
+            type_path catalog tenv { var = Some name; steps = [] }
+          with
+          | E_table tbl -> tbl
+          | E_atom _ -> eval_error "range source %s is atomic" name))
+  | Path_src p -> (
+      match type_path catalog tenv p with
+      | E_table tbl -> tbl
+      | E_atom _ -> eval_error "range source %s is atomic" (path_to_string p))
+
+let rec type_pred (catalog : catalog) (tenv : tenv) (p : pred) : unit =
+  match p with
+  | Cmp (_, a, b) ->
+      ignore (type_expr catalog tenv a);
+      ignore (type_expr catalog tenv b)
+  | And (a, b) | Or (a, b) ->
+      type_pred catalog tenv a;
+      type_pred catalog tenv b
+  | Not a -> type_pred catalog tenv a
+  | Exists (r, body) | Forall (r, body) ->
+      let tbl = type_source catalog tenv r in
+      type_pred catalog ((r.rvar, tbl) :: tenv) body
+  | Contains (e, _) -> ignore (type_expr catalog tenv e)
+  | Bool_expr e -> ignore (type_expr catalog tenv e)
+
+and type_expr (catalog : catalog) (tenv : tenv) (e : expr) : ety =
+  match e with
+  | Const a -> E_atom (Atom.ty_of_atom a)
+  | Param i -> eval_error "unbound parameter ?%d (use Db.prepare/execute)" i
+  | Path p -> type_path catalog tenv p
+  | Neg e -> type_expr catalog tenv e
+  | Binop (_, a, b) -> (
+      match type_expr catalog tenv a, type_expr catalog tenv b with
+      | E_atom (Some Atom.Tfloat), _ | _, E_atom (Some Atom.Tfloat) -> E_atom (Some Atom.Tfloat)
+      | E_atom _, E_atom _ -> E_atom (Some Atom.Tint)
+      | _ -> eval_error "arithmetic on table values")
+  | Agg (Count, _) -> E_atom (Some Atom.Tint)
+  | Agg (Avg, _) -> E_atom (Some Atom.Tfloat)
+  | Agg ((Sum | Min | Max), Some arg) -> (
+      match type_expr catalog tenv arg with
+      | E_atom ty -> E_atom ty
+      | E_table { fields = [ { Schema.attr = Schema.Atomic ty; _ } ]; _ } -> E_atom (Some ty)
+      | E_table _ -> eval_error "aggregate needs a single-attribute table")
+  | Agg (_, None) -> eval_error "this aggregate needs an argument"
+  | Subquery q -> E_table (type_query catalog tenv q)
+
+(* Result schema of a query in a typing environment. *)
+and type_query (catalog : catalog) (outer : tenv) (q : query) : Schema.table =
+  let tenv =
+    List.fold_left
+      (fun acc r ->
+        let tbl = type_source catalog acc r in
+        (r.rvar, tbl) :: acc)
+      outer q.from
+  in
+  (match q.where with Some p -> type_pred catalog tenv p | None -> ());
+  let kind = if q.order_by <> [] then Schema.List else Schema.Set in
+  match q.select with
+  | Star ->
+      (* all attributes of all ranges, in range order *)
+      let fields =
+        List.concat_map
+          (fun r ->
+            match lookup_tvar tenv r.rvar with
+            | Some tbl -> tbl.Schema.fields
+            | None -> eval_error "unbound range %s" r.rvar)
+          q.from
+      in
+      { Schema.kind; fields }
+  | Items items ->
+      let fields =
+        List.mapi
+          (fun i { expr; alias } ->
+            let name =
+              match alias with
+              | Some a -> a
+              | None -> (
+                  match expr with
+                  | Path { steps; var } -> (
+                      let rec last = function
+                        | [ Field f ] -> Some f
+                        | _ :: rest -> last rest
+                        | [] -> (match var with Some v -> Some v | None -> None)
+                      in
+                      match last steps with Some f -> f | None -> Printf.sprintf "COL%d" (i + 1))
+                  | Agg (Count, _) -> "COUNT"
+                  | Agg (Sum, _) -> "SUM"
+                  | Agg (Min, _) -> "MIN"
+                  | Agg (Max, _) -> "MAX"
+                  | Agg (Avg, _) -> "AVG"
+                  | _ -> Printf.sprintf "COL%d" (i + 1))
+            in
+            let attr =
+              match type_expr catalog tenv expr with
+              | E_atom (Some ty) -> Schema.Atomic ty
+              | E_atom None -> Schema.Atomic Atom.Tstring (* NULL-only column *)
+              | E_table tbl -> Schema.Table tbl
+            in
+            { Schema.name; attr })
+          items
+      in
+      { Schema.kind; fields }
+
+(* --- expression evaluation ------------------------------------------------------ *)
+
+let atom_arith op a b =
+  let to_f = function Atom.Int v -> float_of_int v | Atom.Float v -> v | _ -> eval_error "arithmetic on non-number" in
+  let both_int = match a, b with Atom.Int _, Atom.Int _ -> true | _ -> false in
+  let fa = to_f a and fb = to_f b in
+  let r = match op with Add -> fa +. fb | Sub -> fa -. fb | Mul -> fa *. fb | Div -> fa /. fb in
+  if both_int && (op <> Div || Float.is_integer r) then Atom.Int (int_of_float r) else Atom.Float r
+
+let compare_values (a : Value.v) (b : Value.v) : int =
+  match coerce_atom a, coerce_atom b with
+  | Some x, Some y -> Atom.compare x y
+  | _ -> Value.compare_v a b
+
+let rec eval_expr (catalog : catalog) (env : env) (e : expr) : Value.v =
+  match e with
+  | Const a -> Value.Atom a
+  | Param i -> eval_error "unbound parameter ?%d (use Db.prepare/execute)" i
+  | Path p -> pv_to_value (resolve_path env p)
+  | Neg e -> (
+      match eval_expr catalog env e with
+      | Value.Atom (Atom.Int v) -> Value.Atom (Atom.Int (-v))
+      | Value.Atom (Atom.Float v) -> Value.Atom (Atom.Float (-.v))
+      | _ -> eval_error "negation of a non-number")
+  | Binop (op, a, b) -> (
+      match eval_expr catalog env a, eval_expr catalog env b with
+      | Value.Atom x, Value.Atom y -> Value.Atom (atom_arith op x y)
+      | _ -> eval_error "arithmetic on table values")
+  | Agg (agg, arg) -> (
+      match arg with
+      | None -> eval_error "COUNT(*) is only meaningful applied to a table expression"
+      | Some arg -> (
+          match eval_expr catalog env arg with
+          | Value.Table tb -> Value.Atom (eval_agg agg tb)
+          | Value.Atom _ -> eval_error "aggregate applied to an atomic value"))
+  | Subquery q ->
+      let rel = eval_query catalog env q in
+      Value.Table rel.Rel.data
+
+and eval_agg agg (tb : Value.table) : Atom.t =
+  let atoms =
+    List.filter_map
+      (fun tup -> match tup with [ v ] -> coerce_atom v | _ -> (match agg with Count -> Some Atom.Null | _ -> None))
+      tb.Value.tuples
+  in
+  match agg with
+  | Count -> Atom.Int (List.length tb.Value.tuples)
+  | Min -> (
+      match atoms with
+      | [] -> Atom.Null
+      | a :: rest -> List.fold_left (fun acc x -> if Atom.compare x acc < 0 then x else acc) a rest)
+  | Max -> (
+      match atoms with
+      | [] -> Atom.Null
+      | a :: rest -> List.fold_left (fun acc x -> if Atom.compare x acc > 0 then x else acc) a rest)
+  | Sum | Avg -> (
+      let nums =
+        List.map
+          (function
+            | Atom.Int v -> float_of_int v
+            | Atom.Float v -> v
+            | Atom.Null -> 0.
+            | _ -> eval_error "numeric aggregate on non-number")
+          atoms
+      in
+      let total = List.fold_left ( +. ) 0. nums in
+      match agg with
+      | Sum ->
+          if List.for_all (function Atom.Int _ | Atom.Null -> true | _ -> false) atoms then
+            Atom.Int (int_of_float total)
+          else Atom.Float total
+      | _ -> if nums = [] then Atom.Null else Atom.Float (total /. float_of_int (List.length nums)))
+
+(* --- range iteration -------------------------------------------------------------- *)
+
+and range_tuples (catalog : catalog) (env : env) (r : range) : Schema.table * Value.tuple list =
+  let ts_of_asof () =
+    match r.asof with
+    | None -> None
+    | Some e -> (
+        match eval_expr catalog env e with
+        | Value.Atom (Atom.Date d) -> Some d
+        | Value.Atom (Atom.Int i) -> Some i
+        | _ -> eval_error "ASOF expression must be a date or integer timestamp")
+  in
+  match r.source with
+  | Table_src name -> (
+      match catalog name with
+      | Some st -> (
+          match ts_of_asof () with
+          | None -> (st.schema.Schema.table, st.scan ())
+          | Some ts -> (
+              match st.scan_asof with
+              | Some f -> (st.schema.Schema.table, f ts)
+              | None -> eval_error "table %s is not versioned (ASOF unavailable)" name))
+      | None -> (
+          (* unqualified subtable attribute of a variable in scope *)
+          if ts_of_asof () <> None then eval_error "ASOF applies to stored tables only";
+          match resolve_path env { var = Some name; steps = [] } with
+          | P_value (Schema.Table sub, Value.Table inner) -> (sub, inner.Value.tuples)
+          | _ -> eval_error "unknown table or subtable %s" name))
+  | Path_src p -> (
+      if ts_of_asof () <> None then eval_error "ASOF applies to stored tables only";
+      match resolve_path env p with
+      | P_value (Schema.Table sub, Value.Table inner) -> (sub, inner.Value.tuples)
+      | P_tuple _ -> eval_error "range source %s is a tuple, not a table" (path_to_string p)
+      | P_value (Schema.Atomic _, _) -> eval_error "range source %s is atomic" (path_to_string p)
+      | P_value _ -> eval_error "schema mismatch in range source")
+
+(* --- predicate evaluation ------------------------------------------------------------ *)
+
+and eval_pred (catalog : catalog) (env : env) (p : pred) : bool =
+  match p with
+  | Cmp (c, a, b) -> (
+      let va = eval_expr catalog env a and vb = eval_expr catalog env b in
+      let r = compare_values va vb in
+      match c with
+      | Eq -> r = 0
+      | Ne -> r <> 0
+      | Lt -> r < 0
+      | Le -> r <= 0
+      | Gt -> r > 0
+      | Ge -> r >= 0)
+  | And (a, b) -> eval_pred catalog env a && eval_pred catalog env b
+  | Or (a, b) -> eval_pred catalog env a || eval_pred catalog env b
+  | Not a -> not (eval_pred catalog env a)
+  | Exists (r, body) ->
+      let tbl, tuples = range_tuples catalog env r in
+      List.exists (fun tup -> eval_pred catalog ((r.rvar, (tbl, tup)) :: env) body) tuples
+  | Forall (r, body) ->
+      let tbl, tuples = range_tuples catalog env r in
+      List.for_all (fun tup -> eval_pred catalog ((r.rvar, (tbl, tup)) :: env) body) tuples
+  | Contains (e, pat) -> (
+      let mask = Masked.compile pat in
+      match eval_expr catalog env e with
+      | Value.Atom (Atom.Str s) -> Masked.matches_word mask s
+      | Value.Atom _ -> false
+      | Value.Table tb ->
+          List.exists
+            (fun tup ->
+              List.exists
+                (function Value.Atom (Atom.Str s) -> Masked.matches_word mask s | _ -> false)
+                tup)
+            tb.Value.tuples)
+  | Bool_expr e -> (
+      match eval_expr catalog env e with
+      | Value.Atom (Atom.Bool b) -> b
+      | _ -> eval_error "predicate expression is not boolean")
+
+(* --- the planner ----------------------------------------------------------------------- *)
+
+(* Conjuncts of a predicate. *)
+and conjuncts = function And (a, b) -> conjuncts a @ conjuncts b | p -> [ p ]
+
+(* Try to see [p] as var.attr-path = const relative to variable [v]:
+   returns (path-through-schema, atom). *)
+and eq_on_var v (p : pred) : (string list * Atom.t) option =
+  let path_of = function
+    | Path { var = Some h; steps } when String.uppercase_ascii h = String.uppercase_ascii v ->
+        let rec fields acc = function
+          | [] -> Some (List.rev acc)
+          | Field f :: rest -> fields (f :: acc) rest
+          | Subscript _ :: _ -> None
+        in
+        fields [] steps
+    | _ -> None
+  in
+  match p with
+  | Cmp (Eq, a, Const c) -> Option.map (fun sp -> (sp, c)) (path_of a)
+  | Cmp (Eq, Const c, a) -> Option.map (fun sp -> (sp, c)) (path_of a)
+  | _ -> None
+
+(* Try to see [p] as an inequality on an attribute path of [v]:
+   returns (path, lower bound option, upper bound option), inclusive
+   bounds widened by one key for the strict comparisons (the evaluator
+   re-checks, so a superset is safe). *)
+and range_on_var v (p : pred) : (string list * Atom.t option * Atom.t option) option =
+  let path_of = function
+    | Path { var = Some h; steps } when String.uppercase_ascii h = String.uppercase_ascii v ->
+        let rec fields acc = function
+          | [] -> Some (List.rev acc)
+          | Field f :: rest -> fields (f :: acc) rest
+          | Subscript _ :: _ -> None
+        in
+        fields [] steps
+    | _ -> None
+  in
+  match p with
+  | Cmp ((Lt | Le), a, Const c) -> Option.map (fun sp -> (sp, None, Some c)) (path_of a)
+  | Cmp ((Gt | Ge), a, Const c) -> Option.map (fun sp -> (sp, Some c, None)) (path_of a)
+  | Cmp ((Lt | Le), Const c, a) -> Option.map (fun sp -> (sp, Some c, None)) (path_of a)
+  | Cmp ((Gt | Ge), Const c, a) -> Option.map (fun sp -> (sp, None, Some c)) (path_of a)
+  | _ -> None
+
+(* Try to see [p] as a quantifier chain from [v] ending in an equality:
+   EXISTS y IN v.A: EXISTS z IN y.B: z.C = const  ->  ([A;B;C], const).
+   Also detects the Fig 7b same-subobject conjunction:
+   EXISTS y IN v.A: (y.P = c1 AND EXISTS z IN y.B: z.C = c2)
+   -> Conjunctive ([A;P],c1) ([A;B;C],c2). *)
+and indexable_shapes v (p : pred) : [ `Single of string list * Atom.t | `Conj of (string list * Atom.t) * (string list * Atom.t) ] list =
+  let rec chain outer_var prefix (p : pred) =
+    match eq_on_var outer_var p with
+    | Some (sp, c) -> [ `Single (prefix @ sp, c) ]
+    | None -> (
+        match p with
+        | Exists ({ rvar; source = Path_src { var = Some h; steps = [ Field a ] }; asof = None }, body)
+          when String.uppercase_ascii h = String.uppercase_ascii outer_var -> (
+            let deeper = chain rvar (prefix @ [ a ]) body in
+            if deeper <> [] then deeper
+            else
+              (* Fig 7b shape: conjunction inside the quantifier *)
+              match body with
+              | And (l, r) -> (
+                  let shapes side = chain rvar (prefix @ [ a ]) side in
+                  match shapes l, shapes r with
+                  | [ `Single s1 ], [ `Single s2 ] -> [ `Conj (s1, s2) ]
+                  | [ `Single s1 ], [] -> [ `Single s1 ]
+                  | [], [ `Single s2 ] -> [ `Single s2 ]
+                  | _ -> [])
+              | _ -> [])
+        | _ -> [])
+  in
+  match p with
+  | Exists _ -> chain v [] p
+  | Cmp _ -> chain v [] p
+  | _ -> []
+
+and contains_shape v (p : pred) : (string list * string) option =
+  match p with
+  | Contains (Path { var = Some h; steps }, pat) when String.uppercase_ascii h = String.uppercase_ascii v ->
+      let rec fields acc = function
+        | [] -> Some (List.rev acc)
+        | Field f :: rest -> fields (f :: acc) rest
+        | Subscript _ :: _ -> None
+      in
+      Option.map (fun sp -> (sp, pat)) (fields [] steps)
+  | _ -> None
+
+and find_index (st : source_table) (sp : string list) =
+  let norm p = List.map String.uppercase_ascii p in
+  List.find_opt (fun (ip, _) -> norm ip = norm sp) st.indexes |> Option.map snd
+
+and find_text_index (st : source_table) (sp : string list) =
+  let norm p = List.map String.uppercase_ascii p in
+  List.find_opt (fun (ip, _) -> norm ip = norm sp) st.text_indexes |> Option.map snd
+
+(* Candidate root TIDs for a single-range query, if any index applies.
+   Returns (roots, plan description). *)
+and plan_candidates (st : source_table) (r : range) (where : pred) : (Tid.t list * string) option =
+  let candidate_sets =
+    List.filter_map
+      (fun conj ->
+        let shapes = indexable_shapes r.rvar conj in
+        match shapes with
+        | [ `Conj ((sp1, c1), (sp2, c2)) ] -> (
+            match find_index st sp1, find_index st sp2 with
+            | Some i1, Some i2
+              when (try ignore (VI.prefix_join i1 c1 i2 c2); true with Invalid_argument _ -> false) ->
+                Some
+                  ( VI.prefix_join i1 c1 i2 c2,
+                    Printf.sprintf "prefix-join(%s=%s, %s=%s)" (String.concat "." sp1) (Atom.to_string c1)
+                      (String.concat "." sp2) (Atom.to_string c2) )
+            | Some i1, _ ->
+                Some
+                  ( VI.roots_for i1 c1,
+                    Printf.sprintf "index(%s=%s)" (String.concat "." sp1) (Atom.to_string c1) )
+            | _, Some i2 ->
+                Some
+                  ( VI.roots_for i2 c2,
+                    Printf.sprintf "index(%s=%s)" (String.concat "." sp2) (Atom.to_string c2) )
+            | None, None -> None)
+        | [ `Single (sp, c) ] -> (
+            match find_index st sp with
+            | Some idx ->
+                Some (VI.roots_for idx c, Printf.sprintf "index(%s=%s)" (String.concat "." sp) (Atom.to_string c))
+            | None -> None)
+        | _ when range_on_var r.rvar conj <> None -> (
+            match range_on_var r.rvar conj with
+            | Some (sp, lo, hi) -> (
+                match find_index st sp with
+                | Some idx when VI.strategy idx <> VI.Data_tid ->
+                    let bound = function None -> "·" | Some a -> Atom.to_string a in
+                    Some
+                      ( VI.roots_in_range idx ?lo ?hi (),
+                        Printf.sprintf "index-range(%s in [%s, %s])" (String.concat "." sp) (bound lo) (bound hi) )
+                | _ -> None)
+            | None -> None)
+        | _ -> (
+            match contains_shape r.rvar conj with
+            | Some (sp, pat) -> (
+                match find_text_index st sp with
+                | Some ti ->
+                    Some (TI.roots_matching ti pat, Printf.sprintf "text-index(%s CONTAINS '%s')" (String.concat "." sp) pat)
+                | None -> None)
+            | None -> None))
+      (conjuncts where)
+  in
+  match candidate_sets with
+  | [] -> None
+  | (first, d1) :: rest ->
+      let inter =
+        List.fold_left
+          (fun acc (s, _) -> List.filter (fun t -> List.exists (Tid.equal t) s) acc)
+          first rest
+      in
+      Some (inter, String.concat " & " (d1 :: List.map snd rest))
+
+(* --- query evaluation ----------------------------------------------------------------------- *)
+
+and eval_query ?(plan : (string -> unit) option) (catalog : catalog) (outer_env : env) (q : query) :
+    Rel.t =
+  (* typing pass: result schema *)
+  let outer_tenv = List.map (fun (v, (tbl, _)) -> (v, tbl)) outer_env in
+  let result_schema = type_query catalog outer_tenv q in
+  (* candidate restriction for the first range (single-table plans) *)
+  let note p = match plan with Some f -> f p | None -> () in
+  let first_range_tuples (r : range) : Schema.table * Value.tuple list =
+    match r.source, q.where, r.asof with
+    | Table_src name, Some w, None -> (
+        match catalog name with
+        | Some st -> (
+            match st.roots, st.fetch_root with
+            | Some _, Some fetch -> (
+                match plan_candidates st r w with
+                | Some (cands, desc) ->
+                    note (Printf.sprintf "scan %s via %s -> %d candidate object(s)" name desc (List.length cands));
+                    (st.schema.Schema.table, List.map fetch cands)
+                | None ->
+                    note (Printf.sprintf "full scan of %s" name);
+                    (st.schema.Schema.table, st.scan ()))
+            | _ ->
+                note (Printf.sprintf "full scan of %s" name);
+                (st.schema.Schema.table, st.scan ()))
+        | None -> range_tuples catalog outer_env r)
+    | _ -> range_tuples catalog outer_env r
+  in
+  (* hash-join acceleration: a non-first range over a stored table with
+     an equality conjunct  r.ATTR = <expr over earlier variables>  is
+     accessed through a hash table on ATTR instead of a full scan *)
+  let where_conjuncts = match q.where with Some w -> conjuncts w | None -> [] in
+  let rec expr_mentions v = function
+    | Path { var = Some h; _ } -> String.uppercase_ascii h = String.uppercase_ascii v
+    | Path { var = None; _ } | Const _ | Param _ -> false
+    | Neg e -> expr_mentions v e
+    | Binop (_, a, b) -> expr_mentions v a || expr_mentions v b
+    | Agg (_, Some e) -> expr_mentions v e
+    | Agg (_, None) -> false
+    | Subquery _ -> true (* conservative: do not hash-join through subqueries *)
+  in
+  let equi_for_range (r : range) =
+    List.find_map
+      (fun c ->
+        match c with
+        | Cmp (Eq, Path { var = Some v; steps = [ Field a ] }, other)
+          when String.uppercase_ascii v = String.uppercase_ascii r.rvar && not (expr_mentions r.rvar other) ->
+            Some (a, other)
+        | Cmp (Eq, other, Path { var = Some v; steps = [ Field a ] })
+          when String.uppercase_ascii v = String.uppercase_ascii r.rvar && not (expr_mentions r.rvar other) ->
+            Some (a, other)
+        | _ -> None)
+      where_conjuncts
+  in
+  (* per-range access function, built once per query evaluation *)
+  let mk_access (r : range) : env -> Schema.table * Value.tuple list =
+    match r.source, r.asof with
+    | Table_src name, None -> (
+        match catalog name, equi_for_range r with
+        | Some st, Some (attr, probe) -> (
+            match Schema.find_field st.schema.Schema.table attr with
+            | Some (ai, { Schema.attr = Schema.Atomic _; _ }) ->
+                let table = st.schema.Schema.table in
+                let hash = lazy (
+                  let h : (string, Value.tuple list) Hashtbl.t = Hashtbl.create 256 in
+                  List.iter
+                    (fun tup ->
+                      match List.nth tup ai with
+                      | Value.Atom a ->
+                          let k = Atom.to_key a in
+                          Hashtbl.replace h k (tup :: Option.value ~default:[] (Hashtbl.find_opt h k))
+                      | Value.Table _ -> ())
+                    (st.scan ());
+                  h)
+                in
+                note (Printf.sprintf "hash join %s on %s" name attr);
+                fun env ->
+                  (match
+                     (try Some (eval_expr catalog env probe) with Eval_error _ -> None)
+                   with
+                  | Some v -> (
+                      match coerce_atom v with
+                      | Some a ->
+                          (table, List.rev (Option.value ~default:[] (Hashtbl.find_opt (Lazy.force hash) (Atom.to_key a))))
+                      | None -> range_tuples catalog env r)
+                  | None ->
+                      (* probe references a later variable: full scan *)
+                      range_tuples catalog env r)
+            | _ -> fun env -> range_tuples catalog env r)
+        | _ -> fun env -> range_tuples catalog env r)
+    | _ -> fun env -> range_tuples catalog env r
+  in
+  let accesses =
+    List.mapi (fun i r -> if i = 0 then fun _ -> first_range_tuples r else mk_access r) q.from
+  in
+  (* ORDER BY keys: a bare name that is a result column sorts on the
+     emitted row; any other expression is evaluated in the emission
+     environment (so it may reference range variables). *)
+  let order_modes =
+    List.map
+      (fun (oi : order_item) ->
+        match oi.key with
+        | Path { var = Some name; steps = [] } -> (
+            match Schema.find_field result_schema name with
+            | Some (i, _) -> `Column i
+            | None -> `Env oi.key)
+        | e -> `Env e)
+      q.order_by
+  in
+  let acc = ref [] in
+  let rec loop (env : env) (ranges : (range * (env -> Schema.table * Value.tuple list)) list) =
+    match ranges with
+    | [] ->
+        let keep = match q.where with Some w -> eval_pred catalog env w | None -> true in
+        if keep then begin
+          let row =
+            match q.select with
+            | Star ->
+                List.concat_map
+                  (fun r ->
+                    match lookup_var env r.rvar with
+                    | Some (_, tup) -> tup
+                    | None -> eval_error "unbound range %s" r.rvar)
+                  q.from
+            | Items items -> List.map (fun { expr; _ } -> eval_expr catalog env expr) items
+          in
+          let okeys =
+            List.map
+              (fun mode -> match mode with `Column _ -> Value.null | `Env e -> eval_expr catalog env e)
+              order_modes
+          in
+          acc := (row, okeys) :: !acc
+        end
+    | (r, access) :: rest ->
+        let tbl, tuples = access env in
+        List.iter (fun tup -> loop ((r.rvar, (tbl, tup)) :: env) rest) tuples
+  in
+  loop outer_env (List.combine q.from accesses);
+  let keyed_rows = List.rev !acc in
+  let rows = List.map fst keyed_rows in
+  (* order / distinct / kind *)
+  let rows =
+    if q.order_by <> [] then begin
+      let key_of (row, _okeys) mode okey : Value.v =
+        match mode with
+        | `Column i -> (
+            match List.nth_opt row i with
+            | Some v -> v
+            | None -> eval_error "ORDER BY column out of range")
+        | `Env _ -> okey
+      in
+      List.stable_sort
+        (fun a b ->
+          let rec cmp modes okeys_a okeys_b obs =
+            match modes, okeys_a, okeys_b, obs with
+            | [], _, _, _ -> 0
+            | m :: ms, ka :: kas, kb :: kbs, (oi : order_item) :: ois ->
+                let c = compare_values (key_of a m ka) (key_of b m kb) in
+                let c = if oi.descending then -c else c in
+                if c <> 0 then c else cmp ms kas kbs ois
+            | _ -> 0
+          in
+          cmp order_modes (snd a) (snd b) q.order_by)
+        keyed_rows
+      |> List.map fst
+    end
+    else rows
+  in
+  let kind = result_schema.Schema.kind in
+  let rows =
+    if q.distinct || (kind = Schema.Set && q.order_by = []) then Value.dedup rows else rows
+  in
+  Rel.trusted result_schema { Value.kind; tuples = rows }
+
+(* Top-level entry: symbolic rewriting first (constant folding,
+   negation pushdown, quantifier duality), then evaluation. *)
+let run ?plan (catalog : catalog) (q : query) : Rel.t =
+  eval_query ?plan catalog [] (Rewrite.rewrite_query q)

@@ -1,0 +1,53 @@
+(** Evaluator for the AIM-II query language.
+
+    Queries run over a {!catalog} of stored tables by nested iteration
+    of tuple variables — the "loop" mental model the paper gives for
+    variable bindings (Section 3, Example 2).  A small planner
+    restricts the outer loop to candidate objects when an index
+    applies: equality on an indexed path, quantifier chains ending in
+    an indexed equality, CONTAINS with a text index, and the Fig 7b
+    conjunctive same-subobject shape (answered by hierarchical-address
+    prefix join).  Non-first ranges with equality conjuncts are
+    accessed through query-local hash tables (hash join).  The full
+    predicate is always re-checked. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module VI = Nf2_index.Value_index
+module TI = Nf2_index.Text_index
+module Tid = Nf2_storage.Tid
+
+exception Eval_error of string
+
+(** What the evaluator needs to know about one stored table. *)
+type source_table = {
+  schema : Schema.t;
+  versioned : bool;
+  scan : unit -> Value.tuple list;  (** current contents *)
+  scan_asof : (int -> Value.tuple list) option;  (** versioned tables *)
+  roots : (unit -> Tid.t list) option;  (** for index plans *)
+  fetch_root : (Tid.t -> Value.tuple) option;
+  indexes : (Schema.path * VI.t) list;
+  text_indexes : (Schema.path * TI.t) list;
+}
+
+(** Case-insensitive table lookup. *)
+type catalog = string -> source_table option
+
+(** Variable bindings, innermost first. *)
+type env = (string * (Schema.table * Value.tuple)) list
+
+(** Evaluate a query after symbolic rewriting; [plan] receives one
+    line per access-path decision. *)
+val run : ?plan:(string -> unit) -> catalog -> Ast.query -> Rel.t
+
+(** Evaluate without the rewriting pass (used by equivalence tests). *)
+val eval_query : ?plan:(string -> unit) -> catalog -> env -> Ast.query -> Rel.t
+
+val eval_pred : catalog -> env -> Ast.pred -> bool
+val eval_expr : catalog -> env -> Ast.expr -> Value.v
+
+(** Result schema of a query in a typing environment. *)
+val type_query : catalog -> (string * Schema.table) list -> Ast.query -> Schema.table

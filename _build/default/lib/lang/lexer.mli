@@ -1,0 +1,39 @@
+(** Hand-written lexer for the AIM-II query language: case-insensitive
+    keywords, ['...'] strings with quote doubling, [320_000]-style
+    numeric literals, [--] line comments, and the [?] parameter
+    placeholder. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | COMMA
+  | DOT
+  | SEMI
+  | COLON
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | QMARK
+
+exception Lex_error of string
+
+val keywords : string list
+val tokenize : string -> token list
+val token_to_string : token -> string

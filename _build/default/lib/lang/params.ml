@@ -1,0 +1,89 @@
+(* Parameter binding for prepared statements — the library analogue of
+   the paper's embedded-API pre-compiler (Section 3: "a DDL/DML
+   pre-compiler ... translates the imbedded NF2 statements into
+   subroutine calls [that] invoke the AIM-II run-time system").
+   Statements are parsed and planned once; each execution substitutes
+   the '?' placeholders with atoms. *)
+
+module Atom = Nf2_model.Atom
+open Ast
+
+exception Param_error of string
+
+let param_error fmt = Fmt.kstr (fun s -> raise (Param_error s)) fmt
+
+let lookup (params : Atom.t array) i =
+  if i < 1 || i > Array.length params then
+    param_error "statement needs parameter ?%d but %d value(s) were supplied" i (Array.length params);
+  params.(i - 1)
+
+let rec bind_expr params (e : expr) : expr =
+  match e with
+  | Param i -> Const (lookup params i)
+  | Const _ | Path _ -> e
+  | Neg e -> Neg (bind_expr params e)
+  | Binop (op, a, b) -> Binop (op, bind_expr params a, bind_expr params b)
+  | Agg (a, arg) -> Agg (a, Option.map (bind_expr params) arg)
+  | Subquery q -> Subquery (bind_query params q)
+
+and bind_pred params (p : pred) : pred =
+  match p with
+  | Cmp (c, a, b) -> Cmp (c, bind_expr params a, bind_expr params b)
+  | And (a, b) -> And (bind_pred params a, bind_pred params b)
+  | Or (a, b) -> Or (bind_pred params a, bind_pred params b)
+  | Not a -> Not (bind_pred params a)
+  | Exists (r, body) -> Exists (bind_range params r, bind_pred params body)
+  | Forall (r, body) -> Forall (bind_range params r, bind_pred params body)
+  | Contains (e, pat) -> Contains (bind_expr params e, pat)
+  | Bool_expr e -> Bool_expr (bind_expr params e)
+
+and bind_range params (r : range) : range = { r with asof = Option.map (bind_expr params) r.asof }
+
+and bind_query params (q : query) : query =
+  {
+    q with
+    select =
+      (match q.select with
+      | Star -> Star
+      | Items items -> Items (List.map (fun it -> { it with expr = bind_expr params it.expr }) items));
+    from = List.map (bind_range params) q.from;
+    where = Option.map (bind_pred params) q.where;
+    order_by = List.map (fun oi -> { oi with key = bind_expr params oi.key }) q.order_by;
+  }
+
+let rec bind_literal params (l : literal_value) : literal_value =
+  match l with
+  | L_param i -> L_atom (lookup params i)
+  | L_atom _ -> l
+  | L_table (kind, rows) -> L_table (kind, List.map (List.map (bind_literal params)) rows)
+
+let bind_stmt (stmt : stmt) (values : Atom.t list) : stmt =
+  let params = Array.of_list values in
+  match stmt with
+  | Select q -> Select (bind_query params q)
+  | Explain q -> Explain (bind_query params q)
+  | Insert r ->
+      Insert
+        {
+          r with
+          where = Option.map (bind_pred params) r.where;
+          rows = List.map (List.map (bind_literal params)) r.rows;
+        }
+  | Update r ->
+      Update
+        {
+          r with
+          sets = List.map (fun (a, e) -> (a, bind_expr params e)) r.sets;
+          where = Option.map (bind_pred params) r.where;
+          at = Option.map (bind_expr params) r.at;
+        }
+  | Delete r ->
+      Delete
+        {
+          r with
+          where = Option.map (bind_pred params) r.where;
+          at = Option.map (bind_expr params) r.at;
+        }
+  | Create_table _ | Drop_table _ | Create_index _ | Create_text_index _ | Alter_add _
+  | Alter_drop _ | Show_tables | Describe _ | Begin_txn | Commit | Rollback ->
+      stmt

@@ -1,0 +1,37 @@
+(** Recursive-descent parser for the AIM-II query language.
+
+    Grammar sketch (case-insensitive keywords; [';'] separates
+    statements):
+
+    {v
+    query   ::= SELECT [DISTINCT] item,..  FROM range,..   -- or SELECT star
+                [WHERE pred] [ORDER BY expr [DESC],..]
+    item    ::= expr [AS name] | (query) = name      -- paper's naming
+    range   ::= var IN table | var IN path [ASOF expr] | table
+    pred    ::= comparisons, AND/OR/NOT, EXISTS/ALL range [:] pred,
+                expr CONTAINS 'mask'
+    path    ::= ident (.ident | [int])*
+    ddl     ::= CREATE TABLE name (field type,..) [WITH VERSIONS]
+              | CREATE [TEXT] INDEX ON t (path) [USING DATA|ROOT|HIERARCHICAL]
+              | ALTER TABLE t ADD f type | ALTER TABLE t DROP f
+              | DROP TABLE t
+    dml     ::= INSERT INTO t[.sub]* [WHERE pred] VALUES (lit,..),..
+              | UPDATE t[.sub]* SET a = expr,.. [WHERE pred] [AT expr]
+              | DELETE FROM t[.sub]* [WHERE pred] [AT expr]
+    lit     ::= atom | {(lit,..),..} | <(lit,..),..>     -- sets / lists
+    v} *)
+
+exception Parse_error of string
+
+(** Parse a [';']-separated script.  @raise Parse_error / Lexer.Lex_error. *)
+val parse_script : string -> Ast.stmt list
+
+(** Parse exactly one statement. *)
+val parse_one : string -> Ast.stmt
+
+(** Parse a single SELECT. *)
+val parse_query_string : string -> Ast.query
+
+(** Parse one statement with ['?'] parameter placeholders; returns the
+    statement and the number of parameters. *)
+val parse_prepared : string -> Ast.stmt * int

@@ -1,0 +1,17 @@
+(** Symbolic query transformation (the paper's Section 5 research
+    direction): semantics-preserving normalisation applied before
+    evaluation — constant folding, boolean simplification, negation
+    pushdown, and quantifier duality (NOT EXISTS ⇔ ALL NOT), which
+    also surfaces indexable shapes for the planner. *)
+
+val rewrite_expr : Ast.expr -> Ast.expr
+val rewrite_pred : Ast.pred -> Ast.pred
+val rewrite_query : Ast.query -> Ast.query
+
+(** Flattened, deduplicated conjuncts of a predicate. *)
+val conjuncts_dedup : Ast.pred -> Ast.pred list
+
+val is_true : Ast.pred -> bool
+val is_false : Ast.pred -> bool
+val tt : Ast.pred
+val ff : Ast.pred

@@ -1,0 +1,1 @@
+lib/lock/predicate_lock.ml: Int List Nf2_model String

@@ -1,0 +1,1 @@
+lib/lock/predicate_lock.mli: Nf2_model

@@ -1,0 +1,1 @@
+lib/model/atom.ml: Bool Buffer Codec Float Format Int Printf String

@@ -1,0 +1,1 @@
+lib/model/atom.mli: Codec Format

@@ -1,0 +1,1 @@
+lib/model/schema.ml: Atom Buffer Codec Fmt Format Hashtbl List Printf Stdlib String

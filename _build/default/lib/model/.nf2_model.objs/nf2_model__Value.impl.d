@@ -1,0 +1,1 @@
+lib/model/value.ml: Ascii_table Atom Codec Fmt Printf Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/model/value.mli: Atom Codec Format Schema

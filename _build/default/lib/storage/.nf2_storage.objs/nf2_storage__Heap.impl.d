@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Buffer_pool Disk Hashtbl List Option Page Printf Record String Tid

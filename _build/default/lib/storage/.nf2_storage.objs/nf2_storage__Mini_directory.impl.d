@@ -1,0 +1,1 @@
+lib/storage/mini_directory.ml: Buffer List Printf String

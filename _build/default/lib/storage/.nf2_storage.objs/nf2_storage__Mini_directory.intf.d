@@ -1,0 +1,1 @@
+lib/storage/mini_directory.mli:

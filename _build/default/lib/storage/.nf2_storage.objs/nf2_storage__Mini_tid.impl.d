@@ -1,0 +1,1 @@
+lib/storage/mini_tid.ml: Codec Format Int Printf String

@@ -1,0 +1,1 @@
+lib/storage/mini_tid.mli: Codec Format

@@ -1,0 +1,1 @@
+lib/storage/object_store.ml: Buffer_pool Bytes Codec Disk Fmt Hashtbl Heap List Mini_directory Mini_tid Nf2_model Page Page_list Printf Record String Subtuple Tid

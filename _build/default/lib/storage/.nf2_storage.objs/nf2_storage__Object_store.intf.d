@@ -1,0 +1,1 @@
+lib/storage/object_store.mli: Buffer_pool Mini_directory Mini_tid Nf2_model Tid

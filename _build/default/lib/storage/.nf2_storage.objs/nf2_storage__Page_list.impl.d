@@ -1,0 +1,1 @@
+lib/storage/page_list.ml: Array Codec List

@@ -1,0 +1,1 @@
+lib/storage/subtuple.ml: Codec List Mini_tid Nf2_model Page_list

@@ -1,0 +1,1 @@
+lib/storage/subtuple.mli: Codec Mini_tid Nf2_model Page_list

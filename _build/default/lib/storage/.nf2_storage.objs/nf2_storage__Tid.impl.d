@@ -1,0 +1,1 @@
+lib/storage/tid.ml: Codec Format Int Printf String

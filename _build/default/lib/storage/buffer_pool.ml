@@ -1,0 +1,113 @@
+(* LRU buffer pool over the simulated disk.
+
+   Frames are pinned for the duration of a [read]/[write] callback and
+   unpinned afterwards; eviction picks the least recently used unpinned
+   frame and flushes it if dirty.  Counters distinguish logical page
+   accesses (hits + misses) from physical I/O (kept on the disk). *)
+
+type frame = {
+  mutable page : int; (* -1 when frame is empty *)
+  buf : Bytes.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable lru : int; (* last-use tick *)
+}
+
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+
+type t = {
+  disk : Disk.t;
+  frames : frame array;
+  table : (int, int) Hashtbl.t; (* page -> frame index *)
+  mutable tick : int;
+  stats : stats;
+}
+
+exception Pool_exhausted
+
+let create ?(frames = 64) disk =
+  if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
+  {
+    disk;
+    frames =
+      Array.init frames (fun _ ->
+          { page = -1; buf = Bytes.make (Disk.page_size disk) '\000'; dirty = false; pins = 0; lru = 0 });
+    table = Hashtbl.create (2 * frames);
+    tick = 0;
+    stats = { hits = 0; misses = 0; evictions = 0 };
+  }
+
+let stats t = t.stats
+let disk t = t.disk
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0;
+  t.stats.evictions <- 0
+
+let logical_accesses t = t.stats.hits + t.stats.misses
+
+let flush_frame t f =
+  if f.dirty && f.page >= 0 then begin
+    Disk.write_from t.disk f.page f.buf;
+    f.dirty <- false
+  end
+
+let flush_all t = Array.iter (flush_frame t) t.frames
+
+(* Pick a victim frame: empty frame if any, else LRU unpinned. *)
+let victim t =
+  let best = ref (-1) in
+  Array.iteri
+    (fun i f ->
+      if f.pins = 0 then
+        if f.page = -1 then (if !best = -1 || t.frames.(!best).page <> -1 then best := i)
+        else if !best = -1 || (t.frames.(!best).page <> -1 && f.lru < t.frames.(!best).lru) then
+          best := i)
+    t.frames;
+  if !best = -1 then raise Pool_exhausted;
+  !best
+
+let load t page =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.table page with
+  | Some i ->
+      t.stats.hits <- t.stats.hits + 1;
+      let f = t.frames.(i) in
+      f.lru <- t.tick;
+      (i, f)
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      let i = victim t in
+      let f = t.frames.(i) in
+      if f.page >= 0 then begin
+        t.stats.evictions <- t.stats.evictions + 1;
+        flush_frame t f;
+        Hashtbl.remove t.table f.page
+      end;
+      Disk.read_into t.disk page f.buf;
+      f.page <- page;
+      f.dirty <- false;
+      f.lru <- t.tick;
+      Hashtbl.replace t.table page i;
+      (i, f)
+
+let with_page t page ~dirty fn =
+  let _, f = load t page in
+  f.pins <- f.pins + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      f.pins <- f.pins - 1;
+      if dirty then f.dirty <- true)
+    (fun () ->
+      let r = fn f.buf in
+      if dirty then f.dirty <- true;
+      r)
+
+let read t page fn = with_page t page ~dirty:false fn
+let write t page fn = with_page t page ~dirty:true fn
+
+(* Allocate a fresh disk page and expose it dirty in the pool. *)
+let alloc t =
+  let page = Disk.alloc t.disk in
+  page

@@ -1,0 +1,34 @@
+(** LRU buffer pool over the simulated disk.
+
+    Frames are pinned for the duration of a {!read}/{!write} callback;
+    eviction picks the least-recently-used unpinned frame, flushing it
+    if dirty.  [hits + misses] is the logical page-access count;
+    physical I/O is counted by {!Disk}. *)
+
+type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+
+type t
+
+exception Pool_exhausted
+(** Raised when every frame is pinned and a new page is requested. *)
+
+(** [create ?frames disk] — default 64 frames. *)
+val create : ?frames:int -> Disk.t -> t
+
+val disk : t -> Disk.t
+val stats : t -> stats
+val reset_stats : t -> unit
+val logical_accesses : t -> int
+
+(** Write all dirty frames back to disk. *)
+val flush_all : t -> unit
+
+(** [read t page f] pins the page's frame, applies [f] to its bytes,
+    and unpins.  The bytes must not escape [f]. *)
+val read : t -> int -> (Bytes.t -> 'a) -> 'a
+
+(** Like {!read} but marks the frame dirty. *)
+val write : t -> int -> (Bytes.t -> 'a) -> 'a
+
+(** Allocate a fresh disk page (not yet resident). *)
+val alloc : t -> int

@@ -1,0 +1,43 @@
+(** Simulated disk: a growable array of fixed-size pages with physical
+    I/O accounting.
+
+    The 1986 prototype ran against real DASD; the cost model that
+    matters for the paper's comparative claims is the number of page
+    reads and writes, which this module counts.  All page-content
+    access must go through {!Buffer_pool}. *)
+
+type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
+
+type t
+
+(** [create ?page_size ()] — default page size 4096 bytes (min 64). *)
+val create : ?page_size:int -> unit -> t
+
+val page_size : t -> int
+val npages : t -> int
+
+(** Live counters (mutable record — copy fields before further I/O). *)
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+(** Allocate a zeroed page; returns its page number. *)
+val alloc : t -> int
+
+(** Physical read of a page image into [dst]. *)
+val read_into : t -> int -> Bytes.t -> unit
+
+(** Physical write of [src] onto a page. *)
+val write_from : t -> int -> Bytes.t -> unit
+
+(** Total allocated bytes ([npages * page_size]); used for space
+    experiments. *)
+val total_bytes : t -> int
+
+(** {1 Persistence} *)
+
+(** Copies of all physical page images, in page order. *)
+val export_pages : t -> Bytes.t array
+
+(** Reconstruct a disk from page images. *)
+val of_pages : page_size:int -> Bytes.t array -> t

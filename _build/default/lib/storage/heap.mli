@@ -1,0 +1,39 @@
+(** Heap file: an unordered record store over a set of pages, with
+    stable TIDs (via forward pointers) and an in-memory free-space map.
+
+    Used for flat (1NF) tables, for root MD subtuples of complex
+    objects, for version deltas, and by the Lorie-style baseline. *)
+
+type t
+
+val create : Buffer_pool.t -> t
+
+(** Re-attach a heap to pages persisted earlier (free-space map is
+    rebuilt from the page contents). *)
+val restore : Buffer_pool.t -> pages:int list -> t
+
+(** Pages owned by this heap, newest first. *)
+val pages : t -> int list
+
+(** Store a record; returns its stable TID. *)
+val insert : t -> string -> Tid.t
+
+(** Read a record, following at most one forward hop; [None] when
+    deleted/absent. *)
+val read : t -> Tid.t -> string option
+
+(** @raise Invalid_argument when absent. *)
+val read_exn : t -> Tid.t -> string
+
+(** Delete a record (and its spilled copy, if forwarded). *)
+val delete : t -> Tid.t -> unit
+
+(** Update in place when possible; otherwise spill the payload to
+    another page and leave a forward pointer — the TID never changes. *)
+val update : t -> Tid.t -> string -> unit
+
+(** Iterate live records, each exactly once, under its home TID. *)
+val iter : t -> (Tid.t -> string -> unit) -> unit
+
+val fold : t -> ('a -> Tid.t -> string -> 'a) -> 'a -> 'a
+val count : t -> int

@@ -1,0 +1,58 @@
+(* Storage-structure alternatives for Mini Directories (Fig 6 of the
+   paper) and their analytic properties.
+
+   The actual construction lives in [Object_store]; this module holds
+   the layout type, the closed-form MD-subtuple counts the paper argues
+   about, and a printable logical view of an object's MD tree. *)
+
+type layout = SS1 | SS2 | SS3
+
+let layout_name = function SS1 -> "SS1" | SS2 -> "SS2" | SS3 -> "SS3"
+
+let all_layouts = [ SS1; SS2; SS3 ]
+
+(* Number of MD subtuples of one complex object, from its structural
+   counts (see Value.structure_counts):
+     SS1 = 1 + #subtables + #complex-subobjects
+     SS2 = 1 + #complex-subobjects
+     SS3 = 1 + #subtables
+   The paper's claim SS1 >= SS3 >= SS2 (strict on any non-trivial
+   object) follows because every complex subobject contains at least
+   one subtable. *)
+let md_subtuple_count layout ~subtables ~complex_subobjects =
+  match layout with
+  | SS1 -> 1 + subtables + complex_subobjects
+  | SS2 -> 1 + complex_subobjects
+  | SS3 -> 1 + subtables
+
+(* Logical, printable view of an MD tree (Fig 6a/6b/6c). *)
+type view =
+  | Md of { label : string; entries : view_entry list list }
+
+and view_entry = Vd of string (* rendered data subtuple *) | Vc of view
+
+let rec render_view ?(indent = 0) (Md { label; entries }) =
+  let pad = String.make indent ' ' in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "%s[MD] %s\n" pad label);
+  List.iteri
+    (fun si section ->
+      Buffer.add_string buf (Printf.sprintf "%s  section %d:\n" pad si);
+      List.iter
+        (function
+          | Vd data -> Buffer.add_string buf (Printf.sprintf "%s    D -> (%s)\n" pad data)
+          | Vc child ->
+              Buffer.add_string buf (Printf.sprintf "%s    C ->\n" pad);
+              Buffer.add_string buf (render_view ~indent:(indent + 6) child))
+        section)
+    entries;
+  Buffer.contents buf
+
+let rec count_view_md (Md { entries; _ }) =
+  1
+  + List.fold_left
+      (fun acc section ->
+        List.fold_left
+          (fun acc -> function Vd _ -> acc | Vc child -> acc + count_view_md child)
+          acc section)
+      0 entries

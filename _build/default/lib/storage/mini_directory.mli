@@ -1,0 +1,30 @@
+(** Storage-structure alternatives for Mini Directories (Fig 6 of the
+    paper) and their analytic properties.  The actual construction
+    lives in {!Object_store}; this module holds the layout type, the
+    closed-form MD-subtuple counts the paper argues about, and a
+    printable logical view of an object's MD tree. *)
+
+(** The three alternatives of Fig 6:
+    - [SS1]: MD subtuples for both subtables and complex subobjects;
+    - [SS2]: only for complex subobjects;
+    - [SS3]: only for subtables (AIM-II's choice). *)
+type layout = SS1 | SS2 | SS3
+
+val layout_name : layout -> string
+val all_layouts : layout list
+
+(** MD subtuples of one object from its structural counts:
+    SS1 = 1 + subtables + complex; SS2 = 1 + complex;
+    SS3 = 1 + subtables.  The order SS1 ≥ SS3 ≥ SS2 follows because
+    every complex subobject contains at least one subtable. *)
+val md_subtuple_count : layout -> subtables:int -> complex_subobjects:int -> int
+
+(** Printable logical MD tree (Fig 6a/6b/6c). *)
+type view = Md of { label : string; entries : view_entry list list }
+
+and view_entry = Vd of string | Vc of view
+
+val render_view : ?indent:int -> view -> string
+
+(** Number of MD nodes in a view (cross-check against {!md_subtuple_count}). *)
+val count_view_md : view -> int

@@ -1,0 +1,28 @@
+(* Mini-TIDs: local addresses valid inside one complex object.  The
+   [lpage] component is an index into the object's page list; [slot] is
+   the slot number inside the referenced page.  Because page lists keep
+   gaps when pages are removed, a Mini-TID never changes as long as its
+   subtuple exists (pointer stability, Section 4.1). *)
+
+type t = { lpage : int; slot : int }
+
+let compare a b =
+  match Int.compare a.lpage b.lpage with 0 -> Int.compare a.slot b.slot | c -> c
+
+let equal a b = compare a b = 0
+let to_string t = Printf.sprintf "%d:%d" t.lpage t.slot
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let encode b t =
+  Codec.put_uvarint b t.lpage;
+  Codec.put_uvarint b t.slot
+
+let decode src =
+  let lpage = Codec.get_uvarint src in
+  let slot = Codec.get_uvarint src in
+  { lpage; slot }
+
+let encoded_size t =
+  let b = Codec.create_sink () in
+  encode b t;
+  String.length (Codec.contents b)

@@ -1,0 +1,14 @@
+(** Mini-TIDs: local addresses valid inside one complex object.  The
+    [lpage] component indexes the object's page list (its local address
+    space), so Mini-TIDs are smaller than TIDs and survive object
+    relocation unchanged (Section 4.1 of the paper). *)
+
+type t = { lpage : int; slot : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val encode : Codec.sink -> t -> unit
+val decode : Codec.source -> t
+val encoded_size : t -> int

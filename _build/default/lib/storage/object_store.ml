@@ -1,0 +1,1232 @@
+(* The complex-object store: AIM-II's integrated implementation of
+   extended NF2 objects (Section 4.1 of the paper).
+
+   - Each complex object owns a *local address space*: a page list kept
+     in its root MD subtuple.  All data and MD subtuples of the object
+     live in pages of that list and are addressed by Mini-TIDs.
+   - Structural information (Mini Directory trees) is kept strictly
+     separate from data (data subtuples).
+   - Three MD layouts are supported: SS1, SS2, SS3 (Fig 6); AIM-II's
+     production choice was SS3, which is the default here.
+   - Root MD subtuples live in a directory heap and are addressed by
+     ordinary (global) TIDs; that TID is the object's identity.
+   - Clustering can be disabled for the ablation experiment: subtuples
+     are then spread over pages shared by all objects.  *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+type stats = {
+  mutable md_reads : int; (* MD subtuple fetches *)
+  mutable data_reads : int; (* data subtuple fetches *)
+  mutable subtuple_writes : int;
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  layout : Mini_directory.layout;
+  clustering : bool;
+  dir : Heap.t; (* root MD subtuples *)
+  mutable data_pages : int list; (* every page holding object subtuples *)
+  fsm : (int, int) Hashtbl.t; (* free bytes per data page *)
+  mutable free_pages : int list; (* emptied pages ready for reuse *)
+  stats : stats;
+}
+
+exception Store_error of string
+
+let store_error fmt = Fmt.kstr (fun s -> raise (Store_error s)) fmt
+
+let create ?(layout = Mini_directory.SS3) ?(clustering = true) pool =
+  {
+    pool;
+    layout;
+    clustering;
+    dir = Heap.create pool;
+    data_pages = [];
+    fsm = Hashtbl.create 64;
+    free_pages = [];
+    stats = { md_reads = 0; data_reads = 0; subtuple_writes = 0 };
+  }
+
+let layout t = t.layout
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.md_reads <- 0;
+  t.stats.data_reads <- 0;
+  t.stats.subtuple_writes <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Page management and local record operations *)
+
+let note_free t page buf = Hashtbl.replace t.fsm page (Page.usable_free buf)
+
+let fresh_page t =
+  match t.free_pages with
+  | p :: rest ->
+      t.free_pages <- rest;
+      Buffer_pool.write t.pool p (fun buf ->
+          Page.init buf;
+          note_free t p buf);
+      p
+  | [] ->
+      let p = Buffer_pool.alloc t.pool in
+      Buffer_pool.write t.pool p (fun buf ->
+          Page.init buf;
+          note_free t p buf);
+      t.data_pages <- p :: t.data_pages;
+      p
+
+let try_insert_into t page encoded =
+  Buffer_pool.write t.pool page (fun buf ->
+      let s = Page.insert buf encoded in
+      note_free t page buf;
+      s)
+
+(* Byte budgets (local records use the same page layout as heaps). *)
+let page_size t = Disk.page_size (Buffer_pool.disk t.pool)
+let record_budget t = page_size t - Page.header_size - Page.slot_size
+let max_single_payload t = record_budget t - 8
+let max_chunk_part t = record_budget t - Record.chunk_overhead
+
+(* Low-level placement of one encoded record in the object's local
+   address space; returns its Mini-TID.  With clustering on, the page
+   list is scanned first (the paper's strategy); with clustering off,
+   any shared page with room is used and merely registered in the page
+   list. *)
+let place_record t (plist : Page_list.t) (record : Record.t) : Mini_tid.t =
+  t.stats.subtuple_writes <- t.stats.subtuple_writes + 1;
+  let encoded = Record.encode record in
+  let need = String.length encoded + Page.slot_size in
+  let candidates =
+    if t.clustering then List.map snd (Page_list.entries plist)
+    else List.filter (fun p -> match Hashtbl.find_opt t.fsm p with Some f -> f >= need | None -> false) t.data_pages
+  in
+  let rec try_pages = function
+    | [] -> None
+    | page :: rest -> (
+        let roomy = match Hashtbl.find_opt t.fsm page with Some f -> f >= need | None -> false in
+        if not roomy then try_pages rest
+        else
+          match try_insert_into t page encoded with
+          | Some slot -> Some (page, slot)
+          | None -> try_pages rest)
+  in
+  match try_pages candidates with
+  | Some (page, slot) ->
+      let lpage =
+        match Page_list.position_of plist page with
+        | Some i -> i
+        | None -> Page_list.add plist page
+      in
+      { Mini_tid.lpage; slot }
+  | None -> (
+      let page = fresh_page t in
+      match try_insert_into t page encoded with
+      | Some slot ->
+          let lpage = Page_list.add plist page in
+          { Mini_tid.lpage; slot }
+      | None -> store_error "record larger than a page (%d bytes)" (String.length encoded))
+
+(* Intra-object pointers stored inside records (forward targets, chunk
+   chains) are *local*: the Tid fields carry (lpage, slot) so they stay
+   valid across object relocation. *)
+let local_of_tid (tid : Tid.t) : Mini_tid.t = { Mini_tid.lpage = tid.Tid.page; slot = tid.Tid.slot }
+let tid_of_local (m : Mini_tid.t) : Tid.t = { Tid.page = m.Mini_tid.lpage; slot = m.Mini_tid.slot }
+
+let split_parts t payload =
+  let part = max_chunk_part t in
+  let n = String.length payload in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      let len = min part (n - off) in
+      go (off + len) (String.sub payload off len :: acc)
+  in
+  if n = 0 then [ "" ] else go 0 []
+
+(* Place a subtuple payload, chunking it over several records when it
+   exceeds a page (subtable MD subtuples may carry thousands of
+   pointers, Section 4.1). *)
+let place_logical t (plist : Page_list.t) ~(head : [ `Plain | `Spilled ]) (payload : string) :
+    Mini_tid.t =
+  if String.length payload <= max_single_payload t then
+    place_record t plist (match head with `Plain -> Record.Plain payload | `Spilled -> Record.Spilled payload)
+  else begin
+    let parts = split_parts t payload in
+    let rec write_tail = function
+      | [] -> None
+      | part :: rest ->
+          let next = write_tail rest in
+          Some (tid_of_local (place_record t plist (Record.Chunk { part; next; scan_root = false })))
+    in
+    match parts with
+    | [] -> assert false
+    | first :: rest ->
+        let next = write_tail rest in
+        place_record t plist (Record.Chunk { part = first; next; scan_root = head = `Plain })
+  end
+
+let place t plist payload = place_logical t plist ~head:`Plain payload
+
+let read_raw_local t (plist : Page_list.t) (m : Mini_tid.t) =
+  let page = Page_list.resolve plist m.Mini_tid.lpage in
+  Buffer_pool.read t.pool page (fun buf -> Page.read buf m.Mini_tid.slot)
+
+(* Assemble a local chunk chain. *)
+let rec assemble_chain t plist part next =
+  match next with
+  | None -> part
+  | Some tid -> (
+      match read_raw_local t plist (local_of_tid tid) with
+      | Some s -> (
+          match Record.decode s with
+          | Record.Chunk { part = p2; next = n2; _ } -> part ^ assemble_chain t plist p2 n2
+          | _ -> store_error "chunk chain corrupted")
+      | None -> store_error "dangling chunk pointer")
+
+(* Read a local record, following at most one forward hop and any chunk
+   chain. *)
+let read_local t (plist : Page_list.t) (m : Mini_tid.t) : string =
+  match read_raw_local t plist m with
+  | None -> store_error "dangling Mini-TID %s" (Mini_tid.to_string m)
+  | Some s -> (
+      match Record.decode s with
+      | Record.Plain payload | Record.Spilled payload -> payload
+      | Record.Chunk { part; next; _ } -> assemble_chain t plist part next
+      | Record.Forward target -> (
+          match read_raw_local t plist (local_of_tid target) with
+          | Some s2 -> (
+              match Record.decode s2 with
+              | Record.Plain payload | Record.Spilled payload -> payload
+              | Record.Chunk { part; next; _ } -> assemble_chain t plist part next
+              | Record.Forward _ -> store_error "chained forward at %s" (Tid.to_string target))
+          | None -> store_error "dangling forward at %s" (Mini_tid.to_string m)))
+
+let read_md t plist m =
+  t.stats.md_reads <- t.stats.md_reads + 1;
+  Subtuple.decode_md (read_local t plist m)
+
+let read_data t plist m =
+  t.stats.data_reads <- t.stats.data_reads + 1;
+  Subtuple.decode_data (read_local t plist m)
+
+let kill_local t (plist : Page_list.t) (m : Mini_tid.t) =
+  let page = Page_list.resolve plist m.Mini_tid.lpage in
+  Buffer_pool.write t.pool page (fun buf ->
+      ignore (Page.delete buf m.Mini_tid.slot);
+      note_free t page buf)
+
+(* Free continuation chunks reachable from a decoded record. *)
+let rec free_tail t plist = function
+  | None -> ()
+  | Some tid ->
+      let m = local_of_tid tid in
+      (match read_raw_local t plist m with
+      | Some s -> (
+          match Record.decode s with Record.Chunk { next; _ } -> free_tail t plist next | _ -> ())
+      | None -> ());
+      kill_local t plist m
+
+(* Update a local record in place when possible; spill + forward when it
+   outgrows its page so the Mini-TID stays valid. *)
+let update_local t (plist : Page_list.t) (m : Mini_tid.t) (payload : string) =
+  t.stats.subtuple_writes <- t.stats.subtuple_writes + 1;
+  let home =
+    match read_raw_local t plist m with
+    | Some s -> Record.decode s
+    | None -> store_error "update_local: dangling Mini-TID %s" (Mini_tid.to_string m)
+  in
+  let target, target_rec =
+    match home with
+    | Record.Forward target -> (
+        let tm = local_of_tid target in
+        match read_raw_local t plist tm with
+        | Some s -> (tm, Record.decode s)
+        | None -> store_error "update_local: dangling forward")
+    | r -> (m, r)
+  in
+  (match target_rec with Record.Chunk { next; _ } -> free_tail t plist next | _ -> ());
+  let already_spilled = not (Mini_tid.equal target m) in
+  let fits_single = String.length payload <= max_single_payload t in
+  let try_in_place () =
+    if not fits_single then false
+    else begin
+      let encoded =
+        Record.encode (if already_spilled then Record.Spilled payload else Record.Plain payload)
+      in
+      let page = Page_list.resolve plist target.Mini_tid.lpage in
+      Buffer_pool.write t.pool page (fun buf ->
+          let ok = Page.update buf target.Mini_tid.slot encoded in
+          note_free t page buf;
+          ok)
+    end
+  in
+  if not (try_in_place ()) then begin
+    if already_spilled then kill_local t plist target;
+    let spill = place_logical t plist ~head:`Spilled payload in
+    let fwd = Record.encode (Record.Forward (tid_of_local spill)) in
+    let page = Page_list.resolve plist m.Mini_tid.lpage in
+    let ok =
+      Buffer_pool.write t.pool page (fun buf ->
+          let ok = Page.update buf m.Mini_tid.slot fwd in
+          note_free t page buf;
+          ok)
+    in
+    if not ok then store_error "forward pointer does not fit in page %d" page
+  end
+
+let delete_local t (plist : Page_list.t) (m : Mini_tid.t) =
+  (match read_raw_local t plist m with
+  | Some s -> (
+      match Record.decode s with
+      | Record.Forward target -> (
+          let tm = local_of_tid target in
+          (match read_raw_local t plist tm with
+          | Some s2 -> (
+              match Record.decode s2 with
+              | Record.Chunk { next; _ } -> free_tail t plist next
+              | _ -> ())
+          | None -> ());
+          kill_local t plist tm)
+      | Record.Chunk { next; _ } -> free_tail t plist next
+      | Record.Plain _ | Record.Spilled _ -> ())
+  | None -> ());
+  kill_local t plist m
+
+(* ------------------------------------------------------------------ *)
+(* Schema/value helpers *)
+
+(* First-level atoms (in field order) and table-valued attributes. *)
+let split_fields (tbl : Schema.table) (tup : Value.tuple) =
+  let atoms = ref [] and subs = ref [] in
+  List.iter2
+    (fun (f : Schema.field) v ->
+      match f.attr, v with
+      | Schema.Atomic _, Value.Atom a -> atoms := a :: !atoms
+      | Schema.Table sub, Value.Table inner -> subs := (f.Schema.name, sub, inner) :: !subs
+      | _ -> store_error "value does not match schema at attribute %s" f.Schema.name)
+    tbl.fields tup;
+  (List.rev !atoms, List.rev !subs)
+
+let table_fields (tbl : Schema.table) =
+  List.filter_map
+    (fun (f : Schema.field) ->
+      match f.attr with Schema.Table sub -> Some (f.name, sub) | Schema.Atomic _ -> None)
+    tbl.fields
+
+(* Reassemble a tuple from first-level atoms and subtable values. *)
+let assemble (tbl : Schema.table) (atoms : Atom.t list) (subvals : Value.table list) : Value.tuple =
+  let atoms = ref atoms and subvals = ref subvals in
+  List.map
+    (fun (f : Schema.field) ->
+      match f.attr with
+      | Schema.Atomic _ -> (
+          match !atoms with
+          | a :: rest ->
+              atoms := rest;
+              Value.Atom a
+          | [] -> store_error "data subtuple too short for %s" f.name)
+      | Schema.Table _ -> (
+          match !subvals with
+          | v :: rest ->
+              subvals := rest;
+              Value.Table v
+          | [] -> store_error "missing subtable value for %s" f.name))
+    tbl.fields
+
+(* ------------------------------------------------------------------ *)
+(* Building MD trees (insert) *)
+
+(* Build the MD structure of a complex (sub)object; returns the node's
+   sections.  Placement of the node's own MD record (if the layout
+   gives it one) is up to the caller. *)
+let rec build_sections t layout plist (tbl : Schema.table) (tup : Value.tuple) : Subtuple.sections =
+  let atoms, subs = split_fields tbl tup in
+  let d = place t plist (Subtuple.encode_data atoms) in
+  match layout with
+  | Mini_directory.SS1 | Mini_directory.SS3 ->
+      let subtable_ptrs =
+        List.map (fun (_, sub, inner) -> Subtuple.C (build_subtable t layout plist sub inner)) subs
+      in
+      [ Subtuple.D d :: subtable_ptrs ]
+  | Mini_directory.SS2 ->
+      let elem_sections =
+        List.map
+          (fun (_, sub, inner) ->
+            List.map
+              (fun etup ->
+                if Schema.flat sub then
+                  let eatoms, _ = split_fields sub etup in
+                  Subtuple.D (place t plist (Subtuple.encode_data eatoms))
+                else
+                  let child_sections = build_sections t layout plist sub etup in
+                  Subtuple.C (place t plist (Subtuple.encode_md child_sections)))
+              inner.Value.tuples)
+          subs
+      in
+      [ Subtuple.D d ] :: elem_sections
+
+(* SS1/SS3 subtables get their own MD record; one section per element. *)
+and build_subtable t layout plist (sub : Schema.table) (inner : Value.table) : Mini_tid.t =
+  let sections =
+    List.map
+      (fun etup ->
+        match layout with
+        | Mini_directory.SS1 ->
+            if Schema.flat sub then
+              let eatoms, _ = split_fields sub etup in
+              [ Subtuple.D (place t plist (Subtuple.encode_data eatoms)) ]
+            else
+              let child_sections = build_sections t layout plist sub etup in
+              [ Subtuple.C (place t plist (Subtuple.encode_md child_sections)) ]
+        | Mini_directory.SS3 ->
+            (* element section: own data pointer + nested subtable MDs *)
+            let eatoms, esubs = split_fields sub etup in
+            let d = place t plist (Subtuple.encode_data eatoms) in
+            Subtuple.D d
+            :: List.map (fun (_, s2, inner2) -> Subtuple.C (build_subtable t layout plist s2 inner2)) esubs
+        | Mini_directory.SS2 -> assert false)
+      inner.Value.tuples
+  in
+  place t plist (Subtuple.encode_md sections)
+
+let encode_root_record plist sections = Subtuple.encode_root plist sections
+
+let insert t (schema : Schema.t) (tup : Value.tuple) : Tid.t =
+  Value.check_tuple schema.table tup;
+  let plist = Page_list.create () in
+  let sections = build_sections t t.layout plist schema.table tup in
+  Heap.insert t.dir (encode_root_record plist sections)
+
+(* ------------------------------------------------------------------ *)
+(* Uniform navigation view over the three layouts *)
+
+(* Where a set of sections physically lives. *)
+type md_home = H_root | H_md of Mini_tid.t
+
+(* A complex (sub)object, uniformly:
+   data pointer + one subtable reference per table attribute. *)
+type obj_view = { data : Mini_tid.t; subtables : subtable_ref list }
+
+(* How to reach the element entries of one subtable. *)
+and subtable_ref =
+  | St_md of Mini_tid.t (* SS1/SS3: the subtable's own MD record *)
+  | St_section of md_home * int (* SS2: section [i] of the parent's MD *)
+
+and elem_ref =
+  | El_flat of Mini_tid.t (* flat subobject: its data subtuple *)
+  | El_complex of obj_view * elem_home
+
+(* Where the element's pointer entries live (needed for updates). *)
+and elem_home =
+  | Eh_md of Mini_tid.t (* SS1 (via C) and SS2: own MD record *)
+  | Eh_section of Mini_tid.t * int (* SS3: section i of the subtable MD *)
+
+let obj_view_of_sections layout home (sections : Subtuple.sections) : obj_view =
+  match layout, sections with
+  | (Mini_directory.SS1 | Mini_directory.SS3), [ Subtuple.D d :: subtable_ptrs ] ->
+      let subtables =
+        List.map
+          (function
+            | Subtuple.C m -> St_md m
+            | Subtuple.D _ -> store_error "SS1/SS3: unexpected D entry among subtable pointers")
+          subtable_ptrs
+      in
+      { data = d; subtables }
+  | Mini_directory.SS2, [ Subtuple.D d ] :: rest ->
+      { data = d; subtables = List.mapi (fun i _ -> St_section (home, i + 1)) rest }
+  | _ -> store_error "malformed MD sections for layout %s" (Mini_directory.layout_name layout)
+
+(* Load the sections stored at [home]. Root sections must be supplied
+   by the caller (they live in the root record alongside the page
+   list). *)
+let sections_at t plist root_sections = function
+  | H_root -> root_sections
+  | H_md m -> read_md t plist m
+
+(* The element references of a subtable. *)
+let subtable_elements t plist root_sections (sub : Schema.table) (st : subtable_ref) : elem_ref list =
+  let flat = Schema.flat sub in
+  match st with
+  | St_md m -> (
+      let sections = read_md t plist m in
+      match t.layout with
+      | Mini_directory.SS1 ->
+          List.map
+            (function
+              | [ Subtuple.D d ] -> El_flat d
+              | [ Subtuple.C cm ] ->
+                  let child_sections = read_md t plist cm in
+                  El_complex (obj_view_of_sections t.layout (H_md cm) child_sections, Eh_md cm)
+              | _ -> store_error "SS1 subtable MD: malformed element section")
+            sections
+      | Mini_directory.SS3 ->
+          List.mapi
+            (fun i section ->
+              match section with
+              | Subtuple.D d :: cs ->
+                  if flat then El_flat d
+                  else
+                    let subtables =
+                      List.map
+                        (function
+                          | Subtuple.C cm -> St_md cm
+                          | Subtuple.D _ -> store_error "SS3 element: unexpected extra D")
+                        cs
+                    in
+                    El_complex ({ data = d; subtables }, Eh_section (m, i))
+              | _ -> store_error "SS3 subtable MD: malformed element section")
+            sections
+      | Mini_directory.SS2 -> store_error "SS2 has no subtable MD records")
+  | St_section (home, i) ->
+      let sections = sections_at t plist root_sections home in
+      let entries =
+        match List.nth_opt sections i with
+        | Some e -> e
+        | None -> store_error "SS2: missing section %d" i
+      in
+      List.map
+        (function
+          | Subtuple.D d -> El_flat d
+          | Subtuple.C cm ->
+              let child_sections = read_md t plist cm in
+              El_complex (obj_view_of_sections t.layout (H_md cm) child_sections, Eh_md cm))
+        entries
+
+(* ------------------------------------------------------------------ *)
+(* Whole-object and partial retrieval *)
+
+let load_root t (root : Tid.t) =
+  t.stats.md_reads <- t.stats.md_reads + 1;
+  match Heap.read t.dir root with
+  | Some payload -> Subtuple.decode_root payload
+  | None -> store_error "no complex object at %s" (Tid.to_string root)
+
+let rec read_object t plist root_sections (tbl : Schema.table) (view : obj_view) : Value.tuple =
+  let atoms = read_data t plist view.data in
+  let subvals =
+    List.map2
+      (fun (_, sub) st -> read_subtable t plist root_sections sub st)
+      (table_fields tbl) view.subtables
+  in
+  assemble tbl atoms subvals
+
+and read_subtable t plist root_sections (sub : Schema.table) (st : subtable_ref) : Value.table =
+  let elems = subtable_elements t plist root_sections sub st in
+  let tuples =
+    List.map
+      (fun e ->
+        match e with
+        | El_flat d ->
+            let atoms = read_data t plist d in
+            assemble sub atoms []
+        | El_complex (v, _) -> read_object t plist root_sections sub v)
+      elems
+  in
+  { Value.kind = sub.kind; tuples }
+
+let root_view t plist root_sections =
+  ignore plist;
+  obj_view_of_sections t.layout H_root root_sections
+
+let fetch t (schema : Schema.t) (root : Tid.t) : Value.tuple =
+  let plist, sections = load_root t root in
+  read_object t plist sections schema.table (root_view t plist sections)
+
+(* Path steps for partial access. *)
+type step = Attr of string | Elem of int
+
+let rec fetch_steps t plist root_sections (tbl : Schema.table) (view : obj_view) (steps : step list) :
+    Value.v =
+  match steps with
+  | [] ->
+      (* whole (sub)object as a single-tuple value *)
+      Value.Table { Value.kind = Schema.Set; tuples = [ read_object t plist root_sections tbl view ] }
+  | Attr name :: rest -> (
+      let _, f = Schema.field_exn tbl name in
+      match f.attr with
+      | Schema.Atomic _ ->
+          if rest <> [] then store_error "path continues past atomic attribute %s" name;
+          let atoms = read_data t plist view.data in
+          let idx =
+            (* position among the atomic attributes only *)
+            let rec count i = function
+              | [] -> store_error "attribute %s not found" name
+              | (g : Schema.field) :: gs ->
+                  if String.uppercase_ascii g.name = String.uppercase_ascii name then i
+                  else
+                    count (match g.attr with Schema.Atomic _ -> i + 1 | Schema.Table _ -> i) gs
+            in
+            count 0 tbl.fields
+          in
+          Value.Atom (List.nth atoms idx)
+      | Schema.Table sub ->
+          let sti =
+            let rec pos i = function
+              | [] -> store_error "subtable %s not found" name
+              | (n, _) :: ns -> if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+            in
+            pos 0 (table_fields tbl)
+          in
+          let st = List.nth view.subtables sti in
+          fetch_subtable_steps t plist root_sections sub st rest)
+  | Elem _ :: _ -> store_error "unexpected element index at object level"
+
+and fetch_subtable_steps t plist root_sections (sub : Schema.table) (st : subtable_ref)
+    (steps : step list) : Value.v =
+  match steps with
+  | [] -> Value.Table (read_subtable t plist root_sections sub st)
+  | Elem i :: rest -> (
+      let elems = subtable_elements t plist root_sections sub st in
+      match List.nth_opt elems i with
+      | None -> store_error "element index %d out of range" i
+      | Some (El_flat d) ->
+          if rest = [] then
+            Value.Table { Value.kind = Schema.Set; tuples = [ assemble sub (read_data t plist d) [] ] }
+          else (
+            match rest with
+            | [ Attr name ] -> (
+                match Schema.field_exn sub name with
+                | _, { Schema.attr = Schema.Atomic _; _ } ->
+                    let atoms = read_data t plist d in
+                    let rec count i = function
+                      | [] -> store_error "attribute %s not found" name
+                      | (g : Schema.field) :: gs ->
+                          if String.uppercase_ascii g.name = String.uppercase_ascii name then i
+                          else count (match g.attr with Schema.Atomic _ -> i + 1 | Schema.Table _ -> i) gs
+                    in
+                    Value.Atom (List.nth atoms (count 0 sub.fields))
+                | _ -> store_error "flat element has no subtable attributes")
+            | _ -> store_error "invalid path into flat element")
+      | Some (El_complex (v, _)) -> fetch_steps t plist root_sections sub v rest)
+  | Attr _ :: _ -> store_error "expected element index before attribute inside subtable"
+
+let fetch_path t (schema : Schema.t) (root : Tid.t) (steps : step list) : Value.v =
+  let plist, sections = load_root t root in
+  fetch_steps t plist sections schema.table (root_view t plist sections) steps
+
+(* ------------------------------------------------------------------ *)
+(* Deletion *)
+
+let rec free_object t plist root_sections (view : obj_view) =
+  delete_local t plist view.data;
+  List.iter (free_subtable t plist root_sections) view.subtables
+
+and free_subtable t plist root_sections (st : subtable_ref) =
+  (* free elements; the subtable's own MD record too when it has one *)
+  (match st with
+  | St_md m ->
+      let sections = read_md t plist m in
+      List.iter (fun section -> List.iter (free_entry t plist root_sections) section) sections;
+      delete_local t plist m
+  | St_section (home, i) ->
+      let sections = sections_at t plist root_sections home in
+      let entries = match List.nth_opt sections i with Some e -> e | None -> [] in
+      List.iter (free_entry t plist root_sections) entries)
+
+and free_entry t plist root_sections = function
+  | Subtuple.D d -> delete_local t plist d
+  | Subtuple.C m ->
+      let child_sections = read_md t plist m in
+      (match t.layout with
+      | Mini_directory.SS2 | Mini_directory.SS1 ->
+          (* child is a complex subobject MD *)
+          let v = obj_view_of_sections t.layout (H_md m) child_sections in
+          free_object t plist root_sections v
+      | Mini_directory.SS3 ->
+          (* child is a nested subtable MD *)
+          List.iter (fun section -> List.iter (free_entry t plist root_sections) section) child_sections);
+      delete_local t plist m
+
+(* Release pages of the object that hold no live records anymore. *)
+let release_empty_pages t plist =
+  List.iter
+    (fun (lpage, page) ->
+      let empty = Buffer_pool.read t.pool page (fun buf -> Page.live_records buf = []) in
+      if empty then begin
+        Page_list.remove plist ~lpage;
+        if t.clustering then begin
+          t.free_pages <- page :: t.free_pages;
+          Hashtbl.remove t.fsm page
+        end
+      end)
+    (Page_list.entries plist)
+
+let delete t (_schema : Schema.t) (root : Tid.t) =
+  let plist, sections = load_root t root in
+  (* SS3 frees via the uniform walk as well *)
+  let view = root_view t plist sections in
+  free_object t plist sections view;
+  (match t.layout with
+  | Mini_directory.SS2 ->
+      (* SS2 root sections may hold direct element entries in sections 1.. *)
+      ()
+  | _ -> ());
+  release_empty_pages t plist;
+  Heap.delete t.dir root
+
+(* ------------------------------------------------------------------ *)
+(* Statistics over one object's storage *)
+
+type md_stat = {
+  md_subtuples : int;
+  md_bytes : int;
+  data_subtuples : int;
+  data_bytes : int;
+  pages : int;
+  pointer_entries : int;
+}
+
+let md_stats t (_schema : Schema.t) (root : Tid.t) : md_stat =
+  let plist, sections = load_root t root in
+  let md_n = ref 1 and md_b = ref 0 and data_n = ref 0 and data_b = ref 0 and ptrs = ref 0 in
+  (* root record bytes *)
+  md_b := String.length (encode_root_record plist sections);
+  let count_sections (ss : Subtuple.sections) =
+    List.iter (fun sec -> ptrs := !ptrs + List.length sec) ss
+  in
+  count_sections sections;
+  let rec go_entry = function
+    | Subtuple.D d ->
+        incr data_n;
+        data_b := !data_b + String.length (read_local t plist d)
+    | Subtuple.C m ->
+        incr md_n;
+        let payload = read_local t plist m in
+        md_b := !md_b + String.length payload;
+        let child = Subtuple.decode_md payload in
+        count_sections child;
+        List.iter (fun sec -> List.iter go_entry sec) child
+  in
+  List.iter (fun sec -> List.iter go_entry sec) sections;
+  {
+    md_subtuples = !md_n;
+    md_bytes = !md_b;
+    data_subtuples = !data_n;
+    data_bytes = !data_b;
+    pages = List.length (Page_list.entries plist);
+    pointer_entries = !ptrs;
+  }
+
+(* Logical MD view for rendering (Fig 6). *)
+let md_view t (schema : Schema.t) (root : Tid.t) : Mini_directory.view =
+  let plist, sections = load_root t root in
+  let render_data d = String.concat " " (List.map Atom.to_string (read_data t plist d)) in
+  let rec entry_view = function
+    | Subtuple.D d -> Mini_directory.Vd (render_data d)
+    | Subtuple.C m ->
+        let child = read_md t plist m in
+        Mini_directory.Vc (Mini_directory.Md { label = "MD@" ^ Mini_tid.to_string m; entries = List.map (List.map entry_view) child })
+  in
+  ignore schema;
+  Mini_directory.Md
+    {
+      label = Printf.sprintf "root MD (%s, %d pages)" (Mini_directory.layout_name t.layout)
+          (List.length (Page_list.entries plist));
+      entries = List.map (List.map entry_view) sections;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Partial updates *)
+
+let write_root t (root : Tid.t) plist sections = Heap.update t.dir root (encode_root_record plist sections)
+
+(* Rewrite the first-level atoms of the (sub)object reached by [steps]
+   (which must end at a subobject / element, not at a subtable). *)
+(* Validate replacement atoms against the first-level atomic attributes
+   of [tbl]: arity and per-position type conformance. *)
+let check_first_level_atoms (tbl : Schema.table) (atoms : Atom.t list) =
+  let tys =
+    List.filter_map
+      (fun (f : Schema.field) ->
+        match f.Schema.attr with Schema.Atomic ty -> Some (f.Schema.name, ty) | Schema.Table _ -> None)
+      tbl.Schema.fields
+  in
+  if List.length tys <> List.length atoms then
+    store_error "update_atoms: expected %d atomic values, got %d" (List.length tys) (List.length atoms);
+  List.iter2
+    (fun (name, ty) a ->
+      if not (Atom.conforms ty a) then
+        store_error "update_atoms: %s does not conform to %s for attribute %s" (Atom.to_string a)
+          (Atom.type_name ty) name)
+    tys atoms
+
+let update_atoms t (schema : Schema.t) (root : Tid.t) (steps : step list) (new_atoms : Atom.t list) =
+  let plist, sections = load_root t root in
+  let rec descend (tbl : Schema.table) (view : obj_view) = function
+    | [] -> view.data
+    | Attr name :: rest -> (
+        let _, f = Schema.field_exn tbl name in
+        match f.attr with
+        | Schema.Atomic _ -> store_error "update_atoms: path hits atomic attribute"
+        | Schema.Table sub ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            descend_subtable sub (List.nth view.subtables sti) rest)
+    | Elem _ :: _ -> store_error "update_atoms: unexpected element step"
+  and descend_subtable (sub : Schema.table) st = function
+    | Elem i :: rest -> (
+        let elems = subtable_elements t plist sections sub st in
+        match List.nth_opt elems i with
+        | None -> store_error "update_atoms: element %d out of range" i
+        | Some (El_flat d) -> if rest = [] then d else store_error "update_atoms: flat element has no children"
+        | Some (El_complex (v, _)) -> descend sub v rest)
+    | _ -> store_error "update_atoms: expected element index"
+  in
+  let d = descend schema.table (root_view t plist sections) steps in
+  (* schema of the target (sub)object, for validation *)
+  let rec target_table (tbl : Schema.table) = function
+    | [] -> tbl
+    | Attr name :: rest -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Table sub; _ } -> target_table sub rest
+        | _ -> tbl)
+    | Elem _ :: rest -> target_table tbl rest
+  in
+  check_first_level_atoms (target_table schema.table steps) new_atoms;
+  update_local t plist d (Subtuple.encode_data new_atoms);
+  (* placement may have extended the page list (spill) *)
+  write_root t root plist sections
+
+(* Append a new element tuple to the subtable reached by [steps] (the
+   last step must be Attr of a table attribute). *)
+let append_element t (schema : Schema.t) (root : Tid.t) (steps : step list) (etup : Value.tuple) =
+  let plist, sections = load_root t root in
+  let root_sections = ref sections in
+  (* navigate to the subtable ref and its element schema *)
+  let rec descend (tbl : Schema.table) (view : obj_view) = function
+    | [ Attr name ] -> (
+        let _, f = Schema.field_exn tbl name in
+        match f.attr with
+        | Schema.Atomic _ -> store_error "append_element: %s is atomic" name
+        | Schema.Table sub ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            (sub, List.nth view.subtables sti))
+    | Attr name :: rest -> (
+        let _, f = Schema.field_exn tbl name in
+        match f.attr with
+        | Schema.Atomic _ -> store_error "append_element: path hits atomic attribute"
+        | Schema.Table sub ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            descend_subtable sub (List.nth view.subtables sti) rest)
+    | _ -> store_error "append_element: path must end at a subtable attribute"
+  and descend_subtable (sub : Schema.table) st = function
+    | Elem i :: rest -> (
+        let elems = subtable_elements t plist !root_sections sub st in
+        match List.nth_opt elems i with
+        | None -> store_error "append_element: element %d out of range" i
+        | Some (El_complex (v, _)) -> descend sub v rest
+        | Some (El_flat _) -> store_error "append_element: cannot descend into flat element")
+    | _ -> store_error "append_element: expected element index"
+  in
+  let sub, st = descend schema.table (root_view t plist !root_sections) steps in
+  Value.check_tuple sub etup;
+  (* build the new element's records *)
+  (match t.layout, st with
+  | (Mini_directory.SS1 | Mini_directory.SS3), St_md m ->
+      let new_section =
+        match t.layout with
+        | Mini_directory.SS1 ->
+            if Schema.flat sub then
+              let eatoms, _ = split_fields sub etup in
+              [ Subtuple.D (place t plist (Subtuple.encode_data eatoms)) ]
+            else
+              let child_sections = build_sections t t.layout plist sub etup in
+              [ Subtuple.C (place t plist (Subtuple.encode_md child_sections)) ]
+        | Mini_directory.SS3 ->
+            let eatoms, esubs = split_fields sub etup in
+            let d = place t plist (Subtuple.encode_data eatoms) in
+            Subtuple.D d
+            :: List.map (fun (_, s2, inner2) -> Subtuple.C (build_subtable t t.layout plist s2 inner2)) esubs
+        | Mini_directory.SS2 -> assert false
+      in
+      let cur = read_md t plist m in
+      update_local t plist m (Subtuple.encode_md (cur @ [ new_section ]))
+  | Mini_directory.SS2, St_section (home, i) ->
+      let new_entry =
+        if Schema.flat sub then
+          let eatoms, _ = split_fields sub etup in
+          Subtuple.D (place t plist (Subtuple.encode_data eatoms))
+        else
+          let child_sections = build_sections t t.layout plist sub etup in
+          Subtuple.C (place t plist (Subtuple.encode_md child_sections))
+      in
+      let cur = sections_at t plist !root_sections home in
+      let updated = List.mapi (fun j sec -> if j = i then sec @ [ new_entry ] else sec) cur in
+      (match home with
+      | H_root -> root_sections := updated
+      | H_md m -> update_local t plist m (Subtuple.encode_md updated))
+  | _ -> store_error "append_element: layout/subtable-ref mismatch");
+  write_root t root plist !root_sections
+
+(* Remove element [idx] from the subtable reached by [steps]. *)
+let delete_element t (schema : Schema.t) (root : Tid.t) (steps : step list) ~idx =
+  let plist, sections = load_root t root in
+  let root_sections = ref sections in
+  let rec descend (tbl : Schema.table) (view : obj_view) = function
+    | [ Attr name ] -> (
+        let _, f = Schema.field_exn tbl name in
+        match f.attr with
+        | Schema.Atomic _ -> store_error "delete_element: %s is atomic" name
+        | Schema.Table sub ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            (sub, List.nth view.subtables sti))
+    | Attr name :: rest -> (
+        let _, f = Schema.field_exn tbl name in
+        match f.attr with
+        | Schema.Atomic _ -> store_error "delete_element: path hits atomic attribute"
+        | Schema.Table sub ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            descend_subtable sub (List.nth view.subtables sti) rest)
+    | _ -> store_error "delete_element: path must end at a subtable attribute"
+  and descend_subtable (sub : Schema.table) st = function
+    | Elem i :: rest -> (
+        let elems = subtable_elements t plist !root_sections sub st in
+        match List.nth_opt elems i with
+        | None -> store_error "delete_element: element %d out of range" i
+        | Some (El_complex (v, _)) -> descend sub v rest
+        | Some (El_flat _) -> store_error "delete_element: cannot descend into flat element")
+    | _ -> store_error "delete_element: expected element index"
+  in
+  let _sub, st = descend schema.table (root_view t plist !root_sections) steps in
+  (match st with
+  | St_md m ->
+      let cur = read_md t plist m in
+      (match List.nth_opt cur idx with
+      | None -> store_error "delete_element: index %d out of range" idx
+      | Some section -> List.iter (free_entry t plist !root_sections) section);
+      let updated = List.filteri (fun j _ -> j <> idx) cur in
+      update_local t plist m (Subtuple.encode_md updated)
+  | St_section (home, i) ->
+      let cur = sections_at t plist !root_sections home in
+      let entries = List.nth cur i in
+      (match List.nth_opt entries idx with
+      | None -> store_error "delete_element: index %d out of range" idx
+      | Some entry -> free_entry t plist !root_sections entry);
+      let updated =
+        List.mapi (fun j sec -> if j = i then List.filteri (fun k _ -> k <> idx) sec else sec) cur
+      in
+      (match home with
+      | H_root -> root_sections := updated
+      | H_md m -> update_local t plist m (Subtuple.encode_md updated)));
+  release_empty_pages t plist;
+  write_root t root plist !root_sections
+
+(* ------------------------------------------------------------------ *)
+(* Relocation (check-out): move the object to a fresh page set.  Only
+   the page list changes; every Mini-TID stays valid because positions
+   in the list are preserved (Section 4.1).  Requires clustering (pages
+   exclusively owned by this object). *)
+
+let relocate t (root : Tid.t) =
+  if not t.clustering then store_error "relocate requires clustered storage";
+  let plist, sections = load_root t root in
+  List.iter
+    (fun (lpage, old_page) ->
+      let fresh = Buffer_pool.alloc t.pool in
+      t.data_pages <- fresh :: t.data_pages;
+      Buffer_pool.read t.pool old_page (fun src ->
+          Buffer_pool.write t.pool fresh (fun dst -> Bytes.blit src 0 dst 0 (Bytes.length src)));
+      Hashtbl.replace t.fsm fresh
+        (Buffer_pool.read t.pool fresh (fun buf -> Page.usable_free buf));
+      t.free_pages <- old_page :: t.free_pages;
+      Hashtbl.remove t.fsm old_page;
+      Page_list.replace plist ~lpage ~page:fresh)
+    (Page_list.entries plist);
+  write_root t root plist sections
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical addresses (Section 4.2, Fig 7b).
+
+   An address for an atomic attribute value is the object's root TID
+   followed by the Mini-TIDs of the *data subtuples* of every complex
+   subobject / flat subobject descended into on the way down.  Prefix
+   equality of two addresses therefore decides "same subobject". *)
+
+type hier = { root : Tid.t; path : Mini_tid.t list }
+
+let hier_to_string h =
+  String.concat "." (Tid.to_string h.root :: List.map Mini_tid.to_string h.path)
+
+let compare_hier a b =
+  match Tid.compare a.root b.root with
+  | 0 -> List.compare Mini_tid.compare a.path b.path
+  | c -> c
+
+(* Is [a] a prefix of [b] (or vice versa)?  That is the Fig 7b
+   P2 = F2 test: both addresses lie in the same subobject chain. *)
+let hier_prefix_compatible a b =
+  if not (Tid.equal a.root b.root) then false
+  else
+    let rec go xs ys =
+      match xs, ys with
+      | [], _ | _, [] -> true
+      | x :: xs', y :: ys' -> Mini_tid.equal x y && go xs' ys'
+    in
+    go a.path b.path
+
+(* Enumerate (atom, hierarchical address) pairs for every value stored
+   under [spath] (a pure attribute path) in the object at [root]. *)
+let index_entries t (schema : Schema.t) (root : Tid.t) (spath : Schema.path) :
+    (Atom.t * hier) list =
+  let plist, sections = load_root t root in
+  let acc = ref [] in
+  let atom_position (tbl : Schema.table) name =
+    let rec count i = function
+      | [] -> store_error "attribute %s not found" name
+      | (g : Schema.field) :: gs ->
+          if String.uppercase_ascii g.name = String.uppercase_ascii name then i
+          else count (match g.attr with Schema.Atomic _ -> i + 1 | Schema.Table _ -> i) gs
+    in
+    count 0 tbl.fields
+  in
+  let rec go (tbl : Schema.table) (view : obj_view) (rev_path : Mini_tid.t list) = function
+    | [] -> ()
+    | [ name ] -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Atomic _; _ } ->
+            let atoms = read_data t plist view.data in
+            let a = List.nth atoms (atom_position tbl name) in
+            acc := (a, { root; path = List.rev rev_path }) :: !acc
+        | _ -> store_error "index path must end at an atomic attribute")
+    | name :: rest -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Table sub; _ } ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            let st = List.nth view.subtables sti in
+            let elems = subtable_elements t plist sections sub st in
+            List.iter
+              (fun e ->
+                match e with
+                | El_flat d -> (
+                    (* final attribute must live in this flat element *)
+                    match rest with
+                    | [ attr ] ->
+                        let atoms = read_data t plist d in
+                        let a = List.nth atoms (atom_position sub attr) in
+                        acc := (a, { root; path = List.rev (d :: rev_path) }) :: !acc
+                    | _ -> store_error "path descends below a flat subobject")
+                | El_complex (v, _) -> go sub v (v.data :: rev_path) rest)
+              elems
+        | _ -> store_error "path step %s is not a table attribute" name)
+  in
+  go schema.table (root_view t plist sections) [] spath;
+  List.rev !acc
+
+(* Fig 7a's naive hierarchical addresses (SS3 only): components are the
+   MD-subtuple pointers along the path — root TID, then the C pointers
+   to each subtable MD, then the final D pointer.  The paper shows these
+   are insufficient: the subtable-MD components cannot distinguish
+   *which* complex subobject matched, so conjunctive queries still scan
+   a candidate superset.  Exposed so the experiments can reproduce the
+   7a-vs-7b comparison. *)
+let index_entries_fig7a t (schema : Schema.t) (root : Tid.t) (spath : Schema.path) :
+    (Atom.t * hier) list =
+  if t.layout <> Mini_directory.SS3 then store_error "Fig 7a addresses are defined for SS3";
+  let plist, sections = load_root t root in
+  let acc = ref [] in
+  let atom_position (tbl : Schema.table) name =
+    let rec count i = function
+      | [] -> store_error "attribute %s not found" name
+      | (g : Schema.field) :: gs ->
+          if String.uppercase_ascii g.name = String.uppercase_ascii name then i
+          else count (match g.attr with Schema.Atomic _ -> i + 1 | Schema.Table _ -> i) gs
+    in
+    count 0 tbl.fields
+  in
+  let rec go (tbl : Schema.table) (view : obj_view) (rev_md_path : Mini_tid.t list) = function
+    | [] -> ()
+    | [ name ] ->
+        let atoms = read_data t plist view.data in
+        let a = List.nth atoms (atom_position tbl name) in
+        (* final component: the D pointer (data subtuple) *)
+        acc := (a, { root; path = List.rev (view.data :: rev_md_path) }) :: !acc
+    | name :: rest -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Table sub; _ } ->
+            let sti =
+              let rec pos i = function
+                | [] -> store_error "subtable %s not found" name
+                | (n, _) :: ns ->
+                    if String.uppercase_ascii n = String.uppercase_ascii name then i else pos (i + 1) ns
+              in
+              pos 0 (table_fields tbl)
+            in
+            let st = List.nth view.subtables sti in
+            let md_ptr = match st with St_md m -> m | St_section _ -> store_error "SS3 expected" in
+            let elems = subtable_elements t plist sections sub st in
+            List.iter
+              (fun e ->
+                match e with
+                | El_flat d -> (
+                    match rest with
+                    | [ attr ] ->
+                        let atoms = read_data t plist d in
+                        let a = List.nth atoms (atom_position sub attr) in
+                        acc := (a, { root; path = List.rev (d :: md_ptr :: rev_md_path) }) :: !acc
+                    | _ -> store_error "path descends below a flat subobject")
+                | El_complex (v, _) -> go sub v (md_ptr :: rev_md_path) rest)
+              elems
+        | _ -> store_error "path step %s is not a table attribute" name)
+  in
+  go schema.table (root_view t plist sections) [] spath;
+  List.rev !acc
+
+(* Resolve the data subtuple a hierarchical address points at, decoding
+   its atoms (the last path component), without touching anything else. *)
+let fetch_hier_atoms t (h : hier) : Atom.t list =
+  let plist, _ = load_root t h.root in
+  match List.rev h.path with
+  | [] -> store_error "fetch_hier_atoms: empty path"
+  | last :: _ -> read_data t plist last
+
+(* Translate a Mini-TID of an object into the equivalent global TID
+   (position lookup in the page list, Section 4.1). *)
+let resolve_mini t (root : Tid.t) (m : Mini_tid.t) : Tid.t =
+  let plist, _ = load_root t root in
+  { Tid.page = Page_list.resolve plist m.Mini_tid.lpage; slot = m.Mini_tid.slot }
+
+(* Atoms of the root object's own data subtuple. *)
+let fetch_root_atoms t (root : Tid.t) : Atom.t list =
+  let plist, sections = load_root t root in
+  let view = root_view t plist sections in
+  read_data t plist view.data
+
+(* --- check-out / check-in (workstation transfer) -------------------- *)
+
+(* Serialise one complex object for shipping to a workstation: the
+   root MD subtuple plus copies of its local pages.  Because Mini-TIDs
+   address positions in the page list, nothing inside the pages needs
+   rewriting — the paper's point about transferring objects "at the
+   page level". *)
+let checkout t (root : Tid.t) : string =
+  if not t.clustering then store_error "checkout requires clustered storage";
+  let plist, sections = load_root t root in
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b (page_size t);
+  let entries = Page_list.entries plist in
+  Codec.put_uvarint b (List.length entries);
+  List.iter
+    (fun (lpage, page) ->
+      Codec.put_uvarint b lpage;
+      Buffer_pool.read t.pool page (fun buf -> Codec.put_string b (Bytes.to_string buf)))
+    entries;
+  (* root sections travel separately (the page list is rebuilt on
+     check-in since database page numbers differ) *)
+  let sb = Codec.create_sink () in
+  Subtuple.put_sections sb sections;
+  Codec.put_string b (Codec.contents sb);
+  Codec.contents b
+
+(* Install a checked-out object into (another) store; returns its new
+   root TID.  All Mini-TIDs — and therefore subobject t-name paths —
+   remain valid. *)
+let checkin t (payload : string) : Tid.t =
+  let src = Codec.source_of_string payload in
+  let ps = Codec.get_uvarint src in
+  if ps <> page_size t then store_error "checkin: page size mismatch (%d vs %d)" ps (page_size t);
+  let n = Codec.get_uvarint src in
+  let plist = Page_list.create () in
+  (* page-list positions must be reproduced exactly *)
+  let entries =
+    List.init n (fun _ ->
+        let lpage = Codec.get_uvarint src in
+        let image = Codec.get_string src in
+        (lpage, image))
+  in
+  let max_pos = List.fold_left (fun acc (lp, _) -> max acc lp) (-1) entries in
+  (* fill with gaps first, then replace the live positions *)
+  let fresh_pages =
+    List.init (max_pos + 1) (fun _ -> -1)
+  in
+  ignore fresh_pages;
+  for _ = 0 to max_pos do
+    ignore (Page_list.add plist (-2))
+  done;
+  for i = 0 to max_pos do
+    if not (List.mem_assoc i entries) then Page_list.remove plist ~lpage:i
+  done;
+  List.iter
+    (fun (lpage, image) ->
+      let page = Buffer_pool.alloc t.pool in
+      t.data_pages <- page :: t.data_pages;
+      Buffer_pool.write t.pool page (fun buf -> Bytes.blit_string image 0 buf 0 (Bytes.length buf));
+      Hashtbl.replace t.fsm page (Buffer_pool.read t.pool page (fun buf -> Page.usable_free buf));
+      Page_list.replace plist ~lpage ~page)
+    entries;
+  let sections = Subtuple.get_sections (Codec.source_of_string (Codec.get_string src)) in
+  Heap.insert t.dir (encode_root_record plist sections)
+
+(* --- persistence --------------------------------------------------- *)
+
+(* Page-ownership metadata needed to re-attach a store to a persisted
+   disk: (root-directory pages, data pages, free pages). *)
+let export_meta t : int list * int list * int list =
+  (Heap.pages t.dir, t.data_pages, t.free_pages)
+
+let restore ?(layout = Mini_directory.SS3) ?(clustering = true) pool ~dir_pages ~data_pages
+    ~free_pages =
+  let t =
+    {
+      pool;
+      layout;
+      clustering;
+      dir = Heap.restore pool ~pages:dir_pages;
+      data_pages;
+      fsm = Hashtbl.create 64;
+      free_pages;
+      stats = { md_reads = 0; data_reads = 0; subtuple_writes = 0 };
+    }
+  in
+  List.iter
+    (fun page -> Buffer_pool.read pool page (fun buf -> Hashtbl.replace t.fsm page (Page.usable_free buf)))
+    data_pages;
+  t
+
+(* All root TIDs in the store. *)
+let iter_roots t fn = Heap.iter t.dir (fun tid _ -> fn tid)
+let roots t = List.rev (Heap.fold t.dir (fun acc tid _ -> tid :: acc) [])

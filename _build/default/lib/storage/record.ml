@@ -1,0 +1,55 @@
+type t =
+  | Plain of string
+  | Forward of Tid.t
+  | Spilled of string
+  | Chunk of { part : string; next : Tid.t option; scan_root : bool }
+
+(* Large enough for tag + length + a varint TID of any database below
+   ~2^21 pages; asserted in [encode]. *)
+let min_size = 16
+
+(* tag(1) + scan_root(1) + has_next(1) + tid(<=12) + len varint(<=5) *)
+let chunk_overhead = 20
+
+let encode t =
+  let b = Codec.create_sink () in
+  (match t with
+  | Plain payload ->
+      Codec.put_u8 b 0;
+      Codec.put_string b payload
+  | Forward tid ->
+      Codec.put_u8 b 1;
+      Tid.encode b tid
+  | Spilled payload ->
+      Codec.put_u8 b 2;
+      Codec.put_string b payload
+  | Chunk { part; next; scan_root } ->
+      Codec.put_u8 b 3;
+      Codec.put_bool b scan_root;
+      (match next with
+      | None -> Codec.put_u8 b 0
+      | Some tid ->
+          Codec.put_u8 b 1;
+          Tid.encode b tid);
+      Codec.put_string b part);
+  let body = Codec.contents b in
+  (match t with
+  | Forward _ ->
+      if String.length body > min_size then
+        failwith "Record.encode: forward pointer exceeds min_size (database too large)"
+  | Plain _ | Spilled _ | Chunk _ -> ());
+  if String.length body >= min_size then body
+  else body ^ String.make (min_size - String.length body) '\000'
+
+let decode s =
+  if String.length s = 0 then Codec.decode_error "Record.decode: empty";
+  let src = Codec.source_of_string s in
+  match Codec.get_u8 src with
+  | 0 -> Plain (Codec.get_string src)
+  | 1 -> Forward (Tid.decode src)
+  | 2 -> Spilled (Codec.get_string src)
+  | 3 ->
+      let scan_root = Codec.get_bool src in
+      let next = match Codec.get_u8 src with 0 -> None | _ -> Some (Tid.decode src) in
+      Chunk { part = Codec.get_string src; next; scan_root }
+  | n -> Codec.decode_error "Record.decode: tag %d" n

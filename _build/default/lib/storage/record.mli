@@ -1,0 +1,32 @@
+(** Record envelope shared by the heap files and the complex-object
+    store.
+
+    - [Plain]: an ordinary record.
+    - [Forward]: pointer to the record's current location, left behind
+      when an update outgrows its page so TIDs/Mini-TIDs stay valid.
+    - [Spilled]: the moved payload itself, reachable only via its
+      forward pointer and skipped by scans.
+    - [Chunk]: one piece of a record larger than a page; pieces chain
+      through global TIDs.  Needed because subtable MD subtuples may
+      hold thousands of pointers (Section 4.1).
+
+    Encoded records are padded to {!min_size} bytes so any slot can
+    later be overwritten in place by a forward pointer, even on a full
+    page. *)
+
+type t =
+  | Plain of string
+  | Forward of Tid.t
+  | Spilled of string
+  | Chunk of { part : string; next : Tid.t option; scan_root : bool }
+      (** [scan_root] is true for the first chunk of a non-spilled
+          logical record (so scans surface it exactly once). *)
+
+val min_size : int
+
+val encode : t -> string
+val decode : string -> t
+
+(** Per-chunk envelope overhead bound: payload space available in a
+    chunk of byte budget [n] is at least [n - chunk_overhead]. *)
+val chunk_overhead : int

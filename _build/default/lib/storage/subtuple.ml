@@ -1,0 +1,86 @@
+(* Subtuple codecs.
+
+   Data subtuples carry the first-level atomic attribute values of a
+   (sub)object and no structural information at all (Section 4.1).
+   MD subtuples carry only structure: a list of *sections*, each a list
+   of D (data) or C (child MD) pointers.  The three storage structures
+   SS1/SS2/SS3 differ only in which logical nodes get their own MD
+   subtuple and how sections are used; the encoding is shared:
+
+     SS1  root         = 1 section  [D own-data; C subtable-MD ...]
+          subtable MD  = 1 section per element: [D data] | [C subobject-MD]
+          subobject MD = 1 section  [D own-data; C subtable-MD ...]
+     SS2  root / subobject MD = section 0 [D own-data];
+          then one section per table attribute, one entry per element
+          ([D data] for flat elements, [C subobject-MD] for complex)
+     SS3  root         = 1 section  [D own-data; C subtable-MD ...]
+          subtable MD  = 1 section per element:
+            flat element    -> [D data]
+            complex element -> [D element-data; C nested-subtable-MD ...]
+
+   The root MD subtuple additionally stores the page list. *)
+
+type entry = D of Mini_tid.t | C of Mini_tid.t
+
+type sections = entry list list
+
+let encode_data (atoms : Nf2_model.Atom.t list) =
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b (List.length atoms);
+  List.iter (Nf2_model.Atom.encode b) atoms;
+  Codec.contents b
+
+let decode_data (payload : string) =
+  let src = Codec.source_of_string payload in
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Nf2_model.Atom.decode src)
+
+let put_entry b = function
+  | D m ->
+      Codec.put_u8 b 0;
+      Mini_tid.encode b m
+  | C m ->
+      Codec.put_u8 b 1;
+      Mini_tid.encode b m
+
+let get_entry src =
+  match Codec.get_u8 src with
+  | 0 -> D (Mini_tid.decode src)
+  | 1 -> C (Mini_tid.decode src)
+  | n -> Codec.decode_error "Subtuple.get_entry: tag %d" n
+
+let put_sections b (sections : sections) =
+  Codec.put_uvarint b (List.length sections);
+  List.iter
+    (fun entries ->
+      Codec.put_uvarint b (List.length entries);
+      List.iter (put_entry b) entries)
+    sections
+
+let get_sections src : sections =
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ ->
+      let k = Codec.get_uvarint src in
+      List.init k (fun _ -> get_entry src))
+
+let encode_md (sections : sections) =
+  let b = Codec.create_sink () in
+  put_sections b sections;
+  Codec.contents b
+
+let decode_md (payload : string) =
+  let src = Codec.source_of_string payload in
+  get_sections src
+
+(* Root MD subtuple: page list + sections. *)
+let encode_root (plist : Page_list.t) (sections : sections) =
+  let b = Codec.create_sink () in
+  Page_list.encode b plist;
+  put_sections b sections;
+  Codec.contents b
+
+let decode_root (payload : string) =
+  let src = Codec.source_of_string payload in
+  let plist = Page_list.decode src in
+  let sections = get_sections src in
+  (plist, sections)

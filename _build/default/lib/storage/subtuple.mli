@@ -1,0 +1,28 @@
+(** Subtuple codecs.
+
+    Data subtuples carry the first-level atomic attribute values of a
+    (sub)object and no structural information (Section 4.1).  MD
+    subtuples carry only structure: a list of {e sections}, each a list
+    of D (data) or C (child MD) pointers; the three storage structures
+    SS1/SS2/SS3 differ only in which logical nodes get their own MD
+    subtuple and how sections are used (see the implementation notes in
+    [subtuple.ml]).  The root MD subtuple additionally stores the page
+    list. *)
+
+type entry = D of Mini_tid.t | C of Mini_tid.t
+
+type sections = entry list list
+
+val encode_data : Nf2_model.Atom.t list -> string
+val decode_data : string -> Nf2_model.Atom.t list
+
+val encode_md : sections -> string
+val decode_md : string -> sections
+
+val put_sections : Codec.sink -> sections -> unit
+val get_sections : Codec.source -> sections
+
+(** Root MD subtuple: page list + sections. *)
+val encode_root : Page_list.t -> sections -> string
+
+val decode_root : string -> Page_list.t * sections

@@ -1,0 +1,14 @@
+(** Tuple identifiers: global subtuple addresses — database page number
+    plus slot number, exactly as in System R.  Contrast {!Mini_tid}. *)
+
+type t = { page : int; slot : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val encode : Codec.sink -> t -> unit
+val decode : Codec.source -> t
+
+(** Encoded size in bytes (TID vs Mini-TID space comparison). *)
+val encoded_size : t -> int

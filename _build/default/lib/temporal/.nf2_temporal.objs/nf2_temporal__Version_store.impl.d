@@ -1,0 +1,1 @@
+lib/temporal/version_store.ml: Codec Fmt Hashtbl Int List Nf2_model Nf2_storage String

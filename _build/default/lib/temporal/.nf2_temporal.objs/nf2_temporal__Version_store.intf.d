@@ -1,0 +1,1 @@
+lib/temporal/version_store.mli: Hashtbl Nf2_model Nf2_storage

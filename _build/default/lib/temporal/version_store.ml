@@ -1,0 +1,329 @@
+(* Time-version support (Section 5 of the paper; /DLW84, Lu84/).
+
+   A versioned table keeps, per logical object, the current state in
+   the object store plus a chain of *reverse deltas*: each update
+   appends an encoded description of how to get from the state after
+   the update back to the state before it.  An ASOF query materialises
+   the current object and folds back the deltas younger than the
+   requested time point.  This gives the paper's emphasis on storage
+   space (small updates store small deltas) while keeping current-state
+   access at full speed.
+
+   The paper exposes only fixed-point ASOF queries at the language
+   level ("walk-through-time queries ... have not been brought up to
+   the language interface"); [history] below is the corresponding
+   lower-level interval access on version metadata.  Timestamps are
+   logical: any monotone int works; the language layer uses days (the
+   DATE representation) by default. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module OS = Nf2_storage.Object_store
+module Tid = Nf2_storage.Tid
+module Heap = Nf2_storage.Heap
+
+exception Temporal_error of string
+
+let temporal_error fmt = Fmt.kstr (fun s -> raise (Temporal_error s)) fmt
+
+(* A reverse delta: how to turn the newer state back into the older. *)
+type delta =
+  | Whole of Value.tuple (* older state stored wholesale *)
+  | Atoms of step_path * Atom.t list (* older first-level atoms of one subobject *)
+
+and step_path = OS.step list
+
+type version_meta = {
+  ts : int; (* when this state *started* to be current *)
+  delta_tid : Tid.t option; (* reverse delta to the *previous* state; None for the first *)
+}
+
+type vobject = {
+  id : int;
+  mutable root : Tid.t; (* current state in the object store *)
+  mutable created : int;
+  mutable deleted_at : int option;
+  mutable versions : version_meta list; (* newest first *)
+}
+
+type t = {
+  store : OS.t;
+  deltas : Heap.t; (* encoded reverse deltas *)
+  objects : (int, vobject) Hashtbl.t;
+  mutable next_id : int;
+  mutable clock : int; (* last timestamp seen, to enforce monotonicity *)
+}
+
+let create store pool = { store; deltas = Heap.create pool; objects = Hashtbl.create 64; next_id = 0; clock = 0 }
+
+let touch_clock t ts =
+  if ts < t.clock then temporal_error "timestamps must be monotone (%d < %d)" ts t.clock;
+  t.clock <- ts
+
+(* --- delta codec ------------------------------------------------------ *)
+
+let encode_step b = function
+  | OS.Attr name ->
+      Codec.put_u8 b 0;
+      Codec.put_string b name
+  | OS.Elem i ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b i
+
+let decode_step src =
+  match Codec.get_u8 src with
+  | 0 -> OS.Attr (Codec.get_string src)
+  | 1 -> OS.Elem (Codec.get_uvarint src)
+  | n -> Codec.decode_error "Version_store.decode_step: %d" n
+
+let encode_delta (d : delta) =
+  let b = Codec.create_sink () in
+  (match d with
+  | Whole tup ->
+      Codec.put_u8 b 0;
+      Value.encode_tuple b tup
+  | Atoms (path, atoms) ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b (List.length path);
+      List.iter (encode_step b) path;
+      Codec.put_uvarint b (List.length atoms);
+      List.iter (Atom.encode b) atoms);
+  Codec.contents b
+
+let decode_delta payload : delta =
+  let src = Codec.source_of_string payload in
+  match Codec.get_u8 src with
+  | 0 -> Whole (Value.decode_tuple src)
+  | 1 ->
+      let np = Codec.get_uvarint src in
+      let path = List.init np (fun _ -> decode_step src) in
+      let na = Codec.get_uvarint src in
+      Atoms (path, List.init na (fun _ -> Atom.decode src))
+  | n -> Codec.decode_error "Version_store.decode_delta: %d" n
+
+(* --- value-level helpers ----------------------------------------------- *)
+
+(* First-level atoms of the subobject at [path] inside [tup]. *)
+let atoms_at (tbl : Schema.table) (tup : Value.tuple) (path : step_path) : Atom.t list =
+  let first_level_atoms (tbl : Schema.table) (tp : Value.tuple) =
+    List.concat
+      (List.map2
+         (fun (f : Schema.field) v ->
+           match f.Schema.attr, v with Schema.Atomic _, Value.Atom a -> [ a ] | _ -> [])
+         tbl.Schema.fields tp)
+  in
+  let rec go (tbl : Schema.table) (tp : Value.tuple) = function
+    | [] -> first_level_atoms tbl tp
+    | OS.Attr name :: OS.Elem i :: rest -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Table sub; _ } -> (
+            match Value.field tbl tp name with
+            | Value.Table inner -> go sub (List.nth inner.Value.tuples i) rest
+            | _ -> temporal_error "atoms_at: schema mismatch")
+        | _ -> temporal_error "atoms_at: %s is not a table" name)
+    | _ -> temporal_error "atoms_at: malformed path"
+  in
+  go tbl tup path
+
+(* Replace the first-level atoms of the subobject at [path]. *)
+let replace_atoms (tbl : Schema.table) (tup : Value.tuple) (path : step_path) (atoms : Atom.t list) :
+    Value.tuple =
+  let rebuild (tbl : Schema.table) (tp : Value.tuple) atoms =
+    let rem = ref atoms in
+    List.map2
+      (fun (f : Schema.field) v ->
+        match f.Schema.attr with
+        | Schema.Atomic _ -> (
+            match !rem with
+            | a :: rest ->
+                rem := rest;
+                Value.Atom a
+            | [] -> temporal_error "replace_atoms: too few atoms")
+        | Schema.Table _ -> v)
+      tbl.Schema.fields tp
+  in
+  let rec go (tbl : Schema.table) (tp : Value.tuple) path =
+    match path with
+    | [] -> rebuild tbl tp atoms
+    | OS.Attr name :: OS.Elem i :: rest -> (
+        match Schema.field_exn tbl name with
+        | _, { Schema.attr = Schema.Table sub; _ } ->
+            List.map2
+              (fun (f : Schema.field) v ->
+                if String.uppercase_ascii f.Schema.name = String.uppercase_ascii name then
+                  match v with
+                  | Value.Table inner ->
+                      Value.Table
+                        {
+                          inner with
+                          Value.tuples =
+                            List.mapi (fun j tp' -> if j = i then go sub tp' rest else tp') inner.Value.tuples;
+                        }
+                  | _ -> temporal_error "replace_atoms: schema mismatch"
+                else v)
+              tbl.Schema.fields tp
+        | _ -> temporal_error "replace_atoms: %s is not a table" name)
+    | _ -> temporal_error "replace_atoms: malformed path"
+  in
+  go tbl tup path
+
+(* --- lifecycle ---------------------------------------------------------- *)
+
+let insert t (schema : Schema.t) ~ts (tup : Value.tuple) : int =
+  touch_clock t ts;
+  let root = OS.insert t.store schema tup in
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.objects id
+    { id; root; created = ts; deleted_at = None; versions = [ { ts; delta_tid = None } ] };
+  id
+
+let find t id =
+  match Hashtbl.find_opt t.objects id with
+  | Some v -> v
+  | None -> temporal_error "no versioned object %d" id
+
+let current t (schema : Schema.t) id : Value.tuple =
+  let v = find t id in
+  if v.deleted_at <> None then temporal_error "object %d is deleted" id;
+  OS.fetch t.store schema v.root
+
+(* Full-state update: stores a reverse Whole delta. *)
+let update t (schema : Schema.t) id ~ts (tup : Value.tuple) =
+  touch_clock t ts;
+  let v = find t id in
+  let old = OS.fetch t.store schema v.root in
+  let delta_tid = Heap.insert t.deltas (encode_delta (Whole old)) in
+  OS.delete t.store schema v.root;
+  v.root <- OS.insert t.store schema tup;
+  v.versions <- { ts; delta_tid = Some delta_tid } :: v.versions
+
+(* Targeted atom update: stores a small reverse Atoms delta and patches
+   the stored object in place. *)
+let update_atoms t (schema : Schema.t) id ~ts (path : step_path) (atoms : Atom.t list) =
+  touch_clock t ts;
+  let v = find t id in
+  let cur = OS.fetch t.store schema v.root in
+  let old_atoms = atoms_at schema.Schema.table cur path in
+  let delta_tid = Heap.insert t.deltas (encode_delta (Atoms (path, old_atoms))) in
+  OS.update_atoms t.store schema v.root path atoms;
+  v.versions <- { ts; delta_tid = Some delta_tid } :: v.versions
+
+let delete t (_schema : Schema.t) id ~ts =
+  touch_clock t ts;
+  let v = find t id in
+  v.deleted_at <- Some ts
+
+(* --- ASOF --------------------------------------------------------------- *)
+
+(* State of object [id] as of time [ts] (inclusive), or None if it did
+   not exist then. *)
+let asof t (schema : Schema.t) id ~ts : Value.tuple option =
+  let v = find t id in
+  if ts < v.created then None
+  else if (match v.deleted_at with Some d -> ts >= d | None -> false) then None
+  else begin
+    (* fold back deltas of versions strictly younger than ts *)
+    let cur = OS.fetch t.store schema v.root in
+    let rec back state = function
+      | [] -> state
+      | { ts = vts; delta_tid } :: older ->
+          if vts <= ts then state
+          else
+            let state =
+              match delta_tid with
+              | None -> state
+              | Some dt -> (
+                  match decode_delta (Heap.read_exn t.deltas dt) with
+                  | Whole old -> old
+                  | Atoms (path, atoms) -> replace_atoms schema.Schema.table state path atoms)
+            in
+            back state older
+    in
+    Some (back cur v.versions)
+  end
+
+(* All objects alive at [ts], reconstructed. *)
+let snapshot t (schema : Schema.t) ~ts : Value.tuple list =
+  Hashtbl.fold (fun id _ acc -> match asof t schema id ~ts with Some tup -> tup :: acc | None -> acc)
+    t.objects []
+  |> List.sort Value.compare_tuple
+
+let current_all t (schema : Schema.t) : Value.tuple list =
+  Hashtbl.fold
+    (fun _ v acc -> if v.deleted_at = None then OS.fetch t.store schema v.root :: acc else acc)
+    t.objects []
+  |> List.sort Value.compare_tuple
+
+(* Version metadata for walk-through-time processing (exposed at the
+   subtuple-manager level only, as in the prototype). *)
+let history t id : (int * bool) list =
+  let v = find t id in
+  List.rev_map (fun { ts; delta_tid } -> (ts, delta_tid = None)) v.versions
+
+let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.objects [] |> List.sort Int.compare
+
+(* Walk-through-time: every distinct state of object [id] whose
+   version interval intersects [lo, hi], oldest first, with the
+   timestamp at which that state became current.  This is the interval
+   access the prototype supported at the subtuple-manager level without
+   surfacing it in the language (Section 5). *)
+let walk_through_time t (schema : Schema.t) id ~lo ~hi : (int * Value.tuple) list =
+  if hi < lo then temporal_error "walk_through_time: empty interval (%d > %d)" lo hi;
+  let v = find t id in
+  let stamps = List.rev_map (fun { ts; _ } -> ts) v.versions in
+  (* states current somewhere in [lo, hi]: the last version at or
+     before lo, plus every version starting within (lo, hi] *)
+  let relevant = List.filter (fun ts -> ts > lo && ts <= hi) stamps in
+  let base = List.filter (fun ts -> ts <= lo) stamps in
+  let points = (match base with [] -> [] | _ -> [ lo ]) @ relevant in
+  List.filter_map
+    (fun ts -> match asof t schema id ~ts with Some tup -> Some (ts, tup) | None -> None)
+    points
+
+(* Space accounting for the C6 experiment. *)
+(* --- persistence ------------------------------------------------------- *)
+
+type export = {
+  x_next_id : int;
+  x_clock : int;
+  x_delta_pages : int list;
+  x_objects : (int * Tid.t * int * int option * (int * Tid.t option) list) list;
+      (* id, current root, created, deleted_at, versions newest-first *)
+}
+
+let export t : export =
+  {
+    x_next_id = t.next_id;
+    x_clock = t.clock;
+    x_delta_pages = Heap.pages t.deltas;
+    x_objects =
+      Hashtbl.fold
+        (fun id v acc ->
+          (id, v.root, v.created, v.deleted_at, List.map (fun m -> (m.ts, m.delta_tid)) v.versions)
+          :: acc)
+        t.objects [];
+  }
+
+let restore store pool (x : export) : t =
+  let t =
+    {
+      store;
+      deltas = Heap.restore pool ~pages:x.x_delta_pages;
+      objects = Hashtbl.create 64;
+      next_id = x.x_next_id;
+      clock = x.x_clock;
+    }
+  in
+  List.iter
+    (fun (id, root, created, deleted_at, versions) ->
+      Hashtbl.replace t.objects id
+        { id; root; created; deleted_at; versions = List.map (fun (ts, delta_tid) -> { ts; delta_tid }) versions })
+    x.x_objects;
+  t
+
+let delta_bytes t =
+  Heap.fold t.deltas (fun acc _ payload -> acc + String.length payload) 0
+
+let version_count t id = List.length (find t id).versions

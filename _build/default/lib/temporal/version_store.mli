@@ -1,0 +1,100 @@
+(** Time-version support (Section 5 of the paper; /DLW84, Lu84/).
+
+    A versioned table keeps, per logical object, the current state in
+    the object store plus a chain of {e reverse deltas}: each update
+    appends a description of how to get from the state after the update
+    back to the one before.  An ASOF query materialises the current
+    object and folds back the deltas younger than the requested time.
+    Timestamps are logical monotone ints (the language layer uses days,
+    i.e. the DATE representation). *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module OS = Nf2_storage.Object_store
+
+exception Temporal_error of string
+
+type delta = Whole of Value.tuple | Atoms of step_path * Atom.t list
+
+and step_path = OS.step list
+
+type t = private {
+  store : OS.t;
+  deltas : Nf2_storage.Heap.t;
+  objects : (int, vobject) Hashtbl.t;
+  mutable next_id : int;
+  mutable clock : int;  (** last timestamp seen (monotonicity guard) *)
+}
+
+and vobject
+
+val create : OS.t -> Nf2_storage.Buffer_pool.t -> t
+
+(** {1 Lifecycle} — all timestamps must be monotone per store.
+    @raise Temporal_error on violations. *)
+
+(** Store a new object; returns its logical id. *)
+val insert : t -> Schema.t -> ts:int -> Value.tuple -> int
+
+(** Current state.  @raise Temporal_error if deleted/unknown. *)
+val current : t -> Schema.t -> int -> Value.tuple
+
+(** Replace the whole state (stores a [Whole] reverse delta). *)
+val update : t -> Schema.t -> int -> ts:int -> Value.tuple -> unit
+
+(** Rewrite the first-level atoms of the subobject at the path (stores
+    a small [Atoms] reverse delta and patches the object in place). *)
+val update_atoms : t -> Schema.t -> int -> ts:int -> step_path -> Atom.t list -> unit
+
+(** Logical deletion at a time point; the past stays queryable. *)
+val delete : t -> Schema.t -> int -> ts:int -> unit
+
+(** {1 ASOF} *)
+
+(** State as of [ts] (inclusive); [None] before creation or at/after
+    deletion. *)
+val asof : t -> Schema.t -> int -> ts:int -> Value.tuple option
+
+(** All objects alive at [ts], reconstructed (sorted). *)
+val snapshot : t -> Schema.t -> ts:int -> Value.tuple list
+
+val current_all : t -> Schema.t -> Value.tuple list
+
+(** Version metadata [(ts, is_initial)] oldest first. *)
+val history : t -> int -> (int * bool) list
+
+(** Walk-through-time: every distinct state whose validity interval
+    intersects [\[lo, hi\]], oldest first, stamped with the time it
+    became current (clamped to [lo] for the state already current at
+    the interval start) — the interval access the prototype supported
+    below the language interface (Section 5).
+    @raise Temporal_error on an empty interval. *)
+val walk_through_time : t -> Schema.t -> int -> lo:int -> hi:int -> (int * Value.tuple) list
+
+val ids : t -> int list
+
+(** {1 Persistence} *)
+
+type export = {
+  x_next_id : int;
+  x_clock : int;
+  x_delta_pages : int list;
+  x_objects : (int * Nf2_storage.Tid.t * int * int option * (int * Nf2_storage.Tid.t option) list) list;
+}
+
+(** Version metadata for {!restore} — the object store and delta pages
+    themselves persist with the disk image. *)
+val export : t -> export
+
+val restore : OS.t -> Nf2_storage.Buffer_pool.t -> export -> t
+
+(** {1 Space accounting (experiments)} *)
+
+val delta_bytes : t -> int
+val version_count : t -> int -> int
+
+(** {1 Value-level delta helpers (exposed for tests)} *)
+
+val atoms_at : Schema.table -> Value.tuple -> step_path -> Atom.t list
+val replace_atoms : Schema.table -> Value.tuple -> step_path -> Atom.t list -> Value.tuple

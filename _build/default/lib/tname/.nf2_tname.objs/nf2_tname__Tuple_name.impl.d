@@ -1,0 +1,1 @@
+lib/tname/tuple_name.ml: Fmt List Nf2_model Nf2_storage Printf String

@@ -1,0 +1,1 @@
+lib/tname/tuple_name.mli: Nf2_model Nf2_storage

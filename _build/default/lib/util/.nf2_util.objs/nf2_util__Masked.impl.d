@@ -1,0 +1,1 @@
+lib/util/masked.ml: Buffer List String

@@ -1,0 +1,52 @@
+(* Fixed-width ASCII rendering of flat row data, used by the shell and
+   the bench harness to print paper-style tables. *)
+
+let render ~header rows =
+  let ncols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Ascii_table.render: ragged rows")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          (* cells may be multi-line (nested tables rendered inline) *)
+          String.split_on_char '\n' cell
+          |> List.iter (fun line -> if String.length line > widths.(i) then widths.(i) <- String.length line))
+        row)
+    rows;
+  let buf = Buffer.create 256 in
+  let sep () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row cells =
+    (* split all cells into lines and pad to tallest *)
+    let lines = List.map (String.split_on_char '\n') cells in
+    let height = List.fold_left (fun acc ls -> max acc (List.length ls)) 1 lines in
+    for ln = 0 to height - 1 do
+      Buffer.add_char buf '|';
+      List.iteri
+        (fun i ls ->
+          let cell = try List.nth ls ln with _ -> "" in
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' ');
+          Buffer.add_string buf " |")
+        lines;
+      Buffer.add_char buf '\n'
+    done
+  in
+  sep ();
+  emit_row header;
+  sep ();
+  List.iter emit_row rows;
+  sep ();
+  Buffer.contents buf

@@ -1,0 +1,70 @@
+(* Masked text search patterns: '*' matches any (possibly empty)
+   substring, '?' matches exactly one character.  Matching is
+   case-insensitive, as in the paper's `CONTAINS '*comput*'` example
+   which is meant to hit "computational", "minicomputer", ... *)
+
+type t = { raw : string; segments : segment list }
+
+and segment = Star | Any_one | Lit of string
+
+let compile raw =
+  let n = String.length raw in
+  let segments = ref [] in
+  let buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      segments := Lit (String.lowercase_ascii (Buffer.contents buf)) :: !segments;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    match raw.[i] with
+    | '*' ->
+        flush ();
+        (* collapse consecutive stars *)
+        (match !segments with Star :: _ -> () | _ -> segments := Star :: !segments)
+    | '?' ->
+        flush ();
+        segments := Any_one :: !segments
+    | c -> Buffer.add_char buf c
+  done;
+  flush ();
+  { raw; segments = List.rev !segments }
+
+let to_string t = t.raw
+
+(* Literal fragments of the pattern (used by the text index to find
+   candidate words). *)
+let literals t = List.filter_map (function Lit s -> Some s | Star | Any_one -> None) t.segments
+
+(* True when the pattern contains no wildcard at its start/end —
+   i.e. it is anchored there. *)
+let anchored_prefix t = match t.segments with Lit s :: _ -> Some s | _ -> None
+
+let anchored_suffix t =
+  match List.rev t.segments with Lit s :: _ -> Some s | _ -> None
+
+let matches t text =
+  let text = String.lowercase_ascii text in
+  let n = String.length text in
+  (* classic backtracking over segments *)
+  let rec go segs pos =
+    match segs with
+    | [] -> pos = n
+    | Star :: rest ->
+        let rec try_from p = p <= n && (go rest p || try_from (p + 1)) in
+        try_from pos
+    | Any_one :: rest -> pos < n && go rest (pos + 1)
+    | Lit s :: rest ->
+        let ls = String.length s in
+        pos + ls <= n && String.sub text pos ls = s && go rest (pos + ls)
+  in
+  go t.segments 0
+
+(* Does the pattern match any whitespace-delimited word of [text]?
+   This is the CONTAINS semantics: `*comput*` finds a matching word. *)
+let matches_word t text =
+  String.split_on_char ' ' text
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.exists (fun w -> w <> "" && matches t w)

@@ -1,0 +1,26 @@
+(** Masked text-search patterns: ['*'] matches any (possibly empty)
+    substring, ['?'] exactly one character; matching is
+    case-insensitive — the semantics of the paper's
+    [CONTAINS '*comput*'] example. *)
+
+type t
+
+type segment = Star | Any_one | Lit of string
+
+val compile : string -> t
+val to_string : t -> string
+
+(** Literal runs of the pattern (used by the text index to find
+    candidate words). *)
+val literals : t -> string list
+
+(** The pattern's literal prefix/suffix when anchored there. *)
+val anchored_prefix : t -> string option
+
+val anchored_suffix : t -> string option
+
+(** Whole-string match. *)
+val matches : t -> string -> bool
+
+(** Does any whitespace-delimited word of the text match? *)
+val matches_word : t -> string -> bool

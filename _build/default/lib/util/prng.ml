@@ -1,0 +1,52 @@
+(* SplitMix64 — deterministic PRNG for workload generation.  We do not
+   use [Random] so that benches and property fixtures are reproducible
+   across runs and OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  let v = Int64.to_int (next_int64 t) land max_int in
+  v mod bound
+
+let in_range t lo hi =
+  if hi < lo then invalid_arg "Prng.in_range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty";
+  arr.(int t (Array.length arr))
+
+let pick_list t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick_list: empty"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t arr =
+  let arr = Array.copy arr in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  arr
+
+(* A lowercase pseudo-word of the given length. *)
+let word t len = String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))

@@ -1,0 +1,26 @@
+(** SplitMix64 — deterministic PRNG for workload generation, so benches
+    and fixtures reproduce across runs and OCaml versions. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound).  @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val in_range : t -> int -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+val pick : t -> 'a array -> 'a
+val pick_list : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle of a copy. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** A lowercase pseudo-word of the given length. *)
+val word : t -> int -> string

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Int List Nf2_model Printf Prng String

@@ -1,0 +1,159 @@
+(* Synthetic workload generators: scaled-up office-automation data in
+   the shape of the paper's DEPARTMENTS and REPORTS tables, plus a
+   CAD-style assembly hierarchy (the application domain that motivates
+   the paper's introduction).  Deterministic via Prng. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+type dept_params = {
+  departments : int;
+  projects_per_dept : int;
+  members_per_project : int;
+  equip_per_dept : int;
+  seed : int;
+}
+
+let default_dept_params =
+  { departments = 20; projects_per_dept = 5; members_per_project = 8; equip_per_dept = 6; seed = 42 }
+
+let functions = [| "Leader"; "Consultant"; "Secretary"; "Staff"; "Engineer"; "Analyst" |]
+let equipment_types = [| "3278"; "3179"; "3276"; "PC"; "PC/AT"; "PC/XT"; "PC/GA"; "4361"; "4381" |]
+
+let i v = Value.Atom (Atom.Int v)
+let s v = Value.Atom (Atom.Str v)
+
+(* Department numbers start at 100; employee numbers are globally
+   unique as the paper assumes. *)
+let departments ?(params = default_dept_params) () : Value.tuple list =
+  let rng = Prng.create params.seed in
+  let next_empno = ref 10000 in
+  let next_pno = ref 1 in
+  List.init params.departments (fun d ->
+      let dno = 100 + d in
+      let mgrno =
+        incr next_empno;
+        !next_empno
+      in
+      let projects =
+        List.init params.projects_per_dept (fun _ ->
+            let pno =
+              incr next_pno;
+              !next_pno
+            in
+            let pname = String.uppercase_ascii (Prng.word rng 4) in
+            let members =
+              List.init params.members_per_project (fun _ ->
+                  incr next_empno;
+                  [ i !next_empno; s (Prng.pick rng functions) ])
+            in
+            [ i pno; s pname; Value.set members ])
+      in
+      let equip =
+        List.init params.equip_per_dept (fun _ ->
+            [ i (Prng.in_range rng 1 9); s (Prng.pick rng equipment_types) ])
+      in
+      [ i dno; i mgrno; Value.set projects; i (Prng.in_range rng 100 999 * 1000); Value.set equip ])
+
+(* Flat EMPLOYEES rows covering every EMPNO appearing in [depts]. *)
+let employees_for ~seed (depts : Value.tuple list) : Value.tuple list =
+  let rng = Prng.create seed in
+  let last_names = [| "Schmidt"; "Krueger"; "Mayer"; "Olt"; "Weiss"; "Huber"; "Lang"; "Arnold"; "Binder"; "Curtius" |] in
+  let first_names = [| "Hort"; "Klaus"; "Fred"; "Andrea"; "Anna"; "Franz"; "Petra"; "Karl"; "Rolf"; "Eva" |] in
+  let empnos = ref [] in
+  List.iter
+    (fun dept ->
+      match dept with
+      | [ _; Value.Atom (Atom.Int mgr); Value.Table projects; _; _ ] ->
+          empnos := mgr :: !empnos;
+          List.iter
+            (fun p ->
+              match p with
+              | [ _; _; Value.Table members ] ->
+                  List.iter
+                    (fun m ->
+                      match m with
+                      | Value.Atom (Atom.Int e) :: _ -> empnos := e :: !empnos
+                      | _ -> ())
+                    members.Value.tuples
+              | _ -> ())
+            projects.Value.tuples
+      | _ -> ())
+    depts;
+  List.rev_map
+    (fun e ->
+      [
+        i e;
+        s (Prng.pick rng last_names);
+        s (Prng.pick rng first_names);
+        s (if Prng.bool rng then "male" else "female");
+      ])
+    (List.sort_uniq Int.compare !empnos)
+
+(* REPORTS-style corpus for the text-index experiment. *)
+type report_params = { reports : int; title_words : int; authors_max : int; seed : int }
+
+let default_report_params = { reports = 200; title_words = 6; authors_max = 4; seed = 7 }
+
+let vocabulary =
+  [|
+    "computational"; "minicomputer"; "computer"; "database"; "relational"; "hierarchy";
+    "storage"; "structure"; "index"; "text"; "search"; "fragment"; "address"; "query";
+    "optimization"; "transaction"; "recovery"; "concurrency"; "office"; "automation";
+    "design"; "manufacturing"; "integrated"; "system"; "prototype"; "language";
+  |]
+
+let author_pool = [| "Jones"; "Abraham"; "Medley"; "Meyer"; "Bach"; "Racer"; "Dadam"; "Pistor"; "Lum"; "Walch" |]
+
+let reports ?(params = default_report_params) () : Value.tuple list =
+  let rng = Prng.create params.seed in
+  List.init params.reports (fun n ->
+      let nauthors = Prng.in_range rng 1 params.authors_max in
+      let authors = List.init nauthors (fun _ -> [ s (Prng.pick rng author_pool) ]) in
+      let title =
+        String.concat " " (List.init params.title_words (fun _ -> Prng.pick rng vocabulary))
+      in
+      let descriptors =
+        List.init (Prng.in_range rng 1 4) (fun _ ->
+            [ s (Prng.pick rng vocabulary); Value.Atom (Atom.Float (Prng.float rng)) ])
+      in
+      [ s (Printf.sprintf "%04d" n); Value.list_ authors; s title; Value.set descriptors ])
+
+(* CAD-style assembly hierarchy: ASSEMBLIES { ANO, NAME,
+   SUBASSEMBLIES { SNO, SNAME, PARTS { PNO, MATERIAL, QTY } },
+   WEIGHT } — a deep-nesting workload. *)
+let assemblies_schema : Schema.t =
+  Schema.relation "ASSEMBLIES"
+    [
+      Schema.int_ "ANO";
+      Schema.str_ "NAME";
+      Schema.set_ "SUBASSEMBLIES"
+        [
+          Schema.int_ "SNO";
+          Schema.str_ "SNAME";
+          Schema.set_ "PARTS" [ Schema.int_ "PNO"; Schema.str_ "MATERIAL"; Schema.int_ "QTY" ];
+        ];
+      Schema.float_ "WEIGHT";
+    ]
+
+type assembly_params = { assemblies : int; subs_per_assembly : int; parts_per_sub : int; seed : int }
+
+let default_assembly_params = { assemblies = 10; subs_per_assembly = 8; parts_per_sub = 12; seed = 99 }
+
+let materials = [| "steel"; "aluminium"; "copper"; "plastic"; "glass"; "titanium" |]
+
+let assemblies ?(params = default_assembly_params) () : Value.tuple list =
+  let rng = Prng.create params.seed in
+  let next = ref 0 in
+  List.init params.assemblies (fun a ->
+      let subs =
+        List.init params.subs_per_assembly (fun sx ->
+            let parts =
+              List.init params.parts_per_sub (fun _ ->
+                  incr next;
+                  [ i !next; s (Prng.pick rng materials); i (Prng.in_range rng 1 50) ])
+            in
+            [ i ((a * 100) + sx); s (String.uppercase_ascii (Prng.word rng 5)); Value.set parts ])
+      in
+      [ i a; s (String.uppercase_ascii (Prng.word rng 6)); Value.set subs; Value.Atom (Atom.Float (Prng.float rng *. 1000.)) ])

@@ -1,0 +1,262 @@
+(* The literal example data of the paper: Tables 1-8 (Section 2) and
+   the schemas behind Figs 1-5.  These fixtures are shared between the
+   integration tests and the bench harness so that reproduced artefacts
+   can be checked for exactness. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+open Schema
+
+(* ------------------------------------------------------------------ *)
+(* Schemas *)
+
+(* Table 5: the NF2 DEPARTMENTS table. *)
+let departments : Schema.t =
+  relation "DEPARTMENTS"
+    [
+      int_ "DNO";
+      int_ "MGRNO";
+      set_ "PROJECTS"
+        [
+          int_ "PNO";
+          str_ "PNAME";
+          set_ "MEMBERS" [ int_ "EMPNO"; str_ "FUNCTION" ];
+        ];
+      int_ "BUDGET";
+      set_ "EQUIP" [ int_ "QU"; str_ "TYPE" ];
+    ]
+
+(* Tables 1-4: the 1NF decomposition. *)
+let departments_1nf : Schema.t =
+  relation "DEPARTMENTS_1NF" [ int_ "DNO"; int_ "MGRNO"; int_ "BUDGET" ]
+
+let projects_1nf : Schema.t =
+  relation "PROJECTS_1NF" [ int_ "PNO"; str_ "PNAME"; int_ "DNO" ]
+
+let members_1nf : Schema.t =
+  relation "MEMBERS_1NF" [ int_ "EMPNO"; int_ "PNO"; int_ "DNO"; str_ "FUNCTION" ]
+
+let equip_1nf : Schema.t = relation "EQUIP_1NF" [ int_ "DNO"; int_ "QU"; str_ "TYPE" ]
+
+(* Table 6: REPORTS with an ordered AUTHORS list and a DESCRIPTORS set. *)
+let reports : Schema.t =
+  relation "REPORTS"
+    [
+      str_ "REPNO";
+      list_ "AUTHORS" [ str_ "NAME" ];
+      str_ "TITLE";
+      set_ "DESCRIPTORS" [ str_ "WORD"; float_ "WEIGHT" ];
+    ]
+
+(* Table 8: EMPLOYEES-1NF. *)
+let employees_1nf : Schema.t =
+  relation "EMPLOYEES_1NF" [ int_ "EMPNO"; str_ "LNAME"; str_ "FNAME"; str_ "SEX" ]
+
+(* Table 7: the flat result of Example 4. *)
+let example4_result_schema : Schema.t =
+  relation "EX4" [ int_ "DNO"; int_ "MGRNO"; int_ "PNO"; str_ "PNAME"; int_ "EMPNO"; str_ "FUNCTION" ]
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let i v = Value.Atom (Atom.Int v)
+let s v = Value.Atom (Atom.Str v)
+let f v = Value.Atom (Atom.Float v)
+
+let member empno func = [ i empno; s func ]
+let equip qu ty = [ i qu; s ty ]
+let project pno pname members = [ i pno; s pname; Value.set members ]
+
+(* Table 5 contents, exactly as printed in the paper. *)
+let dept_314 : Value.tuple =
+  [
+    i 314;
+    i 56194;
+    Value.set
+      [
+        project 17 "CGA" [ member 39582 "Leader"; member 56019 "Consultant"; member 69011 "Secretary" ];
+        project 23 "HEAP" [ member 58912 "Staff"; member 90011 "Leader"; member 78218 "Secretary"; member 98902 "Staff" ];
+      ];
+    i 320_000;
+    Value.set [ equip 2 "3278"; equip 3 "PC/AT"; equip 1 "PC" ];
+  ]
+
+let dept_218 : Value.tuple =
+  [
+    i 218;
+    i 71349;
+    Value.set
+      [
+        project 25 "TEXT"
+          [
+            member 12723 "Staff";
+            member 89211 "Staff";
+            member 92100 "Leader";
+            member 89921 "Consultant";
+            member 95023 "Secretary";
+            member 44512 "Consultant";
+          ];
+      ];
+    i 440_000;
+    Value.set [ equip 2 "3278"; equip 2 "PC/AT"; equip 1 "3179"; equip 1 "PC/AT" ];
+  ]
+
+(* Note: the paper's Table 5 prints equipment `2 PC/AT` and `1 3179`
+   etc. for department 218; EQUIP-1NF (Table 4) lists (218: 2 3278,
+   2 PC/AT, 1 3179, 1 PC/GA).  We follow Table 4's row set. *)
+let dept_218_equip_fix : Value.tuple =
+  [
+    i 218;
+    i 71349;
+    Value.set
+      [
+        project 25 "TEXT"
+          [
+            member 12723 "Staff";
+            member 89211 "Staff";
+            member 92100 "Leader";
+            member 89921 "Consultant";
+            member 95023 "Secretary";
+            member 44512 "Consultant";
+          ];
+      ];
+    i 440_000;
+    Value.set [ equip 2 "3278"; equip 2 "PC/AT"; equip 1 "3179"; equip 1 "PC/GA" ];
+  ]
+
+let dept_417 : Value.tuple =
+  [
+    i 417;
+    i 91093;
+    Value.set
+      [
+        project 37 "NEBS"
+          [ member 87710 "Secretary"; member 81193 "Leader"; member 75913 "Staff"; member 96001 "Staff" ];
+      ];
+    i 360_000;
+    Value.set [ equip 1 "4361"; equip 4 "PC/XT"; equip 4 "PC/AT"; equip 2 "3278"; equip 1 "3276"; equip 1 "3179"; equip 1 "PC/GA" ];
+  ]
+
+let departments_rows : Value.tuple list = [ dept_314; dept_218_equip_fix; dept_417 ]
+
+let departments_table : Value.table = { Value.kind = Schema.Set; tuples = departments_rows }
+
+(* Tables 1-4 as independent row sets (they are the canonical 1NF
+   decomposition of the rows above). *)
+let departments_1nf_rows : Value.tuple list =
+  [ [ i 314; i 56194; i 320_000 ]; [ i 218; i 71349; i 440_000 ]; [ i 417; i 91093; i 360_000 ] ]
+
+let projects_1nf_rows : Value.tuple list =
+  [
+    [ i 17; s "CGA"; i 314 ];
+    [ i 23; s "HEAP"; i 314 ];
+    [ i 25; s "TEXT"; i 218 ];
+    [ i 37; s "NEBS"; i 417 ];
+  ]
+
+let members_1nf_rows : Value.tuple list =
+  [
+    [ i 39582; i 17; i 314; s "Leader" ];
+    [ i 56019; i 17; i 314; s "Consultant" ];
+    [ i 69011; i 17; i 314; s "Secretary" ];
+    [ i 58912; i 23; i 314; s "Staff" ];
+    [ i 90011; i 23; i 314; s "Leader" ];
+    [ i 78218; i 23; i 314; s "Secretary" ];
+    [ i 98902; i 23; i 314; s "Staff" ];
+    [ i 12723; i 25; i 218; s "Staff" ];
+    [ i 89211; i 25; i 218; s "Staff" ];
+    [ i 92100; i 25; i 218; s "Leader" ];
+    [ i 89921; i 25; i 218; s "Consultant" ];
+    [ i 95023; i 25; i 218; s "Secretary" ];
+    [ i 44512; i 25; i 218; s "Consultant" ];
+    [ i 87710; i 37; i 417; s "Secretary" ];
+    [ i 81193; i 37; i 417; s "Leader" ];
+    [ i 75913; i 37; i 417; s "Staff" ];
+    [ i 96001; i 37; i 417; s "Staff" ];
+  ]
+
+let equip_1nf_rows : Value.tuple list =
+  [
+    [ i 314; i 2; s "3278" ];
+    [ i 314; i 3; s "PC/AT" ];
+    [ i 314; i 1; s "PC" ];
+    [ i 218; i 2; s "3278" ];
+    [ i 218; i 2; s "PC/AT" ];
+    [ i 218; i 1; s "3179" ];
+    [ i 218; i 1; s "PC/GA" ];
+    [ i 417; i 1; s "4361" ];
+    [ i 417; i 4; s "PC/XT" ];
+    [ i 417; i 4; s "PC/AT" ];
+    [ i 417; i 2; s "3278" ];
+    [ i 417; i 1; s "3276" ];
+    [ i 417; i 1; s "3179" ];
+    [ i 417; i 1; s "PC/GA" ];
+  ]
+
+(* Table 8. *)
+let employees_1nf_rows : Value.tuple list =
+  [
+    [ i 56194; s "Schmidt"; s "Hort"; s "male" ];
+    [ i 39582; s "Krueger"; s "Klaus"; s "male" ];
+    [ i 56019; s "Mayer"; s "Fred"; s "male" ];
+    [ i 69011; s "Olt"; s "Andrea"; s "female" ];
+    [ i 96001; s "Paulsen"; s "Hein"; s "male" ];
+    [ i 58912; s "Weiss"; s "Anna"; s "female" ];
+    [ i 90011; s "Huber"; s "Franz"; s "male" ];
+    [ i 78218; s "Lang"; s "Petra"; s "female" ];
+    [ i 98902; s "Arnold"; s "Karl"; s "male" ];
+    [ i 12723; s "Binder"; s "Rolf"; s "male" ];
+    [ i 89211; s "Curtius"; s "Eva"; s "female" ];
+    [ i 92100; s "Decker"; s "Hans"; s "male" ];
+    [ i 89921; s "Ernst"; s "Maria"; s "female" ];
+    [ i 95023; s "Fischer"; s "Inge"; s "female" ];
+    [ i 44512; s "Graf"; s "Otto"; s "male" ];
+    [ i 71349; s "Hoffmann"; s "Willi"; s "male" ];
+    [ i 91093; s "Ibsen"; s "Nora"; s "female" ];
+    [ i 87710; s "Jung"; s "Lisa"; s "female" ];
+    [ i 81193; s "Kohl"; s "Emil"; s "male" ];
+    [ i 75913; s "Lorenz"; s "Paul"; s "male" ];
+  ]
+
+(* Table 6 contents. *)
+let report repno authors title descriptors =
+  [
+    s repno;
+    Value.list_ (List.map (fun a -> [ s a ]) authors);
+    s title;
+    Value.set (List.map (fun (w, wt) -> [ s w; f wt ]) descriptors);
+  ]
+
+let reports_rows : Value.tuple list =
+  [
+    report "0179" [ "Jones" ] "Concurrency and Consistency Control"
+      [ ("Concurrency Control", 0.6); ("Recovery", 0.3); ("Distribution", 0.1) ];
+    report "0189" [ "Abraham"; "Medley" ] "Text Editing and String Search"
+      [ ("Formatting", 0.3); ("Editing", 0.7) ];
+    report "0292" [ "Meyer"; "Bach"; "Racer" ] "Branch and Bound Optimization"
+      [ ("Branch and Bound", 0.6); ("Genetic Collection", 0.4) ];
+  ]
+
+(* Table 7: expected result rows of Example 4 (unnest of Table 5,
+   projecting away BUDGET and EQUIP). *)
+let example4_expected : Value.tuple list =
+  List.concat_map
+    (fun dept ->
+      match dept with
+      | [ dno; mgrno; Value.Table projects; _budget; _equip ] ->
+          List.concat_map
+            (fun proj ->
+              match proj with
+              | [ pno; pname; Value.Table members ] ->
+                  List.map
+                    (fun m ->
+                      match m with
+                      | [ empno; func ] -> [ dno; mgrno; pno; pname; empno; func ]
+                      | _ -> assert false)
+                    members.Value.tuples
+              | _ -> assert false)
+            projects.Value.tuples
+      | _ -> assert false)
+    departments_rows

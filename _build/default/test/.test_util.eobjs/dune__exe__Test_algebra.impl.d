@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest List Nf2_algebra Nf2_model Nf2_workload Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest List Nf2_algebra Nf2_baseline Nf2_model Nf2_storage Nf2_workload QCheck QCheck_alcotest

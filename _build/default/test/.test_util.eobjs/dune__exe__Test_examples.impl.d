@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest In_channel Int Lazy List Nf2 Nf2_algebra Nf2_model Nf2_storage Nf2_workload String Sys

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Codec Hashtbl List Masked Nf2_index Nf2_model Nf2_storage Nf2_workload Option Printf QCheck QCheck_alcotest

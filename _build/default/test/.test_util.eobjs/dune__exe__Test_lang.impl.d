@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Eval Fun Lexer List Nf2 Nf2_algebra Nf2_lang Nf2_model Nf2_workload Parser Printf QCheck QCheck_alcotest Rewrite String

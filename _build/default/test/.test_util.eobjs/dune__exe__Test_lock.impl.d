@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest List Nf2_lock Nf2_model Printf QCheck QCheck_alcotest

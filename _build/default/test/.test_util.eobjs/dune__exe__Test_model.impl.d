@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Codec Int List Nf2_model Nf2_workload QCheck QCheck_alcotest String

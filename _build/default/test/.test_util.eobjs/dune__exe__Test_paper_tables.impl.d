@@ -1,0 +1,1 @@
+test/test_paper_tables.ml: Alcotest Lazy List Nf2 Nf2_algebra Nf2_model Nf2_workload Printf String

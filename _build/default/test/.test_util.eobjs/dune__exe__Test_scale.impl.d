@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Array Codec Filename Lazy List Masked Nf2 Nf2_algebra Nf2_index Nf2_model Nf2_storage Nf2_workload Printf Prng Sys

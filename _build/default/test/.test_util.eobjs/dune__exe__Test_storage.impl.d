@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Char Codec Hashtbl List Nf2_model Nf2_storage Nf2_workload Option Printf QCheck QCheck_alcotest String

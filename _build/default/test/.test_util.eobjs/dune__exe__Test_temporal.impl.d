@@ -1,0 +1,1 @@
+test/test_temporal.ml: Alcotest Codec List Nf2 Nf2_algebra Nf2_model Nf2_storage Nf2_temporal Nf2_workload String

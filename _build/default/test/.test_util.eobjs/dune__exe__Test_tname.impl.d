@@ -1,0 +1,1 @@
+test/test_tname.ml: Alcotest List Nf2 Nf2_model Nf2_storage Nf2_tname Nf2_workload String

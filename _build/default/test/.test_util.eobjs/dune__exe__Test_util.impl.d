@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_table Bytes Codec Int List Masked Prng QCheck QCheck_alcotest String

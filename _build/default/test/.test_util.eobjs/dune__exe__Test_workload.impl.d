@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Int List Nf2_model Nf2_workload Printf

@@ -1,0 +1,291 @@
+(* Tests for the NF2 algebra: operators and their laws. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module Ops = Nf2_algebra.Ops
+module P = Nf2_workload.Paper_data
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let departments = Rel.make P.departments.Schema.table P.departments_table
+
+let members_1nf =
+  Rel.of_tuples P.members_1nf.Schema.table P.members_1nf_rows
+
+let projects_1nf = Rel.of_tuples P.projects_1nf.Schema.table P.projects_1nf_rows
+
+let atom_of v = match v with Value.Atom a -> a | _ -> Alcotest.fail "expected atom"
+
+(* --- select / project --------------------------------------------------- *)
+
+let test_select () =
+  let r =
+    Ops.select departments (fun tup ->
+        match List.nth tup 0 with Value.Atom (Atom.Int d) -> d = 314 | _ -> false)
+  in
+  checki "one dept" 1 (Rel.cardinality r);
+  (* selection on nested content: departments with a consultant *)
+  let has_consultant tup =
+    let fns = Value.atoms_on_path P.departments.Schema.table tup [ "PROJECTS"; "MEMBERS"; "FUNCTION" ] in
+    List.exists (Atom.equal (Atom.Str "Consultant")) fns
+  in
+  let r = Ops.select departments has_consultant in
+  checki "two depts with consultants" 2 (Rel.cardinality r)
+
+let test_project () =
+  let r = Ops.project departments [ "DNO"; "PROJECTS" ] in
+  checki "3 rows" 3 (Rel.cardinality r);
+  checki "2 cols" 2 (List.length r.Rel.schema.Schema.fields);
+  (* projection onto a nested attribute keeps the nesting *)
+  (match (Rel.tuples r : Value.tuple list) with
+  | ([ _; Value.Table _ ] : Value.v list) :: _ -> ()
+  | _ -> Alcotest.fail "nested attr kept");
+  (* set-semantics dedup after projection *)
+  let r2 = Ops.project members_1nf [ "FUNCTION" ] in
+  checki "4 distinct functions" 4 (Rel.cardinality r2)
+
+let test_rename_product_join () =
+  let p = Ops.rename projects_1nf [ ("DNO", "PDNO"); ("PNO", "PPNO"); ("PNAME", "PPNAME") ] in
+  let prod = Ops.product p members_1nf in
+  checki "product size" (4 * 17) (Rel.cardinality prod);
+  let joined =
+    Ops.join p members_1nf ~on:(fun ta tb ->
+        Value.equal_v (List.nth ta 0) (List.nth tb 1) && Value.equal_v (List.nth ta 2) (List.nth tb 2))
+  in
+  checki "members keep their project" 17 (Rel.cardinality joined);
+  (* equi-join agrees with nested-loop theta join on PNO *)
+  let ej = Ops.equi_join p members_1nf ~left:"PPNO" ~right:"PNO" in
+  let tj = Ops.join p members_1nf ~on:(fun ta tb -> Value.equal_v (List.nth ta 0) (List.nth tb 1)) in
+  checkb "equi = theta" true (Rel.equal ej tj);
+  (* name clash rejected *)
+  try
+    ignore (Ops.product projects_1nf members_1nf);
+    Alcotest.fail "expected clash error"
+  with Rel.Algebra_error _ -> ()
+
+let test_set_ops () =
+  let a = Ops.select members_1nf (fun t -> atom_of (List.nth t 3) = Atom.Str "Staff") in
+  let b = Ops.select members_1nf (fun t -> atom_of (List.nth t 2) = Atom.Int 314) in
+  let u = Ops.union a b in
+  let i = Ops.intersection a b in
+  let d = Ops.difference a b in
+  checki "union" (6 + 7 - 2) (Rel.cardinality u);
+  checki "inter" 2 (Rel.cardinality i);
+  checki "diff" 4 (Rel.cardinality d);
+  (* A = (A - B) + (A ∩ B) *)
+  checkb "partition law" true (Rel.equal a (Ops.union d i));
+  (* incompatible structures rejected *)
+  try
+    ignore (Ops.union members_1nf projects_1nf);
+    Alcotest.fail "expected compatibility error"
+  with Rel.Algebra_error _ -> ()
+
+(* --- nest / unnest ------------------------------------------------------- *)
+
+let test_unnest () =
+  let r = Ops.unnest departments ~attr:"PROJECTS" in
+  (* one row per project, other attrs kept *)
+  checki "4 projects" 4 (Rel.cardinality r);
+  checki "cols" 7 (List.length r.Rel.schema.Schema.fields);
+  (* unnesting twice flattens to members *)
+  let r2 = Ops.unnest r ~attr:"MEMBERS" in
+  checki "17 members" 17 (Rel.cardinality r2)
+
+let test_nest_unnest_inverse () =
+  (* unnest(nest(R, X->G), G) = R for any flat R *)
+  let nested = Ops.nest members_1nf ~attrs:[ "EMPNO"; "FUNCTION" ] ~as_:"WHO" in
+  checki "4 groups" 4 (Rel.cardinality nested);
+  let back = Ops.unnest nested ~attr:"WHO" in
+  (* attribute order differs (nested attrs go to the end); compare as sets of rows on sorted column order *)
+  let reordered = Ops.project back [ "EMPNO"; "PNO"; "DNO"; "FUNCTION" ] in
+  checkb "roundtrip" true (Rel.equal reordered members_1nf)
+
+let test_nest_of_unnest () =
+  (* nest(unnest(R,A), attrs-of-A -> A) = R when R is in "partitioned
+     normal form" (each group key determines its group) — Table 5 is. *)
+  let flat = Ops.unnest departments ~attr:"EQUIP" in
+  let back = Ops.nest flat ~attrs:[ "QU"; "TYPE" ] ~as_:"EQUIP" in
+  let reordered = Ops.project back [ "DNO"; "MGRNO"; "PROJECTS"; "BUDGET"; "EQUIP" ] in
+  checkb "nest∘unnest = id (PNF)" true (Rel.equal reordered departments)
+
+let test_nest_errors () =
+  (try
+     ignore (Ops.nest members_1nf ~attrs:[] ~as_:"X");
+     Alcotest.fail "empty attrs"
+   with Rel.Algebra_error _ -> ());
+  (try
+     ignore (Ops.nest members_1nf ~attrs:[ "EMPNO"; "PNO"; "DNO"; "FUNCTION" ] ~as_:"X");
+     Alcotest.fail "nest all"
+   with Rel.Algebra_error _ -> ());
+  try
+    ignore (Ops.unnest members_1nf ~attr:"EMPNO");
+    Alcotest.fail "unnest atomic"
+  with Rel.Algebra_error _ -> ()
+
+
+let test_nest_apply () =
+  (* select inside PROJECTS: keep only projects with a Leader *)
+  let has_leader tup =
+    match tup with
+    | [ _; _; Value.Table members ] ->
+        List.exists (fun m -> List.exists (Value.equal_v (Value.str "Leader")) m) members.Value.tuples
+    | _ -> false
+  in
+  let r = Ops.nest_apply departments ~attr:"PROJECTS" (fun projects -> Ops.select projects has_leader) in
+  checki "still 3 departments" 3 (Rel.cardinality r);
+  (* every remaining project has a leader *)
+  List.iter
+    (fun tup ->
+      match Value.field r.Rel.schema tup "PROJECTS" with
+      | Value.Table projects -> checkb "only leader projects" true (List.for_all has_leader projects.Value.tuples)
+      | _ -> Alcotest.fail "projects")
+    (Rel.tuples r);
+  (* projection inside EQUIP changes the nested schema *)
+  let r2 = Ops.nest_apply departments ~attr:"EQUIP" (fun equip -> Ops.project equip [ "TYPE" ]) in
+  (match Schema.find_field r2.Rel.schema "EQUIP" with
+  | Some (_, { Schema.attr = Schema.Table sub; _ }) ->
+      Alcotest.(check (list string)) "nested schema" [ "TYPE" ] (Schema.field_names sub)
+  | _ -> Alcotest.fail "equip schema");
+  (* identity application is the identity *)
+  let r3 = Ops.nest_apply departments ~attr:"PROJECTS" (fun p -> p) in
+  checkb "identity" true (Rel.equal r3 departments);
+  (* errors *)
+  (try
+     ignore (Ops.nest_apply departments ~attr:"DNO" (fun p -> p));
+     Alcotest.fail "atomic attr"
+   with Rel.Algebra_error _ -> ());
+  try
+    ignore (Ops.nest_apply departments ~attr:"NOPE" (fun p -> p));
+    Alcotest.fail "unknown attr"
+  with Rel.Algebra_error _ -> ()
+
+(* --- ordering / lists ------------------------------------------------------ *)
+
+let test_order_by_and_nth () =
+  let by_budget =
+    Ops.order_by departments ~key:(fun tup -> [ List.nth tup 3 ])
+  in
+  checkb "now a list" true (Rel.kind by_budget = Schema.List);
+  (match Ops.nth by_budget 1 with
+  | Some (Value.Atom (Atom.Int 314) :: _) -> ()
+  | _ -> Alcotest.fail "lowest budget first");
+  (match Ops.nth by_budget 3 with
+  | Some (Value.Atom (Atom.Int 218) :: _) -> ()
+  | _ -> Alcotest.fail "highest budget last");
+  checkb "nth out of range" true (Ops.nth by_budget 4 = None);
+  (* subscript requires a list *)
+  (try
+     ignore (Ops.nth departments 1);
+     Alcotest.fail "subscript on set"
+   with Rel.Algebra_error _ -> ());
+  let limited = Ops.limit by_budget 2 in
+  checki "limit" 2 (Rel.cardinality limited)
+
+(* --- aggregates -------------------------------------------------------------- *)
+
+let test_aggregates () =
+  let open Ops in
+  checkb "count" true (aggregate members_1nf Count None = Atom.Int 17);
+  checkb "min" true (aggregate members_1nf Min (Some "EMPNO") = Atom.Int 12723);
+  checkb "max" true (aggregate members_1nf Max (Some "EMPNO") = Atom.Int 98902);
+  (match aggregate departments Sum (Some "BUDGET") with
+  | Atom.Int v -> checki "sum budgets" 1_120_000 v
+  | _ -> Alcotest.fail "sum");
+  (match aggregate departments Avg (Some "BUDGET") with
+  | Atom.Float v -> checkb "avg" true (abs_float (v -. 373333.333) < 1.0)
+  | _ -> Alcotest.fail "avg");
+  (* empty input *)
+  let empty = select members_1nf (fun _ -> false) in
+  checkb "count empty" true (aggregate empty Count None = Atom.Int 0);
+  checkb "min empty" true (aggregate empty Min (Some "EMPNO") = Atom.Null)
+
+let test_quantifier_helpers () =
+  let eq = { Value.kind = Schema.Set; tuples = [ [ Value.int_ 1 ]; [ Value.int_ 2 ] ] } in
+  checkb "exists" true (Ops.exists_in eq (fun t -> t = [ Value.int_ 2 ]));
+  checkb "forall" false (Ops.for_all_in eq (fun t -> t = [ Value.int_ 2 ]));
+  checkb "forall empty" true (Ops.for_all_in { eq with Value.tuples = [] } (fun _ -> false))
+
+(* --- canonicalisation --------------------------------------------------------- *)
+
+let test_canonicalize () =
+  let shuffled =
+    Rel.make P.departments.Schema.table
+      { Value.kind = Schema.Set; tuples = List.rev P.departments_rows }
+  in
+  checkb "set equality ignores order" true (Rel.equal departments shuffled);
+  let c1 = Rel.canonicalize departments and c2 = Rel.canonicalize shuffled in
+  checkb "canonical forms identical" true (Rel.tuples c1 = Rel.tuples c2)
+
+(* --- properties ------------------------------------------------------------------ *)
+
+let arb_flat_rows =
+  (* rows of (int, string) pairs over small domains so grouping happens *)
+  QCheck.make
+    ~print:(fun rows -> String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%s)" a b) rows))
+    QCheck.Gen.(list_size (int_bound 20) (pair (int_bound 5) (oneofl [ "a"; "b"; "c" ])))
+
+let mk_flat rows =
+  Rel.of_tuples
+    { Schema.kind = Schema.Set; fields = [ Schema.int_ "K"; Schema.str_ "V" ] }
+    (List.map (fun (k, v) -> [ Value.int_ k; Value.str v ]) rows)
+
+let prop_nest_unnest =
+  QCheck.Test.make ~name:"unnest(nest(R)) = R" ~count:200 arb_flat_rows (fun rows ->
+      let r = mk_flat rows in
+      if Rel.is_empty r then true
+      else
+        let n = Ops.nest r ~attrs:[ "V" ] ~as_:"G" in
+        let back = Ops.unnest n ~attr:"G" in
+        Rel.equal (Ops.project back [ "K"; "V" ]) r)
+
+let prop_select_conj =
+  QCheck.Test.make ~name:"select p (select q R) = select (p&&q) R" ~count:200 arb_flat_rows
+    (fun rows ->
+      let r = mk_flat rows in
+      let p tup = match List.nth tup 0 with Value.Atom (Atom.Int k) -> k mod 2 = 0 | _ -> false in
+      let q tup = match List.nth tup 1 with Value.Atom (Atom.Str s) -> s = "a" | _ -> false in
+      Rel.equal (Ops.select (Ops.select r q) p) (Ops.select r (fun t -> p t && q t)))
+
+let prop_union_comm =
+  QCheck.Test.make ~name:"union commutative" ~count:200 (QCheck.pair arb_flat_rows arb_flat_rows)
+    (fun (r1, r2) -> Rel.equal (Ops.union (mk_flat r1) (mk_flat r2)) (Ops.union (mk_flat r2) (mk_flat r1)))
+
+let prop_difference =
+  QCheck.Test.make ~name:"A-B disjoint from B" ~count:200 (QCheck.pair arb_flat_rows arb_flat_rows)
+    (fun (r1, r2) ->
+      let a = mk_flat r1 and b = mk_flat r2 in
+      Rel.is_empty (Ops.intersection (Ops.difference a b) b))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest [ prop_nest_unnest; prop_select_conj; prop_union_comm; prop_difference ]
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "rename/product/join" `Quick test_rename_product_join;
+          Alcotest.test_case "set ops" `Quick test_set_ops;
+        ] );
+      ( "nest/unnest",
+        [
+          Alcotest.test_case "unnest" `Quick test_unnest;
+          Alcotest.test_case "nest then unnest" `Quick test_nest_unnest_inverse;
+          Alcotest.test_case "unnest then nest (PNF)" `Quick test_nest_of_unnest;
+          Alcotest.test_case "errors" `Quick test_nest_errors;
+          Alcotest.test_case "nested application" `Quick test_nest_apply;
+        ] );
+      ( "lists/aggregates",
+        [
+          Alcotest.test_case "order_by/nth" `Quick test_order_by_and_nth;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "quantifiers" `Quick test_quantifier_helpers;
+          Alcotest.test_case "canonicalize" `Quick test_canonicalize;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the comparison baselines: Lorie-style linked tuples and
+   full 1NF decomposition. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module P = Nf2_workload.Paper_data
+module G = Nf2_workload.Generator
+module D = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module Lorie = Nf2_baseline.Lorie
+module Flat = Nf2_baseline.Flat_db
+module Rel = Nf2_algebra.Rel
+module Ops = Nf2_algebra.Ops
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_pool () =
+  let disk = D.create () in
+  (disk, BP.create ~frames:256 disk)
+
+(* --- Lorie linked tuples ------------------------------------------------- *)
+
+let test_lorie_roundtrip () =
+  let _, pool = mk_pool () in
+  let t = Lorie.create pool P.departments in
+  let tids = List.map (Lorie.insert t) P.departments_rows in
+  List.iter2
+    (fun tid expected -> checkb "roundtrip" true (Value.equal_tuple expected (Lorie.fetch t tid)))
+    tids P.departments_rows;
+  checki "roots" 3 (List.length (Lorie.roots t))
+
+let test_lorie_preserves_list_order () =
+  let _, pool = mk_pool () in
+  let t = Lorie.create pool P.reports in
+  let tids = List.map (Lorie.insert t) P.reports_rows in
+  List.iter2
+    (fun tid expected -> checkb "reports roundtrip" true (Value.equal_tuple expected (Lorie.fetch t tid)))
+    tids P.reports_rows
+
+let test_lorie_element_access () =
+  let _, pool = mk_pool () in
+  let t = Lorie.create pool P.departments in
+  let tid = Lorie.insert t (List.nth P.departments_rows 0) in
+  (match Lorie.fetch_element t tid ~attr:"PROJECTS" ~idx:1 with
+  | Value.Atom (Atom.Int 23) :: _ -> ()
+  | _ -> Alcotest.fail "project 23");
+  try
+    ignore (Lorie.fetch_element t tid ~attr:"PROJECTS" ~idx:9);
+    Alcotest.fail "out of range"
+  with Lorie.Lorie_error _ -> ()
+
+let test_lorie_at_scale () =
+  let _, pool = mk_pool () in
+  let t = Lorie.create pool P.departments in
+  let rows = G.departments ~params:{ G.default_dept_params with G.departments = 10 } () in
+  let tids = List.map (Lorie.insert t) rows in
+  List.iter2
+    (fun tid expected -> checkb "scale roundtrip" true (Value.equal_tuple expected (Lorie.fetch t tid)))
+    tids rows
+
+(* --- 1NF decomposition ----------------------------------------------------- *)
+
+let test_flat_roundtrip () =
+  let _, pool = mk_pool () in
+  let t = Flat.create pool P.departments in
+  let sids = List.map (Flat.insert t) P.departments_rows in
+  (* reconstruct everything: must equal the source as a set *)
+  let rebuilt = Flat.reconstruct t in
+  checkb "reconstruct" true
+    (Value.equal_table
+       { Value.kind = Schema.Set; tuples = rebuilt }
+       { Value.kind = Schema.Set; tuples = P.departments_rows });
+  (* single-object fetch *)
+  List.iter2
+    (fun sid expected -> checkb "fetch" true (Value.equal_tuple expected (Flat.fetch t sid)))
+    sids P.departments_rows
+
+let test_flat_levels () =
+  let _, pool = mk_pool () in
+  let t = Flat.create pool P.departments in
+  ignore (List.map (Flat.insert t) P.departments_rows);
+  let members = Flat.level_rel t "DEPARTMENTS.PROJECTS.MEMBERS" in
+  checki "17 member rows" 17 (Rel.cardinality members);
+  let projects = Flat.level_rel t "DEPARTMENTS.PROJECTS" in
+  checki "4 project rows" 4 (Rel.cardinality projects);
+  (* the surrogate join reconstructs membership counts *)
+  let joined = Ops.equi_join (Ops.rename projects [ ("SID", "PSID"); ("PID", "PPID") ]) members ~left:"PSID" ~right:"PID" in
+  checki "join has 17 rows" 17 (Rel.cardinality joined)
+
+let test_flat_preserves_lists () =
+  let _, pool = mk_pool () in
+  let t = Flat.create pool P.reports in
+  ignore (List.map (Flat.insert t) P.reports_rows);
+  let rebuilt = Flat.reconstruct t in
+  checkb "lists preserved" true
+    (Value.equal_table
+       { Value.kind = Schema.Set; tuples = rebuilt }
+       { Value.kind = Schema.Set; tuples = P.reports_rows })
+
+(* --- three-way agreement: AIM-II store vs Lorie vs 1NF ------------------------ *)
+
+let test_three_way_agreement () =
+  let rows = G.departments ~params:{ G.default_dept_params with G.departments = 6; G.seed = 5 } () in
+  let disk = D.create () in
+  let pool = BP.create ~frames:256 disk in
+  let aim = Nf2_storage.Object_store.create pool in
+  let aim_tids = List.map (Nf2_storage.Object_store.insert aim P.departments) rows in
+  let lorie = Lorie.create pool P.departments in
+  let lorie_tids = List.map (Lorie.insert lorie) rows in
+  let flat = Flat.create pool P.departments in
+  ignore (List.map (Flat.insert flat) rows);
+  let aim_rows = List.map (Nf2_storage.Object_store.fetch aim P.departments) aim_tids in
+  let lorie_rows = List.map (Lorie.fetch lorie) lorie_tids in
+  let flat_rows = Flat.reconstruct flat in
+  let as_set tuples = { Value.kind = Schema.Set; tuples } in
+  checkb "aim = lorie" true (Value.equal_table (as_set aim_rows) (as_set lorie_rows));
+  checkb "aim = flat" true (Value.equal_table (as_set aim_rows) (as_set flat_rows))
+
+
+(* --- IMS navigational baseline ------------------------------------------- *)
+
+module Ims = Nf2_baseline.Ims
+
+let test_ims_roundtrip () =
+  List.iter
+    (fun org ->
+      let _, pool = mk_pool () in
+      let t = Ims.load ~organisation:org pool P.departments P.departments_rows in
+      let rebuilt = Ims.reconstruct t in
+      checkb
+        (Ims.organisation_name org ^ " roundtrip")
+        true
+        (Value.equal_table
+           { Value.kind = Schema.Set; tuples = rebuilt }
+           { Value.kind = Schema.Set; tuples = P.departments_rows }))
+    [ Ims.HSAM; Ims.HISAM; Ims.HDAM; Ims.HIDAM ]
+
+let test_ims_get_next () =
+  let _, pool = mk_pool () in
+  let t = Ims.load pool P.departments P.departments_rows in
+  let c = Ims.open_cursor t in
+  (* GN without type: walks the hierarchic sequence; first segment is
+     the first root *)
+  (match Ims.get_next c with
+  | Some s ->
+      Alcotest.(check string) "root type" "DEPARTMENTS" s.Ims.seg_type;
+      checki "level 0" 0 s.Ims.level
+  | None -> Alcotest.fail "GN");
+  (* GN by type: all MEMBERS segments, 17 of them *)
+  let c = Ims.open_cursor t in
+  let rec count n = match Ims.get_next ~segment:"MEMBERS" c with Some _ -> count (n + 1) | None -> n in
+  checki "17 members via GN" 17 (count 0)
+
+let test_ims_get_unique_and_gnp () =
+  let _, pool = mk_pool () in
+  let t = Ims.load pool P.departments P.departments_rows in
+  let c = Ims.open_cursor t in
+  (* GU DEPARTMENTS(DNO=314) / PROJECTS(PNO=17), then GNP over MEMBERS
+     — the navigation the paper contrasts with a single NF2 query *)
+  (match
+     Ims.get_unique c
+       [
+         { Ims.seg = "DEPARTMENTS"; tests = [ (0, Atom.Int 314) ] };
+         { Ims.seg = "PROJECTS"; tests = [ (0, Atom.Int 17) ] };
+       ]
+   with
+  | Some s -> checki "project level" 1 s.Ims.level
+  | None -> Alcotest.fail "GU");
+  Ims.set_parent_level c 1;
+  let rec collect acc =
+    match Ims.get_next_within_parent ~segment:"MEMBERS" c with
+    | Some s -> collect (s.Ims.fields :: acc)
+    | None -> List.rev acc
+  in
+  let members = collect [] in
+  checki "3 members of project 17" 3 (List.length members);
+  checkb "56019 among them" true
+    (List.exists (fun fs -> List.exists (Atom.equal (Atom.Int 56019)) fs) members)
+
+let test_ims_gu_respects_subtree () =
+  (* PNO=25 exists only in department 218: GU under department 314 must
+     fail rather than match a later record's project *)
+  let _, pool = mk_pool () in
+  let t = Ims.load pool P.departments P.departments_rows in
+  let c = Ims.open_cursor t in
+  checkb "no project 25 in dept 314" true
+    (Ims.get_unique c
+       [
+         { Ims.seg = "DEPARTMENTS"; tests = [ (0, Atom.Int 314) ] };
+         { Ims.seg = "PROJECTS"; tests = [ (0, Atom.Int 25) ] };
+       ]
+    = None)
+
+let test_ims_hdam_vs_hsam_cost () =
+  (* HDAM enters through the root hash; HSAM scans from the front.
+     Finding the LAST department must cost far fewer segment reads
+     under HDAM. *)
+  let n = 40 in
+  let rows = G.departments ~params:{ G.default_dept_params with G.departments = n } () in
+  let last_dno = match List.nth rows (n - 1) with Value.Atom (Atom.Int d) :: _ -> d | _ -> -1 in
+  let cost org =
+    let _, pool = mk_pool () in
+    let t = Ims.load ~organisation:org pool P.departments rows in
+    let c = Ims.open_cursor t in
+    (match Ims.get_unique c [ { Ims.seg = "DEPARTMENTS"; tests = [ (0, Atom.Int last_dno) ] } ] with
+    | Some _ -> ()
+    | None -> Alcotest.fail "GU last");
+    Ims.reads c
+  in
+  let hsam = cost Ims.HSAM
+  and hisam = cost Ims.HISAM
+  and hdam = cost Ims.HDAM
+  and hidam = cost Ims.HIDAM in
+  checkb "HDAM direct entry beats HSAM scan" true (hdam * 10 < hsam);
+  checkb "HISAM indexed entry beats HSAM scan" true (hisam * 10 < hsam);
+  checkb "HIDAM like HDAM" true (hidam = hdam)
+
+
+(* --- CODASYL/DBTG sets ------------------------------------------------------- *)
+
+module Cod = Nf2_baseline.Codasyl
+
+let test_codasyl_roundtrip () =
+  List.iter
+    (fun mode ->
+      let _, pool = mk_pool () in
+      let t = Cod.create ~mode pool P.departments in
+      let tids = List.map (Cod.insert t) P.departments_rows in
+      List.iter2
+        (fun tid expected ->
+          checkb (Cod.mode_name mode ^ " roundtrip") true (Value.equal_tuple expected (Cod.fetch t tid)))
+        tids P.departments_rows)
+    [ Cod.Chain; Cod.Pointer_array ]
+
+let test_codasyl_list_order () =
+  List.iter
+    (fun mode ->
+      let _, pool = mk_pool () in
+      let t = Cod.create ~mode pool P.reports in
+      let tid = Cod.insert t (List.nth P.reports_rows 2) in
+      checkb "ordered authors preserved" true
+        (Value.equal_tuple (List.nth P.reports_rows 2) (Cod.fetch t tid)))
+    [ Cod.Chain; Cod.Pointer_array ]
+
+let test_codasyl_chain_vs_pointer_array_cost () =
+  (* reaching the last member: the chain chases every NEXT pointer,
+     the pointer array jumps directly — the trade-off Section 4.1
+     weighs when it cites COSET techniques *)
+  let nmembers = 50 in
+  let schema = Schema.relation "R" [ Schema.int_ "ID"; Schema.set_ "XS" [ Schema.int_ "X" ] ] in
+  let tup = [ Value.int_ 1; Value.set (List.init nmembers (fun i -> [ Value.int_ i ])) ] in
+  let cost mode =
+    let _, pool = mk_pool () in
+    let t = Cod.create ~mode pool schema in
+    let root = Cod.insert t tup in
+    Cod.reset_reads t;
+    ignore (Cod.locate_member t root ~attr:"XS" ~idx:(nmembers - 1));
+    Cod.reads t
+  in
+  let chain = cost Cod.Chain and parray = cost Cod.Pointer_array in
+  checkb "chain chases ~n records" true (chain >= nmembers - 1);
+  checkb "pointer array is O(1)" true (parray <= 2);
+  (* members agree across modes *)
+  let fetch_last mode =
+    let _, pool = mk_pool () in
+    let t = Cod.create ~mode pool schema in
+    let root = Cod.insert t tup in
+    Cod.fetch t root
+  in
+  checkb "modes agree" true (Value.equal_tuple (fetch_last Cod.Chain) (fetch_last Cod.Pointer_array))
+
+let prop_lorie_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, xs) ->
+          [
+            Value.int_ a;
+            Value.set (List.map (fun (x, ys) ->
+                [ Value.int_ x; Value.set (List.map (fun y -> [ Value.int_ y ]) ys) ]) xs);
+          ])
+        (pair small_nat (list_size (int_bound 4) (pair small_nat (list_size (int_bound 4) small_nat)))))
+  in
+  let schema =
+    Schema.relation "R" [ Schema.int_ "A"; Schema.set_ "XS" [ Schema.int_ "X"; Schema.set_ "YS" [ Schema.int_ "Y" ] ] ]
+  in
+  QCheck.Test.make ~name:"lorie roundtrip (random)" ~count:80
+    (QCheck.make ~print:Value.render_tuple gen)
+    (fun tup ->
+      let _, pool = mk_pool () in
+      let t = Lorie.create pool schema in
+      let tid = Lorie.insert t tup in
+      Value.equal_tuple tup (Lorie.fetch t tid))
+
+let prop_flat_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, xs) ->
+          [
+            Value.int_ a;
+            Value.set (List.map (fun (x, ys) ->
+                [ Value.int_ x; Value.set (List.map (fun y -> [ Value.int_ y ]) ys) ]) xs);
+          ])
+        (pair small_nat (list_size (int_bound 4) (pair small_nat (list_size (int_bound 4) small_nat)))))
+  in
+  let schema =
+    Schema.relation "R" [ Schema.int_ "A"; Schema.set_ "XS" [ Schema.int_ "X"; Schema.set_ "YS" [ Schema.int_ "Y" ] ] ]
+  in
+  QCheck.Test.make ~name:"flat_db roundtrip (random)" ~count:80
+    (QCheck.make ~print:Value.render_tuple gen)
+    (fun tup ->
+      let _, pool = mk_pool () in
+      let t = Flat.create pool schema in
+      let sid = Flat.insert t tup in
+      Value.equal_tuple tup (Flat.fetch t sid))
+
+let prop_ims_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, xs) ->
+          [
+            Value.int_ a;
+            Value.set
+              (List.map
+                 (fun (x, ys) -> [ Value.int_ x; Value.set (List.map (fun y -> [ Value.int_ y ]) ys) ])
+                 xs);
+          ])
+        (pair small_nat (list_size (int_bound 4) (pair small_nat (list_size (int_bound 4) small_nat)))))
+  in
+  let schema =
+    Schema.relation "R" [ Schema.int_ "A"; Schema.set_ "XS" [ Schema.int_ "X"; Schema.set_ "YS" [ Schema.int_ "Y" ] ] ]
+  in
+  QCheck.Test.make ~name:"ims reconstruct (random)" ~count:60
+    (QCheck.make ~print:Value.render_tuple gen)
+    (fun tup ->
+      let _, pool = mk_pool () in
+      let t = Ims.load pool schema [ tup ] in
+      match Ims.reconstruct t with [ got ] -> Value.equal_tuple tup got | _ -> false)
+
+let prop_codasyl_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (a, xs) ->
+          [
+            Value.int_ a;
+            Value.set
+              (List.map
+                 (fun (x, ys) -> [ Value.int_ x; Value.set (List.map (fun y -> [ Value.int_ y ]) ys) ])
+                 xs);
+          ])
+        (pair small_nat (list_size (int_bound 4) (pair small_nat (list_size (int_bound 4) small_nat)))))
+  in
+  let schema =
+    Schema.relation "R" [ Schema.int_ "A"; Schema.set_ "XS" [ Schema.int_ "X"; Schema.set_ "YS" [ Schema.int_ "Y" ] ] ]
+  in
+  QCheck.Test.make ~name:"codasyl roundtrip (random, both modes)" ~count:60
+    (QCheck.make ~print:Value.render_tuple gen)
+    (fun tup ->
+      List.for_all
+        (fun mode ->
+          let _, pool = mk_pool () in
+          let t = Cod.create ~mode pool schema in
+          let root = Cod.insert t tup in
+          Value.equal_tuple tup (Cod.fetch t root))
+        [ Cod.Chain; Cod.Pointer_array ])
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_lorie_roundtrip; prop_flat_roundtrip; prop_ims_roundtrip; prop_codasyl_roundtrip ]
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "lorie",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lorie_roundtrip;
+          Alcotest.test_case "list order" `Quick test_lorie_preserves_list_order;
+          Alcotest.test_case "element access" `Quick test_lorie_element_access;
+          Alcotest.test_case "at scale" `Quick test_lorie_at_scale;
+        ] );
+      ( "flat 1NF",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_flat_roundtrip;
+          Alcotest.test_case "levels/joins" `Quick test_flat_levels;
+          Alcotest.test_case "lists preserved" `Quick test_flat_preserves_lists;
+        ] );
+      ("agreement", [ Alcotest.test_case "three-way" `Quick test_three_way_agreement ]);
+      ( "codasyl",
+        [
+          Alcotest.test_case "roundtrip (both modes)" `Quick test_codasyl_roundtrip;
+          Alcotest.test_case "list order" `Quick test_codasyl_list_order;
+          Alcotest.test_case "chain vs pointer array" `Quick test_codasyl_chain_vs_pointer_array_cost;
+        ] );
+      ( "ims",
+        [
+          Alcotest.test_case "roundtrip (HSAM/HDAM)" `Quick test_ims_roundtrip;
+          Alcotest.test_case "GN" `Quick test_ims_get_next;
+          Alcotest.test_case "GU + GNP" `Quick test_ims_get_unique_and_gnp;
+          Alcotest.test_case "GU subtree scoping" `Quick test_ims_gu_respects_subtree;
+          Alcotest.test_case "HDAM vs HSAM cost" `Quick test_ims_hdam_vs_hsam_cost;
+        ] );
+      ("properties", props);
+    ]

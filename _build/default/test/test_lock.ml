@@ -1,0 +1,209 @@
+(* Tests for predicate locking (/DPS82, DPS83/, referenced in
+   Section 5): overlap decisions, lock modes, blocking, deadlock
+   detection, two-phase release. *)
+
+module Atom = Nf2_model.Atom
+module L = Nf2_lock.Predicate_lock
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let dno r = ([ "DNO" ], r)
+let budget r = ([ "BUDGET" ], r)
+let pred restrictions = { L.table = "DEPARTMENTS"; restrictions }
+
+(* --- predicate overlap ---------------------------------------------------- *)
+
+let test_overlap () =
+  (* equal points *)
+  checkb "eq-eq same" true (L.predicates_overlap (pred [ dno (L.Eq (Atom.Int 314)) ]) (pred [ dno (L.Eq (Atom.Int 314)) ]));
+  checkb "eq-eq diff" false (L.predicates_overlap (pred [ dno (L.Eq (Atom.Int 314)) ]) (pred [ dno (L.Eq (Atom.Int 218)) ]));
+  (* point vs interval *)
+  checkb "eq in between" true
+    (L.predicates_overlap (pred [ dno (L.Eq (Atom.Int 300)) ]) (pred [ dno (L.Between (Atom.Int 200, Atom.Int 400)) ]));
+  checkb "eq outside" false
+    (L.predicates_overlap (pred [ dno (L.Eq (Atom.Int 500)) ]) (pred [ dno (L.Between (Atom.Int 200, Atom.Int 400)) ]));
+  (* disjoint intervals *)
+  checkb "intervals disjoint" false
+    (L.predicates_overlap
+       (pred [ dno (L.Between (Atom.Int 0, Atom.Int 100)) ])
+       (pred [ dno (L.Between (Atom.Int 101, Atom.Int 200)) ]));
+  checkb "intervals touch" true
+    (L.predicates_overlap
+       (pred [ dno (L.Between (Atom.Int 0, Atom.Int 100)) ])
+       (pred [ dno (L.Between (Atom.Int 100, Atom.Int 200)) ]));
+  (* half-open *)
+  checkb "ge vs le overlap" true
+    (L.predicates_overlap (pred [ dno (L.Ge (Atom.Int 50)) ]) (pred [ dno (L.Le (Atom.Int 60)) ]));
+  checkb "ge vs le disjoint" false
+    (L.predicates_overlap (pred [ dno (L.Ge (Atom.Int 70)) ]) (pred [ dno (L.Le (Atom.Int 60)) ]));
+  (* different attributes: unconstrained -> overlap *)
+  checkb "different attrs" true
+    (L.predicates_overlap (pred [ dno (L.Eq (Atom.Int 1)) ]) (pred [ budget (L.Eq (Atom.Int 2)) ]));
+  (* conjunction: one incompatible attribute suffices *)
+  checkb "conjunction disjoint" false
+    (L.predicates_overlap
+       (pred [ dno (L.Eq (Atom.Int 1)); budget (L.Ge (Atom.Int 100)) ])
+       (pred [ dno (L.Eq (Atom.Int 1)); budget (L.Le (Atom.Int 50)) ]));
+  (* whole-table lock overlaps everything in the table *)
+  checkb "table lock" true (L.predicates_overlap (L.whole_table "DEPARTMENTS") (pred [ dno (L.Eq (Atom.Int 1)) ]));
+  (* different tables never overlap *)
+  checkb "different tables" false
+    (L.predicates_overlap (L.whole_table "DEPARTMENTS") (L.whole_table "REPORTS"));
+  (* strings and dates restrict too *)
+  checkb "string eq" false
+    (L.predicates_overlap
+       (pred [ ([ "PROJECTS"; "MEMBERS"; "FUNCTION" ], L.Eq (Atom.Str "Leader")) ])
+       (pred [ ([ "PROJECTS"; "MEMBERS"; "FUNCTION" ], L.Eq (Atom.Str "Staff")) ]))
+
+(* --- lock table ------------------------------------------------------------ *)
+
+let test_shared_locks_compatible () =
+  let t = L.create () in
+  let t1 = L.begin_txn t and t2 = L.begin_txn t in
+  checkb "t1 S" true (L.acquire t t1 L.Shared (pred [ dno (L.Eq (Atom.Int 314)) ]) = L.Granted);
+  checkb "t2 S same predicate" true (L.acquire t t2 L.Shared (pred [ dno (L.Eq (Atom.Int 314)) ]) = L.Granted);
+  checki "two grants" 2 (L.lock_count t)
+
+let test_exclusive_blocks () =
+  let t = L.create () in
+  let t1 = L.begin_txn t and t2 = L.begin_txn t in
+  checkb "t1 X dept 314" true (L.acquire t t1 L.Exclusive (pred [ dno (L.Eq (Atom.Int 314)) ]) = L.Granted);
+  (* overlapping X request blocks *)
+  (match L.acquire t t2 L.Exclusive (pred [ dno (L.Between (Atom.Int 300, Atom.Int 400)) ]) with
+  | L.Blocked holders -> Alcotest.(check (list int)) "blocked on t1" [ t1 ] holders
+  | _ -> Alcotest.fail "expected Blocked");
+  (* disjoint predicate goes through *)
+  checkb "t2 X dept 218" true (L.acquire t t2 L.Exclusive (pred [ dno (L.Eq (Atom.Int 218)) ]) = L.Granted);
+  (* S vs X conflicts too *)
+  (match L.acquire t t2 L.Shared (pred [ dno (L.Ge (Atom.Int 310)) ]) with
+  | L.Blocked _ -> ()
+  | _ -> Alcotest.fail "S must wait for overlapping X");
+  (* after release, the same request succeeds *)
+  L.release_all t t1;
+  checkb "after release" true (L.acquire t t2 L.Shared (pred [ dno (L.Ge (Atom.Int 310)) ]) = L.Granted)
+
+let test_phantom_protection () =
+  (* the predicate lock covers tuples that do not exist yet: an X lock
+     on DNO in [300,400] conflicts with inserting DNO=350 (modelled as
+     an X point request) even though no such tuple is stored *)
+  let t = L.create () in
+  let reader = L.begin_txn t and writer = L.begin_txn t in
+  checkb "range S" true (L.acquire t reader L.Shared (pred [ dno (L.Between (Atom.Int 300, Atom.Int 400)) ]) = L.Granted);
+  match L.acquire t writer L.Exclusive (pred [ dno (L.Eq (Atom.Int 350)) ]) with
+  | L.Blocked _ -> ()
+  | _ -> Alcotest.fail "phantom insert must block"
+
+let test_deadlock_detection () =
+  let t = L.create () in
+  let t1 = L.begin_txn t and t2 = L.begin_txn t in
+  checkb "t1 X a" true (L.acquire t t1 L.Exclusive (pred [ dno (L.Eq (Atom.Int 1)) ]) = L.Granted);
+  checkb "t2 X b" true (L.acquire t t2 L.Exclusive (pred [ dno (L.Eq (Atom.Int 2)) ]) = L.Granted);
+  (* t1 wants b: blocks behind t2 *)
+  (match L.acquire t t1 L.Exclusive (pred [ dno (L.Eq (Atom.Int 2)) ]) with
+  | L.Blocked _ -> ()
+  | _ -> Alcotest.fail "t1 blocks");
+  (* t2 wants a: would close the cycle -> deadlock *)
+  (match L.acquire t t2 L.Exclusive (pred [ dno (L.Eq (Atom.Int 1)) ]) with
+  | L.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected Deadlock");
+  (* aborting t1 clears its edges; t2 can proceed *)
+  L.release_all t t1;
+  checkb "t2 proceeds after abort" true (L.acquire t t2 L.Exclusive (pred [ dno (L.Eq (Atom.Int 1)) ]) = L.Granted)
+
+let test_reentrancy_and_release () =
+  let t = L.create () in
+  let t1 = L.begin_txn t in
+  let p = pred [ dno (L.Eq (Atom.Int 314)) ] in
+  checkb "first" true (L.acquire t t1 L.Exclusive p = L.Granted);
+  checkb "re-entrant" true (L.acquire t t1 L.Exclusive p = L.Granted);
+  checkb "own S under own X" true (L.acquire t t1 L.Shared p = L.Granted);
+  checki "one lock held" 1 (List.length (L.held_by t t1));
+  L.release_all t t1;
+  checki "none held" 0 (List.length (L.held_by t t1))
+
+let prop_overlap_symmetric =
+  let gen_restriction =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun v -> L.Eq (Atom.Int v)) (int_bound 20);
+          map2 (fun a b -> L.Between (Atom.Int (min a b), Atom.Int (max a b))) (int_bound 20) (int_bound 20);
+          map (fun v -> L.Ge (Atom.Int v)) (int_bound 20);
+          map (fun v -> L.Le (Atom.Int v)) (int_bound 20);
+        ])
+  in
+  let gen_pred =
+    QCheck.Gen.(
+      map
+        (fun rs ->
+          { L.table = "T"; restrictions = List.mapi (fun i r -> ([ Printf.sprintf "A%d" (i mod 2) ], r)) rs })
+        (list_size (int_bound 3) gen_restriction))
+  in
+  QCheck.Test.make ~name:"overlap is symmetric" ~count:300
+    (QCheck.make ~print:(fun (a, b) -> L.predicate_to_string a ^ " / " ^ L.predicate_to_string b)
+       QCheck.Gen.(pair gen_pred gen_pred))
+    (fun (a, b) -> L.predicates_overlap a b = L.predicates_overlap b a)
+
+let prop_overlap_sound =
+  (* if the predicates overlap syntactically there must exist a witness
+     point; we search the small integer domain for one.  (Converse —
+     completeness — is exercised by the witness search too: if a
+     witness exists, overlap must say true.) *)
+  let sat (p : L.predicate) (v0 : int) (v1 : int) =
+    List.for_all
+      (fun (path, r) ->
+        let v = if path = [ "A0" ] then v0 else v1 in
+        let a = Atom.Int v in
+        match r with
+        | L.Eq x -> Atom.compare a x = 0
+        | L.Between (x, y) -> Atom.compare a x >= 0 && Atom.compare a y <= 0
+        | L.Ge x -> Atom.compare a x >= 0
+        | L.Le x -> Atom.compare a x <= 0)
+      p.L.restrictions
+  in
+  let gen_restriction =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun v -> L.Eq (Atom.Int v)) (int_bound 10);
+          map2 (fun a b -> L.Between (Atom.Int (min a b), Atom.Int (max a b))) (int_bound 10) (int_bound 10);
+          map (fun v -> L.Ge (Atom.Int v)) (int_bound 10);
+          map (fun v -> L.Le (Atom.Int v)) (int_bound 10);
+        ])
+  in
+  let gen_pred =
+    QCheck.Gen.(
+      map
+        (fun rs ->
+          { L.table = "T"; restrictions = List.mapi (fun i r -> ([ Printf.sprintf "A%d" (i mod 2) ], r)) rs })
+        (list_size (int_bound 3) gen_restriction))
+  in
+  QCheck.Test.make ~name:"overlap = exists witness (small domain)" ~count:300
+    (QCheck.make ~print:(fun (a, b) -> L.predicate_to_string a ^ " / " ^ L.predicate_to_string b)
+       QCheck.Gen.(pair gen_pred gen_pred))
+    (fun (a, b) ->
+      let witness = ref false in
+      for v0 = -1 to 12 do
+        for v1 = -1 to 12 do
+          if sat a v0 v1 && sat b v0 v1 then witness := true
+        done
+      done;
+      L.predicates_overlap a b = !witness)
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_overlap_symmetric; prop_overlap_sound ]
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "predicate locks",
+        [
+          Alcotest.test_case "overlap decisions" `Quick test_overlap;
+          Alcotest.test_case "shared compatible" `Quick test_shared_locks_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+          Alcotest.test_case "phantom protection" `Quick test_phantom_protection;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "re-entrancy/release" `Quick test_reentrancy_and_release;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,130 @@
+(* Exactness checks for the paper's Tables 1-8 and the Fig 1 schema
+   tree: every printed artefact of Section 2 is stored, fetched, and
+   compared against the embedded fixtures. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module Ops = Nf2_algebra.Ops
+module P = Nf2_workload.Paper_data
+module Db = Nf2.Db
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let db = lazy (Nf2.Demo.create ())
+
+let stored name = Db.query (Lazy.force db) (Printf.sprintf "SELECT * FROM %s" name)
+
+let check_table name (schema : Schema.t) rows =
+  let r = stored name in
+  checkb (name ^ " contents") true
+    (Value.equal_table r.Rel.data { Value.kind = Schema.Set; tuples = rows });
+  Alcotest.(check (list string))
+    (name ^ " attributes")
+    (Schema.field_names schema.Schema.table)
+    (Schema.field_names r.Rel.schema)
+
+let test_table1 () = check_table "DEPARTMENTS_1NF" P.departments_1nf P.departments_1nf_rows
+let test_table2 () = check_table "PROJECTS_1NF" P.projects_1nf P.projects_1nf_rows
+let test_table3 () = check_table "MEMBERS_1NF" P.members_1nf P.members_1nf_rows
+let test_table4 () = check_table "EQUIP_1NF" P.equip_1nf P.equip_1nf_rows
+let test_table5 () = check_table "DEPARTMENTS" P.departments P.departments_rows
+let test_table6 () = check_table "REPORTS" P.reports P.reports_rows
+let test_table8 () = check_table "EMPLOYEES_1NF" P.employees_1nf P.employees_1nf_rows
+
+(* Table 7 = result of Example 4; also check it against an algebraic
+   derivation: project(unnest(unnest(Table 5))). *)
+let test_table7 () =
+  let dept_rel = Rel.make P.departments.Schema.table P.departments_table in
+  let by_algebra =
+    Ops.project
+      (Ops.unnest (Ops.unnest dept_rel ~attr:"PROJECTS") ~attr:"MEMBERS")
+      [ "DNO"; "MGRNO"; "PNO"; "PNAME"; "EMPNO"; "FUNCTION" ]
+  in
+  checkb "algebraic derivation matches fixture" true
+    (Value.equal_table by_algebra.Rel.data { Value.kind = Schema.Set; tuples = P.example4_expected });
+  checki "17 rows" 17 (Rel.cardinality by_algebra)
+
+(* Tables 1-4 are exactly the 1NF decomposition of Table 5: derive them
+   from Table 5 by algebra and compare. *)
+let test_decomposition_consistency () =
+  let dept_rel = Rel.make P.departments.Schema.table P.departments_table in
+  (* Table 1 *)
+  let t1 = Ops.project dept_rel [ "DNO"; "MGRNO"; "BUDGET" ] in
+  checkb "Table 1 derivable" true
+    (Value.equal_table t1.Rel.data { Value.kind = Schema.Set; tuples = P.departments_1nf_rows });
+  (* Table 2 *)
+  let t2 = Ops.project (Ops.unnest dept_rel ~attr:"PROJECTS") [ "PNO"; "PNAME"; "DNO" ] in
+  checkb "Table 2 derivable" true
+    (Value.equal_table t2.Rel.data { Value.kind = Schema.Set; tuples = P.projects_1nf_rows });
+  (* Table 3 *)
+  let t3 =
+    Ops.project
+      (Ops.unnest (Ops.unnest dept_rel ~attr:"PROJECTS") ~attr:"MEMBERS")
+      [ "EMPNO"; "PNO"; "DNO"; "FUNCTION" ]
+  in
+  checkb "Table 3 derivable" true
+    (Value.equal_table t3.Rel.data { Value.kind = Schema.Set; tuples = P.members_1nf_rows });
+  (* Table 4 *)
+  let t4 = Ops.project (Ops.unnest dept_rel ~attr:"EQUIP") [ "DNO"; "QU"; "TYPE" ] in
+  checkb "Table 4 derivable" true
+    (Value.equal_table t4.Rel.data { Value.kind = Schema.Set; tuples = P.equip_1nf_rows })
+
+(* Fig 1: the IMS-style segment hierarchy of the DEPARTMENTS schema. *)
+let test_fig1_segment_tree () =
+  let tree = Schema.render_segment_tree P.departments in
+  let lines = String.split_on_char '\n' tree |> List.filter (fun l -> l <> "") in
+  checki "5 segments... (root, PROJECTS, MEMBERS, EQUIP)" 4 (List.length lines);
+  let expect_prefixes = [ "DEPARTMENTS"; "    PROJECTS"; "        MEMBERS"; "    EQUIP" ] in
+  List.iter2
+    (fun line prefix -> checkb ("segment " ^ prefix) true (String.starts_with ~prefix line))
+    lines expect_prefixes;
+  (* segment fields are the first-level atomic attributes, as in IMS *)
+  checkb "root fields" true
+    (String.starts_with ~prefix:"DEPARTMENTS {} [DNO | MGRNO | BUDGET]" (List.hd lines))
+
+(* Paper terminology checks on Table 5 (Section 4.1's worked example):
+   department 314 has 2 subtables at the top (PROJECTS, EQUIP), two
+   complex subobjects (projects 17 and 23), three flat subobjects in
+   MEMBERS of project 17, three in EQUIP. *)
+let test_section41_terminology () =
+  let d314 = List.nth P.departments_rows 0 in
+  let subtables, complex = Value.structure_counts P.departments.Schema.table d314 in
+  checki "4 subtable instances" 4 subtables;
+  checki "2 complex subobjects" 2 complex;
+  match Value.field P.departments.Schema.table d314 "EQUIP" with
+  | Value.Table t -> checki "3 flat subobjects in EQUIP" 3 (List.length t.Value.tuples)
+  | _ -> Alcotest.fail "equip"
+
+(* The 1NF representation needs at least 4 tables, the NF2 one: 1.
+   (Section 2's point about Tables 1-4 vs Table 5.) *)
+let test_table_count_argument () =
+  let one_nf_tables = [ P.departments_1nf; P.projects_1nf; P.members_1nf; P.equip_1nf ] in
+  checki "4 flat tables" 4 (List.length one_nf_tables);
+  List.iter (fun s -> checkb "all flat" true (Schema.flat s.Schema.table)) one_nf_tables;
+  checkb "NF2 table is not flat" false (Schema.flat P.departments.Schema.table)
+
+let () =
+  Alcotest.run "paper tables"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "Table 1 (DEPARTMENTS-1NF)" `Quick test_table1;
+          Alcotest.test_case "Table 2 (PROJECTS-1NF)" `Quick test_table2;
+          Alcotest.test_case "Table 3 (MEMBERS-1NF)" `Quick test_table3;
+          Alcotest.test_case "Table 4 (EQUIP-1NF)" `Quick test_table4;
+          Alcotest.test_case "Table 5 (DEPARTMENTS NF2)" `Quick test_table5;
+          Alcotest.test_case "Table 6 (REPORTS)" `Quick test_table6;
+          Alcotest.test_case "Table 7 (Example 4 result)" `Quick test_table7;
+          Alcotest.test_case "Table 8 (EMPLOYEES-1NF)" `Quick test_table8;
+          Alcotest.test_case "Tables 1-4 = decomposition of Table 5" `Quick test_decomposition_consistency;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "Fig 1 (segment tree)" `Quick test_fig1_segment_tree;
+          Alcotest.test_case "Section 4.1 terminology" `Quick test_section41_terminology;
+          Alcotest.test_case "1NF needs 4 tables" `Quick test_table_count_argument;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Tests for time-version support: reverse-delta version chains and
+   ASOF snapshot reads (Section 5 of the paper). *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module P = Nf2_workload.Paper_data
+module D = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module OS = Nf2_storage.Object_store
+module VS = Nf2_temporal.Version_store
+module Db = Nf2.Db
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_vs () =
+  let disk = D.create () in
+  let pool = BP.create ~frames:128 disk in
+  let store = OS.create pool in
+  VS.create store pool
+
+let day s = match Atom.date_of_string s with Some (Atom.Date d) -> d | _ -> assert false
+
+let test_insert_current () =
+  let vs = mk_vs () in
+  let id = VS.insert vs P.departments ~ts:(day "1983-01-01") (List.nth P.departments_rows 0) in
+  checkb "current" true (Value.equal_tuple (List.nth P.departments_rows 0) (VS.current vs P.departments id));
+  checki "one version" 1 (VS.version_count vs id)
+
+let test_asof_whole_updates () =
+  let vs = mk_vs () in
+  let d314 = List.nth P.departments_rows 0 in
+  let d314' =
+    VS.replace_atoms P.departments.Schema.table d314 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 500_000 ]
+  in
+  let id = VS.insert vs P.departments ~ts:(day "1983-01-01") d314 in
+  VS.update vs P.departments id ~ts:(day "1984-06-01") d314';
+  (* before the update *)
+  (match VS.asof vs P.departments id ~ts:(day "1984-01-15") with
+  | Some tup -> checkb "old state" true (Value.equal_tuple d314 tup)
+  | None -> Alcotest.fail "alive");
+  (* at/after the update *)
+  (match VS.asof vs P.departments id ~ts:(day "1984-06-01") with
+  | Some tup -> checkb "new state" true (Value.equal_tuple d314' tup)
+  | None -> Alcotest.fail "alive");
+  (* before creation *)
+  checkb "not yet born" true (VS.asof vs P.departments id ~ts:(day "1982-12-31") = None)
+
+let test_asof_atom_deltas () =
+  let vs = mk_vs () in
+  let d314 = List.nth P.departments_rows 0 in
+  let id = VS.insert vs P.departments ~ts:100 d314 in
+  (* three successive budget changes via small deltas *)
+  VS.update_atoms vs P.departments id ~ts:200 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 330_000 ];
+  VS.update_atoms vs P.departments id ~ts:300 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 340_000 ];
+  VS.update_atoms vs P.departments id ~ts:400 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 350_000 ];
+  let budget_at ts =
+    match VS.asof vs P.departments id ~ts with
+    | Some tup -> (
+        match Value.field P.departments.Schema.table tup "BUDGET" with
+        | Value.Atom (Atom.Int b) -> b
+        | _ -> -1)
+    | None -> -1
+  in
+  checki "at 150" 320_000 (budget_at 150);
+  checki "at 200" 330_000 (budget_at 200);
+  checki "at 250" 330_000 (budget_at 250);
+  checki "at 350" 340_000 (budget_at 350);
+  checki "at 999" 350_000 (budget_at 999);
+  (* nested subobject update: member function change *)
+  VS.update_atoms vs P.departments id ~ts:500
+    [ OS.Attr "PROJECTS"; OS.Elem 0; OS.Attr "MEMBERS"; OS.Elem 1 ]
+    [ Atom.Int 56019; Atom.Str "Manager" ];
+  let fn_at ts =
+    match VS.asof vs P.departments id ~ts with
+    | Some tup ->
+        let fns = Value.atoms_on_path P.departments.Schema.table tup [ "PROJECTS"; "MEMBERS"; "FUNCTION" ] in
+        if List.exists (Atom.equal (Atom.Str "Manager")) fns then "Manager" else "Consultant"
+    | None -> "?"
+  in
+  Alcotest.(check string) "before promo" "Consultant" (fn_at 450);
+  Alcotest.(check string) "after promo" "Manager" (fn_at 500);
+  (* other attributes untouched by the nested update *)
+  checki "budget preserved across nested delta" 350_000 (budget_at 450)
+
+let test_delete_and_snapshot () =
+  let vs = mk_vs () in
+  let id1 = VS.insert vs P.departments ~ts:10 (List.nth P.departments_rows 0) in
+  let _id2 = VS.insert vs P.departments ~ts:20 (List.nth P.departments_rows 1) in
+  VS.delete vs P.departments id1 ~ts:30;
+  checki "snapshot at 25" 2 (List.length (VS.snapshot vs P.departments ~ts:25));
+  checki "snapshot at 30" 1 (List.length (VS.snapshot vs P.departments ~ts:30));
+  checki "snapshot at 15" 1 (List.length (VS.snapshot vs P.departments ~ts:15));
+  checki "current" 1 (List.length (VS.current_all vs P.departments));
+  (* deleted object rejects current *)
+  try
+    ignore (VS.current vs P.departments id1);
+    Alcotest.fail "expected Temporal_error"
+  with VS.Temporal_error _ -> ()
+
+let test_monotonicity_enforced () =
+  let vs = mk_vs () in
+  let id = VS.insert vs P.departments ~ts:100 (List.nth P.departments_rows 0) in
+  try
+    VS.update_atoms vs P.departments id ~ts:50 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 1 ];
+    Alcotest.fail "expected Temporal_error"
+  with VS.Temporal_error _ -> ()
+
+let test_history_metadata () =
+  let vs = mk_vs () in
+  let id = VS.insert vs P.departments ~ts:10 (List.nth P.departments_rows 0) in
+  VS.update_atoms vs P.departments id ~ts:20 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 1 ];
+  VS.update_atoms vs P.departments id ~ts:30 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 2 ];
+  let h = VS.history vs id in
+  checki "3 versions" 3 (List.length h);
+  Alcotest.(check (list int)) "timestamps in order" [ 10; 20; 30 ] (List.map fst h)
+
+let test_delta_space_smaller_than_copies () =
+  (* the reverse-delta design stores far less than one full copy per
+     version when updates touch single atoms *)
+  let vs = mk_vs () in
+  let id = VS.insert vs P.departments ~ts:0 (List.nth P.departments_rows 0) in
+  for i = 1 to 50 do
+    VS.update_atoms vs P.departments id ~ts:i [] [ Atom.Int 314; Atom.Int 56194; Atom.Int (320_000 + i) ]
+  done;
+  let delta_bytes = VS.delta_bytes vs in
+  let full_copy_bytes =
+    let b = Codec.create_sink () in
+    Value.encode_tuple b (List.nth P.departments_rows 0);
+    50 * String.length (Codec.contents b)
+  in
+  checkb "deltas much smaller than full copies" true (delta_bytes * 4 < full_copy_bytes)
+
+let test_walk_through_time () =
+  let vs = mk_vs () in
+  let d314 = List.nth P.departments_rows 0 in
+  let id = VS.insert vs P.departments ~ts:100 d314 in
+  VS.update_atoms vs P.departments id ~ts:200 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 330_000 ];
+  VS.update_atoms vs P.departments id ~ts:300 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 340_000 ];
+  VS.update_atoms vs P.departments id ~ts:400 [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 350_000 ];
+  let budget tup =
+    match Value.field P.departments.Schema.table tup "BUDGET" with
+    | Value.Atom (Atom.Int b) -> b
+    | _ -> -1
+  in
+  (* interval spanning versions 2-3: base state at lo + two changes *)
+  let walked = VS.walk_through_time vs P.departments id ~lo:250 ~hi:350 in
+  Alcotest.(check (list (pair int int)))
+    "states in [250,350]"
+    [ (250, 330_000); (300, 340_000) ]
+    (List.map (fun (ts, tup) -> (ts, budget tup)) walked);
+  (* interval before creation: empty *)
+  checki "before creation" 0 (List.length (VS.walk_through_time vs P.departments id ~lo:0 ~hi:50));
+  (* whole history *)
+  checki "all four states" 4 (List.length (VS.walk_through_time vs P.departments id ~lo:100 ~hi:999));
+  (* empty interval rejected *)
+  try
+    ignore (VS.walk_through_time vs P.departments id ~lo:300 ~hi:200);
+    Alcotest.fail "expected Temporal_error"
+  with VS.Temporal_error _ -> ()
+
+(* --- language-level ASOF (paper Section 5 example) ------------------------- *)
+
+let test_language_asof_example () =
+  let db = Db.create () in
+  ignore
+    (Db.exec db
+       "CREATE TABLE DEPARTMENTS (DNO INT, MGRNO INT, PROJECTS TABLE (PNO INT, PNAME TEXT), BUDGET INT) WITH VERSIONS");
+  ignore
+    (Db.exec db
+       "INSERT INTO DEPARTMENTS VALUES (314, 56194, {(17, 'CGA'), (23, 'HEAP')}, 320000)");
+  (* later the department is reorganised *)
+  ignore (Db.exec db "UPDATE DEPARTMENTS SET BUDGET = 500000 WHERE DNO = 314 AT DATE '1984-03-01'");
+  (* the paper's query: all projects department 314 had on Jan 15, 1984 *)
+  let r =
+    Db.query db
+      "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS ASOF DATE '1984-01-15', y IN x.PROJECTS WHERE x.DNO = 314"
+  in
+  checki "two projects on 1984-01-15" 2 (List.length (Nf2_algebra.Rel.tuples r));
+  let r = Db.query db "SELECT x.BUDGET FROM x IN DEPARTMENTS ASOF DATE '1984-01-15' WHERE x.DNO = 314" in
+  (match Nf2_algebra.Rel.tuples r with
+  | [ [ Value.Atom (Atom.Int 320000) ] ] -> ()
+  | _ -> Alcotest.fail "old budget");
+  let r = Db.query db "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314" in
+  match Nf2_algebra.Rel.tuples r with
+  | [ [ Value.Atom (Atom.Int 500000) ] ] -> ()
+  | _ -> Alcotest.fail "current budget"
+
+let () =
+  Alcotest.run "temporal"
+    [
+      ( "version store",
+        [
+          Alcotest.test_case "insert/current" `Quick test_insert_current;
+          Alcotest.test_case "asof (whole updates)" `Quick test_asof_whole_updates;
+          Alcotest.test_case "asof (atom deltas)" `Quick test_asof_atom_deltas;
+          Alcotest.test_case "delete/snapshot" `Quick test_delete_and_snapshot;
+          Alcotest.test_case "monotone timestamps" `Quick test_monotonicity_enforced;
+          Alcotest.test_case "history metadata" `Quick test_history_metadata;
+          Alcotest.test_case "delta space" `Quick test_delta_space_smaller_than_copies;
+          Alcotest.test_case "walk-through-time" `Quick test_walk_through_time;
+        ] );
+      ("language", [ Alcotest.test_case "ASOF example (Section 5)" `Quick test_language_asof_example ]);
+    ]

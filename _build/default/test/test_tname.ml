@@ -1,0 +1,138 @@
+(* Tests for tuple names (Section 4.3 / Fig 8 of the paper). *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module P = Nf2_workload.Paper_data
+module D = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module OS = Nf2_storage.Object_store
+module MD = Nf2_storage.Mini_directory
+module TN = Nf2_tname.Tuple_name
+module Db = Nf2.Db
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_store ?(layout = MD.SS3) () =
+  let disk = D.create () in
+  let pool = BP.create ~frames:128 disk in
+  OS.create ~layout pool
+
+let layouts = [ MD.SS1; MD.SS2; MD.SS3 ]
+
+(* The Fig 8 t-names: U (dept 314 as a whole), V (project 17),
+   T (member 56019), W (PROJECTS subtable), X (MEMBERS of project 17). *)
+let test_fig8_names () =
+  List.iter
+    (fun layout ->
+      let store = mk_store ~layout () in
+      let root = OS.insert store P.departments (List.nth P.departments_rows 0) in
+      let u = TN.of_object ~table:"DEPARTMENTS" root in
+      let v = TN.of_subobject ~table:"DEPARTMENTS" root [ OS.Attr "PROJECTS"; OS.Elem 0 ] in
+      let t =
+        TN.of_subobject ~table:"DEPARTMENTS" root
+          [ OS.Attr "PROJECTS"; OS.Elem 0; OS.Attr "MEMBERS"; OS.Elem 1 ]
+      in
+      let w = TN.of_subtable ~table:"DEPARTMENTS" root [ OS.Attr "PROJECTS" ] in
+      let x = TN.of_subtable ~table:"DEPARTMENTS" root [ OS.Attr "PROJECTS"; OS.Elem 0; OS.Attr "MEMBERS" ] in
+      (* resolution *)
+      (match TN.resolve store P.departments u with
+      | Value.Table { tuples = [ tup ]; _ } ->
+          checkb "U = dept 314" true (Value.equal_tuple tup (List.nth P.departments_rows 0))
+      | _ -> Alcotest.fail "U");
+      (match TN.resolve store P.departments v with
+      | Value.Table { tuples = [ Value.Atom (Atom.Int 17) :: _ ]; _ } -> ()
+      | _ -> Alcotest.fail "V");
+      (match TN.resolve store P.departments t with
+      | Value.Table { tuples = [ [ Value.Atom (Atom.Int 56019); Value.Atom (Atom.Str "Consultant") ] ]; _ } -> ()
+      | _ -> Alcotest.fail "T");
+      (match TN.resolve store P.departments w with
+      | Value.Table { tuples; _ } -> checki "W = 2 projects" 2 (List.length tuples)
+      | _ -> Alcotest.fail "W");
+      (match TN.resolve store P.departments x with
+      | Value.Table { tuples; _ } -> checki "X = 3 members" 3 (List.length tuples)
+      | _ -> Alcotest.fail "X");
+      (* only subtable names are invalid as index addresses *)
+      checkb "U valid" true (TN.valid_as_index_address u);
+      checkb "V valid" true (TN.valid_as_index_address v);
+      checkb "T valid" true (TN.valid_as_index_address t);
+      checkb "W invalid" false (TN.valid_as_index_address w);
+      checkb "X invalid" false (TN.valid_as_index_address x))
+    layouts
+
+let test_stability_under_unrelated_updates () =
+  let store = mk_store () in
+  let root = OS.insert store P.departments (List.nth P.departments_rows 0) in
+  let t =
+    TN.of_subobject ~table:"DEPARTMENTS" root [ OS.Attr "PROJECTS"; OS.Elem 0; OS.Attr "MEMBERS"; OS.Elem 1 ]
+  in
+  let resolve () =
+    match TN.resolve store P.departments t with
+    | Value.Table { tuples = [ Value.Atom (Atom.Int e) :: _ ]; _ } -> e
+    | _ -> -1
+  in
+  checki "before" 56019 (resolve ());
+  (* unrelated mutations: equipment and a new project *)
+  OS.append_element store P.departments root [ OS.Attr "EQUIP" ] [ Value.int_ 7; Value.str "LASER" ];
+  OS.append_element store P.departments root [ OS.Attr "PROJECTS" ]
+    [ Value.int_ 99; Value.str "NEW"; Value.set [] ];
+  OS.update_atoms store P.departments root [] [ Atom.Int 314; Atom.Int 56194; Atom.Int 999 ];
+  checki "after unrelated updates" 56019 (resolve ());
+  (* even object relocation (check-out) keeps t-names valid *)
+  OS.relocate store root;
+  checki "after relocation" 56019 (resolve ())
+
+let test_malformed_paths_rejected () =
+  (try
+     ignore (TN.of_subobject ~table:"T" { Nf2_storage.Tid.page = 0; slot = 0 } [ OS.Attr "PROJECTS" ]);
+     Alcotest.fail "subobject must end at element"
+   with TN.Tname_error _ -> ());
+  try
+    ignore (TN.of_subtable ~table:"T" { Nf2_storage.Tid.page = 0; slot = 0 } [ OS.Attr "P"; OS.Elem 0 ]);
+    Alcotest.fail "subtable must end at attribute"
+  with TN.Tname_error _ -> ()
+
+let test_registry_roundtrip () =
+  let reg = TN.create_registry () in
+  let tn = TN.of_object ~table:"DEPARTMENTS" { Nf2_storage.Tid.page = 3; slot = 1 } in
+  let token = TN.register reg tn in
+  checkb "token format" true (String.length token > 0 && token.[0] = 't');
+  let back = TN.find_token reg token in
+  checkb "roundtrip" true (back = tn);
+  (try
+     ignore (TN.find_token reg "t999999");
+     Alcotest.fail "unknown token"
+   with TN.Tname_error _ -> ());
+  (* distinct tokens for distinct registrations *)
+  let token2 = TN.register reg tn in
+  checkb "unique tokens" true (token <> token2)
+
+let test_db_level_tnames () =
+  let db = Nf2.Demo.create () in
+  let root = List.hd (Db.table_roots db ~table:"DEPARTMENTS") in
+  let tok_obj = Db.tname_object db ~table:"DEPARTMENTS" root in
+  let tok_sub = Db.tname_subobject db ~table:"DEPARTMENTS" root [ Db.OS.Attr "PROJECTS"; Db.OS.Elem 1 ] in
+  let tok_tbl = Db.tname_subtable db ~table:"DEPARTMENTS" root [ Db.OS.Attr "EQUIP" ] in
+  (match Db.resolve_tname db tok_obj with
+  | Value.Table { tuples = [ tup ]; _ } -> checki "object arity" 5 (List.length tup)
+  | _ -> Alcotest.fail "object tname");
+  (match Db.resolve_tname db tok_sub with
+  | Value.Table { tuples = [ Value.Atom (Atom.Int 23) :: _ ]; _ } -> ()
+  | _ -> Alcotest.fail "subobject tname");
+  match Db.resolve_tname db tok_tbl with
+  | Value.Table { tuples; _ } -> checki "equip rows" 3 (List.length tuples)
+  | _ -> Alcotest.fail "subtable tname"
+
+let () =
+  Alcotest.run "tname"
+    [
+      ( "tuple names",
+        [
+          Alcotest.test_case "Fig 8 names (all layouts)" `Quick test_fig8_names;
+          Alcotest.test_case "stability" `Quick test_stability_under_unrelated_updates;
+          Alcotest.test_case "malformed paths" `Quick test_malformed_paths_rejected;
+          Alcotest.test_case "registry" `Quick test_registry_roundtrip;
+          Alcotest.test_case "db-level" `Quick test_db_level_tnames;
+        ] );
+    ]

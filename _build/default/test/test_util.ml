@@ -1,0 +1,166 @@
+(* Direct tests for the utility layer: codecs, PRNG, masked patterns,
+   ASCII tables. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* --- codec ----------------------------------------------------------- *)
+
+let test_uvarint_edges () =
+  let roundtrip v =
+    let b = Codec.create_sink () in
+    Codec.put_uvarint b v;
+    Codec.get_uvarint (Codec.source_of_string (Codec.contents b))
+  in
+  List.iter (fun v -> checki (string_of_int v) v (roundtrip v))
+    [ 0; 1; 127; 128; 255; 16383; 16384; 1 lsl 40; max_int ];
+  (* single byte for small values *)
+  let b = Codec.create_sink () in
+  Codec.put_uvarint b 127;
+  checki "127 is one byte" 1 (String.length (Codec.contents b))
+
+let test_string_codec () =
+  let b = Codec.create_sink () in
+  Codec.put_string b "";
+  Codec.put_string b "hello";
+  Codec.put_string b (String.make 1000 'x');
+  let src = Codec.source_of_string (Codec.contents b) in
+  checks "empty" "" (Codec.get_string src);
+  checks "hello" "hello" (Codec.get_string src);
+  checki "big" 1000 (String.length (Codec.get_string src));
+  checkb "at end" true (Codec.at_end src)
+
+let test_decode_errors () =
+  (* truncated input raises Decode_error, never a silent wrong value *)
+  List.iter
+    (fun s ->
+      let src = Codec.source_of_string s in
+      try
+        ignore (Codec.get_string src);
+        Alcotest.fail "expected Decode_error"
+      with Codec.Decode_error _ -> ())
+    [ "\x05ab"; "\xff" ]
+
+let test_fixed_width_fields () =
+  let buf = Bytes.make 16 '\000' in
+  Codec.blit_u16 buf 0 0xBEEF;
+  checki "u16" 0xBEEF (Codec.read_u16 buf 0);
+  Codec.blit_u32 buf 4 0x12345678;
+  checki "u32" 0x12345678 (Codec.read_u32 buf 4)
+
+let test_key_order_strings () =
+  checkb "string keys ordered" true
+    (String.compare (Codec.key_of_string "abc") (Codec.key_of_string "abd") < 0);
+  checkb "float keys ordered" true
+    (String.compare (Codec.key_of_float (-1.5)) (Codec.key_of_float 0.25) < 0)
+
+(* --- prng ------------------------------------------------------------- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    checki "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  checkb "different seeds differ" true !differs
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.in_range r 5 9 in
+    checkb "in range" true (v >= 5 && v <= 9);
+    let f = Prng.float r in
+    checkb "unit float" true (f >= 0.0 && f < 1.0)
+  done;
+  (* shuffle is a permutation *)
+  let arr = Array.init 50 (fun i -> i) in
+  let sh = Prng.shuffle r arr in
+  checkb "permutation" true (List.sort Int.compare (Array.to_list sh) = Array.to_list arr);
+  try
+    ignore (Prng.int r 0);
+    Alcotest.fail "bound 0"
+  with Invalid_argument _ -> ()
+
+(* --- masked patterns ----------------------------------------------------- *)
+
+let test_masked_components () =
+  let m = Masked.compile "ab*cd?e" in
+  Alcotest.(check (list string)) "literals" [ "ab"; "cd"; "e" ] (Masked.literals m);
+  checkb "prefix" true (Masked.anchored_prefix m = Some "ab");
+  checkb "suffix" true (Masked.anchored_suffix m = Some "e");
+  let m2 = Masked.compile "*x*" in
+  checkb "no prefix" true (Masked.anchored_prefix m2 = None);
+  checkb "no suffix" true (Masked.anchored_suffix m2 = None);
+  (* consecutive stars collapse *)
+  checkb "a**b = a*b" true (Masked.matches (Masked.compile "a**b") "aXYZb")
+
+let test_masked_edge_cases () =
+  checkb "empty pattern matches empty" true (Masked.matches (Masked.compile "") "");
+  checkb "empty pattern vs text" false (Masked.matches (Masked.compile "") "x");
+  checkb "star matches empty" true (Masked.matches (Masked.compile "*") "");
+  checkb "question needs one" false (Masked.matches (Masked.compile "?") "");
+  checkb "literal exact" true (Masked.matches (Masked.compile "abc") "abc");
+  checkb "literal partial" false (Masked.matches (Masked.compile "abc") "abcd")
+
+let prop_masked_star_sandwich =
+  (* '*s*' matches exactly the strings containing s (case-insensitive) *)
+  QCheck.Test.make ~name:"*s* = substring" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 5)) (string_of_size (QCheck.Gen.int_range 0 12)))
+    (fun (needle, hay) ->
+      QCheck.assume (not (String.contains needle '*') && not (String.contains needle '?'));
+      let lneedle = String.lowercase_ascii needle and lhay = String.lowercase_ascii hay in
+      let contains =
+        let n = String.length lneedle and h = String.length lhay in
+        let rec go i = i + n <= h && (String.sub lhay i n = lneedle || go (i + 1)) in
+        go 0
+      in
+      Masked.matches (Masked.compile ("*" ^ needle ^ "*")) hay = contains)
+
+(* --- ascii tables ------------------------------------------------------- *)
+
+let test_ascii_table () =
+  let s = Ascii_table.render ~header:[ "A"; "B" ] [ [ "1"; "xx" ]; [ "22"; "y" ] ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  checki "6 lines" 6 (List.length lines);
+  (* all lines the same width *)
+  let widths = List.map String.length lines in
+  checkb "rectangular" true (List.for_all (( = ) (List.hd widths)) widths);
+  (* multi-line cells expand rows *)
+  let s2 = Ascii_table.render ~header:[ "X" ] [ [ "a\nb" ] ] in
+  checkb "two-line cell" true (List.length (String.split_on_char '\n' (String.trim s2)) > 5);
+  try
+    ignore (Ascii_table.render ~header:[ "A" ] [ [ "1"; "2" ] ]);
+    Alcotest.fail "ragged"
+  with Invalid_argument _ -> ()
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_masked_star_sandwich ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "uvarint edges" `Quick test_uvarint_edges;
+          Alcotest.test_case "strings" `Quick test_string_codec;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "fixed-width" `Quick test_fixed_width_fields;
+          Alcotest.test_case "key order" `Quick test_key_order_strings;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+        ] );
+      ( "masked",
+        [
+          Alcotest.test_case "components" `Quick test_masked_components;
+          Alcotest.test_case "edge cases" `Quick test_masked_edge_cases;
+        ] );
+      ("ascii", [ Alcotest.test_case "tables" `Quick test_ascii_table ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,115 @@
+(* Tests for the workload layer: paper fixtures and generators. *)
+
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module P = Nf2_workload.Paper_data
+module G = Nf2_workload.Generator
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_fixtures_conform () =
+  checkb "DEPARTMENTS" true (Value.conforms P.departments P.departments_table);
+  List.iter (Value.check_tuple P.departments_1nf.Schema.table) P.departments_1nf_rows;
+  List.iter (Value.check_tuple P.projects_1nf.Schema.table) P.projects_1nf_rows;
+  List.iter (Value.check_tuple P.members_1nf.Schema.table) P.members_1nf_rows;
+  List.iter (Value.check_tuple P.equip_1nf.Schema.table) P.equip_1nf_rows;
+  List.iter (Value.check_tuple P.employees_1nf.Schema.table) P.employees_1nf_rows;
+  List.iter (Value.check_tuple P.reports.Schema.table) P.reports_rows;
+  List.iter (Value.check_tuple P.example4_result_schema.Schema.table) P.example4_expected
+
+let test_fixture_cross_consistency () =
+  (* Table 8 covers every EMPNO of Table 5, including the managers *)
+  let empnos =
+    List.concat_map
+      (fun d ->
+        (match List.nth d 1 with Value.Atom (Atom.Int m) -> [ m ] | _ -> [])
+        @ List.filter_map
+            (function Atom.Int e -> Some e | _ -> None)
+            (Value.atoms_on_path P.departments.Schema.table d [ "PROJECTS"; "MEMBERS"; "EMPNO" ]))
+      P.departments_rows
+    |> List.sort_uniq Int.compare
+  in
+  let in_t8 =
+    List.filter_map
+      (function Value.Atom (Atom.Int e) :: _ -> Some e | _ -> None)
+      P.employees_1nf_rows
+  in
+  List.iter (fun e -> checkb (Printf.sprintf "EMPNO %d in Table 8" e) true (List.mem e in_t8)) empnos;
+  (* the paper states employee numbers in Table 5 are unique *)
+  checki "20 distinct employees (17 members + 3 managers)" 20 (List.length empnos)
+
+let test_generator_determinism () =
+  let a = G.departments () and b = G.departments () in
+  checkb "same seed, same data" true
+    (Value.equal_table { Value.kind = Schema.Set; tuples = a } { Value.kind = Schema.Set; tuples = b });
+  let c = G.departments ~params:{ G.default_dept_params with G.seed = 1 } () in
+  checkb "different seed differs" false
+    (Value.equal_table { Value.kind = Schema.Set; tuples = a } { Value.kind = Schema.Set; tuples = c })
+
+let test_generator_conformance () =
+  let params = { G.default_dept_params with G.departments = 15 } in
+  let rows = G.departments ~params () in
+  checki "count" 15 (List.length rows);
+  List.iter (Value.check_tuple P.departments.Schema.table) rows;
+  (* employee numbers globally unique, as the paper assumes *)
+  let empnos =
+    List.concat_map
+      (fun d ->
+        List.filter_map (function Atom.Int e -> Some e | _ -> None)
+          (Value.atoms_on_path P.departments.Schema.table d [ "PROJECTS"; "MEMBERS"; "EMPNO" ]))
+      rows
+  in
+  checki "unique empnos" (List.length empnos) (List.length (List.sort_uniq Int.compare empnos))
+
+let test_employees_for_covers () =
+  let rows = G.departments ~params:{ G.default_dept_params with G.departments = 5 } () in
+  let emps = G.employees_for ~seed:3 rows in
+  List.iter (Value.check_tuple P.employees_1nf.Schema.table) emps;
+  (* every member and manager appears exactly once *)
+  let member_count =
+    List.fold_left
+      (fun acc d ->
+        acc + 1 (* manager *)
+        + List.length (Value.atoms_on_path P.departments.Schema.table d [ "PROJECTS"; "MEMBERS"; "EMPNO" ]))
+      0 rows
+  in
+  checki "coverage" member_count (List.length emps)
+
+let test_report_generator () =
+  let rows = G.reports ~params:{ G.default_report_params with G.reports = 50 } () in
+  checki "50 reports" 50 (List.length rows);
+  List.iter (Value.check_tuple P.reports.Schema.table) rows;
+  (* authors lists are non-empty and ordered tables *)
+  List.iter
+    (fun r ->
+      match List.nth r 1 with
+      | Value.Table t ->
+          checkb "list kind" true (t.Value.kind = Schema.List);
+          checkb "non-empty" true (t.Value.tuples <> [])
+      | _ -> Alcotest.fail "authors")
+    rows
+
+let test_assembly_generator () =
+  let rows = G.assemblies ~params:{ G.default_assembly_params with G.assemblies = 4 } () in
+  checki "4 assemblies" 4 (List.length rows);
+  List.iter (Value.check_tuple G.assemblies_schema.Schema.table) rows
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "conformance" `Quick test_fixtures_conform;
+          Alcotest.test_case "cross consistency" `Quick test_fixture_cross_consistency;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          Alcotest.test_case "departments conform" `Quick test_generator_conformance;
+          Alcotest.test_case "employees coverage" `Quick test_employees_for_covers;
+          Alcotest.test_case "reports" `Quick test_report_generator;
+          Alcotest.test_case "assemblies" `Quick test_assembly_generator;
+        ] );
+    ]

@@ -1,1 +1,1 @@
-bench/harness.ml: Analyze Ascii_table Bechamel Benchmark Float Hashtbl Instance List Measure Nf2_storage Printf Staged Test Time Toolkit Unix
+bench/harness.ml: Analyze Ascii_table Bechamel Benchmark Float Hashtbl Instance List Measure Nf2 Nf2_storage Option Printf Staged Test Time Toolkit Unix

@@ -1,1 +1,1 @@
-bench/main.ml: Array Harness Lazy List Masked Nf2 Nf2_algebra Nf2_baseline Nf2_index Nf2_model Nf2_storage Nf2_temporal Nf2_tname Nf2_workload Printf Prng String Sys
+bench/main.ml: Array Fun Harness Lazy List Masked Nf2 Nf2_algebra Nf2_baseline Nf2_index Nf2_model Nf2_storage Nf2_temporal Nf2_tname Nf2_workload Option Printf Prng String Sys Wal

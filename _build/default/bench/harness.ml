@@ -82,3 +82,49 @@ let fresh_env ?(page_size = 4096) ?(frames = 64) () =
   let disk = D.create ~page_size () in
   let pool = BP.create ~frames disk in
   (disk, pool)
+
+(* --- WAL overhead accounting ------------------------------------------- *)
+
+module Wal = Nf2_storage.Wal
+
+type wal_overhead = {
+  plain_ns : float;  (** workload wall time, no log *)
+  wal_ns : float;  (** workload wall time, logged + final checkpoint *)
+  plain_writes : int;  (** data pages written, no log *)
+  wal_writes : int;  (** data pages written, logged *)
+  records : int;  (** log records appended *)
+  log_bytes : int;  (** serialised log bytes *)
+  flushes : int;  (** log fsyncs (one per commit + checkpoint) *)
+  forced_flushes : int;  (** fsyncs forced by WAL-before-data *)
+}
+
+(* Run the same workload on a plain and on a WAL-attached database
+   (both freshly built by [make]) and report data-page writes and log
+   work side by side.  Returns both databases so the caller can assert
+   their states are identical. *)
+let wal_overhead ~(make : wal:bool -> Nf2.Db.t) ~(run : Nf2.Db.t -> unit) =
+  let plain = make ~wal:false in
+  let (), plain_ns = time_once (fun () -> run plain) in
+  BP.flush_all (Nf2.Db.pool plain);
+  let plain_writes = (D.stats (Nf2.Db.disk plain)).D.writes in
+  let logged = make ~wal:true in
+  let (), wal_ns =
+    time_once (fun () ->
+        run logged;
+        (* sharp checkpoint: flushes the pool, like flush_all above *)
+        Nf2.Db.wal_checkpoint logged)
+  in
+  let wal_writes = (D.stats (Nf2.Db.disk logged)).D.writes in
+  let ws = Wal.stats (Option.get (Nf2.Db.wal logged)) in
+  ( plain,
+    logged,
+    {
+      plain_ns;
+      wal_ns;
+      plain_writes;
+      wal_writes;
+      records = ws.Wal.records;
+      log_bytes = ws.Wal.bytes;
+      flushes = ws.Wal.flushes;
+      forced_flushes = ws.Wal.forced_flushes;
+    } )

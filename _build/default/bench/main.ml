@@ -935,6 +935,72 @@ let bench_ablations () =
 
 (* ================================================================== *)
 
+(* ================================================================== *)
+(* WL: write-ahead logging — overhead and crash recovery              *)
+(* ================================================================== *)
+
+let bench_wal () =
+  section "WL" "write-ahead logging: overhead and crash recovery";
+  let scripts =
+    "CREATE TABLE R (K INT, V INT, XS TABLE (X INT))"
+    :: List.concat_map
+         (fun i ->
+           [
+             Printf.sprintf "INSERT INTO R VALUES (%d, %d, {(%d), (%d)})" i (i * 7) i (i + 100);
+             Printf.sprintf "UPDATE R SET V = V + 1 WHERE K = %d" (i / 2);
+           ])
+         (List.init 40 Fun.id)
+  in
+  let run db = List.iter (fun s -> ignore (Db.exec db s)) scripts in
+  let make ~wal = Db.create ~page_size:1024 ~frames:16 ~wal () in
+  subsection "logging overhead (81-txn insert/update workload)";
+  let plain, logged, o = wal_overhead ~make ~run in
+  print_table
+    ~header:[ "mode"; "wall time"; "data pages written"; "log records"; "log bytes"; "fsyncs" ]
+    [
+      [ "plain"; ns_to_string o.plain_ns; string_of_int o.plain_writes; "-"; "-"; "-" ];
+      [
+        "wal";
+        ns_to_string o.wal_ns;
+        string_of_int o.wal_writes;
+        string_of_int o.records;
+        string_of_int o.log_bytes;
+        Printf.sprintf "%d (%d forced)" o.flushes o.forced_flushes;
+      ];
+    ];
+  check "logged and plain databases end in the same state"
+    (Rel.equal (Db.query plain "SELECT * FROM R") (Db.query logged "SELECT * FROM R"));
+  check "every transaction produced log records" (o.records > List.length scripts);
+  check "commit durability: one fsync per transaction" (o.flushes >= List.length scripts);
+  subsection "crash at a mid-workload page write, then recovery";
+  let module FD = Nf2_storage.Faulty_disk in
+  let module Recovery = Nf2_storage.Recovery in
+  let db = make ~wal:true in
+  let fd = FD.arm ~wal:(Option.get (Db.wal db)) (Db.disk db) (FD.Crash_at_write 5) in
+  let crashed = (try run db; Db.wal_checkpoint db; false with D.Crash _ -> true) in
+  FD.disarm fd;
+  check "the fault plan fired" crashed;
+  let img = Db.crash_image db in
+  let committed =
+    List.length
+      (List.filter
+         (fun (_, r) -> match r with Wal.Commit _ -> true | _ -> false)
+         (Wal.records_of_string img.Recovery.wal))
+  in
+  let recovered, recovery_ns = time_once (fun () -> Db.recover_from_image img) in
+  let oracle = make ~wal:false in
+  List.iteri (fun i s -> if i < committed then ignore (Db.exec oracle s)) scripts;
+  print_table
+    ~header:[ "committed txns"; "durable log bytes"; "recovery time" ]
+    [
+      [ string_of_int committed; string_of_int (String.length img.Recovery.wal);
+        ns_to_string recovery_ns ];
+    ];
+  check "recovery restores exactly the committed prefix"
+    (Db.table_names recovered = Db.table_names oracle
+    && (Db.table_names recovered = []
+       || Rel.equal (Db.query recovered "SELECT * FROM R") (Db.query oracle "SELECT * FROM R")))
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -953,6 +1019,7 @@ let sections : (string * (unit -> unit)) list =
     ("C8", bench_c8);
     ("C9", bench_c9);
     ("AB", bench_ablations);
+    ("WL", bench_wal);
   ]
 
 let () =

@@ -15,6 +15,8 @@ module VI = Nf2_index.Value_index
 module TI = Nf2_index.Text_index
 module VS = Nf2_temporal.Version_store
 module Tname = Nf2_tname.Tuple_name
+module Wal = Nf2_storage.Wal
+module Recovery = Nf2_storage.Recovery
 open Nf2_lang
 
 exception Db_error of string
@@ -44,29 +46,62 @@ type t = {
   mutable journal : out_channel option; (* logical statement log *)
   mutable journal_path : string option;
   mutable replaying : bool;
-  mutable txn : txn_state option; (* open transaction, if any *)
+  mutable txn : txn_state option; (* open snapshot transaction, if any *)
+  mutable wal : Wal.t option; (* physical write-ahead log, if attached *)
+  mutable wal_txn : wal_txn_state option; (* open WAL transaction, if any *)
 }
 
 and txn_state = { snapshot : string; mutable pending_journal : string list }
 
+(* A WAL transaction: the log holds its page before-images for physical
+   undo; [saved_catalog] is the cheap in-memory metadata snapshot
+   restored on rollback (pages are the expensive part, and those are
+   undone from the log). *)
+and wal_txn_state = {
+  wtx : Wal.txid;
+  saved_catalog : string;
+  mutable wpending_journal : string list;
+}
+
 type result = Rows of Rel.t | Msg of string
 
-let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering = true) () =
+(* Attach a write-ahead log: flush the pool first so the log's base
+   state is entirely on disk, then have the buffer pool capture every
+   subsequent page change as a physiological log record. *)
+let attach_wal t =
+  match t.wal with
+  | Some _ -> ()
+  | None ->
+      BP.flush_all t.pool;
+      let w = Wal.create () in
+      BP.attach_wal t.pool w;
+      t.wal <- Some w
+
+let wal t = t.wal
+
+let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering = true)
+    ?(wal = false) () =
   let disk = Disk.create ~page_size () in
   let pool = BP.create ~frames disk in
-  {
-    disk;
-    pool;
-    layout;
-    clustering;
-    tables = Hashtbl.create 16;
-    tnames = Tname.create_registry ();
-    last_plan = [];
-    journal = None;
-    journal_path = None;
-    replaying = false;
-    txn = None;
-  }
+  let t =
+    {
+      disk;
+      pool;
+      layout;
+      clustering;
+      tables = Hashtbl.create 16;
+      tnames = Tname.create_registry ();
+      last_plan = [];
+      journal = None;
+      journal_path = None;
+      replaying = false;
+      txn = None;
+      wal = None;
+      wal_txn = None;
+    }
+  in
+  if wal then attach_wal t;
+  t
 
 let disk t = t.disk
 let pool t = t.pool
@@ -198,6 +233,284 @@ let eval_ts t (e : Ast.expr option) ~(vs : VS.t) : int =
       | Value.Atom (Atom.Date d) -> d
       | Value.Atom (Atom.Int i) -> i
       | _ -> db_error "AT expression must be a date or integer")
+
+(* --- catalog codec -----------------------------------------------------------
+
+   The catalog (schemas, store page-ownership metadata, index specs,
+   version-store state, tuple names) serialises separately from the
+   page images: [save] writes pages + catalog, while WAL commit records
+   carry the catalog alone — it is the metadata a from-scratch kernel
+   would keep on pages, so recovery needs it alongside the replayed
+   page images. *)
+
+let magic = "AIMII001"
+
+let put_int_list b xs =
+  Codec.put_uvarint b (List.length xs);
+  List.iter (Codec.put_varint b) xs
+
+let get_int_list src =
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Codec.get_varint src)
+
+let put_path b (p : Schema.path) =
+  Codec.put_uvarint b (List.length p);
+  List.iter (Codec.put_string b) p
+
+let get_path src : Schema.path =
+  let n = Codec.get_uvarint src in
+  List.init n (fun _ -> Codec.get_string src)
+
+let put_step b = function
+  | OS.Attr a ->
+      Codec.put_u8 b 0;
+      Codec.put_string b a
+  | OS.Elem i ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b i
+
+let get_step src =
+  match Codec.get_u8 src with
+  | 0 -> OS.Attr (Codec.get_string src)
+  | 1 -> OS.Elem (Codec.get_uvarint src)
+  | n -> Codec.decode_error "Db: step tag %d" n
+
+let encode_catalog b t =
+  let tables = Hashtbl.fold (fun _ ti acc -> ti :: acc) t.tables [] in
+  Codec.put_uvarint b (List.length tables);
+  List.iter
+    (fun ti ->
+      Schema.encode b ti.schema;
+      Codec.put_bool b ti.versioned;
+      let dir_pages, data_pages, free_pages = OS.export_meta ti.store in
+      put_int_list b dir_pages;
+      put_int_list b data_pages;
+      put_int_list b free_pages;
+      Codec.put_uvarint b (List.length ti.indexes);
+      List.iter
+        (fun ii ->
+          put_path b ii.ipath;
+          Codec.put_u8 b
+            (match VI.strategy ii.vindex with VI.Data_tid -> 0 | VI.Root_tid -> 1 | VI.Hierarchical -> 2))
+        ti.indexes;
+      Codec.put_uvarint b (List.length ti.text_indexes);
+      List.iter (fun (p, _) -> put_path b p) ti.text_indexes;
+      match ti.vstore with
+      | None -> Codec.put_bool b false
+      | Some vs ->
+          Codec.put_bool b true;
+          let x = VS.export vs in
+          Codec.put_varint b x.VS.x_next_id;
+          Codec.put_varint b x.VS.x_clock;
+          put_int_list b x.VS.x_delta_pages;
+          Codec.put_uvarint b (List.length x.VS.x_objects);
+          List.iter
+            (fun (id, root, created, deleted_at, versions) ->
+              Codec.put_varint b id;
+              Tid.encode b root;
+              Codec.put_varint b created;
+              (match deleted_at with
+              | None -> Codec.put_bool b false
+              | Some d ->
+                  Codec.put_bool b true;
+                  Codec.put_varint b d);
+              Codec.put_uvarint b (List.length versions);
+              List.iter
+                (fun (ts, delta) ->
+                  Codec.put_varint b ts;
+                  match delta with
+                  | None -> Codec.put_bool b false
+                  | Some dt ->
+                      Codec.put_bool b true;
+                      Tid.encode b dt)
+                versions)
+            x.VS.x_objects)
+    tables;
+  (* tuple names *)
+  let names = Tname.all t.tnames in
+  Codec.put_uvarint b (List.length names);
+  List.iter
+    (fun (token, (tn : Tname.t)) ->
+      Codec.put_string b token;
+      Codec.put_string b tn.Tname.table;
+      (match tn.Tname.kind with
+      | Tname.K_object -> Codec.put_u8 b 0
+      | Tname.K_subobject -> Codec.put_u8 b 1
+      | Tname.K_subtable i ->
+          Codec.put_u8 b 2;
+          Codec.put_uvarint b i);
+      Tid.encode b tn.Tname.root;
+      Codec.put_uvarint b (List.length tn.Tname.steps);
+      List.iter (put_step b) tn.Tname.steps)
+    names
+
+(* Rebuild [t.tables] and [t.tnames] from a catalog image, re-attaching
+   stores to [t.pool] and rebuilding indexes. *)
+let decode_catalog t src =
+  Hashtbl.reset t.tables;
+  let ntables = Codec.get_uvarint src in
+  for _ = 1 to ntables do
+    let schema = Schema.decode src in
+    let versioned = Codec.get_bool src in
+    let dir_pages = get_int_list src in
+    let data_pages = get_int_list src in
+    let free_pages = get_int_list src in
+    let store =
+      OS.restore ~layout:t.layout ~clustering:t.clustering t.pool ~dir_pages ~data_pages ~free_pages
+    in
+    let nidx = Codec.get_uvarint src in
+    let index_specs =
+      List.init nidx (fun _ ->
+          let p = get_path src in
+          let strategy =
+            match Codec.get_u8 src with
+            | 0 -> VI.Data_tid
+            | 1 -> VI.Root_tid
+            | 2 -> VI.Hierarchical
+            | n -> Codec.decode_error "Db.load: strategy %d" n
+          in
+          (p, strategy))
+    in
+    let ntidx = Codec.get_uvarint src in
+    let text_paths = List.init ntidx (fun _ -> get_path src) in
+    let vstore =
+      if Codec.get_bool src then begin
+        let x_next_id = Codec.get_varint src in
+        let x_clock = Codec.get_varint src in
+        let x_delta_pages = get_int_list src in
+        let nobj = Codec.get_uvarint src in
+        let x_objects =
+          List.init nobj (fun _ ->
+              let id = Codec.get_varint src in
+              let root = Tid.decode src in
+              let created = Codec.get_varint src in
+              let deleted_at = if Codec.get_bool src then Some (Codec.get_varint src) else None in
+              let nv = Codec.get_uvarint src in
+              let versions =
+                List.init nv (fun _ ->
+                    let ts = Codec.get_varint src in
+                    let delta = if Codec.get_bool src then Some (Tid.decode src) else None in
+                    (ts, delta))
+              in
+              (id, root, created, deleted_at, versions))
+        in
+        Some (VS.restore store t.pool { VS.x_next_id; x_clock; x_delta_pages; x_objects })
+      end
+      else None
+    in
+    let indexes =
+      List.map
+        (fun (p, strategy) ->
+          {
+            iname = Printf.sprintf "IDX_%s_%s" schema.Schema.name (String.concat "_" p);
+            ipath = p;
+            vindex = VI.create store schema strategy p;
+          })
+        index_specs
+    in
+    let text_indexes = List.map (fun p -> (p, TI.create store schema p)) text_paths in
+    Hashtbl.replace t.tables (String.uppercase_ascii schema.Schema.name)
+      { schema; versioned; store; vstore; ids = []; indexes; text_indexes }
+  done;
+  let nnames = Codec.get_uvarint src in
+  let names =
+    List.init nnames (fun _ ->
+        let token = Codec.get_string src in
+        let table = Codec.get_string src in
+        let kind =
+          match Codec.get_u8 src with
+          | 0 -> Tname.K_object
+          | 1 -> Tname.K_subobject
+          | 2 -> Tname.K_subtable (Codec.get_uvarint src)
+          | n -> Codec.decode_error "Db.load: tname kind %d" n
+        in
+        let root = Tid.decode src in
+        let nsteps = Codec.get_uvarint src in
+        let steps = List.init nsteps (fun _ -> get_step src) in
+        (token, { Tname.table; kind; root; steps }))
+  in
+  t.tnames <- Tname.restore_registry names
+
+(* Journal entries are length-prefixed statement sources so multi-line
+   statements replay exactly. *)
+let journal_write t (source : string) =
+  match t.journal with
+  | Some oc when not t.replaying ->
+      Printf.fprintf oc "%d\n%s\n" (String.length source) source;
+      flush oc
+  | _ -> ()
+
+(* --- WAL transactions --------------------------------------------------------
+
+   With a WAL attached, mutations run as logged transactions: page
+   changes are captured as before/after-image records by the buffer
+   pool, COMMIT appends a commit record carrying the catalog image and
+   forces the log, and rollback (runtime abort) restores the
+   before-images through the pool — the compensations are logged like
+   any other update, so a crash mid-rollback still recovers cleanly.
+   A simulated [Disk.Crash] is machine death: nothing is cleaned up. *)
+
+(* Catalog image as carried in WAL commit/checkpoint records. *)
+let wal_payload t : string =
+  let b = Codec.create_sink () in
+  Codec.put_u8 b (match t.layout with MD.SS1 -> 1 | MD.SS2 -> 2 | MD.SS3 -> 3);
+  Codec.put_bool b t.clustering;
+  encode_catalog b t;
+  Codec.contents b
+
+let restore_catalog t (payload : string) =
+  let src = Codec.source_of_string payload in
+  ignore (Codec.get_u8 src) (* layout *);
+  ignore (Codec.get_bool src) (* clustering *);
+  decode_catalog t src
+
+let begin_wal_txn t w =
+  let wtx = Wal.begin_tx w in
+  BP.set_tx t.pool wtx;
+  let st = { wtx; saved_catalog = wal_payload t; wpending_journal = [] } in
+  t.wal_txn <- Some st;
+  st
+
+let commit_wal_txn t w (st : wal_txn_state) =
+  Wal.commit w ~tx:st.wtx ~payload:(Some (wal_payload t));
+  BP.set_tx t.pool Wal.system_tx;
+  t.wal_txn <- None;
+  List.iter (journal_write t) (List.rev st.wpending_journal)
+
+(* Runtime rollback: apply the transaction's before-images in reverse
+   through the pool (logging compensations), mark it aborted, and
+   restore the catalog snapshot so in-memory metadata matches the
+   rewound pages. *)
+let abort_wal_txn t w (st : wal_txn_state) =
+  let updates = Wal.tx_updates w st.wtx in
+  List.iter
+    (fun (page, off, before) ->
+      BP.write t.pool page (fun buf -> Bytes.blit_string before 0 buf off (String.length before)))
+    (List.rev updates);
+  Wal.log_abort w st.wtx;
+  BP.set_tx t.pool Wal.system_tx;
+  t.wal_txn <- None;
+  restore_catalog t st.saved_catalog
+
+(* Run [f] as its own logged transaction when a WAL is attached and no
+   transaction is already open.  [Disk.Crash] (simulated machine death)
+   passes through untouched; any other failure aborts the transaction
+   before re-raising. *)
+let logged t (f : unit -> 'a) : 'a =
+  match t.wal with
+  | Some w when t.txn = None && t.wal_txn = None && not t.replaying -> (
+      let st = begin_wal_txn t w in
+      let still_ours () = match t.wal_txn with Some st' -> st' == st | None -> false in
+      try
+        let r = f () in
+        if still_ours () then commit_wal_txn t w st;
+        r
+      with
+      | Disk.Crash _ as e -> raise e
+      | e ->
+          if still_ours () then abort_wal_txn t w st;
+          raise e)
+  | _ -> f ()
 
 (* Transaction hooks are installed after persistence is defined (they
    snapshot/restore whole database images). *)
@@ -581,30 +894,28 @@ let mutates = function
   | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter_add _ | Ast.Alter_drop _ ->
       true
 
-(* Journal entries are length-prefixed statement sources so multi-line
-   statements replay exactly. *)
-let journal_write t (source : string) =
-  match t.journal with
-  | Some oc when not t.replaying ->
-      Printf.fprintf oc "%d\n%s\n" (String.length source) source;
-      flush oc
-  | _ -> ()
-
 (* During a transaction, journal entries are buffered and published at
    COMMIT (so a crash mid-transaction recovers to the state before
    BEGIN — atomicity via the logical log). *)
 let journal_or_buffer t (source : string) =
-  match t.txn with
-  | Some st when not t.replaying -> st.pending_journal <- source :: st.pending_journal
+  match (t.txn, t.wal_txn) with
+  | Some st, _ when not t.replaying -> st.pending_journal <- source :: st.pending_journal
+  | _, Some st when not t.replaying -> st.wpending_journal <- source :: st.wpending_journal
   | _ -> journal_write t source
 
 let exec t (input : string) : result list =
   let stmts = Parser.parse_script input in
-  let results = List.map (exec_stmt t) stmts in
-  (* journal after successful execution: the whole script is one entry
-     when any statement mutates *)
-  if List.exists mutates stmts then journal_or_buffer t input;
-  results
+  let mutating = List.exists mutates stmts in
+  let run () =
+    let results = List.map (exec_stmt t) stmts in
+    (* journal after successful execution: the whole script is one entry
+       when any statement mutates *)
+    if mutating then journal_or_buffer t input;
+    results
+  in
+  (* with a WAL attached, a mutating script outside an explicit
+     transaction is its own logged transaction *)
+  if mutating then logged t run else run ()
 
 (* Single-statement convenience. *)
 let exec1 t input : result =
@@ -629,20 +940,22 @@ let render_result = function
 let register_table t (schema : Schema.t) ?(versioned = false) (rows : Value.tuple list) =
   let key = String.uppercase_ascii schema.Schema.name in
   if Hashtbl.mem t.tables key then db_error "table %s already exists" schema.Schema.name;
-  let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
-  let vstore = if versioned then Some (VS.create store t.pool) else None in
-  let ti = { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] } in
-  Hashtbl.replace t.tables key ti;
-  (match vstore with
-  | Some vs -> List.iter (fun tup -> ignore (VS.insert vs schema ~ts:0 tup)) rows
-  | None -> List.iter (fun tup -> ignore (OS.insert ti.store schema tup)) rows)
+  logged t (fun () ->
+      let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+      let vstore = if versioned then Some (VS.create store t.pool) else None in
+      let ti = { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] } in
+      Hashtbl.replace t.tables key ti;
+      match vstore with
+      | Some vs -> List.iter (fun tup -> ignore (VS.insert vs schema ~ts:0 tup)) rows
+      | None -> List.iter (fun tup -> ignore (OS.insert ti.store schema tup)) rows)
 
 let insert_tuple t ~table (tup : Value.tuple) : Tid.t =
   let ti = table_exn t table in
   (match ti.vstore with Some _ -> db_error "use the language for versioned tables" | None -> ());
-  let root = OS.insert ti.store ti.schema tup in
-  reindex_object ti root;
-  root
+  logged t (fun () ->
+      let root = OS.insert ti.store ti.schema tup in
+      reindex_object ti root;
+      root)
 
 let fetch_tuple t ~table (root : Tid.t) : Value.tuple =
   let ti = table_exn t table in
@@ -669,38 +982,6 @@ let execute t (p : prepared) (values : Atom.t list) : result =
 
 (* --- persistence ------------------------------------------------------------------- *)
 
-let magic = "AIMII001"
-
-let put_int_list b xs =
-  Codec.put_uvarint b (List.length xs);
-  List.iter (Codec.put_varint b) xs
-
-let get_int_list src =
-  let n = Codec.get_uvarint src in
-  List.init n (fun _ -> Codec.get_varint src)
-
-let put_path b (p : Schema.path) =
-  Codec.put_uvarint b (List.length p);
-  List.iter (Codec.put_string b) p
-
-let get_path src : Schema.path =
-  let n = Codec.get_uvarint src in
-  List.init n (fun _ -> Codec.get_string src)
-
-let put_step b = function
-  | OS.Attr a ->
-      Codec.put_u8 b 0;
-      Codec.put_string b a
-  | OS.Elem i ->
-      Codec.put_u8 b 1;
-      Codec.put_uvarint b i
-
-let get_step src =
-  match Codec.get_u8 src with
-  | 0 -> OS.Attr (Codec.get_string src)
-  | 1 -> OS.Elem (Codec.get_uvarint src)
-  | n -> Codec.decode_error "Db: step tag %d" n
-
 (* Serialise the whole database — page images plus catalog metadata —
    into one file.  TIDs, Mini-TIDs, and t-name tokens stay valid across
    save/load because the page images persist byte-for-byte. *)
@@ -714,74 +995,7 @@ let encode_db t : string =
   let pages = Disk.export_pages t.disk in
   Codec.put_uvarint b (Array.length pages);
   Array.iter (fun p -> Buffer.add_bytes b p) pages;
-  (* catalog *)
-  let tables = Hashtbl.fold (fun _ ti acc -> ti :: acc) t.tables [] in
-  Codec.put_uvarint b (List.length tables);
-  List.iter
-    (fun ti ->
-      Schema.encode b ti.schema;
-      Codec.put_bool b ti.versioned;
-      let dir_pages, data_pages, free_pages = OS.export_meta ti.store in
-      put_int_list b dir_pages;
-      put_int_list b data_pages;
-      put_int_list b free_pages;
-      Codec.put_uvarint b (List.length ti.indexes);
-      List.iter
-        (fun ii ->
-          put_path b ii.ipath;
-          Codec.put_u8 b
-            (match VI.strategy ii.vindex with VI.Data_tid -> 0 | VI.Root_tid -> 1 | VI.Hierarchical -> 2))
-        ti.indexes;
-      Codec.put_uvarint b (List.length ti.text_indexes);
-      List.iter (fun (p, _) -> put_path b p) ti.text_indexes;
-      match ti.vstore with
-      | None -> Codec.put_bool b false
-      | Some vs ->
-          Codec.put_bool b true;
-          let x = VS.export vs in
-          Codec.put_varint b x.VS.x_next_id;
-          Codec.put_varint b x.VS.x_clock;
-          put_int_list b x.VS.x_delta_pages;
-          Codec.put_uvarint b (List.length x.VS.x_objects);
-          List.iter
-            (fun (id, root, created, deleted_at, versions) ->
-              Codec.put_varint b id;
-              Tid.encode b root;
-              Codec.put_varint b created;
-              (match deleted_at with
-              | None -> Codec.put_bool b false
-              | Some d ->
-                  Codec.put_bool b true;
-                  Codec.put_varint b d);
-              Codec.put_uvarint b (List.length versions);
-              List.iter
-                (fun (ts, delta) ->
-                  Codec.put_varint b ts;
-                  match delta with
-                  | None -> Codec.put_bool b false
-                  | Some dt ->
-                      Codec.put_bool b true;
-                      Tid.encode b dt)
-                versions)
-            x.VS.x_objects)
-    tables;
-  (* tuple names *)
-  let names = Tname.all t.tnames in
-  Codec.put_uvarint b (List.length names);
-  List.iter
-    (fun (token, (tn : Tname.t)) ->
-      Codec.put_string b token;
-      Codec.put_string b tn.Tname.table;
-      (match tn.Tname.kind with
-      | Tname.K_object -> Codec.put_u8 b 0
-      | Tname.K_subobject -> Codec.put_u8 b 1
-      | Tname.K_subtable i ->
-          Codec.put_u8 b 2;
-          Codec.put_uvarint b i);
-      Tid.encode b tn.Tname.root;
-      Codec.put_uvarint b (List.length tn.Tname.steps);
-      List.iter (put_step b) tn.Tname.steps)
-    names;
+  encode_catalog b t;
   Codec.contents b
 
 let save t (path : string) =
@@ -819,88 +1033,11 @@ let decode_db ?(frames = 256) (data : string) : t =
       journal_path = None;
       replaying = false;
       txn = None;
+      wal = None;
+      wal_txn = None;
     }
   in
-  let ntables = Codec.get_uvarint src in
-  for _ = 1 to ntables do
-    let schema = Schema.decode src in
-    let versioned = Codec.get_bool src in
-    let dir_pages = get_int_list src in
-    let data_pages = get_int_list src in
-    let free_pages = get_int_list src in
-    let store = OS.restore ~layout ~clustering pool ~dir_pages ~data_pages ~free_pages in
-    let nidx = Codec.get_uvarint src in
-    let index_specs =
-      List.init nidx (fun _ ->
-          let p = get_path src in
-          let strategy =
-            match Codec.get_u8 src with
-            | 0 -> VI.Data_tid
-            | 1 -> VI.Root_tid
-            | 2 -> VI.Hierarchical
-            | n -> Codec.decode_error "Db.load: strategy %d" n
-          in
-          (p, strategy))
-    in
-    let ntidx = Codec.get_uvarint src in
-    let text_paths = List.init ntidx (fun _ -> get_path src) in
-    let vstore =
-      if Codec.get_bool src then begin
-        let x_next_id = Codec.get_varint src in
-        let x_clock = Codec.get_varint src in
-        let x_delta_pages = get_int_list src in
-        let nobj = Codec.get_uvarint src in
-        let x_objects =
-          List.init nobj (fun _ ->
-              let id = Codec.get_varint src in
-              let root = Tid.decode src in
-              let created = Codec.get_varint src in
-              let deleted_at = if Codec.get_bool src then Some (Codec.get_varint src) else None in
-              let nv = Codec.get_uvarint src in
-              let versions =
-                List.init nv (fun _ ->
-                    let ts = Codec.get_varint src in
-                    let delta = if Codec.get_bool src then Some (Tid.decode src) else None in
-                    (ts, delta))
-              in
-              (id, root, created, deleted_at, versions))
-        in
-        Some (VS.restore store pool { VS.x_next_id; x_clock; x_delta_pages; x_objects })
-      end
-      else None
-    in
-    let indexes =
-      List.map
-        (fun (p, strategy) ->
-          {
-            iname = Printf.sprintf "IDX_%s_%s" schema.Schema.name (String.concat "_" p);
-            ipath = p;
-            vindex = VI.create store schema strategy p;
-          })
-        index_specs
-    in
-    let text_indexes = List.map (fun p -> (p, TI.create store schema p)) text_paths in
-    Hashtbl.replace t.tables (String.uppercase_ascii schema.Schema.name)
-      { schema; versioned; store; vstore; ids = []; indexes; text_indexes }
-  done;
-  let nnames = Codec.get_uvarint src in
-  let names =
-    List.init nnames (fun _ ->
-        let token = Codec.get_string src in
-        let table = Codec.get_string src in
-        let kind =
-          match Codec.get_u8 src with
-          | 0 -> Tname.K_object
-          | 1 -> Tname.K_subobject
-          | 2 -> Tname.K_subtable (Codec.get_uvarint src)
-          | n -> Codec.decode_error "Db.load: tname kind %d" n
-        in
-        let root = Tid.decode src in
-        let nsteps = Codec.get_uvarint src in
-        let steps = List.init nsteps (fun _ -> get_step src) in
-        (token, { Tname.table; kind; root; steps }))
-  in
-  t.tnames <- Tname.restore_registry names;
+  decode_catalog t src;
   t
 
 let load ?frames (path : string) : t =
@@ -909,29 +1046,36 @@ let load ?frames (path : string) : t =
 (* --- transactions ------------------------------------------------------------------
 
    Single-user transactions (the prototype itself is single-user, as
-   the paper states): BEGIN snapshots the database image; ROLLBACK
-   restores it; COMMIT publishes the transaction's journal entries so
-   recovery replays exactly the committed work.  Mutations between
-   BEGIN and COMMIT are buffered rather than journaled. *)
+   the paper states).  Without a WAL, BEGIN snapshots the database
+   image and ROLLBACK restores it wholesale.  With a WAL attached,
+   BEGIN opens a logged transaction instead: ROLLBACK rewinds only the
+   touched pages from the log's before-images (plus the cheap catalog
+   snapshot), and COMMIT forces the log — the crash-recoverable path.
+   Either way COMMIT publishes the transaction's buffered journal
+   entries so logical recovery replays exactly the committed work. *)
 
-let in_txn t = t.txn <> None
+let in_txn t = t.txn <> None || t.wal_txn <> None
 
 let begin_txn t =
   if in_txn t then db_error "transaction already open";
-  t.txn <- Some { snapshot = encode_db t; pending_journal = [] }
+  match t.wal with
+  | Some w -> ignore (begin_wal_txn t w)
+  | None -> t.txn <- Some { snapshot = encode_db t; pending_journal = [] }
 
 let commit t =
-  match t.txn with
-  | None -> db_error "COMMIT without BEGIN"
-  | Some st ->
+  match (t.txn, t.wal_txn, t.wal) with
+  | Some st, _, _ ->
       t.txn <- None;
       List.iter (journal_write t) (List.rev st.pending_journal)
+  | None, Some st, Some w -> commit_wal_txn t w st
+  | _ -> db_error "COMMIT without BEGIN"
 
-(* Restore every stateful field from the snapshot image. *)
+(* Restore every stateful field from the snapshot image (snapshot
+   transactions) or rewind the touched pages from the log (WAL
+   transactions). *)
 let rollback t =
-  match t.txn with
-  | None -> db_error "ROLLBACK without BEGIN"
-  | Some st ->
+  match (t.txn, t.wal_txn, t.wal) with
+  | Some st, _, _ ->
       let t' = decode_db st.snapshot in
       t.disk <- t'.disk;
       t.pool <- t'.pool;
@@ -939,6 +1083,8 @@ let rollback t =
       Hashtbl.iter (fun k v -> Hashtbl.replace t.tables k v) t'.tables;
       t.tnames <- t'.tnames;
       t.txn <- None
+  | None, Some st, Some w -> abort_wal_txn t w st
+  | _ -> db_error "ROLLBACK without BEGIN"
 
 let () =
   txn_begin_ref := begin_txn;
@@ -1000,6 +1146,69 @@ let recover ?frames ~db_path ~journal_path () : t =
   List.iter (fun source -> ignore (exec t source)) (read_journal journal_path);
   t.replaying <- false;
   attach_journal t journal_path;
+  t
+
+(* --- WAL checkpointing and physical crash recovery ---------------------------
+
+   The physical counterpart of the logical journal above: with a WAL
+   attached (see {!attach_wal}), a crash at any physical write leaves
+   the surviving page images plus the log's durable prefix, and
+   {!recover_from_image} replays them (redo history, undo losers) to
+   exactly the committed-prefix state. *)
+
+let wal_exn t =
+  match t.wal with Some w -> w | None -> db_error "no write-ahead log attached"
+
+(* Sharp checkpoint: flush every dirty page (the WAL-before-data rule
+   forces the log out first), then log a checkpoint record carrying the
+   catalog so recovery can start its replay here. *)
+let wal_checkpoint t =
+  let w = wal_exn t in
+  if in_txn t then db_error "checkpoint inside an open transaction";
+  BP.flush_all t.pool;
+  Wal.log_checkpoint w ~payload:(Some (wal_payload t))
+
+(* What a crash right now would leave behind. *)
+let crash_image t = Recovery.capture t.disk (wal_exn t)
+
+let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
+  let outcome = Recovery.replay img in
+  let layout, clustering, cat =
+    match outcome.Recovery.catalog with
+    | None -> (MD.SS3, true, None)
+    | Some payload ->
+        let src = Codec.source_of_string payload in
+        let layout =
+          match Codec.get_u8 src with
+          | 1 -> MD.SS1
+          | 2 -> MD.SS2
+          | 3 -> MD.SS3
+          | n -> Codec.decode_error "Db.recover_from_image: layout %d" n
+        in
+        let clustering = Codec.get_bool src in
+        (layout, clustering, Some src)
+  in
+  let disk = outcome.Recovery.disk in
+  let pool = BP.create ~frames disk in
+  let t =
+    {
+      disk;
+      pool;
+      layout;
+      clustering;
+      tables = Hashtbl.create 16;
+      tnames = Tname.create_registry ();
+      last_plan = [];
+      journal = None;
+      journal_path = None;
+      replaying = false;
+      txn = None;
+      wal = None;
+      wal_txn = None;
+    }
+  in
+  (match cat with None -> () | Some src -> decode_catalog t src);
+  attach_wal t;
   t
 
 (* --- tuple names ------------------------------------------------------------------ *)

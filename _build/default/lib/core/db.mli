@@ -30,9 +30,16 @@ type result = Rows of Rel.t | Msg of string
 (** [create ()] makes an empty single-user database on a simulated
     disk.  [layout] selects the Mini Directory structure for complex
     objects (default SS3, AIM-II's choice); [clustering:false] disables
-    per-object page clustering (ablation). *)
+    per-object page clustering (ablation); [wal:true] attaches a
+    write-ahead log from the start (see {!attach_wal}). *)
 val create :
-  ?page_size:int -> ?frames:int -> ?layout:MD.layout -> ?clustering:bool -> unit -> t
+  ?page_size:int ->
+  ?frames:int ->
+  ?layout:MD.layout ->
+  ?clustering:bool ->
+  ?wal:bool ->
+  unit ->
+  t
 
 (** {1 Executing the language} *)
 
@@ -110,9 +117,12 @@ val load : ?frames:int -> string -> t
 (** {1 Transactions (single-user)}
 
     [BEGIN; ...; COMMIT] / [ROLLBACK] in the language, or the calls
-    below.  BEGIN snapshots the database image; ROLLBACK restores it;
-    COMMIT publishes the transaction's buffered journal entries, so a
-    crash mid-transaction recovers to the pre-BEGIN state. *)
+    below.  Without a WAL, BEGIN snapshots the database image and
+    ROLLBACK restores it.  With a WAL attached, BEGIN opens a logged
+    transaction: ROLLBACK rewinds only the touched pages from the
+    log's before-images, and COMMIT forces the log.  Either way COMMIT
+    publishes the transaction's buffered journal entries, so a crash
+    mid-transaction recovers to the pre-BEGIN state. *)
 
 val begin_txn : t -> unit
 val commit : t -> unit
@@ -135,6 +145,38 @@ val checkpoint : t -> db_path:string -> unit
 
 (** Load [db_path] (or start empty) and replay [journal_path]. *)
 val recover : ?frames:int -> db_path:string -> journal_path:string -> unit -> t
+
+(** {1 Write-ahead logging and physical crash recovery}
+
+    The physical counterpart of the logical journal: with a WAL
+    attached, every page change is captured as an LSN-stamped
+    before/after-image record, mutating statements run as logged
+    transactions, and no dirty page reaches disk before its log record
+    (see {!Nf2_storage.Buffer_pool}).  A crash at {e any} physical
+    write — injected deterministically via {!Nf2_storage.Faulty_disk} —
+    leaves the surviving page images plus the log's durable prefix;
+    {!recover_from_image} replays them (redo history, then undo losers)
+    to exactly the committed-prefix state.  See [docs/recovery.md]. *)
+
+(** Attach a write-ahead log (idempotent).  Flushes the pool first so
+    the log's base state is on disk. *)
+val attach_wal : t -> unit
+
+val wal : t -> Nf2_storage.Wal.t option
+
+(** Sharp checkpoint: flush all dirty pages, then log a checkpoint
+    record carrying the catalog; recovery starts its replay here.
+    @raise Db_error without a WAL or inside an open transaction. *)
+val wal_checkpoint : t -> unit
+
+(** What a crash right now would leave behind: the physical page images
+    (buffer-pool frames are lost) plus the log's durable prefix.
+    @raise Db_error without a WAL. *)
+val crash_image : t -> Nf2_storage.Recovery.image
+
+(** Redo-then-undo replay of a crash image into a fresh database with a
+    fresh WAL attached. *)
+val recover_from_image : ?frames:int -> Nf2_storage.Recovery.image -> t
 
 (** {1 Introspection (experiments, shell)} *)
 

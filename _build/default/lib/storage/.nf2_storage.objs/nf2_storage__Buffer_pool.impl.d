@@ -1,1 +1,1 @@
-lib/storage/buffer_pool.ml: Array Bytes Disk Fun Hashtbl
+lib/storage/buffer_pool.ml: Array Bytes Disk Fun Hashtbl Printf Wal

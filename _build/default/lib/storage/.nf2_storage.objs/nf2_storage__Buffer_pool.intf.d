@@ -1,1 +1,1 @@
-lib/storage/buffer_pool.mli: Bytes Disk
+lib/storage/buffer_pool.mli: Bytes Disk Wal

@@ -1,0 +1,1 @@
+lib/storage/faulty_disk.ml: Disk Printf Prng Wal

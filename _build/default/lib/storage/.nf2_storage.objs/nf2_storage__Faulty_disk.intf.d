@@ -1,0 +1,1 @@
+lib/storage/faulty_disk.mli: Disk Prng Wal

@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: Array Bytes Disk Hashtbl List String Wal

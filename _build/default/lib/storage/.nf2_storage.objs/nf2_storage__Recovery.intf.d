@@ -1,0 +1,1 @@
+lib/storage/recovery.mli: Bytes Disk Wal

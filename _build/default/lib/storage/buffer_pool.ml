@@ -3,7 +3,15 @@
    Frames are pinned for the duration of a [read]/[write] callback and
    unpinned afterwards; eviction picks the least recently used unpinned
    frame and flushes it if dirty.  Counters distinguish logical page
-   accesses (hits + misses) from physical I/O (kept on the disk). *)
+   accesses (hits + misses) from physical I/O (kept on the disk).
+
+   When a WAL is attached, every dirty callback is bracketed by a
+   before-image copy: the byte range the callback changed becomes a
+   physiological log record under the pool's current transaction, and
+   the frame is stamped with its LSN.  No dirty frame reaches the disk
+   before its log record is durable — the flush path forces a log flush
+   (or, in strict mode, raises [Wal_ordering]) whenever the frame's LSN
+   is ahead of the log's durable mark. *)
 
 type frame = {
   mutable page : int; (* -1 when frame is empty *)
@@ -11,19 +19,32 @@ type frame = {
   mutable dirty : bool;
   mutable pins : int;
   mutable lru : int; (* last-use tick *)
+  mutable lsn : int; (* LSN of the last log record covering this frame *)
 }
 
-type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable log_captures : int; (* dirty callbacks that produced a log record *)
+}
 
 type t = {
   disk : Disk.t;
   frames : frame array;
   table : (int, int) Hashtbl.t; (* page -> frame index *)
   mutable tick : int;
+  mutable wal : Wal.t option;
+  mutable wal_tx : Wal.txid; (* transaction charged for captures; Wal.system_tx outside *)
+  mutable strict_wal : bool; (* raise instead of forcing the log flush *)
   stats : stats;
 }
 
 exception Pool_exhausted
+
+exception Wal_ordering of string
+(** Strict-mode violation of the WAL-before-data rule: a dirty page was
+    about to reach disk before its log record. *)
 
 let create ?(frames = 64) disk =
   if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
@@ -31,10 +52,13 @@ let create ?(frames = 64) disk =
     disk;
     frames =
       Array.init frames (fun _ ->
-          { page = -1; buf = Bytes.make (Disk.page_size disk) '\000'; dirty = false; pins = 0; lru = 0 });
+          { page = -1; buf = Bytes.make (Disk.page_size disk) '\000'; dirty = false; pins = 0; lru = 0; lsn = 0 });
     table = Hashtbl.create (2 * frames);
     tick = 0;
-    stats = { hits = 0; misses = 0; evictions = 0 };
+    wal = None;
+    wal_tx = Wal.system_tx;
+    strict_wal = false;
+    stats = { hits = 0; misses = 0; evictions = 0; log_captures = 0 };
   }
 
 let stats t = t.stats
@@ -43,13 +67,53 @@ let disk t = t.disk
 let reset_stats t =
   t.stats.hits <- 0;
   t.stats.misses <- 0;
-  t.stats.evictions <- 0
+  t.stats.evictions <- 0;
+  t.stats.log_captures <- 0
 
 let logical_accesses t = t.stats.hits + t.stats.misses
 
+(* --- WAL attachment ----------------------------------------------------- *)
+
+let attach_wal t wal = t.wal <- Some wal
+let wal t = t.wal
+let set_tx t tx = t.wal_tx <- tx
+let current_tx t = t.wal_tx
+let set_strict_wal t b = t.strict_wal <- b
+
+(* Log the byte range a dirty callback changed: one physiological
+   record spanning the first through last differing byte. *)
+let capture_diff t (w : Wal.t) (before : Bytes.t) (f : frame) =
+  let n = Bytes.length before in
+  let lo = ref 0 in
+  while !lo < n && Bytes.unsafe_get before !lo = Bytes.unsafe_get f.buf !lo do incr lo done;
+  if !lo < n then begin
+    let hi = ref (n - 1) in
+    while !hi > !lo && Bytes.unsafe_get before !hi = Bytes.unsafe_get f.buf !hi do decr hi done;
+    let len = !hi - !lo + 1 in
+    let lsn =
+      Wal.log_update w ~tx:t.wal_tx ~page:f.page ~off:!lo
+        ~before:(Bytes.sub_string before !lo len)
+        ~after:(Bytes.sub_string f.buf !lo len)
+    in
+    f.lsn <- lsn;
+    t.stats.log_captures <- t.stats.log_captures + 1
+  end
+
+(* --- flushing ----------------------------------------------------------- *)
+
 let flush_frame t f =
   if f.dirty && f.page >= 0 then begin
-    Disk.write_from t.disk f.page f.buf;
+    (match t.wal with
+    | Some w when f.lsn > Wal.durable_lsn w ->
+        if t.strict_wal then
+          raise
+            (Wal_ordering
+               (Printf.sprintf
+                  "page %d (LSN %d) would reach disk before its log record (durable LSN %d)"
+                  f.page f.lsn (Wal.durable_lsn w)))
+        else Wal.flush ~forced:true w
+    | _ -> ());
+    Disk.write_from ~lsn:f.lsn t.disk f.page f.buf;
     f.dirty <- false
   end
 
@@ -88,6 +152,7 @@ let load t page =
       Disk.read_into t.disk page f.buf;
       f.page <- page;
       f.dirty <- false;
+      f.lsn <- 0;
       f.lru <- t.tick;
       Hashtbl.replace t.table page i;
       (i, f)
@@ -95,8 +160,17 @@ let load t page =
 let with_page t page ~dirty fn =
   let _, f = load t page in
   f.pins <- f.pins + 1;
+  (* Snapshot for the log: the capture runs in the cleanup path so even
+     a callback that raises mid-mutation leaves its changes logged (and
+     therefore undoable). *)
+  let before =
+    match t.wal with Some _ when dirty -> Some (Bytes.copy f.buf) | _ -> None
+  in
   Fun.protect
     ~finally:(fun () ->
+      (match (before, t.wal) with
+      | Some b, Some w -> capture_diff t w b f
+      | _ -> ());
       f.pins <- f.pins - 1;
       if dirty then f.dirty <- true)
     (fun () ->
@@ -110,4 +184,7 @@ let write t page fn = with_page t page ~dirty:true fn
 (* Allocate a fresh disk page and expose it dirty in the pool. *)
 let alloc t =
   let page = Disk.alloc t.disk in
+  (match t.wal with
+  | Some w -> ignore (Wal.log_alloc w ~tx:t.wal_tx ~page)
+  | None -> ());
   page

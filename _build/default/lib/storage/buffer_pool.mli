@@ -3,14 +3,29 @@
     Frames are pinned for the duration of a {!read}/{!write} callback;
     eviction picks the least-recently-used unpinned frame, flushing it
     if dirty.  [hits + misses] is the logical page-access count;
-    physical I/O is counted by {!Disk}. *)
+    physical I/O is counted by {!Disk}.
 
-type stats = { mutable hits : int; mutable misses : int; mutable evictions : int }
+    With a {!Wal} attached, every dirty callback is bracketed by a
+    before-image copy and the changed byte range becomes a log record
+    under the pool's current transaction; the flush path enforces the
+    WAL-before-data rule (forced log flush, or {!Wal_ordering} in
+    strict mode). *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable log_captures : int;  (** dirty callbacks that produced a log record *)
+}
 
 type t
 
 exception Pool_exhausted
 (** Raised when every frame is pinned and a new page is requested. *)
+
+exception Wal_ordering of string
+(** Strict-mode violation of the WAL-before-data rule: a dirty page was
+    about to reach disk before its log record was durable. *)
 
 (** [create ?frames disk] — default 64 frames. *)
 val create : ?frames:int -> Disk.t -> t
@@ -20,15 +35,38 @@ val stats : t -> stats
 val reset_stats : t -> unit
 val logical_accesses : t -> int
 
-(** Write all dirty frames back to disk. *)
+(** {1 Write-ahead logging} *)
+
+(** Attach a log: from now on dirty callbacks are captured as
+    physiological records and flushes obey WAL-before-data.  The caller
+    should flush the pool first so the log's base state is on disk. *)
+val attach_wal : t -> Wal.t -> unit
+
+val wal : t -> Wal.t option
+
+(** Transaction charged for subsequent captures
+    (default {!Wal.system_tx}). *)
+val set_tx : t -> Wal.txid -> unit
+
+val current_tx : t -> Wal.txid
+
+(** In strict mode an unlogged flush raises {!Wal_ordering} instead of
+    forcing a log flush (regression testing of the invariant). *)
+val set_strict_wal : t -> bool -> unit
+
+(** {1 Page access} *)
+
+(** Write all dirty frames back to disk (respecting WAL-before-data). *)
 val flush_all : t -> unit
 
 (** [read t page f] pins the page's frame, applies [f] to its bytes,
     and unpins.  The bytes must not escape [f]. *)
 val read : t -> int -> (Bytes.t -> 'a) -> 'a
 
-(** Like {!read} but marks the frame dirty. *)
+(** Like {!read} but marks the frame dirty (and logs the change when a
+    WAL is attached). *)
 val write : t -> int -> (Bytes.t -> 'a) -> 'a
 
-(** Allocate a fresh disk page (not yet resident). *)
+(** Allocate a fresh disk page (not yet resident); logged when a WAL is
+    attached. *)
 val alloc : t -> int

@@ -1,0 +1,89 @@
+(* Deterministic fault injection over the simulated disk and log.
+
+   A fault plan is armed onto a live [Disk.t] (and optionally the
+   [Wal.t] sharing its fate) by installing hooks that count physical
+   operations and fire at an exact, reproducible point: the k-th page
+   write dies before / halfway through / after hitting the platter, or
+   the k-th log fsync persists nothing (or half) and dies.  Firing
+   raises [Disk.Crash], the simulated machine death; the page array and
+   the WAL's durable prefix as written so far are what recovery gets.
+
+   Plans are plain data, so a seeded [Prng.t] can drive a randomized
+   crash campaign that reproduces exactly across runs. *)
+
+type plan =
+  | Crash_at_write of int  (* k-th page write: dies before any byte lands *)
+  | Torn_write of int  (* k-th page write: first half lands, then dies *)
+  | Crash_after_write of int  (* k-th page write lands fully, then dies *)
+  | Crash_at_sync of int  (* k-th log fsync persists nothing, then dies *)
+  | Torn_sync of int  (* k-th log fsync persists half the tail, then dies *)
+
+let plan_to_string = function
+  | Crash_at_write k -> Printf.sprintf "crash at write %d" k
+  | Torn_write k -> Printf.sprintf "torn write %d" k
+  | Crash_after_write k -> Printf.sprintf "crash after write %d" k
+  | Crash_at_sync k -> Printf.sprintf "crash at sync %d" k
+  | Torn_sync k -> Printf.sprintf "torn sync %d" k
+
+type t = {
+  disk : Disk.t;
+  wal : Wal.t option;
+  plan : plan;
+  mutable writes : int;
+  mutable syncs : int;
+  mutable fired : bool;
+}
+
+let writes t = t.writes
+let syncs t = t.syncs
+let fired t = t.fired
+
+let arm ?wal disk plan =
+  let t = { disk; wal; plan; writes = 0; syncs = 0; fired = false } in
+  Disk.set_write_hook disk
+    (Some
+       (fun _page _src ->
+         t.writes <- t.writes + 1;
+         match t.plan with
+         | Crash_at_write k when t.writes = k ->
+             t.fired <- true;
+             Some 0
+         | Torn_write k when t.writes = k ->
+             t.fired <- true;
+             Some (Disk.page_size disk / 2)
+         | Crash_after_write k when t.writes = k ->
+             t.fired <- true;
+             Some (Disk.page_size disk)
+         | _ -> None));
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Wal.set_sync_hook w
+        (Some
+           (fun pending ->
+             t.syncs <- t.syncs + 1;
+             match t.plan with
+             | Crash_at_sync k when t.syncs = k ->
+                 t.fired <- true;
+                 0
+             | Torn_sync k when t.syncs = k ->
+                 t.fired <- true;
+                 pending / 2
+             | _ -> pending)));
+  t
+
+let disarm t =
+  Disk.set_write_hook t.disk None;
+  match t.wal with None -> () | Some w -> Wal.set_sync_hook w None
+
+(* A reproducible random plan for property-style crash campaigns:
+   mostly write-point crashes (the common case), with torn writes and
+   sync failures mixed in. *)
+let random_plan prng ~max_writes =
+  let k = 1 + Prng.int prng (max 1 max_writes) in
+  match Prng.int prng 10 with
+  | 0 | 1 -> Torn_write k
+  | 2 -> Crash_after_write k
+  | 3 -> Crash_at_sync (1 + Prng.int prng 4)
+  | 4 -> Torn_sync (1 + Prng.int prng 4)
+  | _ -> Crash_at_write k

@@ -1,0 +1,31 @@
+(** Crash recovery: redo-then-undo replay of the durable WAL over the
+    surviving page images.
+
+    The protocol is ARIES-shaped, simplified for byte-exact physical
+    deltas: start from the last sharp checkpoint, {e repeat history}
+    (apply every after-image in LSN order — idempotent because the
+    images are byte-exact and ordered), then undo loser transactions'
+    before-images in reverse LSN order.  The result is exactly the
+    committed-prefix state; a torn final page write is healed by the
+    redo/undo images covering it.  See [docs/recovery.md]. *)
+
+type image = { page_size : int; pages : Bytes.t array; wal : string }
+(** What survives a crash: the physical page array (torn final write
+    included) and the log's durable prefix. *)
+
+type outcome = {
+  disk : Disk.t;  (** recovered, consistent page images *)
+  catalog : string option;
+      (** payload of the newest durable commit (or checkpoint) —
+          the engine's metadata as of the committed prefix *)
+  committed : Wal.txid list;  (** durable commits, in commit order *)
+  losers : Wal.txid list;  (** transactions rolled back by undo *)
+  redone : int;  (** update records re-applied *)
+  undone : int;  (** loser update records rolled back *)
+}
+
+(** Snapshot the crash-surviving state of a live disk + log. *)
+val capture : Disk.t -> Wal.t -> image
+
+(** Replay an image to a consistent state. *)
+val replay : image -> outcome

@@ -1,0 +1,251 @@
+(* Write-ahead log: an append-only sequence of LSN-stamped
+   physiological records (byte-range before/after images of pages,
+   transaction begin/commit/abort, checkpoints).
+
+   The log models an append-only file with explicit durability: records
+   accumulate in a volatile tail until [flush] moves the durable-prefix
+   mark forward (an fsync).  A simulated crash keeps only the durable
+   prefix — [durable_contents] — which the {!Recovery} module replays.
+   An optional sync hook (installed by {!Faulty_disk}) can make an
+   fsync persist only part of the pending bytes and then kill the
+   process, producing a torn log tail; the record framing (length
+   prefix + checksum byte) lets the reader drop such a tail. *)
+
+type lsn = int
+type txid = int
+
+(* Transaction 0 is the implicit "system" transaction: work done
+   outside any explicit transaction (store creation, fixture loads).
+   It is never undone by recovery. *)
+let system_tx : txid = 0
+
+type record =
+  | Begin of txid
+  | Update of { tx : txid; page : int; off : int; before : string; after : string }
+  | Alloc of { tx : txid; page : int }
+  | Commit of { tx : txid; payload : string option }
+  | Abort of txid
+  | Checkpoint of { payload : string option }
+
+type stats = {
+  mutable records : int;
+  mutable bytes : int;  (* serialised log bytes appended *)
+  mutable flushes : int;  (* fsyncs issued (commit, checkpoint, explicit) *)
+  mutable forced_flushes : int;  (* fsyncs forced by the WAL-before-data rule *)
+}
+
+type t = {
+  buf : Buffer.t;  (* the serialised log, volatile tail included *)
+  mutable durable_len : int;  (* byte length of the fsynced prefix *)
+  mutable durable_lsn : lsn;  (* last LSN wholly inside the durable prefix *)
+  mutable next_lsn : lsn;
+  mutable next_tx : txid;
+  mutable recs : (lsn * int * record) list;  (* (lsn, end offset, record), newest first *)
+  mutable sync_hook : (int -> int) option;  (* pending bytes -> bytes persisted *)
+  stats : stats;
+}
+
+let create () =
+  {
+    buf = Buffer.create 4096;
+    durable_len = 0;
+    durable_lsn = 0;
+    next_lsn = 1;
+    next_tx = 1;
+    recs = [];
+    sync_hook = None;
+    stats = { records = 0; bytes = 0; flushes = 0; forced_flushes = 0 };
+  }
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.records <- 0;
+  t.stats.bytes <- 0;
+  t.stats.flushes <- 0;
+  t.stats.forced_flushes <- 0
+
+let set_sync_hook t hook = t.sync_hook <- hook
+let durable_lsn t = t.durable_lsn
+let last_lsn t = t.next_lsn - 1
+
+(* --- record serialisation ---------------------------------------------
+
+   Frame: uvarint payload length, payload, checksum byte (sum of
+   payload bytes mod 251).  Payload: u8 tag, uvarint LSN, fields.  The
+   frame makes a torn tail detectable: a truncated or half-synced final
+   record fails the length or checksum test and is dropped. *)
+
+let checksum (s : string) =
+  let acc = ref 0 in
+  String.iter (fun c -> acc := (!acc + Char.code c) mod 251) s;
+  !acc
+
+let encode_payload lsn (r : record) : string =
+  let b = Codec.create_sink () in
+  (match r with
+  | Begin tx ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b lsn;
+      Codec.put_uvarint b tx
+  | Update { tx; page; off; before; after } ->
+      Codec.put_u8 b 2;
+      Codec.put_uvarint b lsn;
+      Codec.put_uvarint b tx;
+      Codec.put_uvarint b page;
+      Codec.put_uvarint b off;
+      Codec.put_string b before;
+      Codec.put_string b after
+  | Alloc { tx; page } ->
+      Codec.put_u8 b 3;
+      Codec.put_uvarint b lsn;
+      Codec.put_uvarint b tx;
+      Codec.put_uvarint b page
+  | Commit { tx; payload } ->
+      Codec.put_u8 b 4;
+      Codec.put_uvarint b lsn;
+      Codec.put_uvarint b tx;
+      (match payload with
+      | None -> Codec.put_bool b false
+      | Some p ->
+          Codec.put_bool b true;
+          Codec.put_string b p)
+  | Abort tx ->
+      Codec.put_u8 b 5;
+      Codec.put_uvarint b lsn;
+      Codec.put_uvarint b tx
+  | Checkpoint { payload } ->
+      Codec.put_u8 b 6;
+      Codec.put_uvarint b lsn;
+      (match payload with
+      | None -> Codec.put_bool b false
+      | Some p ->
+          Codec.put_bool b true;
+          Codec.put_string b p));
+  Codec.contents b
+
+let decode_payload (s : string) : lsn * record =
+  let src = Codec.source_of_string s in
+  let tag = Codec.get_u8 src in
+  let lsn = Codec.get_uvarint src in
+  let r =
+    match tag with
+    | 1 -> Begin (Codec.get_uvarint src)
+    | 2 ->
+        let tx = Codec.get_uvarint src in
+        let page = Codec.get_uvarint src in
+        let off = Codec.get_uvarint src in
+        let before = Codec.get_string src in
+        let after = Codec.get_string src in
+        Update { tx; page; off; before; after }
+    | 3 ->
+        let tx = Codec.get_uvarint src in
+        Alloc { tx; page = Codec.get_uvarint src }
+    | 4 ->
+        let tx = Codec.get_uvarint src in
+        let payload = if Codec.get_bool src then Some (Codec.get_string src) else None in
+        Commit { tx; payload }
+    | 5 -> Abort (Codec.get_uvarint src)
+    | 6 ->
+        let payload = if Codec.get_bool src then Some (Codec.get_string src) else None in
+        Checkpoint { payload }
+    | n -> Codec.decode_error "Wal: record tag %d" n
+  in
+  (lsn, r)
+
+(* Decode a serialised log, stopping silently at a torn tail (truncated
+   frame or checksum mismatch). *)
+let records_of_string (data : string) : (lsn * record) list =
+  let src = Codec.source_of_string data in
+  let rec go acc =
+    if Codec.at_end src then List.rev acc
+    else
+      match
+        let len = Codec.get_uvarint src in
+        let payload = Codec.get_fixed src len in
+        let sum = Codec.get_u8 src in
+        if sum <> checksum payload then None else Some (decode_payload payload)
+      with
+      | None -> List.rev acc
+      | Some entry -> go (entry :: acc)
+      | exception Codec.Decode_error _ -> List.rev acc
+  in
+  go []
+
+(* --- appending --------------------------------------------------------- *)
+
+let append t (mk : lsn -> record) : lsn =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  let r = mk lsn in
+  let payload = encode_payload lsn r in
+  let frame = Codec.create_sink () in
+  Codec.put_uvarint frame (String.length payload);
+  Buffer.add_buffer t.buf frame;
+  Buffer.add_string t.buf payload;
+  Buffer.add_char t.buf (Char.chr (checksum payload));
+  t.recs <- (lsn, Buffer.length t.buf, r) :: t.recs;
+  t.stats.records <- t.stats.records + 1;
+  t.stats.bytes <- Buffer.length t.buf;
+  lsn
+
+let begin_tx t : txid =
+  let tx = t.next_tx in
+  t.next_tx <- tx + 1;
+  ignore (append t (fun _ -> Begin tx));
+  tx
+
+let log_update t ~tx ~page ~off ~before ~after : lsn =
+  append t (fun _ -> Update { tx; page; off; before; after })
+
+let log_alloc t ~tx ~page : lsn = append t (fun _ -> Alloc { tx; page })
+
+(* --- durability --------------------------------------------------------
+
+   [flush] is the fsync: it asks the sync hook (default: persist
+   everything) how many pending bytes reach stable storage.  A partial
+   answer advances the durable mark by that much and then raises
+   {!Disk.Crash} — the fsync failed and the machine died. *)
+
+let flush ?(forced = false) t =
+  let total = Buffer.length t.buf in
+  let pending = total - t.durable_len in
+  if pending > 0 then begin
+    t.stats.flushes <- t.stats.flushes + 1;
+    if forced then t.stats.forced_flushes <- t.stats.forced_flushes + 1;
+    let persisted =
+      match t.sync_hook with None -> pending | Some h -> max 0 (min pending (h pending))
+    in
+    t.durable_len <- t.durable_len + persisted;
+    (* advance durable_lsn to the last record wholly inside the prefix *)
+    List.iter
+      (fun (lsn, end_off, _) ->
+        if end_off <= t.durable_len && lsn > t.durable_lsn then t.durable_lsn <- lsn)
+      t.recs;
+    if persisted < pending then raise (Disk.Crash "simulated fsync failure on the log")
+  end
+
+let commit t ~tx ~payload =
+  ignore (append t (fun _ -> Commit { tx; payload }));
+  flush t
+
+let log_abort t tx = ignore (append t (fun _ -> Abort tx))
+
+let log_checkpoint t ~payload =
+  ignore (append t (fun _ -> Checkpoint { payload }));
+  flush t
+
+(* --- introspection ------------------------------------------------------ *)
+
+let contents t = Buffer.contents t.buf
+let durable_contents t = String.sub (Buffer.contents t.buf) 0 t.durable_len
+
+(* Chronological (page, off, before) images of a transaction's updates,
+   for runtime rollback. *)
+let tx_updates t tx : (int * int * string) list =
+  List.fold_left
+    (fun acc (_, _, r) ->
+      match r with
+      | Update u when u.tx = tx -> (u.page, u.off, u.before) :: acc
+      | _ -> acc)
+    [] t.recs

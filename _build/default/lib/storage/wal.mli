@@ -1,0 +1,92 @@
+(** Write-ahead log: an append-only sequence of LSN-stamped
+    physiological records — byte-range before/after images of pages,
+    transaction begin/commit/abort, and checkpoints.
+
+    Records accumulate in a volatile tail until {!flush} (an fsync)
+    advances the durable-prefix mark.  A simulated crash keeps only
+    {!durable_contents}, which {!Recovery} replays (redo history, then
+    undo losers).  Record framing (length prefix + checksum) makes a
+    torn log tail detectable and droppable. *)
+
+type lsn = int
+(** Log sequence number, 1-based and monotonically increasing;
+    0 means "no record". *)
+
+type txid = int
+
+val system_tx : txid
+(** Transaction 0: implicit system work (store creation, fixtures)
+    logged outside any explicit transaction; never undone. *)
+
+type record =
+  | Begin of txid
+  | Update of { tx : txid; page : int; off : int; before : string; after : string }
+  | Alloc of { tx : txid; page : int }
+  | Commit of { tx : txid; payload : string option }
+      (** [payload] carries the engine's catalog image at commit —
+          metadata that a from-scratch kernel would keep on pages. *)
+  | Abort of txid
+      (** Written after a runtime rollback whose compensations were
+          logged as ordinary updates; recovery treats the transaction
+          as complete (no undo). *)
+  | Checkpoint of { payload : string option }
+      (** Sharp checkpoint: all dirty pages were flushed first, so
+          recovery starts replay here. *)
+
+type stats = {
+  mutable records : int;
+  mutable bytes : int;  (** serialised log bytes *)
+  mutable flushes : int;  (** fsyncs issued *)
+  mutable forced_flushes : int;  (** fsyncs forced by WAL-before-data *)
+}
+
+type t
+
+val create : unit -> t
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** Fault injection (see {!Faulty_disk}): called at each fsync with the
+    pending byte count; returns how many bytes reach stable storage.
+    An answer below the pending count raises {!Disk.Crash} after
+    advancing the durable mark. *)
+val set_sync_hook : t -> (int -> int) option -> unit
+
+val durable_lsn : t -> lsn
+(** Last LSN wholly inside the fsynced prefix. *)
+
+val last_lsn : t -> lsn
+(** Last LSN appended (durable or not). *)
+
+(** {1 Logging} *)
+
+val begin_tx : t -> txid
+val log_update : t -> tx:txid -> page:int -> off:int -> before:string -> after:string -> lsn
+val log_alloc : t -> tx:txid -> page:int -> lsn
+
+(** Append a commit record and {!flush}. *)
+val commit : t -> tx:txid -> payload:string option -> unit
+
+val log_abort : t -> txid -> unit
+
+(** Append a checkpoint record and {!flush}.  The caller must have
+    flushed all dirty pages first (sharp checkpoint). *)
+val log_checkpoint : t -> payload:string option -> unit
+
+(** Make the volatile tail durable.  [forced] marks the flush as driven
+    by the WAL-before-data rule (for the stats).
+    @raise Disk.Crash when an armed sync fault fires. *)
+val flush : ?forced:bool -> t -> unit
+
+(** {1 Reading} *)
+
+val contents : t -> string
+val durable_contents : t -> string
+
+(** Decode a serialised log; a torn tail (truncated frame or checksum
+    mismatch) ends the list silently. *)
+val records_of_string : string -> (lsn * record) list
+
+(** Chronological (page, offset, before-image) updates of one
+    transaction, for runtime rollback. *)
+val tx_updates : t -> txid -> (int * int * string) list

@@ -1,1 +1,1 @@
-test/test_persistence.ml: Alcotest Filename List Nf2 Nf2_algebra Nf2_model Nf2_storage Nf2_temporal Nf2_workload Out_channel Printf String Sys Unix
+test/test_persistence.ml: Alcotest Filename List Nf2 Nf2_algebra Nf2_model Nf2_storage Nf2_temporal Nf2_workload Option Out_channel Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes List Nf2 Nf2_algebra Nf2_model Nf2_storage Option Printf Prng

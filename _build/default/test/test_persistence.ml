@@ -255,6 +255,55 @@ let test_txn_journal_atomicity () =
   Db.detach_journal db2;
   Sys.remove jp
 
+(* --- physical recovery (WAL; the full matrix lives in test_wal.ml) ------ *)
+
+module D = Nf2_storage.Disk
+module FD = Nf2_storage.Faulty_disk
+
+(* A torn page write — half old image, half new — round-trips through
+   crash recovery: the log's images heal the page. *)
+let test_torn_page_roundtrip () =
+  let db = Db.create ~page_size:256 ~wal:true () in
+  ignore (Db.exec db "CREATE TABLE T (A INT, XS TABLE (X INT))");
+  ignore (Db.exec db "INSERT INTO T VALUES (1, {(10)}), (2, {(20), (21)})");
+  Db.wal_checkpoint db;
+  ignore (Db.exec db "UPDATE T SET A = A + 100 WHERE A = 2");
+  (* the flush of the updated page tears half-way through *)
+  let fd = FD.arm ~wal:(Option.get (Db.wal db)) (Db.disk db) (FD.Torn_write 1) in
+  (try
+     Nf2_storage.Buffer_pool.flush_all (Db.pool db);
+     Alcotest.fail "expected simulated crash"
+   with D.Crash _ -> ());
+  FD.disarm fd;
+  checkb "the torn write fired" true (FD.fired fd);
+  let db2 = Db.recover_from_image (Db.crash_image db) in
+  (* the committed update survives despite the torn data page *)
+  (match rows db2 "SELECT t.A FROM t IN T ORDER BY A" with
+  | [ [ Value.Atom (Atom.Int 1) ]; [ Value.Atom (Atom.Int 102) ] ] -> ()
+  | _ -> Alcotest.fail "torn page not healed");
+  checki "nested contents intact" 2
+    (List.length (rows db2 "SELECT x.X FROM t IN T, x IN t.XS WHERE t.A = 102"))
+
+(* Work, sharp checkpoint, more work, crash: recovery replays from the
+   checkpoint and keeps everything committed on both sides of it. *)
+let test_wal_checkpoint_then_crash () =
+  let db = Db.create ~page_size:256 ~frames:8 ~wal:true () in
+  ignore (Db.exec db "CREATE TABLE T (A INT, XS TABLE (X INT))");
+  ignore (Db.exec db "INSERT INTO T VALUES (1, {(10)}), (2, {})");
+  Db.wal_checkpoint db;
+  ignore (Db.exec db "INSERT INTO T VALUES (3, {(30), (31)})");
+  ignore (Db.exec db "UPDATE T SET A = 200 WHERE A = 2");
+  (* machine dies with the post-checkpoint work only in log + frames *)
+  let db2 = Db.recover_from_image (Db.crash_image db) in
+  (match rows db2 "SELECT t.A FROM t IN T ORDER BY A" with
+  | [ [ Value.Atom (Atom.Int 1) ]; [ Value.Atom (Atom.Int 3) ]; [ Value.Atom (Atom.Int 200) ] ] -> ()
+  | _ -> Alcotest.fail "post-checkpoint commits lost");
+  (* recovery must have started from the checkpoint, not the log head *)
+  let img = Db.crash_image db in
+  let o = Nf2_storage.Recovery.replay img in
+  checkb "replay window starts at the checkpoint" true
+    (List.length o.Nf2_storage.Recovery.committed <= 2)
+
 let test_txn_errors () =
   let db = Db.create () in
   (try
@@ -290,6 +339,11 @@ let () =
           Alcotest.test_case "checkpoint truncates" `Quick test_checkpoint_truncates_journal;
           Alcotest.test_case "torn tail" `Quick test_recovery_tolerates_torn_tail;
           Alcotest.test_case "queries not journaled" `Quick test_queries_not_journaled;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "torn page roundtrip" `Quick test_torn_page_roundtrip;
+          Alcotest.test_case "checkpoint then crash" `Quick test_wal_checkpoint_then_crash;
         ] );
       ( "transactions",
         [

@@ -1,0 +1,325 @@
+(* Crash-consistency tests for the write-ahead log and recovery
+   subsystem.
+
+   The core discipline: run a workload of logged transactions against a
+   database on a tiny buffer pool (so physical writes happen mid-run),
+   kill the simulated machine at an exact physical write via
+   [Faulty_disk], recover from what survived (page images + durable log
+   prefix), and compare against a committed-prefix oracle — a second
+   database that executed only the transactions whose commit became
+   durable.  No committed work may be lost, no uncommitted work may
+   survive, and Mini-Directory reconstruction must still hold. *)
+
+module Atom = Nf2_model.Atom
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module D = Nf2_storage.Disk
+module BP = Nf2_storage.Buffer_pool
+module OS = Nf2_storage.Object_store
+module Wal = Nf2_storage.Wal
+module Recovery = Nf2_storage.Recovery
+module FD = Nf2_storage.Faulty_disk
+module Db = Nf2.Db
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* --- workload ----------------------------------------------------------- *)
+
+(* A multi-page NF² workload: nested subtables, subtable DML, whole-row
+   DML.  Each script is one logged transaction. *)
+let scripts =
+  [
+    "CREATE TABLE DEPT (DNO INT, NAME TEXT, BUDGET INT, EQUIP TABLE (QU INT, KIND TEXT))";
+    "INSERT INTO DEPT VALUES (1, 'Tooling', 100, {(1, 'DRILL'), (2, 'LATHE')}), (2, 'Assembly', 200, {(3, 'ROBOT')})";
+    "INSERT INTO DEPT VALUES (3, 'Paint', 300, {(4, 'SPRAY'), (5, 'OVEN'), (6, 'BOOTH')})";
+    "INSERT INTO DEPT VALUES (10, 'Forge and foundry works', 1000, {(10, 'FURNACE'), (11, 'ANVIL'), (12, 'CRUCIBLE'), (13, 'BELLOWS')})";
+    "INSERT INTO DEPT VALUES (11, 'Electroplating and finishing', 1100, {(14, 'TANK'), (15, 'RECTIFIER'), (16, 'POLISHER')})";
+    "INSERT INTO DEPT VALUES (12, 'Injection moulding', 1200, {(17, 'PRESS'), (18, 'CHILLER'), (19, 'DRYER'), (20, 'HOPPER')})";
+    "INSERT INTO DEPT VALUES (13, 'Final inspection', 1300, {(21, 'GAUGE'), (22, 'SCALE')})";
+    "UPDATE DEPT SET BUDGET = BUDGET + 50 WHERE DNO = 2";
+    "INSERT INTO DEPT.EQUIP WHERE DNO = 1 VALUES (7, 'PRESS'), (8, 'SAW')";
+    "INSERT INTO DEPT VALUES (14, 'Shipping and receiving dock', 1400, {(23, 'FORKLIFT'), (24, 'CRANE'), (25, 'PALLETJACK')})";
+    "DELETE FROM DEPT.EQUIP WHERE QU = 5";
+    "UPDATE DEPT SET NAME = 'Refit' WHERE DNO = 3";
+    "INSERT INTO DEPT VALUES (15, 'Research workshop annex', 1500, {(26, 'BENCH'), (27, 'SCOPE'), (28, 'PROBE'), (29, 'JIG')})";
+    "DELETE FROM DEPT WHERE DNO = 2";
+    "UPDATE DEPT SET BUDGET = BUDGET * 2 WHERE DNO = 12";
+    "INSERT INTO DEPT VALUES (4, 'Quality', 400, {})";
+  ]
+
+(* Tiny pages and pool so the workload itself causes eviction traffic:
+   crash points land in the middle of logical operations. *)
+let fresh_wal_db () = Db.create ~page_size:256 ~frames:6 ~wal:true ()
+
+let run_scripts db ss = List.iter (fun s -> ignore (Db.exec db s)) ss
+
+(* --- oracles and invariants --------------------------------------------- *)
+
+let same_state msg (a : Db.t) (b : Db.t) =
+  Alcotest.(check (list string)) (msg ^ ": table names") (Db.table_names a) (Db.table_names b);
+  List.iter
+    (fun name ->
+      let q = Printf.sprintf "SELECT * FROM %s" name in
+      checkb (Printf.sprintf "%s: %s identical" msg name) true
+        (Rel.equal (Db.query a q) (Db.query b q)))
+    (Db.table_names a)
+
+(* Mini-Directory invariants: every object reconstructs through its MD
+   tree and reports a sane physical footprint. *)
+let check_md_invariants msg db =
+  List.iter
+    (fun name ->
+      let store = Db.table_store db ~table:name in
+      let schema = Db.table_schema db ~table:name in
+      List.iter
+        (fun root ->
+          ignore (Db.fetch_tuple db ~table:name root);
+          let st = OS.md_stats store schema root in
+          checkb (msg ^ ": md footprint") true (st.OS.pages >= 1 && st.OS.md_subtuples >= 1))
+        (Db.table_roots db ~table:name))
+    (Db.table_names db)
+
+(* Oracle: a plain (unlogged) database that executed only the first
+   [n] scripts — the committed prefix. *)
+let oracle_prefix ss n =
+  let db = Db.create () in
+  List.iteri (fun i s -> if i < n then ignore (Db.exec db s)) ss;
+  db
+
+(* Run [ss] (ending with a checkpoint) against a fresh logged db under
+   [plan]; return the crash image and whether the plan fired. *)
+let crash_run ss plan =
+  let db = fresh_wal_db () in
+  let fd = FD.arm ~wal:(Option.get (Db.wal db)) (Db.disk db) plan in
+  let crashed =
+    try
+      run_scripts db ss;
+      Db.wal_checkpoint db;
+      false
+    with D.Crash _ -> true
+  in
+  FD.disarm fd;
+  (Db.crash_image db, crashed)
+
+(* Transactions whose commit record made it into the durable log.
+   ([Recovery.replay]'s own [committed] list only covers the replay
+   window, i.e. records after the last checkpoint.) *)
+let durable_commits img =
+  List.length
+    (List.filter
+       (fun (_, r) -> match r with Wal.Commit _ -> true | _ -> false)
+       (Wal.records_of_string img.Recovery.wal))
+
+(* Recover an image and check it equals the committed-prefix oracle. *)
+let check_recovery msg ss img =
+  let committed = durable_commits img in
+  let recovered = Db.recover_from_image img in
+  let oracle = oracle_prefix ss committed in
+  same_state msg recovered oracle;
+  check_md_invariants msg recovered;
+  (committed, recovered)
+
+(* Physical writes of a full fault-free run (the crash-point space). *)
+let total_writes ss =
+  let db = fresh_wal_db () in
+  run_scripts db ss;
+  Db.wal_checkpoint db;
+  (D.stats (Db.disk db)).D.writes
+
+(* --- the crash matrix ---------------------------------------------------- *)
+
+(* For K in 0..N physical writes: let K writes succeed, kill the
+   machine at the next one, recover, compare to the oracle. *)
+let test_crash_matrix () =
+  let n = total_writes scripts in
+  checkb "workload causes real write traffic" true (n >= 10);
+  let fired = ref 0 in
+  for k = 0 to n do
+    let img, crashed = crash_run scripts (FD.Crash_at_write (k + 1)) in
+    if crashed then incr fired;
+    let committed, _ =
+      check_recovery (Printf.sprintf "crash at write %d" k) scripts img
+    in
+    (* a completed run must have committed every transaction *)
+    if not crashed then checki "all committed" (List.length scripts) committed
+  done;
+  (* every point but the one past the end must actually crash *)
+  checki "matrix covered" n !fired
+
+(* Same sweep with torn writes: the victim page is half old, half new;
+   recovery must heal it from the log images. *)
+let test_torn_write_matrix () =
+  let n = total_writes scripts in
+  for k = 1 to n do
+    let img, crashed = crash_run scripts (FD.Torn_write k) in
+    checkb "torn plan fires" true crashed;
+    ignore (check_recovery (Printf.sprintf "torn write %d" k) scripts img)
+  done
+
+(* Log fsync failures: commits whose flush died are not durable. *)
+let test_sync_failures () =
+  for k = 1 to 12 do
+    let img, _ = crash_run scripts (FD.Crash_at_sync k) in
+    ignore (check_recovery (Printf.sprintf "failed sync %d" k) scripts img);
+    let img, _ = crash_run scripts (FD.Torn_sync k) in
+    ignore (check_recovery (Printf.sprintf "torn sync %d" k) scripts img)
+  done
+
+(* --- randomized differential test ---------------------------------------- *)
+
+(* A seeded random workload of single- and multi-statement transactions
+   over a nested table, crashed at a random physical operation; after
+   recovery the state must equal the committed-prefix oracle. *)
+let random_scripts prng nops =
+  let stmt () =
+    match Prng.int prng 5 with
+    | 0 | 1 ->
+        Printf.sprintf "INSERT INTO R VALUES (%d, %d, {(%d), (%d)})" (Prng.int prng 8)
+          (Prng.int prng 1000) (Prng.int prng 100) (Prng.int prng 100)
+    | 2 ->
+        Printf.sprintf "UPDATE R SET V = %d WHERE K = %d" (Prng.int prng 1000)
+          (Prng.int prng 8)
+    | 3 -> Printf.sprintf "DELETE FROM R WHERE K = %d" (Prng.int prng 8)
+    | _ ->
+        Printf.sprintf "INSERT INTO R.XS WHERE K = %d VALUES (%d)" (Prng.int prng 8)
+          (Prng.int prng 100)
+  in
+  let script () =
+    if Prng.int prng 4 = 0 then stmt () ^ "; " ^ stmt () else stmt ()
+  in
+  "CREATE TABLE R (K INT, V INT, XS TABLE (X INT))" :: List.init nops (fun _ -> script ())
+
+let test_randomized_crashes () =
+  List.iter
+    (fun seed ->
+      let prng = Prng.create seed in
+      let ss = random_scripts prng (8 + Prng.int prng 10) in
+      let n = total_writes ss in
+      let plan = FD.random_plan prng ~max_writes:n in
+      let img, _ = crash_run ss plan in
+      ignore
+        (check_recovery
+           (Printf.sprintf "seed %d (%s)" seed (FD.plan_to_string plan))
+           ss img))
+    [ 1; 2; 3; 7; 11; 42; 1986; 4096 ]
+
+(* --- WAL-before-data ordering -------------------------------------------- *)
+
+(* No dirty page may reach disk before its log record: strict mode
+   raises, default mode forces the log flush — never silent
+   reordering. *)
+let test_wal_before_data () =
+  let disk = D.create ~page_size:256 () in
+  let pool = BP.create ~frames:2 disk in
+  let w = Wal.create () in
+  BP.attach_wal pool w;
+  (* dirty two pages, then touch a third to force an eviction *)
+  let p1 = BP.alloc pool in
+  let p2 = BP.alloc pool in
+  let p3 = BP.alloc pool in
+  BP.write pool p1 (fun b -> Bytes.set b 0 'x');
+  BP.write pool p2 (fun b -> Bytes.set b 0 'y');
+  checkb "log records captured but not yet durable" true (Wal.durable_lsn w < Wal.last_lsn w);
+  (* strict mode: the eviction must refuse to write the page *)
+  BP.set_strict_wal pool true;
+  (try
+     BP.write pool p3 (fun b -> Bytes.set b 0 'z');
+     Alcotest.fail "expected Wal_ordering"
+   with BP.Wal_ordering _ -> ());
+  checki "nothing reached disk" 0 (D.stats disk).D.writes;
+  (* default mode: the same eviction forces the log out first *)
+  BP.set_strict_wal pool false;
+  BP.write pool p3 (fun b -> Bytes.set b 0 'z');
+  checkb "log flushed before data" true ((Wal.stats w).Wal.forced_flushes >= 1);
+  checkb "data written after log" true ((D.stats disk).D.writes >= 1);
+  checkb "durable mark covers the evicted page" true (Wal.durable_lsn w >= 1);
+  (* flush_all obeys the same rule *)
+  BP.flush_all pool;
+  checkb "all durable" true (Wal.durable_lsn w = Wal.last_lsn w)
+
+(* --- logged transactions at the Db level ---------------------------------- *)
+
+(* ROLLBACK on a WAL database rewinds pages from before-images (not a
+   whole-image snapshot) and leaves queries and later crash recovery
+   consistent. *)
+let test_wal_rollback () =
+  let db = fresh_wal_db () in
+  run_scripts db scripts;
+  let before = oracle_prefix scripts (List.length scripts) in
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE DEPT SET BUDGET = 1 WHERE DNO = 1");
+  ignore (Db.exec db "DELETE FROM DEPT WHERE DNO = 3");
+  ignore (Db.exec db "INSERT INTO DEPT VALUES (9, 'Ghost', 0, {})");
+  ignore (Db.exec db "ROLLBACK");
+  same_state "after rollback" db before;
+  check_md_invariants "after rollback" db;
+  (* the rolled-back transaction must not resurface after a crash *)
+  let img = Db.crash_image db in
+  ignore (check_recovery "crash after rollback" scripts img);
+  (* and the database remains writable afterwards *)
+  let rows_before = List.length (Rel.tuples (Db.query before "SELECT x.DNO FROM x IN DEPT")) in
+  ignore (Db.exec db "INSERT INTO DEPT VALUES (5, 'Post', 1, {})");
+  checki "post-rollback insert visible" (rows_before + 1)
+    (List.length (Rel.tuples (Db.query db "SELECT x.DNO FROM x IN DEPT")))
+
+(* An uncommitted transaction dies with the machine: recovery must show
+   no trace of it, even though its pages may have been flushed. *)
+let test_uncommitted_vanishes () =
+  let db = fresh_wal_db () in
+  run_scripts db scripts;
+  Db.wal_checkpoint db;
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "UPDATE DEPT SET BUDGET = 777777 WHERE DNO = 1");
+  ignore (Db.exec db "INSERT INTO DEPT VALUES (8, 'Doomed', 8, {})");
+  (* push the uncommitted changes to disk — WAL forces the log first *)
+  BP.flush_all (Db.pool db);
+  (* machine dies before COMMIT *)
+  let img = Db.crash_image db in
+  let recovered = Db.recover_from_image img in
+  let oracle = oracle_prefix scripts (List.length scripts) in
+  same_state "uncommitted work gone" recovered oracle;
+  checki "no doomed row" 0
+    (List.length (Rel.tuples (Db.query recovered "SELECT x.DNO FROM x IN DEPT WHERE x.DNO = 8")))
+
+(* Recovery is deterministic: replaying the same image twice yields the
+   same database. *)
+let test_recovery_deterministic () =
+  let img, _ = crash_run scripts (FD.Crash_at_write 7) in
+  let a = Db.recover_from_image img in
+  let b = Db.recover_from_image img in
+  same_state "replay twice" a b
+
+(* WAL stats surface the logging work for the bench harness. *)
+let test_wal_stats () =
+  let db = fresh_wal_db () in
+  run_scripts db scripts;
+  let w = Option.get (Db.wal db) in
+  let s = Wal.stats w in
+  checkb "records" true (s.Wal.records > List.length scripts);
+  checkb "bytes" true (s.Wal.bytes > 0);
+  checkb "flushes (one per commit)" true (s.Wal.flushes >= List.length scripts);
+  let ps = BP.stats (Db.pool db) in
+  checkb "pool captured log records" true (ps.BP.log_captures > 0)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "crash matrix",
+        [
+          Alcotest.test_case "crash at every write" `Quick test_crash_matrix;
+          Alcotest.test_case "torn write at every write" `Quick test_torn_write_matrix;
+          Alcotest.test_case "log fsync failures" `Quick test_sync_failures;
+        ] );
+      ( "randomized",
+        [ Alcotest.test_case "differential oracle" `Quick test_randomized_crashes ] );
+      ( "ordering",
+        [ Alcotest.test_case "WAL before data" `Quick test_wal_before_data ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "rollback via before-images" `Quick test_wal_rollback;
+          Alcotest.test_case "uncommitted vanishes" `Quick test_uncommitted_vanishes;
+          Alcotest.test_case "recovery deterministic" `Quick test_recovery_deterministic;
+          Alcotest.test_case "stats" `Quick test_wal_stats;
+        ] );
+    ]

@@ -4,7 +4,16 @@
     The 1986 prototype ran against real DASD; the cost model that
     matters for the paper's comparative claims is the number of page
     reads and writes, which this module counts.  All page-content
-    access must go through {!Buffer_pool}. *)
+    access must go through {!Buffer_pool}.
+
+    The disk is also the physical fault surface for crash-recovery
+    testing: {!Faulty_disk} installs a write hook that can tear a page
+    write mid-flight and raise {!Crash}, the simulated machine death. *)
+
+exception Crash of string
+(** Simulated process/machine death, raised by an armed fault plan.
+    Everything in memory (buffer pool, catalog, unflushed WAL tail) is
+    lost; the page array as written so far survives. *)
 
 type stats = { mutable reads : int; mutable writes : int; mutable allocs : int }
 
@@ -21,14 +30,26 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 
-(** Allocate a zeroed page; returns its page number. *)
+(** Allocate a zeroed page; returns its page number.  Allocation is a
+    durable metadata operation in this model (only page writes fail). *)
 val alloc : t -> int
 
 (** Physical read of a page image into [dst]. *)
 val read_into : t -> int -> Bytes.t -> unit
 
-(** Physical write of [src] onto a page. *)
-val write_from : t -> int -> Bytes.t -> unit
+(** Physical write of [src] onto a page.  [lsn], when positive, stamps
+    the page with the log record covering this image (see {!page_lsn}).
+    May raise {!Crash} when a fault plan is armed. *)
+val write_from : ?lsn:int -> t -> int -> Bytes.t -> unit
+
+(** LSN stamped on the last durable write of the page (0 = never
+    stamped).  Diagnostic view of the WAL-before-data invariant. *)
+val page_lsn : t -> int -> int
+
+(** Fault injection (see {!Faulty_disk}): called on every physical
+    write with (page, image).  [None] proceeds; [Some n] applies only
+    the first [n] bytes and raises {!Crash}. *)
+val set_write_hook : t -> (int -> Bytes.t -> int option) option -> unit
 
 (** Total allocated bytes ([npages * page_size]); used for space
     experiments. *)

@@ -1,0 +1,46 @@
+(** Deterministic fault injection over the simulated disk and log.
+
+    Arms a fault plan onto a live {!Disk.t} (and optionally the
+    {!Wal.t} sharing its fate) by installing hooks that count physical
+    operations and fire at an exact, reproducible point, raising
+    {!Disk.Crash} — the simulated machine death.  The page array and
+    the WAL's durable prefix as written so far are what {!Recovery}
+    gets to work with. *)
+
+type plan =
+  | Crash_at_write of int
+      (** The k-th physical page write dies before any byte lands. *)
+  | Torn_write of int
+      (** The k-th page write lands only its first half, then dies. *)
+  | Crash_after_write of int
+      (** The k-th page write lands fully, then the machine dies. *)
+  | Crash_at_sync of int
+      (** The k-th log fsync persists nothing, then dies. *)
+  | Torn_sync of int
+      (** The k-th log fsync persists half the pending tail, then dies
+          (a torn log tail — dropped by the record framing). *)
+
+val plan_to_string : plan -> string
+
+type t
+
+(** Install the plan's hooks.  Counters start at zero; the k-th
+    operation after arming fires. *)
+val arm : ?wal:Wal.t -> Disk.t -> plan -> t
+
+(** Remove the hooks (survivors are then safe to keep using). *)
+val disarm : t -> unit
+
+val writes : t -> int
+(** Physical page writes seen since arming. *)
+
+val syncs : t -> int
+(** Log fsyncs seen since arming. *)
+
+val fired : t -> bool
+(** Whether the plan's crash point was reached. *)
+
+(** A reproducible random plan driven by a seeded {!Prng.t}: mostly
+    write-point crashes, with torn writes and sync failures mixed in.
+    The crash write index is uniform in [1, max_writes]. *)
+val random_plan : Prng.t -> max_writes:int -> plan

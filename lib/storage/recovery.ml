@@ -1,0 +1,122 @@
+(* Crash recovery: redo-then-undo replay of the durable WAL over the
+   surviving page images.
+
+   The protocol is ARIES-shaped but simplified for byte-exact physical
+   deltas:
+
+   1. Start from the surviving disk pages (everything physically
+      written before the crash, torn final write included) and the
+      durable log prefix, truncated at the last sharp checkpoint.
+   2. REDO: repeat history — apply the after-image of every update
+      record in LSN order, regardless of transaction fate.  Byte-exact
+      images applied in order are idempotent, so no per-page LSN
+      comparison is needed for correctness (the stamps exist for the
+      flush-ordering assertion and diagnostics).
+   3. UNDO: apply the before-images of loser transactions (Begin but
+      neither Commit nor Abort in the durable prefix) in reverse LSN
+      order.  Aborted transactions logged their compensations as
+      ordinary updates, so they count as complete.
+
+   The result is exactly the committed-prefix state: no committed work
+   lost, no uncommitted work surviving. *)
+
+type image = { page_size : int; pages : Bytes.t array; wal : string }
+
+type outcome = {
+  disk : Disk.t;
+  catalog : string option;  (* payload of the newest durable commit/checkpoint *)
+  committed : Wal.txid list;  (* in commit order *)
+  losers : Wal.txid list;
+  redone : int;  (* update records re-applied *)
+  undone : int;  (* loser update records rolled back *)
+}
+
+(* What survives a crash right now: the physical page array plus the
+   log's durable prefix.  (Buffer-pool frames and the volatile log tail
+   are lost with the process.) *)
+let capture disk wal =
+  { page_size = Disk.page_size disk; pages = Disk.export_pages disk; wal = Wal.durable_contents wal }
+
+(* Records after the last sharp checkpoint (everything earlier is
+   already reflected in the flushed pages), plus that checkpoint's
+   catalog payload as the fallback. *)
+let after_last_checkpoint (recs : (Wal.lsn * Wal.record) list) =
+  let rec go base payload = function
+    | [] -> (base, payload)
+    | (_, Wal.Checkpoint { payload = p }) :: rest ->
+        go rest (match p with Some _ -> p | None -> payload) rest
+    | _ :: rest -> go base payload rest
+  in
+  go recs None recs
+
+let replay (img : image) : outcome =
+  let recs = Wal.records_of_string img.wal in
+  let recs, ckpt_payload = after_last_checkpoint recs in
+  (* transaction fates *)
+  let ended = Hashtbl.create 16 in
+  let seen = Hashtbl.create 16 in
+  let committed = ref [] in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Begin tx -> Hashtbl.replace seen tx ()
+      | Wal.Update { tx; _ } | Wal.Alloc { tx; _ } -> Hashtbl.replace seen tx ()
+      | Wal.Commit { tx; _ } ->
+          Hashtbl.replace ended tx ();
+          committed := tx :: !committed
+      | Wal.Abort tx -> Hashtbl.replace ended tx ()
+      | Wal.Checkpoint _ -> ())
+    recs;
+  let is_loser tx = tx <> Wal.system_tx && not (Hashtbl.mem ended tx) in
+  let losers =
+    Hashtbl.fold (fun tx () acc -> if is_loser tx then tx :: acc else acc) seen []
+    |> List.sort compare
+  in
+  (* growable working copy of the surviving pages *)
+  let pages = ref (Array.map Bytes.copy img.pages) in
+  let npages = ref (Array.length img.pages) in
+  let ensure page =
+    while page >= !npages do
+      if !npages >= Array.length !pages then begin
+        let bigger = Array.make (max (page + 1) (2 * max 1 (Array.length !pages))) Bytes.empty in
+        Array.blit !pages 0 bigger 0 !npages;
+        pages := bigger
+      end;
+      !pages.(!npages) <- Bytes.make img.page_size '\000';
+      incr npages
+    done
+  in
+  let apply page off (bytes : string) =
+    ensure page;
+    Bytes.blit_string bytes 0 !pages.(page) off (String.length bytes)
+  in
+  (* redo: repeat history in LSN order *)
+  let redone = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Update { page; off; after; _ } ->
+          apply page off after;
+          incr redone
+      | Wal.Alloc { page; _ } -> ensure page
+      | _ -> ())
+    recs;
+  (* undo: losers' before-images in reverse LSN order *)
+  let undone = ref 0 in
+  List.iter
+    (fun (_, r) ->
+      match r with
+      | Wal.Update { tx; page; off; before; _ } when is_loser tx ->
+          apply page off before;
+          incr undone
+      | _ -> ())
+    (List.rev recs);
+  (* catalog: the newest committed payload wins; else the checkpoint's *)
+  let catalog =
+    List.fold_left
+      (fun acc (_, r) ->
+        match r with Wal.Commit { payload = Some p; _ } -> Some p | _ -> acc)
+      ckpt_payload recs
+  in
+  let disk = Disk.of_pages ~page_size:img.page_size (Array.sub !pages 0 !npages) in
+  { disk; catalog; committed = List.rev !committed; losers; redone = !redone; undone = !undone }

@@ -1001,6 +1001,144 @@ let bench_wal () =
     && (Db.table_names recovered = []
        || Rel.equal (Db.query recovered "SELECT * FROM R") (Db.query oracle "SELECT * FROM R")))
 
+(* ================================================================== *)
+(* SRV: concurrent server — throughput and group commit               *)
+(* ================================================================== *)
+
+module Server = Nf2_server.Server
+module SClient = Nf2_server.Client
+module Proto = Nf2_server.Protocol
+
+type server_trial = {
+  clients : int;
+  group : bool;
+  txns : int;
+  seconds : float;
+  qps : float;
+  fsyncs_per_txn : float;
+  avg_batch : float;
+}
+
+(* [clients] sessions each commit [per_client] autocommit updates
+   against their own table (so predicate locks don't serialize them and
+   commits can actually overlap), then we read fsyncs and batch sizes
+   off the WAL stats delta. *)
+let server_trial ~clients ~per_client ~group () : server_trial =
+  let db = Db.create ~wal:true () in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      max_sessions = clients + 2;
+      lock_timeout = 30.;
+      idle_timeout = 0.;
+      group_commit = group;
+      group_window = 0.001;
+    }
+  in
+  let srv = Server.start ~db config in
+  let wal = Option.get (Db.wal db) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let setup = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+  for k = 0 to clients - 1 do
+    (match
+       SClient.request setup
+         (Proto.Query (Printf.sprintf "CREATE TABLE C%d (K INT, N INT); INSERT INTO C%d VALUES (%d, 0)" k k k))
+     with
+    | Some (Proto.Row_count _) -> ()
+    | _ -> failwith "server bench setup failed")
+  done;
+  SClient.close setup;
+  let s0 = Wal.stats wal in
+  let flushes0 = s0.Wal.flushes and batches0 = s0.Wal.group_commit_batches in
+  let batched0 = s0.Wal.group_commit_txns in
+  let committed = Atomic.make 0 in
+  let worker k () =
+    let c = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+    let sql = Printf.sprintf "UPDATE C%d SET N = N + 1 WHERE K = %d" k k in
+    for _ = 1 to per_client do
+      match SClient.request c (Proto.Query sql) with
+      | Some (Proto.Row_count _) -> Atomic.incr committed
+      | _ -> ()
+    done;
+    SClient.close c
+  in
+  let (), ns =
+    time_once (fun () ->
+        let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+        List.iter Thread.join threads)
+  in
+  let s1 = Wal.stats wal in
+  let txns = Atomic.get committed in
+  let fsyncs = s1.Wal.flushes - flushes0 in
+  let batches = s1.Wal.group_commit_batches - batches0 in
+  let batched = s1.Wal.group_commit_txns - batched0 in
+  let seconds = ns /. 1e9 in
+  {
+    clients;
+    group;
+    txns;
+    seconds;
+    qps = float_of_int txns /. seconds;
+    fsyncs_per_txn = (if txns = 0 then nan else float_of_int fsyncs /. float_of_int txns);
+    avg_batch = (if batches = 0 then nan else float_of_int batched /. float_of_int batches);
+  }
+
+let bench_server () =
+  section "SRV" "concurrent server: session throughput and group commit";
+  let per_client = 40 in
+  let trials =
+    List.concat_map
+      (fun clients ->
+        List.map (fun group -> server_trial ~clients ~per_client ~group ()) [ true; false ])
+      [ 1; 4; 16 ]
+  in
+  subsection
+    (Printf.sprintf "autocommit update txns over TCP (%d per client, 1ms group window)" per_client);
+  print_table
+    ~header:[ "clients"; "group commit"; "txns"; "txn/s"; "fsyncs/txn"; "avg batch" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.clients;
+           (if t.group then "on" else "off");
+           string_of_int t.txns;
+           Printf.sprintf "%.0f" t.qps;
+           Printf.sprintf "%.3f" t.fsyncs_per_txn;
+           (if Float.is_nan t.avg_batch then "-" else Printf.sprintf "%.2f" t.avg_batch);
+         ])
+       trials);
+  let find clients group = List.find (fun t -> t.clients = clients && t.group = group) trials in
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "all %d txns committed (%d clients, group %b)" (t.clients * per_client)
+           t.clients t.group)
+        (t.txns = t.clients * per_client))
+    trials;
+  check "without group commit every txn pays a full fsync"
+    ((find 16 false).fsyncs_per_txn >= 1.0);
+  check "16 concurrent clients share fsyncs under group commit: fsyncs/txn < 1"
+    ((find 16 true).fsyncs_per_txn < 1.0);
+  check "group commit batches grow with concurrency"
+    ((find 16 true).avg_batch > (find 1 true).avg_batch || (find 16 true).avg_batch > 1.5);
+  (* machine-readable results for tracking across runs *)
+  let json =
+    "[\n"
+    ^ String.concat ",\n"
+        (List.map
+           (fun t ->
+             Printf.sprintf
+               "  {\"clients\": %d, \"group_commit\": %b, \"txns\": %d, \"seconds\": %.4f, \
+                \"qps\": %.1f, \"fsyncs_per_txn\": %.4f, \"avg_batch\": %s}"
+               t.clients t.group t.txns t.seconds t.qps t.fsyncs_per_txn
+               (if Float.is_nan t.avg_batch then "null" else Printf.sprintf "%.2f" t.avg_batch))
+           trials)
+    ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1020,6 +1158,7 @@ let sections : (string * (unit -> unit)) list =
     ("C9", bench_c9);
     ("AB", bench_ablations);
     ("WL", bench_wal);
+    ("SRV", bench_server);
   ]
 
 let () =

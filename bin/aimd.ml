@@ -1,0 +1,76 @@
+(* aimd — the AIM-II prototype as a network server.
+
+   Usage:
+     aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
+          [--lock-timeout S] [--no-group-commit] [--demo] [-f init.sql]
+
+   Serves the wire protocol (see docs/SERVER.md); connect with
+   `aimsh --connect HOST:PORT`.  SIGINT/SIGTERM shut down gracefully:
+   in-flight transactions roll back, the WAL is checkpointed, and the
+   metrics report is dumped to stdout. *)
+
+module Db = Nf2.Db
+module Server = Nf2_server.Server
+
+let () =
+  let config = ref Server.default_config in
+  let demo = ref false in
+  let init_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--host" :: h :: rest ->
+        config := { !config with Server.host = h };
+        parse rest
+    | "--port" :: p :: rest ->
+        config := { !config with Server.port = int_of_string p };
+        parse rest
+    | "--max-sessions" :: n :: rest ->
+        config := { !config with Server.max_sessions = int_of_string n };
+        parse rest
+    | "--idle-timeout" :: s :: rest ->
+        config := { !config with Server.idle_timeout = float_of_string s };
+        parse rest
+    | "--lock-timeout" :: s :: rest ->
+        config := { !config with Server.lock_timeout = float_of_string s };
+        parse rest
+    | "--no-group-commit" :: rest ->
+        config := { !config with Server.group_commit = false };
+        parse rest
+    | "--demo" :: rest ->
+        demo := true;
+        parse rest
+    | "-f" :: file :: rest ->
+        init_file := Some file;
+        parse rest
+    | "--help" :: _ ->
+        print_endline
+          "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
+           [--lock-timeout S] [--no-group-commit] [--demo] [-f init.sql]";
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "aimd: unknown argument %s (try --help)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let db = Db.create ~wal:true () in
+  if !demo then Nf2.Demo.load db;
+  (match !init_file with
+  | Some file -> ignore (Db.exec db (In_channel.with_open_text file In_channel.input_all))
+  | None -> ());
+  let srv = Server.start ~db !config in
+  Printf.printf "aimd: listening on %s:%d (max %d sessions, group commit %s)\n%!"
+    !config.Server.host (Server.port srv) !config.Server.max_sessions
+    (if !config.Server.group_commit then "on" else "off");
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  (* signal handlers only set a flag; the main thread does the actual
+     shutdown outside handler context *)
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.1
+  done;
+  print_endline "aimd: shutting down";
+  Server.stop srv;
+  print_string (Server.render_metrics srv);
+  print_endline "aimd: bye"

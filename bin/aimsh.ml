@@ -14,6 +14,10 @@
    With -d FILE -j JOURNAL the session is durable: it recovers from the
    checkpoint + journal on start, journals every mutation, and \save
    checkpoints (truncating the journal).
+
+   With --connect HOST:PORT the shell talks to a running aimd server
+   instead of an embedded engine; \metrics and \ping replace the local
+   meta commands, and BEGIN/COMMIT/ROLLBACK span multiple inputs.
 *)
 
 module Db = Nf2.Db
@@ -75,6 +79,90 @@ let repl db =
   in
   loop ()
 
+(* --- remote mode (--connect HOST:PORT) -------------------------------- *)
+
+module Client = Nf2_server.Client
+module Proto = Nf2_server.Protocol
+
+let render_table columns rows =
+  let widths =
+    List.mapi
+      (fun i c -> List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length c) rows)
+      columns
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line cells = String.concat " | " (List.map2 pad cells widths) in
+  let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line columns :: rule :: List.map line rows)
+
+let print_remote_response = function
+  | Some (Proto.Result_table { columns; rows }) ->
+      print_endline (render_table columns rows);
+      Printf.printf "(%d row(s))\n" (List.length rows)
+  | Some (Proto.Row_count { message; _ }) -> print_endline message
+  | Some (Proto.Prepared { id; nparams }) -> Printf.printf "prepared #%d (%d params)\n" id nparams
+  | Some (Proto.Error { code; message }) -> Printf.printf "error %s: %s\n" code message
+  | Some Proto.Pong -> print_endline "pong"
+  | Some (Proto.Metrics_text s) -> print_string s
+  | Some Proto.Bye -> print_endline "server closed the session"
+  | None -> print_endline "server hung up"
+
+let run_remote client input = print_remote_response (Client.request client (Proto.Query input))
+
+let remote_repl client =
+  print_endline "connected.  Statements end with ';'.  \\q quits, \\metrics shows server counters.";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "aim> " else "...> ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let trimmed = String.trim line in
+        if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\' then begin
+          (match trimmed with
+          | "\\q" ->
+              Client.close client;
+              exit 0
+          | "\\metrics" -> print_remote_response (Client.request client Proto.Metrics)
+          | "\\ping" -> print_remote_response (Client.request client Proto.Ping)
+          | _ -> print_endline "unknown meta command (remote: \\q \\metrics \\ping)");
+          loop ()
+        end
+        else begin
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n';
+          if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';' then begin
+            let input = Buffer.contents buf in
+            Buffer.clear buf;
+            run_remote client input
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+let remote_main target rest =
+  let host, port =
+    match String.rindex_opt target ':' with
+    | Some i -> (String.sub target 0 i, int_of_string (String.sub target (i + 1) (String.length target - i - 1)))
+    | None -> (target, 5433)
+  in
+  let client = Client.connect ~host ~port in
+  let rec go = function
+    | [] -> remote_repl client
+    | "-e" :: stmts :: rest ->
+        run_remote client stmts;
+        if rest = [] then () else go rest
+    | "-f" :: file :: rest ->
+        run_remote client (In_channel.with_open_text file In_channel.input_all);
+        if rest = [] then () else go rest
+    | _ :: rest -> go rest
+  in
+  go rest;
+  Client.close client
+
 let () =
   let args = Array.to_list Sys.argv in
   let rec find_flag flag = function
@@ -82,6 +170,11 @@ let () =
     | _ :: rest -> find_flag flag rest
     | [] -> None
   in
+  (match find_flag "--connect" args with
+  | Some target ->
+      remote_main target (List.filter (fun a -> a <> "--connect" && a <> target) (List.tl args));
+      exit 0
+  | None -> ());
   let db_path = find_flag "-d" args and journal_path = find_flag "-j" args in
   let db =
     match db_path, journal_path with
@@ -114,7 +207,9 @@ let () =
     | "-d" :: _ :: rest -> go rest
     | "-j" :: _ :: rest -> go rest
     | "--help" :: _ ->
-        print_endline "usage: aimsh [--demo] [-d db-file] [-j journal] [-e 'STMTS'] [-f script.sql]"
+        print_endline
+          "usage: aimsh [--demo] [-d db-file] [-j journal] [-e 'STMTS'] [-f script.sql] \
+           [--connect HOST:PORT]"
     | _ :: rest -> go rest
   in
   go (List.tl args)

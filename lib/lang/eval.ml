@@ -293,6 +293,7 @@ let atom_arith op a b =
   let to_f = function Atom.Int v -> float_of_int v | Atom.Float v -> v | _ -> eval_error "arithmetic on non-number" in
   let both_int = match a, b with Atom.Int _, Atom.Int _ -> true | _ -> false in
   let fa = to_f a and fb = to_f b in
+  if op = Div && fb = 0. then eval_error "division by zero";
   let r = match op with Add -> fa +. fb | Sub -> fa -. fb | Mul -> fa *. fb | Div -> fa /. fb in
   if both_int && (op <> Div || Float.is_integer r) then Atom.Int (int_of_float r) else Atom.Float r
 

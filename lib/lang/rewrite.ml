@@ -33,6 +33,9 @@ let is_false = function Bool_expr (Const (Atom.Bool false)) -> true | _ -> false
 let fold_arith op (a : Atom.t) (b : Atom.t) : Atom.t option =
   let to_f = function Atom.Int v -> Some (float_of_int v, true) | Atom.Float v -> Some (v, false) | _ -> None in
   match to_f a, to_f b with
+  (* never fold x/0: evaluation raises "division by zero" at runtime,
+     and folding to a Float inf here would silence that error *)
+  | Some _, Some (0., _) when op = Div -> None
   | Some (fa, ia), Some (fb, ib) ->
       let r = match op with Add -> fa +. fb | Sub -> fa -. fb | Mul -> fa *. fb | Div -> fa /. fb in
       if ia && ib && (op <> Div || Float.is_integer r) then Some (Atom.Int (int_of_float r))

@@ -1,0 +1,34 @@
+(* Minimal blocking client for the wire protocol, used by the shell's
+   --connect mode, the tests, and the bench harness. *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ~(host : string) ~(port : int) : t =
+  (* a peer that hangs up must surface as EPIPE, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; closed = false }
+
+(* One round trip.  [None] means the server hung up before answering.
+   When the send fails because the server already closed the socket we
+   still drain the pending response (e.g. the admission-control Busy
+   error queued before the close). *)
+let request (c : t) (req : Protocol.request) : Protocol.response option =
+  let sent = try Protocol.send_request c.fd req; true with Unix.Unix_error _ -> false in
+  try Protocol.recv_response c.fd with
+  | Unix.Unix_error _ when not sent -> None
+  | Protocol.Protocol_error _ when not sent -> None
+
+let close (c : t) =
+  if not c.closed then begin
+    c.closed <- true;
+    (try
+       Protocol.send_request c.fd Protocol.Quit;
+       ignore (Protocol.recv_response c.fd)
+     with _ -> ());
+    try Unix.close c.fd with _ -> ()
+  end

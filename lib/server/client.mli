@@ -1,0 +1,13 @@
+(** Minimal blocking client for the wire protocol (one outstanding
+    request per connection), used by the shell's [--connect] mode, the
+    tests, and the bench harness. *)
+
+type t
+
+val connect : host:string -> port:int -> t
+
+(** One round trip; [None] means the server hung up before answering. *)
+val request : t -> Protocol.request -> Protocol.response option
+
+(** Sends Quit (best effort) and closes the socket.  Idempotent. *)
+val close : t -> unit

@@ -1,0 +1,120 @@
+(* Metrics registry for the server tier: named counters and latency
+   histograms behind one mutex.  Histograms use logarithmic buckets
+   (factor 2 from 1µs), which keeps observation O(1) and makes
+   p50/p95/p99 a bucket scan; quantiles report the bucket's upper
+   bound, so they are upper estimates with <= 2x resolution — plenty
+   for a prototype's dashboard. *)
+
+type histogram = {
+  buckets : int array;  (* counts per bucket *)
+  mutable hcount : int;
+  mutable hsum : float;  (* seconds *)
+}
+
+let nbuckets = 42
+let bucket_floor = 1e-6 (* bucket 0 ends at 1µs *)
+
+(* Index of the first bucket whose upper bound covers [v] seconds. *)
+let bucket_of (v : float) : int =
+  let rec go i bound = if i >= nbuckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.) in
+  go 0 bucket_floor
+
+let bucket_bound i = bucket_floor *. Float.of_int (1 lsl i)
+
+type t = {
+  mu : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { mu = Mutex.create (); counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t.counters name r;
+      r
+
+let add t name n = with_mu t (fun () -> let r = counter_ref t name in r := !r + n)
+let incr t name = add t name 1
+let get t name = with_mu t (fun () -> match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+
+let histogram_ref t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = { buckets = Array.make nbuckets 0; hcount = 0; hsum = 0. } in
+      Hashtbl.replace t.histograms name h;
+      h
+
+let observe t name (seconds : float) =
+  with_mu t (fun () ->
+      let h = histogram_ref t name in
+      let i = bucket_of seconds in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.hcount <- h.hcount + 1;
+      h.hsum <- h.hsum +. seconds)
+
+(* Upper bound of the bucket where the cumulative count reaches [q]. *)
+let percentile_of h (q : float) : float =
+  if h.hcount = 0 then 0.
+  else begin
+    let target = Float.to_int (Float.round (q *. Float.of_int h.hcount)) in
+    let target = max 1 target in
+    let acc = ref 0 and res = ref (bucket_bound (nbuckets - 1)) in
+    (try
+       Array.iteri
+         (fun i c ->
+           acc := !acc + c;
+           if !acc >= target then begin
+             res := bucket_bound i;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    !res
+  end
+
+let percentile t name q =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.histograms name with Some h -> percentile_of h q | None -> 0.)
+
+let count t name =
+  with_mu t (fun () -> match Hashtbl.find_opt t.histograms name with Some h -> h.hcount | None -> 0)
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let fmt_seconds (s : float) =
+  if s < 1e-3 then Printf.sprintf "%.0fus" (s *. 1e6)
+  else if s < 1. then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.3fs" s
+
+let render t : string =
+  with_mu t (fun () ->
+      let b = Buffer.create 512 in
+      let counters =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" name v)) counters;
+      let histograms =
+        Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, h) ->
+          let avg = if h.hcount = 0 then 0. else h.hsum /. Float.of_int h.hcount in
+          Buffer.add_string b
+            (Printf.sprintf "%-32s count=%d avg=%s p50=%s p95=%s p99=%s\n" name h.hcount
+               (fmt_seconds avg)
+               (fmt_seconds (percentile_of h 0.50))
+               (fmt_seconds (percentile_of h 0.95))
+               (fmt_seconds (percentile_of h 0.99))))
+        histograms;
+      Buffer.contents b)

@@ -1,0 +1,30 @@
+(** Metrics registry for the server tier: named counters and latency
+    histograms behind one mutex.  Histograms use logarithmic buckets
+    (factor 2 from 1µs); {!percentile} reports the matching bucket's
+    upper bound (an upper estimate with <= 2x resolution). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} (created on first touch; also used as gauges via
+    [add t name (-1)]) *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+
+(** {1 Histograms} *)
+
+(** Record one observation, in seconds. *)
+val observe : t -> string -> float -> unit
+
+(** [percentile t name q] with [q] in [0,1]; 0 when unobserved. *)
+val percentile : t -> string -> float -> float
+
+(** Observations recorded under [name]. *)
+val count : t -> string -> int
+
+(** One line per counter, then one line per histogram with
+    count/avg/p50/p95/p99. *)
+val render : t -> string

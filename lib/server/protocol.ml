@@ -1,0 +1,205 @@
+(* Wire protocol of the multi-session server: length-prefixed binary
+   frames carrying one request or one response each.
+
+   Frame: 4-byte big-endian payload length, then the payload.  Payload:
+   u8 tag + Codec-encoded fields (the same varint/string encodings the
+   storage layer uses).  The encode/decode layer below is pure — it
+   round-trips without sockets — and the socket helpers at the bottom
+   only move frames. *)
+
+module Atom = Nf2_model.Atom
+
+exception Protocol_error of string
+
+let protocol_error fmt = Fmt.kstr (fun s -> raise (Protocol_error s)) fmt
+
+(* --- SQLSTATE-style error codes ---------------------------------------- *)
+
+let err_syntax = "42601" (* lex / parse failure *)
+let err_semantic = "42000" (* schema, type, or catalog error *)
+let err_lock_timeout = "55P03" (* lock wait deadline exceeded *)
+let err_deadlock = "40P01" (* granting the wait would close a cycle *)
+let err_busy = "53300" (* admission control: too many sessions *)
+let err_txn_state = "25000" (* BEGIN in txn / COMMIT outside one *)
+let err_protocol = "08P01" (* malformed or unexpected frame *)
+let err_internal = "XX000"
+
+type request =
+  | Query of string  (** one or more ';'-separated statements *)
+  | Prepare of string  (** statement with '?' placeholders *)
+  | Execute_prepared of { id : int; params : Atom.t list }
+  | Begin
+  | Commit
+  | Rollback
+  | Ping
+  | Metrics
+  | Quit
+
+type response =
+  | Result_table of { columns : string list; rows : string list list }
+      (** a query result: column names plus rendered cells *)
+  | Row_count of { affected : int; message : string }
+      (** a DML/DDL outcome: rows touched plus the engine's message *)
+  | Prepared of { id : int; nparams : int }
+  | Error of { code : string; message : string }
+  | Pong
+  | Metrics_text of string
+  | Bye
+
+(* --- pure encode / decode ---------------------------------------------- *)
+
+let encode_request (r : request) : string =
+  let b = Codec.create_sink () in
+  (match r with
+  | Query s ->
+      Codec.put_u8 b 1;
+      Codec.put_string b s
+  | Prepare s ->
+      Codec.put_u8 b 2;
+      Codec.put_string b s
+  | Execute_prepared { id; params } ->
+      Codec.put_u8 b 3;
+      Codec.put_uvarint b id;
+      Codec.put_uvarint b (List.length params);
+      List.iter (Atom.encode b) params
+  | Begin -> Codec.put_u8 b 4
+  | Commit -> Codec.put_u8 b 5
+  | Rollback -> Codec.put_u8 b 6
+  | Ping -> Codec.put_u8 b 7
+  | Metrics -> Codec.put_u8 b 8
+  | Quit -> Codec.put_u8 b 9);
+  Codec.contents b
+
+(* Truncated or garbled fields surface as Codec decode errors; at the
+   protocol boundary they are all just malformed frames. *)
+let guard_decode what f =
+  try f () with Codec.Decode_error m -> protocol_error "malformed %s: %s" what m
+
+let decode_request (s : string) : request =
+  guard_decode "request" @@ fun () ->
+  let src = Codec.source_of_string s in
+  let r =
+    match Codec.get_u8 src with
+    | 1 -> Query (Codec.get_string src)
+    | 2 -> Prepare (Codec.get_string src)
+    | 3 ->
+        let id = Codec.get_uvarint src in
+        let n = Codec.get_uvarint src in
+        Execute_prepared { id; params = List.init n (fun _ -> Atom.decode src) }
+    | 4 -> Begin
+    | 5 -> Commit
+    | 6 -> Rollback
+    | 7 -> Ping
+    | 8 -> Metrics
+    | 9 -> Quit
+    | n -> protocol_error "unknown request tag %d" n
+  in
+  if not (Codec.at_end src) then protocol_error "trailing bytes after request";
+  r
+
+let encode_response (r : response) : string =
+  let b = Codec.create_sink () in
+  (match r with
+  | Result_table { columns; rows } ->
+      Codec.put_u8 b 1;
+      Codec.put_uvarint b (List.length columns);
+      List.iter (Codec.put_string b) columns;
+      Codec.put_uvarint b (List.length rows);
+      List.iter
+        (fun row ->
+          Codec.put_uvarint b (List.length row);
+          List.iter (Codec.put_string b) row)
+        rows
+  | Row_count { affected; message } ->
+      Codec.put_u8 b 2;
+      Codec.put_uvarint b affected;
+      Codec.put_string b message
+  | Prepared { id; nparams } ->
+      Codec.put_u8 b 3;
+      Codec.put_uvarint b id;
+      Codec.put_uvarint b nparams
+  | Error { code; message } ->
+      Codec.put_u8 b 4;
+      Codec.put_string b code;
+      Codec.put_string b message
+  | Pong -> Codec.put_u8 b 5
+  | Metrics_text s ->
+      Codec.put_u8 b 6;
+      Codec.put_string b s
+  | Bye -> Codec.put_u8 b 7);
+  Codec.contents b
+
+let decode_response (s : string) : response =
+  guard_decode "response" @@ fun () ->
+  let src = Codec.source_of_string s in
+  let r =
+    match Codec.get_u8 src with
+    | 1 ->
+        let ncols = Codec.get_uvarint src in
+        let columns = List.init ncols (fun _ -> Codec.get_string src) in
+        let nrows = Codec.get_uvarint src in
+        let rows =
+          List.init nrows (fun _ ->
+              let n = Codec.get_uvarint src in
+              List.init n (fun _ -> Codec.get_string src))
+        in
+        Result_table { columns; rows }
+    | 2 ->
+        let affected = Codec.get_uvarint src in
+        Row_count { affected; message = Codec.get_string src }
+    | 3 ->
+        let id = Codec.get_uvarint src in
+        Prepared { id; nparams = Codec.get_uvarint src }
+    | 4 ->
+        let code = Codec.get_string src in
+        Error { code; message = Codec.get_string src }
+    | 5 -> Pong
+    | 6 -> Metrics_text (Codec.get_string src)
+    | 7 -> Bye
+    | n -> protocol_error "unknown response tag %d" n
+  in
+  if not (Codec.at_end src) then protocol_error "trailing bytes after response";
+  r
+
+(* --- frame IO over a socket -------------------------------------------- *)
+
+let max_frame = 64 * 1024 * 1024
+
+let write_frame (fd : Unix.file_descr) (payload : string) =
+  let n = String.length payload in
+  if n > max_frame then protocol_error "frame too large (%d bytes)" n;
+  let buf = Bytes.create (4 + n) in
+  Codec.blit_u32 buf 0 n;
+  Bytes.blit_string payload 0 buf 4 n;
+  let rec put off remaining =
+    if remaining > 0 then begin
+      let k = Unix.write fd buf off remaining in
+      put (off + k) (remaining - k)
+    end
+  in
+  put 0 (4 + n)
+
+(* [None] on a clean EOF at a frame boundary. *)
+let read_frame (fd : Unix.file_descr) : string option =
+  let rec get buf off remaining =
+    if remaining = 0 then true
+    else
+      let k = Unix.read fd buf off remaining in
+      if k = 0 then
+        if off = 0 then false else protocol_error "connection closed mid-frame"
+      else get buf (off + k) (remaining - k)
+  in
+  let hdr = Bytes.create 4 in
+  if not (get hdr 0 4) then None
+  else begin
+    let n = Codec.read_u32 hdr 0 in
+    if n > max_frame then protocol_error "frame too large (%d bytes)" n;
+    let payload = Bytes.create n in
+    if not (get payload 0 n) && n > 0 then protocol_error "connection closed mid-frame";
+    Some (Bytes.to_string payload)
+  end
+
+let send_request fd r = write_frame fd (encode_request r)
+let send_response fd r = write_frame fd (encode_response r)
+let recv_request fd = Option.map decode_request (read_frame fd)
+let recv_response fd = Option.map decode_response (read_frame fd)

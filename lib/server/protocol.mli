@@ -1,0 +1,74 @@
+(** Wire protocol of the multi-session server: length-prefixed binary
+    frames (4-byte big-endian length + payload) carrying one request or
+    one response each.  The encode/decode layer is pure and round-trips
+    without sockets; the [send_*]/[recv_*] helpers move whole frames
+    over a connected socket. *)
+
+module Atom = Nf2_model.Atom
+
+exception Protocol_error of string
+
+(** {1 SQLSTATE-style error codes} *)
+
+val err_syntax : string  (** 42601: lex / parse failure *)
+
+val err_semantic : string  (** 42000: schema, type, or catalog error *)
+
+val err_lock_timeout : string  (** 55P03: lock wait deadline exceeded *)
+
+val err_deadlock : string  (** 40P01: wait would close a cycle *)
+
+val err_busy : string  (** 53300: admission control rejected the session *)
+
+val err_txn_state : string  (** 25000: BEGIN in txn / COMMIT outside one *)
+
+val err_protocol : string  (** 08P01: malformed or unexpected frame *)
+
+val err_internal : string  (** XX000 *)
+
+type request =
+  | Query of string  (** one or more ';'-separated statements *)
+  | Prepare of string  (** statement with '?' placeholders *)
+  | Execute_prepared of { id : int; params : Atom.t list }
+  | Begin
+  | Commit
+  | Rollback
+  | Ping
+  | Metrics
+  | Quit
+
+type response =
+  | Result_table of { columns : string list; rows : string list list }
+      (** a query result: column names plus rendered cells *)
+  | Row_count of { affected : int; message : string }
+      (** a DML/DDL outcome: rows touched plus the engine's message *)
+  | Prepared of { id : int; nparams : int }
+  | Error of { code : string; message : string }
+  | Pong
+  | Metrics_text of string
+  | Bye
+
+(** {1 Pure encoding layer} *)
+
+val encode_request : request -> string
+
+(** @raise Protocol_error on a malformed payload. *)
+val decode_request : string -> request
+
+val encode_response : response -> string
+
+(** @raise Protocol_error on a malformed payload. *)
+val decode_response : string -> response
+
+(** {1 Frame IO} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on EOF mid-frame or an oversized frame. *)
+val read_frame : Unix.file_descr -> string option
+
+val send_request : Unix.file_descr -> request -> unit
+val send_response : Unix.file_descr -> response -> unit
+val recv_request : Unix.file_descr -> request option
+val recv_response : Unix.file_descr -> response option

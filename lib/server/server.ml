@@ -1,0 +1,207 @@
+(* Server loop: TCP accept loop with a bounded session pool.
+
+   Each accepted connection gets its own worker thread running a
+   request/response loop over {!Protocol} frames against a {!Session}.
+   Admission control is strict: when [max_sessions] workers are live, a
+   new connection is answered immediately with a Busy error and closed
+   rather than left hanging in the backlog.  Idle sessions are closed
+   after [idle_timeout] (enforced with a receive timeout on the
+   socket).  {!stop} is graceful: it stops accepting, shuts down every
+   client socket (which makes the workers exit and roll back their
+   in-flight transactions), joins them, and checkpoints the WAL. *)
+
+module Db = Nf2.Db
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  max_sessions : int;
+  idle_timeout : float;  (** seconds; 0 disables the idle check *)
+  lock_timeout : float;
+  group_commit : bool;
+  group_window : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    max_sessions = 32;
+    idle_timeout = 300.;
+    lock_timeout = 2.0;
+    group_commit = true;
+    group_window = 0.002;
+  }
+
+type t = {
+  db : Db.t;
+  mgr : Session.manager;
+  metrics : Metrics.t;
+  config : config;
+  listener : Unix.file_descr;
+  bound_port : int;
+  mu : Mutex.t;
+  workers : (int, Thread.t * Unix.file_descr) Hashtbl.t;
+  mutable next_sid : int;
+  mutable running : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let db t = t.db
+let metrics t = t.metrics
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* --- per-connection worker ---------------------------------------------- *)
+
+let is_timeout = function
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) -> true
+  | _ -> false
+
+let serve_connection (t : t) (sess : Session.session) (fd : Unix.file_descr) =
+  if t.config.idle_timeout > 0. then
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout;
+  let rec loop () =
+    match Protocol.recv_request fd with
+    | None -> () (* clean disconnect *)
+    | exception e when is_timeout e ->
+        Metrics.incr t.metrics "sessions_idle_closed";
+        (try Protocol.send_response fd (Protocol.Error
+               { code = Protocol.err_protocol; message = "idle timeout, closing session" })
+         with _ -> ())
+    | exception Protocol.Protocol_error m ->
+        (try Protocol.send_response fd (Protocol.Error { code = Protocol.err_protocol; message = m })
+         with _ -> ())
+    | Some req -> (
+        match Session.handle sess req with
+        | resp ->
+            Protocol.send_response fd resp;
+            if resp <> Protocol.Bye then loop ()
+        | exception Nf2_storage.Disk.Crash _ ->
+            (* fault injection killed the disk: simulate machine death —
+               no farewell frame, the client just sees EOF *)
+            Metrics.incr t.metrics "sessions_crashed"
+        | exception e ->
+            (try Protocol.send_response fd (Protocol.Error
+                   { code = Protocol.err_internal; message = Printexc.to_string e })
+             with _ -> ()))
+  in
+  (try loop () with _ -> ());
+  Session.close_session sess
+
+let worker (t : t) (sid : int) (fd : Unix.file_descr) =
+  let sess = Session.open_session t.mgr ~sid in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with _ -> ());
+      with_mu t (fun () -> Hashtbl.remove t.workers sid);
+      Metrics.add t.metrics "sessions_active" (-1))
+    (fun () -> serve_connection t sess fd)
+
+(* --- accept loop --------------------------------------------------------- *)
+
+let admit (t : t) (fd : Unix.file_descr) =
+  Metrics.incr t.metrics "connections_total";
+  (* admission check and registration are one critical section, so the
+     pool can never exceed max_sessions *)
+  let sid =
+    with_mu t (fun () ->
+        if Hashtbl.length t.workers >= t.config.max_sessions then None
+        else begin
+          let sid = t.next_sid in
+          t.next_sid <- sid + 1;
+          (* placeholder so concurrent accepts count this slot; the
+             thread id is filled in below under the same mutex *)
+          Hashtbl.replace t.workers sid (Thread.self (), fd);
+          Some sid
+        end)
+  in
+  match sid with
+  | None ->
+      Metrics.incr t.metrics "connections_rejected";
+      (try
+         Protocol.send_response fd
+           (Protocol.Error { code = Protocol.err_busy; message = "too many sessions, try again later" })
+       with _ -> ());
+      (try Unix.close fd with _ -> ())
+  | Some sid ->
+      Metrics.incr t.metrics "sessions_active";
+      let th = Thread.create (fun () -> worker t sid fd) () in
+      with_mu t (fun () ->
+          if Hashtbl.mem t.workers sid then Hashtbl.replace t.workers sid (th, fd))
+
+let accept_loop (t : t) =
+  while with_mu t (fun () -> t.running) do
+    (* select with a short timeout so stop () is noticed promptly even
+       with no incoming connections *)
+    match Unix.select [ t.listener ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ -> admit t fd
+        | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  done
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start ?db:(db_opt : Db.t option) (config : config) : t =
+  (* a client that hangs up mid-response must surface as EPIPE in its
+     worker, not kill the server *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let db = match db_opt with Some db -> db | None -> Db.create ~wal:true () in
+  let metrics = Metrics.create () in
+  let mgr =
+    Session.create_manager ~lock_timeout:config.lock_timeout ~group_commit:config.group_commit
+      ~group_window:config.group_window ~metrics db
+  in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  (try Unix.bind listener addr
+   with e ->
+     Unix.close listener;
+     raise e);
+  Unix.listen listener 64;
+  let bound_port =
+    match Unix.getsockname listener with Unix.ADDR_INET (_, p) -> p | _ -> config.port
+  in
+  let t =
+    {
+      db;
+      mgr;
+      metrics;
+      config;
+      listener;
+      bound_port;
+      mu = Mutex.create ();
+      workers = Hashtbl.create 16;
+      next_sid = 1;
+      running = true;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop (t : t) =
+  let was_running = with_mu t (fun () ->
+      let r = t.running in
+      t.running <- false;
+      r)
+  in
+  if was_running then begin
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listener with _ -> ());
+    (* shutting down the client sockets makes every worker's next read
+       fail, so each one rolls back its in-flight transaction and exits *)
+    let live = with_mu t (fun () -> Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []) in
+    List.iter (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) live;
+    List.iter (fun (th, _) -> try Thread.join th with _ -> ()) live;
+    (try Db.wal_checkpoint t.db with _ -> ())
+  end
+
+let render_metrics (t : t) = Session.render_metrics t.mgr

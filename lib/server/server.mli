@@ -1,0 +1,42 @@
+(** TCP server loop: accept thread plus one worker thread per session,
+    with strict admission control (a connection past [max_sessions] is
+    answered with a Busy error and closed immediately), idle-session
+    timeouts, and graceful shutdown that rolls back in-flight
+    transactions and checkpoints the WAL. *)
+
+module Db = Nf2.Db
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  max_sessions : int;
+  idle_timeout : float;  (** seconds; 0 disables the idle check *)
+  lock_timeout : float;
+  group_commit : bool;
+  group_window : float;  (** seconds a commit leader waits for followers *)
+}
+
+(** 127.0.0.1, ephemeral port, 32 sessions, 300s idle, 2s lock
+    timeout, group commit on with a 2ms window. *)
+val default_config : config
+
+type t
+
+(** Binds, listens and starts the accept thread.  Serves [db] when
+    given (attaching a WAL if it lacks one), otherwise a fresh
+    WAL-backed database. *)
+val start : ?db:Db.t -> config -> t
+
+(** The actually bound port (useful with [config.port = 0]). *)
+val port : t -> int
+
+val db : t -> Db.t
+val metrics : t -> Metrics.t
+
+(** The same report the [\metrics] request returns. *)
+val render_metrics : t -> string
+
+(** Graceful shutdown: stop accepting, disconnect every session
+    (rolling back in-flight transactions), join the workers, checkpoint
+    the WAL.  Idempotent. *)
+val stop : t -> unit

@@ -1,0 +1,518 @@
+(* Session manager: one session per connection, mapping the wire
+   protocol onto the single-user engine.
+
+   Concurrency model (the engine itself is single-user, as the paper's
+   prototype was):
+
+   - every statement executes under one global engine mutex, so the
+     engine only ever sees serial access;
+   - isolation across sessions comes from predicate locks
+     ({!Nf2_lock.Predicate_lock}): readers take Shared whole-table
+     locks for the duration of a statement, writers take Exclusive
+     locks that explicit transactions hold until COMMIT/ROLLBACK
+     (two-phase locking);
+   - at most one *engine* transaction is open at a time (the engine has
+     a single transaction state); BEGIN and autocommitted mutations
+     acquire this "transaction slot" first, so a transaction's
+     uncommitted pages can never leak into another session's
+     transaction;
+   - every wait — slot or lock — carries a deadline; when it passes the
+     request fails with a lock-timeout error instead of hanging, and a
+     wait that would close a waits-for cycle fails immediately with a
+     deadlock error.  A timeout or deadlock inside an explicit
+     transaction aborts that transaction (the lock table's two-phase
+     release drops everything at once);
+   - commits append their WAL commit record under the engine mutex but
+     fsync *outside* it via {!Nf2_storage.Wal.sync_to}, which is what
+     lets concurrent committers share one fsync (group commit). *)
+
+module Db = Nf2.Db
+module PL = Nf2_lock.Predicate_lock
+module Wal = Nf2_storage.Wal
+module Atom = Nf2_model.Atom
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module Ast = Nf2_lang.Ast
+module Parser = Nf2_lang.Parser
+module Lexer = Nf2_lang.Lexer
+module Eval = Nf2_lang.Eval
+module Params = Nf2_lang.Params
+module P = Protocol
+
+(* A refusal that maps straight to a wire error. *)
+exception Refused of string * string (* SQLSTATE-style code, message *)
+
+let refused code fmt = Fmt.kstr (fun s -> raise (Refused (code, s))) fmt
+
+type manager = {
+  db : Db.t;
+  engine : Mutex.t; (* serializes all engine access *)
+  mu : Mutex.t; (* guards the lock table and the transaction slot *)
+  locks : PL.t;
+  mutable txn_owner : int option; (* session id holding the engine txn slot *)
+  lock_timeout : float; (* seconds a lock / slot wait may last *)
+  group_commit : bool;
+  metrics : Metrics.t;
+}
+
+type prep = { pstmt : Ast.stmt; nparams : int }
+
+type session = {
+  sid : int;
+  mgr : manager;
+  prepared : (int, prep) Hashtbl.t;
+  mutable next_prep : int;
+  mutable ltxn : PL.txn option; (* lock-table transaction while in an explicit txn *)
+  mutable in_txn : bool;
+}
+
+let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window = 0.002)
+    ~(metrics : Metrics.t) (db : Db.t) : manager =
+  Db.attach_wal db;
+  (match Db.wal db with
+  | Some w ->
+      let window = if group_window > 0. then fun () -> Thread.delay group_window else fun () -> () in
+      Wal.set_group_commit ~window w group_commit
+  | None -> ());
+  {
+    db;
+    engine = Mutex.create ();
+    mu = Mutex.create ();
+    locks = PL.create ();
+    txn_owner = None;
+    lock_timeout;
+    group_commit;
+    metrics;
+  }
+
+let open_session (mgr : manager) ~(sid : int) : session =
+  { sid; mgr; prepared = Hashtbl.create 8; next_prep = 1; ltxn = None; in_txn = false }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* --- which tables does a statement touch? ------------------------------
+
+   Conservative whole-table lock specs: Shared on every table a
+   statement reads (FROM ranges, subqueries, WHERE / SET / AT
+   expressions), Exclusive on the table a mutation or DDL targets.
+   Predicate refinement (locking only the WHERE-restricted slice) is a
+   ROADMAP item; whole-table specs are sound, just coarser. *)
+
+let rec q_tables (q : Ast.query) acc =
+  let acc =
+    List.fold_left
+      (fun acc (r : Ast.range) ->
+        let acc = match r.Ast.source with Ast.Table_src n -> n :: acc | Ast.Path_src _ -> acc in
+        match r.Ast.asof with Some e -> e_tables e acc | None -> acc)
+      acc q.Ast.from
+  in
+  let acc =
+    match q.Ast.select with
+    | Ast.Star -> acc
+    | Ast.Items items -> List.fold_left (fun acc (it : Ast.sel_item) -> e_tables it.Ast.expr acc) acc items
+  in
+  let acc = match q.Ast.where with Some p -> p_tables p acc | None -> acc in
+  List.fold_left (fun acc (oi : Ast.order_item) -> e_tables oi.Ast.key acc) acc q.Ast.order_by
+
+and e_tables (e : Ast.expr) acc =
+  match e with
+  | Ast.Const _ | Ast.Param _ | Ast.Path _ -> acc
+  | Ast.Neg e -> e_tables e acc
+  | Ast.Binop (_, a, b) -> e_tables a (e_tables b acc)
+  | Ast.Agg (_, eo) -> ( match eo with Some e -> e_tables e acc | None -> acc)
+  | Ast.Subquery q -> q_tables q acc
+
+and p_tables (p : Ast.pred) acc =
+  match p with
+  | Ast.Cmp (_, a, b) -> e_tables a (e_tables b acc)
+  | Ast.And (a, b) | Ast.Or (a, b) -> p_tables a (p_tables b acc)
+  | Ast.Not a -> p_tables a acc
+  | Ast.Exists (r, body) | Ast.Forall (r, body) ->
+      let acc = match r.Ast.source with Ast.Table_src n -> n :: acc | Ast.Path_src _ -> acc in
+      p_tables body acc
+  | Ast.Contains (e, _) -> e_tables e acc
+  | Ast.Bool_expr e -> e_tables e acc
+
+let opt_p_tables w acc = match w with Some p -> p_tables p acc | None -> acc
+let opt_e_tables e acc = match e with Some e -> e_tables e acc | None -> acc
+
+(* (reads, writes) by table name, uppercased, writes removed from reads. *)
+let stmt_tables (stmt : Ast.stmt) : string list * string list =
+  let reads, writes =
+    match stmt with
+    | Ast.Select q | Ast.Explain q -> (q_tables q [], [])
+    | Ast.Insert { table; where; _ } -> (opt_p_tables where [], [ table ])
+    | Ast.Update { table; sets; where; at; _ } ->
+        let acc = List.fold_left (fun acc (_, e) -> e_tables e acc) [] sets in
+        (opt_e_tables at (opt_p_tables where acc), [ table ])
+    | Ast.Delete { table; where; at; _ } -> (opt_e_tables at (opt_p_tables where []), [ table ])
+    | Ast.Create_table { name; _ } -> ([], [ name ])
+    | Ast.Drop_table n -> ([], [ n ])
+    | Ast.Create_index { table; _ } | Ast.Create_text_index { table; _ } -> ([], [ table ])
+    | Ast.Alter_add { table; _ } | Ast.Alter_drop { table; _ } -> ([], [ table ])
+    | Ast.Show_tables | Ast.Describe _ | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> ([], [])
+  in
+  let up = List.map String.uppercase_ascii in
+  let dedup l = List.sort_uniq String.compare (up l) in
+  let writes = dedup writes in
+  let reads = List.filter (fun t -> not (List.mem t writes)) (dedup reads) in
+  (reads, writes)
+
+let mutates = function
+  | Ast.Select _ | Ast.Explain _ | Ast.Show_tables | Ast.Describe _ | Ast.Begin_txn | Ast.Commit
+  | Ast.Rollback ->
+      false
+  | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Create_text_index _
+  | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter_add _ | Ast.Alter_drop _ ->
+      true
+
+(* --- waiting with deadlines -------------------------------------------- *)
+
+let poll_interval = 0.002
+
+(* Acquire every (mode, table) spec for [ltxn], waiting at most until
+   the shared deadline.  On deadlock or timeout the caller's cleanup
+   releases whatever was granted (two-phase release). *)
+let acquire_locks (mgr : manager) (ltxn : PL.txn) (specs : (PL.mode * string) list)
+    ~(deadline : float) =
+  let acquire_one (mode, table) =
+    let rec loop first =
+      let outcome =
+        with_lock mgr.mu (fun () -> PL.acquire mgr.locks ltxn mode (PL.whole_table table))
+      in
+      match outcome with
+      | PL.Granted -> ()
+      | PL.Deadlock _ ->
+          Metrics.incr mgr.metrics "lock_deadlocks";
+          refused P.err_deadlock "deadlock detected acquiring %s lock on %s" (PL.mode_name mode)
+            table
+      | PL.Blocked _ ->
+          if first then Metrics.incr mgr.metrics "lock_waits";
+          if Unix.gettimeofday () > deadline then begin
+            Metrics.incr mgr.metrics "lock_timeouts";
+            refused P.err_lock_timeout "lock wait on %s timed out after %.1fs" table
+              mgr.lock_timeout
+          end;
+          Thread.delay poll_interval;
+          loop false
+    in
+    loop true
+  in
+  (* exclusive first: a writer that would time out should fail before
+     collecting shared locks it would only have to give back *)
+  let ordered =
+    List.sort (fun (a, _) (b, _) -> compare (a = PL.Shared) (b = PL.Shared)) specs
+  in
+  List.iter acquire_one ordered
+
+(* The engine-transaction slot: at most one open engine transaction. *)
+let acquire_slot (sess : session) ~(deadline : float) =
+  let mgr = sess.mgr in
+  let rec loop first =
+    let got =
+      with_lock mgr.mu (fun () ->
+          match mgr.txn_owner with
+          | None ->
+              mgr.txn_owner <- Some sess.sid;
+              true
+          | Some owner -> owner = sess.sid)
+    in
+    if not got then begin
+      if first then Metrics.incr mgr.metrics "txn_slot_waits";
+      if Unix.gettimeofday () > deadline then begin
+        Metrics.incr mgr.metrics "lock_timeouts";
+        refused P.err_lock_timeout "transaction slot wait timed out after %.1fs" mgr.lock_timeout
+      end;
+      Thread.delay poll_interval;
+      loop false
+    end
+  in
+  loop true
+
+let release_slot (sess : session) =
+  let mgr = sess.mgr in
+  with_lock mgr.mu (fun () ->
+      match mgr.txn_owner with Some owner when owner = sess.sid -> mgr.txn_owner <- None | _ -> ())
+
+let release_locks (mgr : manager) (ltxn : PL.txn) =
+  with_lock mgr.mu (fun () -> PL.release_all mgr.locks ltxn)
+
+let fresh_ltxn (mgr : manager) : PL.txn = with_lock mgr.mu (fun () -> PL.begin_txn mgr.locks)
+
+(* --- engine access ------------------------------------------------------ *)
+
+let with_engine (mgr : manager) f =
+  Mutex.lock mgr.engine;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mgr.engine) f
+
+(* After a commit released the engine mutex, make it durable — sharing
+   the fsync with concurrent committers when group commit is on (with
+   it off, Wal.commit already flushed under the mutex). *)
+let sync_commit (mgr : manager) (lsn : Wal.lsn option) =
+  match (Db.wal mgr.db, lsn) with
+  | Some w, Some lsn when mgr.group_commit -> Wal.sync_to w lsn
+  | _ -> ()
+
+(* --- transaction control ------------------------------------------------ *)
+
+let do_begin (sess : session) : Db.result =
+  if sess.in_txn then refused P.err_txn_state "transaction already open";
+  let deadline = Unix.gettimeofday () +. sess.mgr.lock_timeout in
+  acquire_slot sess ~deadline;
+  match with_engine sess.mgr (fun () -> Db.begin_txn sess.mgr.db) with
+  | () ->
+      sess.ltxn <- Some (fresh_ltxn sess.mgr);
+      sess.in_txn <- true;
+      Db.Msg "transaction started"
+  | exception e ->
+      release_slot sess;
+      raise e
+
+(* End the explicit transaction's lock scope (two-phase release). *)
+let end_txn_scope (sess : session) =
+  (match sess.ltxn with Some l -> release_locks sess.mgr l | None -> ());
+  sess.ltxn <- None;
+  sess.in_txn <- false;
+  release_slot sess
+
+let do_commit (sess : session) : Db.result =
+  if not sess.in_txn then refused P.err_txn_state "COMMIT without BEGIN";
+  (* Early lock release: once the commit record is appended (inside
+     Db.commit, under the engine mutex) the engine transaction is over,
+     so locks and the slot go back before the durability wait.  This is
+     what lets concurrent committers pile into one fsync — and it is
+     safe because the log is flushed in prefix order: no later
+     transaction can become durable before this one. *)
+  let lsn =
+    Fun.protect
+      ~finally:(fun () -> end_txn_scope sess)
+      (fun () ->
+        with_engine sess.mgr (fun () ->
+            Db.commit sess.mgr.db;
+            Option.map Wal.last_lsn (Db.wal sess.mgr.db)))
+  in
+  sync_commit sess.mgr lsn;
+  Metrics.incr sess.mgr.metrics "txns_committed";
+  Db.Msg "committed"
+
+let do_rollback (sess : session) : Db.result =
+  if not sess.in_txn then refused P.err_txn_state "ROLLBACK without BEGIN";
+  Fun.protect
+    ~finally:(fun () -> end_txn_scope sess)
+    (fun () ->
+      with_engine sess.mgr (fun () -> Db.rollback sess.mgr.db);
+      Metrics.incr sess.mgr.metrics "txns_rolled_back";
+      Db.Msg "rolled back")
+
+(* Abort the explicit transaction after a failure inside it (lock
+   timeout, deadlock, or an engine error mid-transaction would leave
+   partially applied work). *)
+let abort_txn (sess : session) =
+  if sess.in_txn then begin
+    (try with_engine sess.mgr (fun () -> Db.rollback sess.mgr.db) with _ -> ());
+    Metrics.incr sess.mgr.metrics "txns_rolled_back";
+    end_txn_scope sess
+  end
+
+(* --- statement execution ------------------------------------------------ *)
+
+let count_stmt_metric (mgr : manager) (stmt : Ast.stmt) =
+  let kind =
+    match stmt with
+    | Ast.Select _ | Ast.Explain _ -> "stmts_select"
+    | Ast.Insert _ -> "stmts_insert"
+    | Ast.Update _ -> "stmts_update"
+    | Ast.Delete _ -> "stmts_delete"
+    | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> "stmts_txn"
+    | _ -> "stmts_ddl"
+  in
+  Metrics.incr mgr.metrics kind
+
+(* Run one non-transaction-control statement with proper locking.
+
+   In an explicit transaction: locks accumulate on the session's lock
+   transaction and are held until COMMIT/ROLLBACK; a failure aborts the
+   transaction.  Outside one: a mutating statement becomes its own
+   engine transaction (slot + X locks, commit with group fsync); a read
+   takes statement-duration S locks only. *)
+let run_stmt (sess : session) (stmt : Ast.stmt) : Db.result =
+  let mgr = sess.mgr in
+  count_stmt_metric mgr stmt;
+  match stmt with
+  | Ast.Begin_txn -> do_begin sess
+  | Ast.Commit -> do_commit sess
+  | Ast.Rollback -> do_rollback sess
+  | _ ->
+      let reads, writes = stmt_tables stmt in
+      let specs =
+        List.map (fun t -> (PL.Exclusive, t)) writes @ List.map (fun t -> (PL.Shared, t)) reads
+      in
+      let deadline = Unix.gettimeofday () +. mgr.lock_timeout in
+      if sess.in_txn then begin
+        let ltxn = Option.get sess.ltxn in
+        match
+          acquire_locks mgr ltxn specs ~deadline;
+          with_engine mgr (fun () -> Db.exec_stmt mgr.db stmt)
+        with
+        | r -> r
+        | exception (Nf2_storage.Disk.Crash _ as e) -> raise e
+        | exception e ->
+            abort_txn sess;
+            (match e with
+            | Refused (code, m) ->
+                raise (Refused (code, m ^ " (transaction rolled back)"))
+            | e -> raise e)
+      end
+      else if mutates stmt then begin
+        (* autocommit: the statement is its own engine transaction *)
+        acquire_slot sess ~deadline;
+        let ltxn = fresh_ltxn mgr in
+        let cleanup () =
+          release_locks mgr ltxn;
+          release_slot sess
+        in
+        (* locks and slot released as soon as the commit record is
+           appended (see do_commit: prefix-ordered durability makes the
+           early release safe), so the fsync waits below can overlap
+           across sessions and share one flush *)
+        let r, lsn =
+          Fun.protect ~finally:cleanup (fun () ->
+              acquire_locks mgr ltxn specs ~deadline;
+              with_engine mgr (fun () ->
+                  Db.begin_txn mgr.db;
+                  match Db.exec_stmt mgr.db stmt with
+                  | r ->
+                      Db.commit mgr.db;
+                      (r, Option.map Wal.last_lsn (Db.wal mgr.db))
+                  | exception (Nf2_storage.Disk.Crash _ as e) -> raise e
+                  | exception e ->
+                      (try Db.rollback mgr.db with _ -> ());
+                      raise e))
+        in
+        sync_commit mgr lsn;
+        Metrics.incr mgr.metrics "txns_committed";
+        r
+      end
+      else begin
+        (* plain read: statement-duration shared locks *)
+        let ltxn = fresh_ltxn mgr in
+        Fun.protect
+          ~finally:(fun () -> release_locks mgr ltxn)
+          (fun () ->
+            acquire_locks mgr ltxn specs ~deadline;
+            with_engine mgr (fun () -> Db.exec_stmt mgr.db stmt))
+      end
+
+(* --- results and errors on the wire ------------------------------------- *)
+
+let response_of_result (r : Db.result) : P.response =
+  match r with
+  | Db.Rows rel ->
+      let columns =
+        List.map (fun (f : Schema.field) -> f.Schema.name) rel.Rel.schema.Schema.fields
+      in
+      let rows = List.map (List.map Value.render_v) (Rel.tuples rel) in
+      P.Result_table { columns; rows }
+  | Db.Msg m ->
+      let affected =
+        match String.split_on_char ' ' m with
+        | first :: _ -> Option.value (int_of_string_opt first) ~default:0
+        | [] -> 0
+      in
+      P.Row_count { affected; message = m }
+
+let error_of_exn (e : exn) : P.response option =
+  match e with
+  | Refused (code, message) -> Some (P.Error { code; message })
+  | Db.Db_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | Parser.Parse_error m | Lexer.Lex_error m -> Some (P.Error { code = P.err_syntax; message = m })
+  | Eval.Eval_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | Schema.Schema_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | Value.Value_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | Params.Param_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | P.Protocol_error m -> Some (P.Error { code = P.err_protocol; message = m })
+  | _ -> None
+
+let render_metrics (mgr : manager) : string =
+  let base = Metrics.render mgr.metrics in
+  match Db.wal mgr.db with
+  | None -> base
+  | Some w ->
+      let s = Wal.stats w in
+      let avg =
+        if s.Wal.group_commit_batches = 0 then 0.
+        else Float.of_int s.Wal.group_commit_txns /. Float.of_int s.Wal.group_commit_batches
+      in
+      base
+      ^ Printf.sprintf
+          "%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %.2f\n"
+          "wal_records" s.Wal.records "wal_bytes" s.Wal.bytes "wal_flushes" s.Wal.flushes
+          "wal_forced_flushes" s.Wal.forced_flushes "wal_group_commit_batches"
+          s.Wal.group_commit_batches "wal_group_commit_txns" s.Wal.group_commit_txns
+          "wal_avg_group_batch_size" avg
+
+(* --- request dispatch ---------------------------------------------------- *)
+
+let handle (sess : session) (req : P.request) : P.response =
+  let mgr = sess.mgr in
+  let t0 = Unix.gettimeofday () in
+  let timed name resp =
+    Metrics.observe mgr.metrics name (Unix.gettimeofday () -. t0);
+    resp
+  in
+  let run_protected kind latency_name (f : unit -> P.response) =
+    Metrics.incr mgr.metrics kind;
+    match f () with
+    | resp -> timed latency_name resp
+    | exception e -> (
+        match error_of_exn e with
+        | Some err ->
+            Metrics.incr mgr.metrics "errors_total";
+            timed latency_name err
+        | None -> raise e)
+  in
+  match req with
+  | P.Ping ->
+      Metrics.incr mgr.metrics "requests_ping";
+      P.Pong
+  | P.Metrics ->
+      Metrics.incr mgr.metrics "requests_metrics";
+      P.Metrics_text (render_metrics mgr)
+  | P.Quit -> P.Bye
+  | P.Begin -> run_protected "requests_begin" "txn_latency" (fun () -> response_of_result (do_begin sess))
+  | P.Commit ->
+      run_protected "requests_commit" "commit_latency" (fun () -> response_of_result (do_commit sess))
+  | P.Rollback ->
+      run_protected "requests_rollback" "txn_latency" (fun () -> response_of_result (do_rollback sess))
+  | P.Query input ->
+      run_protected "requests_query" "query_latency" (fun () ->
+          let stmts = Parser.parse_script input in
+          if stmts = [] then refused P.err_syntax "empty query";
+          let results = List.map (run_stmt sess) stmts in
+          Metrics.add mgr.metrics "statements_total" (List.length stmts);
+          response_of_result (List.nth results (List.length results - 1)))
+  | P.Prepare input ->
+      run_protected "requests_prepare" "query_latency" (fun () ->
+          let pstmt, nparams = Parser.parse_prepared input in
+          let id = sess.next_prep in
+          sess.next_prep <- id + 1;
+          Hashtbl.replace sess.prepared id { pstmt; nparams };
+          P.Prepared { id; nparams })
+  | P.Execute_prepared { id; params } ->
+      run_protected "requests_execute" "query_latency" (fun () ->
+          match Hashtbl.find_opt sess.prepared id with
+          | None -> refused P.err_protocol "no prepared statement #%d" id
+          | Some p ->
+              if List.length params <> p.nparams then
+                refused P.err_semantic "prepared statement #%d needs %d parameter(s), got %d" id
+                  p.nparams (List.length params);
+              response_of_result (run_stmt sess (Params.bind_stmt p.pstmt params)))
+
+(* Close a session: roll back an in-flight transaction, drop its locks
+   and slot, forget its prepared statements. *)
+let close_session (sess : session) =
+  abort_txn sess;
+  Hashtbl.reset sess.prepared

@@ -1,0 +1,48 @@
+(** Session manager: maps wire-protocol requests onto the single-user
+    engine with one global engine mutex, predicate locks for
+    cross-session isolation (2PL for explicit transactions,
+    statement-duration shared locks for reads), a single engine
+    transaction slot, and deadline-bounded waits that fail with
+    lock-timeout / deadlock errors instead of hanging.  Commit fsyncs
+    run outside the engine mutex so concurrent committers batch into
+    one fsync when group commit is enabled. *)
+
+(** A request refusal carrying a SQLSTATE-style code from {!Protocol}
+    and a message; {!handle} converts it to [Protocol.Error]. *)
+exception Refused of string * string
+
+type manager
+(** Shared server-side state: the database, engine mutex, lock table,
+    transaction slot, and metrics registry. *)
+
+type session
+(** Per-connection state: transaction flags, held locks, prepared
+    statements. *)
+
+(** Creates the shared state over [db], attaching a WAL if the database
+    has none and configuring group commit on it.  [lock_timeout]
+    (default 2s) bounds every lock and transaction-slot wait;
+    [group_window] (default 2ms) is how long a group-commit leader
+    lingers for followers before fsyncing. *)
+val create_manager :
+  ?lock_timeout:float ->
+  ?group_commit:bool ->
+  ?group_window:float ->
+  metrics:Metrics.t ->
+  Nf2.Db.t ->
+  manager
+
+val open_session : manager -> sid:int -> session
+
+(** Serves one request.  Engine / parser / lock errors come back as
+    [Protocol.Error] responses; only connection-level exceptions (and
+    {!Nf2_storage.Disk.Crash} from fault injection) escape. *)
+val handle : session -> Protocol.request -> Protocol.response
+
+(** Rolls back an in-flight transaction, releases locks and the
+    transaction slot, and drops prepared statements. *)
+val close_session : session -> unit
+
+(** The metrics report served for [\metrics]: registry contents plus
+    WAL counters (records, flushes, group-commit batches). *)
+val render_metrics : manager -> string

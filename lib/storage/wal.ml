@@ -32,9 +32,16 @@ type stats = {
   mutable bytes : int;  (* serialised log bytes appended *)
   mutable flushes : int;  (* fsyncs issued (commit, checkpoint, explicit) *)
   mutable forced_flushes : int;  (* fsyncs forced by the WAL-before-data rule *)
+  mutable group_commit_batches : int;  (* group fsyncs covering >= 1 commit *)
+  mutable group_commit_txns : int;  (* commits made durable by those fsyncs *)
 }
 
+(* All mutable state is guarded by [mu]: single-session use pays one
+   uncontended lock per operation, while the server's sessions append
+   concurrently and share fsyncs through [sync_to] (group commit). *)
 type t = {
+  mu : Mutex.t;
+  cond : Condition.t;  (* signalled when the durable mark advances *)
   buf : Buffer.t;  (* the serialised log, volatile tail included *)
   mutable durable_len : int;  (* byte length of the fsynced prefix *)
   mutable durable_lsn : lsn;  (* last LSN wholly inside the durable prefix *)
@@ -42,11 +49,18 @@ type t = {
   mutable next_tx : txid;
   mutable recs : (lsn * int * record) list;  (* (lsn, end offset, record), newest first *)
   mutable sync_hook : (int -> int) option;  (* pending bytes -> bytes persisted *)
+  mutable group_commit : bool;  (* commits defer their fsync to [sync_to] *)
+  mutable group_window : unit -> unit;  (* leader's gathering pause *)
+  mutable flushing : bool;  (* a leader is performing the group fsync *)
+  mutable pending_commits : int;  (* commit records appended since the last flush *)
+  mutable crashed : bool;  (* an fsync died; every waiter must observe it *)
   stats : stats;
 }
 
 let create () =
   {
+    mu = Mutex.create ();
+    cond = Condition.create ();
     buf = Buffer.create 4096;
     durable_len = 0;
     durable_lsn = 0;
@@ -54,18 +68,44 @@ let create () =
     next_tx = 1;
     recs = [];
     sync_hook = None;
-    stats = { records = 0; bytes = 0; flushes = 0; forced_flushes = 0 };
+    group_commit = false;
+    group_window = (fun () -> ());
+    flushing = false;
+    pending_commits = 0;
+    crashed = false;
+    stats =
+      {
+        records = 0;
+        bytes = 0;
+        flushes = 0;
+        forced_flushes = 0;
+        group_commit_batches = 0;
+        group_commit_txns = 0;
+      };
   }
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let stats t = t.stats
 
 let reset_stats t =
-  t.stats.records <- 0;
-  t.stats.bytes <- 0;
-  t.stats.flushes <- 0;
-  t.stats.forced_flushes <- 0
+  with_mu t (fun () ->
+      t.stats.records <- 0;
+      t.stats.bytes <- 0;
+      t.stats.flushes <- 0;
+      t.stats.forced_flushes <- 0;
+      t.stats.group_commit_batches <- 0;
+      t.stats.group_commit_txns <- 0)
 
-let set_sync_hook t hook = t.sync_hook <- hook
+let set_sync_hook t hook = with_mu t (fun () -> t.sync_hook <- hook)
+
+let set_group_commit ?(window = fun () -> ()) t enabled =
+  with_mu t (fun () ->
+      t.group_commit <- enabled;
+      t.group_window <- window)
+
 let durable_lsn t = t.durable_lsn
 let last_lsn t = t.next_lsn - 1
 
@@ -174,7 +214,7 @@ let records_of_string (data : string) : (lsn * record) list =
 
 (* --- appending --------------------------------------------------------- *)
 
-let append t (mk : lsn -> record) : lsn =
+let append_unlocked t (mk : lsn -> record) : lsn =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let r = mk lsn in
@@ -189,11 +229,14 @@ let append t (mk : lsn -> record) : lsn =
   t.stats.bytes <- Buffer.length t.buf;
   lsn
 
+let append t mk = with_mu t (fun () -> append_unlocked t mk)
+
 let begin_tx t : txid =
-  let tx = t.next_tx in
-  t.next_tx <- tx + 1;
-  ignore (append t (fun _ -> Begin tx));
-  tx
+  with_mu t (fun () ->
+      let tx = t.next_tx in
+      t.next_tx <- tx + 1;
+      ignore (append_unlocked t (fun _ -> Begin tx));
+      tx)
 
 let log_update t ~tx ~page ~off ~before ~after : lsn =
   append t (fun _ -> Update { tx; page; off; before; after })
@@ -207,12 +250,13 @@ let log_alloc t ~tx ~page : lsn = append t (fun _ -> Alloc { tx; page })
    answer advances the durable mark by that much and then raises
    {!Disk.Crash} — the fsync failed and the machine died. *)
 
-let flush ?(forced = false) t =
+let flush_unlocked ?(forced = false) t =
   let total = Buffer.length t.buf in
   let pending = total - t.durable_len in
   if pending > 0 then begin
     t.stats.flushes <- t.stats.flushes + 1;
     if forced then t.stats.forced_flushes <- t.stats.forced_flushes + 1;
+    t.pending_commits <- 0;
     let persisted =
       match t.sync_hook with None -> pending | Some h -> max 0 (min pending (h pending))
     in
@@ -222,30 +266,89 @@ let flush ?(forced = false) t =
       (fun (lsn, end_off, _) ->
         if end_off <= t.durable_len && lsn > t.durable_lsn then t.durable_lsn <- lsn)
       t.recs;
-    if persisted < pending then raise (Disk.Crash "simulated fsync failure on the log")
+    if persisted < pending then begin
+      t.crashed <- true;
+      Condition.broadcast t.cond;
+      raise (Disk.Crash "simulated fsync failure on the log")
+    end
   end
 
+let flush ?forced t = with_mu t (fun () -> flush_unlocked ?forced t)
+
+(* Group commit: a committer appends its commit record under the lock;
+   with group mode off it fsyncs immediately (the seed behaviour), with
+   group mode on the fsync is deferred to [sync_to], where concurrent
+   committers elect a leader that syncs once for everyone whose record
+   is already in the tail (the durable-prefix model makes "everyone" be
+   exactly the appended records).  The leader's [group_window] pause
+   lets followers slip their commit records in before the fsync. *)
 let commit t ~tx ~payload =
-  ignore (append t (fun _ -> Commit { tx; payload }));
-  flush t
+  with_mu t (fun () ->
+      ignore (append_unlocked t (fun _ -> Commit { tx; payload }));
+      if t.group_commit then t.pending_commits <- t.pending_commits + 1
+      else flush_unlocked t)
+
+(* Block until [lsn] is durable, sharing the fsync with every other
+   committer waiting here.  @raise Disk.Crash if the covering fsync (by
+   us or by another session's leader) died. *)
+let sync_to t (lsn : lsn) =
+  Mutex.lock t.mu;
+  let rec loop () =
+    if t.crashed then begin
+      Mutex.unlock t.mu;
+      raise (Disk.Crash "simulated fsync failure on the log")
+    end
+    else if t.durable_lsn >= lsn then Mutex.unlock t.mu
+    else if t.flushing then begin
+      (* follower: a leader's fsync is in flight; wait for its verdict *)
+      Condition.wait t.cond t.mu;
+      loop ()
+    end
+    else begin
+      (* leader: pause to gather followers, then fsync the whole tail *)
+      t.flushing <- true;
+      Mutex.unlock t.mu;
+      t.group_window ();
+      Mutex.lock t.mu;
+      let covered = t.pending_commits in
+      let finish () =
+        t.flushing <- false;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mu
+      in
+      (match flush_unlocked t with
+      | () ->
+          if covered > 0 then begin
+            t.stats.group_commit_batches <- t.stats.group_commit_batches + 1;
+            t.stats.group_commit_txns <- t.stats.group_commit_txns + covered
+          end
+      | exception e ->
+          finish ();
+          raise e);
+      finish ()
+    end
+  in
+  loop ()
 
 let log_abort t tx = ignore (append t (fun _ -> Abort tx))
 
 let log_checkpoint t ~payload =
-  ignore (append t (fun _ -> Checkpoint { payload }));
-  flush t
+  with_mu t (fun () ->
+      ignore (append_unlocked t (fun _ -> Checkpoint { payload }));
+      flush_unlocked t)
 
 (* --- introspection ------------------------------------------------------ *)
 
-let contents t = Buffer.contents t.buf
-let durable_contents t = String.sub (Buffer.contents t.buf) 0 t.durable_len
+let contents t = with_mu t (fun () -> Buffer.contents t.buf)
+let durable_contents t = with_mu t (fun () -> String.sub (Buffer.contents t.buf) 0 t.durable_len)
 
 (* Chronological (page, off, before) images of a transaction's updates,
    for runtime rollback. *)
 let tx_updates t tx : (int * int * string) list =
-  List.fold_left
-    (fun acc (_, _, r) ->
-      match r with
-      | Update u when u.tx = tx -> (u.page, u.off, u.before) :: acc
-      | _ -> acc)
-    [] t.recs
+  with_mu t (fun () ->
+      List.fold_left
+        (fun acc (_, _, r) ->
+          match r with
+          | Update u when u.tx = tx -> (u.page, u.off, u.before) :: acc
+          | _ -> acc)
+        [] t.recs)

@@ -38,6 +38,8 @@ type stats = {
   mutable bytes : int;  (** serialised log bytes *)
   mutable flushes : int;  (** fsyncs issued *)
   mutable forced_flushes : int;  (** fsyncs forced by WAL-before-data *)
+  mutable group_commit_batches : int;  (** group fsyncs covering >= 1 commit *)
+  mutable group_commit_txns : int;  (** commits made durable by those fsyncs *)
 }
 
 type t
@@ -45,6 +47,24 @@ type t
 val create : unit -> t
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** {1 Thread safety and group commit}
+
+    Every operation is internally mutex-guarded, so concurrent sessions
+    (the server tier) may append and flush against one log.  With group
+    commit enabled, {!commit} appends the commit record but defers its
+    fsync: the caller then blocks in {!sync_to}, where concurrent
+    committers elect a leader whose single fsync covers every commit
+    record already appended — fsyncs per transaction drop below 1 under
+    concurrency.  [window] is the leader's gathering pause (e.g.
+    [fun () -> Thread.delay 2e-3]); the default is no pause. *)
+
+val set_group_commit : ?window:(unit -> unit) -> t -> bool -> unit
+
+(** Block until [lsn] is durable, sharing the fsync leader/follower
+    style.  @raise Disk.Crash when the covering fsync died (whoever
+    performed it). *)
+val sync_to : t -> lsn -> unit
 
 (** Fault injection (see {!Faulty_disk}): called at each fsync with the
     pending byte count; returns how many bytes reach stable storage.

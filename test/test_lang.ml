@@ -624,6 +624,37 @@ let test_rewrite_folding () =
   let p = Ast.Not (Ast.Not (Ast.Cmp (Ast.Eq, Ast.Const (Atom.Int 1), Ast.Const (Atom.Int 2)))) in
   checkb "NOT NOT (1=2) folds to FALSE" true (Rewrite.is_false (Rewrite.rewrite_pred p))
 
+let test_division_by_zero () =
+  let div a b = Ast.Binop (Ast.Div, Ast.Const a, Ast.Const b) in
+  (* x/0 must not fold: folding produced Float inf and silenced the
+     runtime error *)
+  (match Rewrite.rewrite_expr (div (Atom.Int 1) (Atom.Int 0)) with
+  | Ast.Binop (Ast.Div, _, _) -> ()
+  | _ -> Alcotest.fail "1/0 must stay unfolded");
+  (match Rewrite.rewrite_expr (div (Atom.Float 1.) (Atom.Float 0.)) with
+  | Ast.Binop (Ast.Div, _, _) -> ()
+  | _ -> Alcotest.fail "1.0/0.0 must stay unfolded");
+  (* ordinary division still folds *)
+  (match Rewrite.rewrite_expr (div (Atom.Int 4) (Atom.Int 2)) with
+  | Ast.Const (Atom.Int 2) -> ()
+  | _ -> Alcotest.fail "4/2 should fold to 2");
+  (match Rewrite.rewrite_expr (div (Atom.Int 5) (Atom.Int 2)) with
+  | Ast.Const (Atom.Float 2.5) -> ()
+  | _ -> Alcotest.fail "5/2 should fold to 2.5");
+  (* and evaluation raises instead of yielding inf *)
+  let db = demo_db () in
+  List.iter
+    (fun sql ->
+      try
+        ignore (Db.query db sql);
+        Alcotest.fail ("should raise: " ^ sql)
+      with Eval.Eval_error m -> checkb ("message: " ^ m) true (m = "division by zero"))
+    [
+      "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO / 0 = 1";
+      "SELECT x.DNO FROM x IN DEPARTMENTS WHERE 1 / 0 = 1";
+      "SELECT x.BUDGET / (x.DNO - x.DNO) FROM x IN DEPARTMENTS";
+    ]
+
 let test_rewrite_quantifier_duality () =
   let q =
     Parser.parse_query_string
@@ -748,6 +779,7 @@ let () =
       ( "rewrite",
         [
           Alcotest.test_case "folding" `Quick test_rewrite_folding;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
           Alcotest.test_case "quantifier duality" `Quick test_rewrite_quantifier_duality;
           Alcotest.test_case "semantics preserved" `Quick test_rewrite_preserves_semantics;
         ] );

@@ -1,0 +1,331 @@
+(* Server tier tests: wire-protocol round trips (property-tested),
+   concurrent sessions over real sockets (isolation, no lost updates,
+   admission control), and a kill-the-server-mid-commit run that
+   recovers through the WAL with group commit enabled. *)
+
+module P = Nf2_server.Protocol
+module Client = Nf2_server.Client
+module Server = Nf2_server.Server
+module Db = Nf2.Db
+module Wal = Nf2_storage.Wal
+module FD = Nf2_storage.Faulty_disk
+module Atom = Nf2_model.Atom
+
+let checkb msg expected actual = Alcotest.(check bool) msg expected actual
+let checki msg expected actual = Alcotest.(check int) msg expected actual
+
+(* --- protocol: round trips ---------------------------------------------- *)
+
+let gen_atom : Atom.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Atom.Int i) int;
+        map (fun f -> Atom.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Atom.Str s) (string_size (int_bound 20));
+        map (fun b -> Atom.Bool b) bool;
+        map (fun d -> Atom.Date d) (int_range (-100000) 100000);
+        return Atom.Null;
+      ])
+
+let gen_request : P.request QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> P.Query s) (string_size (int_bound 200));
+        map (fun s -> P.Prepare s) (string_size (int_bound 200));
+        map2
+          (fun id params -> P.Execute_prepared { id; params })
+          (int_bound 1000)
+          (list_size (int_bound 8) gen_atom);
+        oneofl [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Quit ];
+      ])
+
+let gen_response : P.response QCheck.Gen.t =
+  QCheck.Gen.(
+    let str = string_size (int_bound 30) in
+    oneof
+      [
+        (int_range 0 5 >>= fun ncols ->
+         map2
+           (fun columns rows -> P.Result_table { columns; rows })
+           (list_size (return ncols) str)
+           (list_size (int_bound 10) (list_size (return ncols) str)));
+        map2 (fun affected message -> P.Row_count { affected; message }) (int_bound 10000) str;
+        map2 (fun id nparams -> P.Prepared { id; nparams }) (int_bound 1000) (int_bound 20);
+        map2 (fun code message -> P.Error { code; message }) str str;
+        map (fun s -> P.Metrics_text s) (string_size (int_bound 500));
+        oneofl [ P.Pong; P.Bye ];
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode/decode round-trips" ~count:500
+    (QCheck.make gen_request)
+    (fun r -> P.decode_request (P.encode_request r) = r)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode/decode round-trips" ~count:500
+    (QCheck.make gen_response)
+    (fun r -> P.decode_response (P.encode_response r) = r)
+
+let test_protocol_malformed () =
+  let bad f s = try ignore (f s); false with P.Protocol_error _ -> true in
+  checkb "empty request payload" true (bad P.decode_request "");
+  checkb "unknown request tag" true (bad P.decode_request "\xff");
+  checkb "unknown response tag" true (bad P.decode_response "\xfe");
+  checkb "trailing bytes" true (bad P.decode_request (P.encode_request P.Ping ^ "x"))
+
+(* --- helpers for socket tests ------------------------------------------- *)
+
+let with_server ?(max_sessions = 16) ?(lock_timeout = 5.0) ?(group_commit = true)
+    ?(group_window = 0.001) ?db (f : Server.t -> 'a) : 'a =
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      max_sessions;
+      lock_timeout;
+      group_commit;
+      group_window;
+      idle_timeout = 0.;
+    }
+  in
+  let srv = Server.start ?db config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let conn (srv : Server.t) = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv)
+
+let query c sql =
+  match Client.request c (P.Query sql) with
+  | Some r -> r
+  | None -> Alcotest.fail ("server hung up on: " ^ sql)
+
+let expect_ok c sql =
+  match query c sql with
+  | P.Error { code; message } -> Alcotest.fail (Printf.sprintf "%s -> %s %s" sql code message)
+  | r -> r
+
+let rows c sql =
+  match expect_ok c sql with
+  | P.Result_table { rows; _ } -> rows
+  | _ -> Alcotest.fail ("expected rows from: " ^ sql)
+
+(* --- basic request/response over a socket ------------------------------- *)
+
+let test_server_basic () =
+  with_server (fun srv ->
+      let c = conn srv in
+      checkb "ping" true (Client.request c P.Ping = Some P.Pong);
+      ignore (expect_ok c "CREATE TABLE T (K INT, V TEXT)");
+      (match expect_ok c "INSERT INTO T VALUES (1, 'one'), (2, 'two')" with
+      | P.Row_count { affected; _ } -> checki "insert count" 2 affected
+      | _ -> Alcotest.fail "expected row count");
+      checki "select" 2 (List.length (rows c "SELECT * FROM x IN T"));
+      (match query c "SELEC nonsense" with
+      | P.Error { code; _ } -> Alcotest.(check string) "syntax code" P.err_syntax code
+      | _ -> Alcotest.fail "expected syntax error");
+      (match Client.request c P.Metrics with
+      | Some (P.Metrics_text s) ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          checkb "metrics mention queries" true (contains s "requests_query")
+      | _ -> Alcotest.fail "expected metrics text");
+      Client.close c)
+
+let test_prepared_over_wire () =
+  with_server (fun srv ->
+      let c = conn srv in
+      ignore (expect_ok c "CREATE TABLE T (K INT, V TEXT)");
+      ignore (expect_ok c "INSERT INTO T VALUES (1, 'one'), (2, 'two')");
+      let id =
+        match Client.request c (P.Prepare "SELECT x.V FROM x IN T WHERE x.K = ?") with
+        | Some (P.Prepared { id; nparams }) ->
+            checki "nparams" 1 nparams;
+            id
+        | _ -> Alcotest.fail "prepare failed"
+      in
+      (match Client.request c (P.Execute_prepared { id; params = [ Atom.Int 2 ] }) with
+      | Some (P.Result_table { rows = [ [ cell ] ]; _ }) ->
+          Alcotest.(check string) "bound row" "'two'" cell
+      | _ -> Alcotest.fail "execute failed");
+      (match Client.request c (P.Execute_prepared { id; params = [] }) with
+      | Some (P.Error { code; _ }) -> Alcotest.(check string) "arity code" P.err_semantic code
+      | _ -> Alcotest.fail "expected arity error");
+      Client.close c)
+
+(* --- concurrency: isolation and lost updates ---------------------------- *)
+
+let test_txn_isolation () =
+  with_server ~lock_timeout:0.3 (fun srv ->
+      let a = conn srv and b = conn srv in
+      ignore (expect_ok a "CREATE TABLE T (K INT, N INT)");
+      ignore (expect_ok a "INSERT INTO T VALUES (1, 10)");
+      checkb "begin" true (Client.request a P.Begin <> None);
+      ignore (expect_ok a "UPDATE T SET N = 99 WHERE K = 1");
+      (* b's read must block behind a's exclusive lock and time out *)
+      (match query b "SELECT x.N FROM x IN T" with
+      | P.Error { code; _ } -> Alcotest.(check string) "lock timeout" P.err_lock_timeout code
+      | _ -> Alcotest.fail "reader should time out while txn holds X lock");
+      (match Client.request a P.Commit with
+      | Some (P.Row_count _) -> ()
+      | r -> Alcotest.fail (Printf.sprintf "commit failed: %s" (match r with Some (P.Error e) -> e.message | _ -> "?")));
+      (* after commit the write is visible to b *)
+      (match rows b "SELECT x.N FROM x IN T" with
+      | [ [ n ] ] -> Alcotest.(check string) "post-commit read" "99" n
+      | _ -> Alcotest.fail "expected one row");
+      Client.close a;
+      Client.close b)
+
+let test_rollback_over_wire () =
+  with_server (fun srv ->
+      let c = conn srv in
+      ignore (expect_ok c "CREATE TABLE T (K INT)");
+      ignore (expect_ok c "INSERT INTO T VALUES (1)");
+      ignore (Client.request c P.Begin);
+      ignore (expect_ok c "INSERT INTO T VALUES (2)");
+      ignore (Client.request c P.Rollback);
+      checki "rollback undid the insert" 1 (List.length (rows c "SELECT * FROM x IN T"));
+      (match Client.request c P.Commit with
+      | Some (P.Error { code; _ }) -> Alcotest.(check string) "commit outside txn" P.err_txn_state code
+      | _ -> Alcotest.fail "COMMIT without BEGIN should fail");
+      Client.close c)
+
+let test_no_lost_updates () =
+  with_server ~lock_timeout:10. (fun srv ->
+      let c0 = conn srv in
+      ignore (expect_ok c0 "CREATE TABLE C (K INT, N INT)");
+      ignore (expect_ok c0 "INSERT INTO C VALUES (1, 0)");
+      Client.close c0;
+      let nthreads = 4 and per_thread = 8 in
+      let failures = Atomic.make 0 in
+      let worker () =
+        let c = conn srv in
+        for _ = 1 to per_thread do
+          match query c "UPDATE C SET N = N + 1 WHERE K = 1" with
+          | P.Row_count _ -> ()
+          | _ -> Atomic.incr failures
+        done;
+        Client.close c
+      in
+      let threads = List.init nthreads (fun _ -> Thread.create worker ()) in
+      List.iter Thread.join threads;
+      checki "no failed increments" 0 (Atomic.get failures);
+      let c = conn srv in
+      (match rows c "SELECT x.N FROM x IN C" with
+      | [ [ n ] ] -> Alcotest.(check string) "all increments applied" (string_of_int (nthreads * per_thread)) n
+      | _ -> Alcotest.fail "expected one row");
+      Client.close c;
+      (* concurrent autocommit writers should have shared at least one
+         group-commit fsync *)
+      match Db.wal (Server.db srv) with
+      | Some w ->
+          let s = Wal.stats w in
+          checkb "group commit engaged" true (s.Wal.group_commit_batches > 0);
+          checkb "batches cover all commits" true
+            (s.Wal.group_commit_txns >= s.Wal.group_commit_batches)
+      | None -> Alcotest.fail "server db should have a WAL")
+
+let test_admission_control () =
+  with_server ~max_sessions:2 (fun srv ->
+      let a = conn srv and b = conn srv in
+      checkb "a admitted" true (Client.request a P.Ping = Some P.Pong);
+      checkb "b admitted" true (Client.request b P.Ping = Some P.Pong);
+      let c = conn srv in
+      (match Client.request c P.Ping with
+      | Some (P.Error { code; _ }) -> Alcotest.(check string) "busy code" P.err_busy code
+      | None -> () (* server closed before we read the busy frame: also a rejection *)
+      | _ -> Alcotest.fail "third session should be rejected");
+      Client.close c;
+      Client.close a;
+      (* a slot freed: a new connection is admitted again *)
+      let rec retry n =
+        let d = conn srv in
+        match Client.request d P.Ping with
+        | Some P.Pong -> Client.close d
+        | _ when n > 0 ->
+            Client.close d;
+            Thread.delay 0.05;
+            retry (n - 1)
+        | _ -> Alcotest.fail "freed slot should admit a new session"
+      in
+      retry 20;
+      Client.close b)
+
+(* --- crash during concurrent commits ------------------------------------ *)
+
+(* Kill the "machine" at the k-th WAL fsync while several sessions
+   insert concurrently under group commit, then recover from the
+   surviving image.  Per session, the recovered rows must be a prefix
+   of that session's insert order: commits are appended in order, so
+   durability may cut a suffix but never punch a hole. *)
+let test_crash_mid_commit_recovers () =
+  let db = Db.create ~wal:true () in
+  with_server ~db ~lock_timeout:10. (fun srv ->
+      let c0 = conn srv in
+      ignore (expect_ok c0 "CREATE TABLE K (T INT, I INT)");
+      Client.close c0;
+      let fd = FD.arm ~wal:(Option.get (Db.wal db)) (Db.disk db) (FD.Crash_at_sync 4) in
+      let nthreads = 4 and per_thread = 25 in
+      let worker t () =
+        let c = conn srv in
+        (try
+           let i = ref 0 in
+           let continue = ref true in
+           while !continue && !i < per_thread do
+             (match query c (Printf.sprintf "INSERT INTO K VALUES (%d, %d)" t !i) with
+             | P.Row_count _ -> incr i
+             | P.Error _ -> continue := false
+             | _ -> continue := false);
+             ()
+           done
+         with _ -> ());
+        try Client.close c with _ -> ()
+      in
+      let threads = List.init nthreads (fun t -> Thread.create (worker t) ()) in
+      List.iter Thread.join threads;
+      checkb "fault fired" true (FD.fired fd);
+      FD.disarm fd);
+  (* the server is stopped; recover from the crash image *)
+  let img = Db.crash_image db in
+  let recovered = Db.recover_from_image img in
+  let rel = Db.query recovered "SELECT x.T, x.I FROM x IN K" in
+  let by_thread = Hashtbl.create 4 in
+  List.iter
+    (fun tup ->
+      match tup with
+      | [ Nf2_model.Value.Atom (Atom.Int t); Nf2_model.Value.Atom (Atom.Int i) ] ->
+          Hashtbl.replace by_thread t (i :: Option.value (Hashtbl.find_opt by_thread t) ~default:[])
+      | _ -> Alcotest.fail "unexpected row shape")
+    (Nf2_algebra.Rel.tuples rel);
+  Hashtbl.iter
+    (fun t is ->
+      let sorted = List.sort compare is in
+      let expected = List.init (List.length sorted) Fun.id in
+      checkb
+        (Printf.sprintf "thread %d rows form a prefix (got %s)" t
+           (String.concat "," (List.map string_of_int sorted)))
+        true (sorted = expected))
+    by_thread
+
+let props = List.map QCheck_alcotest.to_alcotest [ prop_request_roundtrip; prop_response_roundtrip ]
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "protocol",
+        Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed :: props );
+      ( "sessions",
+        [
+          Alcotest.test_case "basic round trips" `Quick test_server_basic;
+          Alcotest.test_case "prepared statements" `Quick test_prepared_over_wire;
+          Alcotest.test_case "transaction isolation" `Quick test_txn_isolation;
+          Alcotest.test_case "rollback" `Quick test_rollback_over_wire;
+          Alcotest.test_case "no lost updates" `Quick test_no_lost_updates;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "crash mid-commit recovers" `Quick test_crash_mid_commit_recovers ] );
+    ]

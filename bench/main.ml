@@ -1084,6 +1084,48 @@ let server_trial ~clients ~per_client ~group () : server_trial =
     avg_batch = (if batches = 0 then nan else float_of_int batched /. float_of_int batches);
   }
 
+(* Read-only query throughput over one session, with and without
+   per-statement tracing.  [slow_query = Some 1e9] makes every
+   statement run under a full trace (storage + lock attribution) while
+   logging none of them, so the delta against [None] is the tracing
+   machinery's cost on the server path. *)
+let tracing_trial ~slow_query ~queries () : float =
+  let db = Db.create ~wal:true () in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      idle_timeout = 0.;
+      lock_timeout = 30.;
+      slow_query;
+    }
+  in
+  let srv = Server.start ~db config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+  (match SClient.request c (Proto.Query "CREATE TABLE T (K INT, N INT)") with
+  | Some (Proto.Row_count _) -> ()
+  | _ -> failwith "tracing bench setup failed");
+  for k = 1 to 64 do
+    ignore
+      (SClient.request c
+         (Proto.Query (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" k (k * 7 mod 100))))
+  done;
+  let sql = "SELECT x.K FROM x IN T WHERE x.N > 50" in
+  for _ = 1 to 20 do
+    ignore (SClient.request c (Proto.Query sql))
+  done;
+  let (), ns =
+    time_once (fun () ->
+        for _ = 1 to queries do
+          match SClient.request c (Proto.Query sql) with
+          | Some (Proto.Result_table _) -> ()
+          | _ -> failwith "tracing bench query failed"
+        done)
+  in
+  SClient.close c;
+  float_of_int queries /. (ns /. 1e9)
+
 let bench_server () =
   section "SRV" "concurrent server: session throughput and group commit";
   let per_client = 40 in
@@ -1122,6 +1164,20 @@ let bench_server () =
     ((find 16 true).fsyncs_per_txn < 1.0);
   check "group commit batches grow with concurrency"
     ((find 16 true).avg_batch > (find 1 true).avg_batch || (find 16 true).avg_batch > 1.5);
+  subsection "per-statement tracing overhead (1 client, read-only queries)";
+  let queries = 400 in
+  let qps_off = tracing_trial ~slow_query:None ~queries () in
+  let qps_on = tracing_trial ~slow_query:(Some 1e9) ~queries () in
+  let overhead_pct = (qps_off -. qps_on) /. qps_off *. 100. in
+  print_table
+    ~header:[ "tracing"; "queries/s"; "overhead" ]
+    [
+      [ "off"; Printf.sprintf "%.0f" qps_off; "-" ];
+      [ "on"; Printf.sprintf "%.0f" qps_on; Printf.sprintf "%+.1f%%" overhead_pct ];
+    ];
+  (* loose bound: single-trial qps on a shared box is noisy; the point
+     is catching a tracing path gone quadratic, not a 2% regression *)
+  check "per-statement tracing does not halve throughput" (overhead_pct < 50.);
   (* machine-readable results for tracking across runs *)
   let json =
     "[\n"
@@ -1133,7 +1189,13 @@ let bench_server () =
                 \"qps\": %.1f, \"fsyncs_per_txn\": %.4f, \"avg_batch\": %s}"
                t.clients t.group t.txns t.seconds t.qps t.fsyncs_per_txn
                (if Float.is_nan t.avg_batch then "null" else Printf.sprintf "%.2f" t.avg_batch))
-           trials)
+           trials
+        @ [
+            Printf.sprintf
+              "  {\"section\": \"tracing_overhead\", \"queries\": %d, \"qps_off\": %.1f, \
+               \"qps_on\": %.1f, \"overhead_pct\": %.2f}"
+              queries qps_off qps_on overhead_pct;
+          ])
     ^ "\n]\n"
   in
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);

@@ -2,7 +2,8 @@
 
    Usage:
      aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
-          [--lock-timeout S] [--no-group-commit] [--demo] [-f init.sql]
+          [--lock-timeout S] [--no-group-commit] [--slow-query S]
+          [--demo] [-f init.sql]
 
    Serves the wire protocol (see docs/SERVER.md); connect with
    `aimsh --connect HOST:PORT`.  SIGINT/SIGTERM shut down gracefully:
@@ -36,6 +37,9 @@ let () =
     | "--no-group-commit" :: rest ->
         config := { !config with Server.group_commit = false };
         parse rest
+    | "--slow-query" :: s :: rest ->
+        config := { !config with Server.slow_query = Some (float_of_string s) };
+        parse rest
     | "--demo" :: rest ->
         demo := true;
         parse rest
@@ -45,7 +49,7 @@ let () =
     | "--help" :: _ ->
         print_endline
           "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
-           [--lock-timeout S] [--no-group-commit] [--demo] [-f init.sql]";
+           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--demo] [-f init.sql]";
         exit 0
     | arg :: _ ->
         Printf.eprintf "aimd: unknown argument %s (try --help)\n" arg;

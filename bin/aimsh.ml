@@ -10,20 +10,39 @@
      \q            quit        \plan         show the last query plan
      \demo         load demo   \stats        disk/pool counters
      \save <path>  persist     (reopen with: aimsh -d <path>)
+     \timing on|off  print client-side wall-clock time per input
 
    With -d FILE -j JOURNAL the session is durable: it recovers from the
    checkpoint + journal on start, journals every mutation, and \save
    checkpoints (truncating the journal).
 
    With --connect HOST:PORT the shell talks to a running aimd server
-   instead of an embedded engine; \metrics and \ping replace the local
-   meta commands, and BEGIN/COMMIT/ROLLBACK span multiple inputs.
+   instead of an embedded engine; \metrics [prom], \ping and \timing
+   replace the local meta commands, and BEGIN/COMMIT/ROLLBACK span
+   multiple inputs.  In remote mode -e also accepts meta commands, so
+   `aimsh --connect HOST:PORT -e '\metrics prom'` scrapes the server.
 *)
 
 module Db = Nf2.Db
 module P = Nf2_workload.Paper_data
 module D = Nf2_storage.Disk
 module BP = Nf2_storage.Buffer_pool
+
+(* \timing: client-side wall clock around one input, local or remote. *)
+let timing = ref false
+
+let with_timing f =
+  if not !timing then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> Printf.printf "Time: %.3f ms\n" ((Unix.gettimeofday () -. t0) *. 1e3))
+      f
+  end
+
+let set_timing arg =
+  (match arg with Some "on" -> timing := true | Some "off" -> timing := false | _ -> timing := not !timing);
+  Printf.printf "timing %s\n" (if !timing then "on" else "off")
 
 let load_demo db =
   Nf2.Demo.load db;
@@ -63,6 +82,8 @@ let repl db =
           | [ "\\save"; path ] ->
               Db.checkpoint db ~db_path:path;
               Printf.printf "database checkpointed to %s\n" path
+          | [ "\\timing" ] -> set_timing None
+          | [ "\\timing"; arg ] -> set_timing (Some arg)
           | _ -> print_endline "unknown meta command");
           loop ()
         end
@@ -72,7 +93,7 @@ let repl db =
           if String.length trimmed > 0 && trimmed.[String.length trimmed - 1] = ';' then begin
             let input = Buffer.contents buf in
             Buffer.clear buf;
-            run_input db input
+            with_timing (fun () -> run_input db input)
           end;
           loop ()
         end
@@ -108,7 +129,22 @@ let print_remote_response = function
   | Some Proto.Bye -> print_endline "server closed the session"
   | None -> print_endline "server hung up"
 
-let run_remote client input = print_remote_response (Client.request client (Proto.Query input))
+let run_remote client input =
+  with_timing (fun () -> print_remote_response (Client.request client (Proto.Query input)))
+
+(* One remote meta command ("\metrics prom", "\ping", ...), shared by
+   the remote REPL and -e. *)
+let remote_meta client trimmed =
+  match List.filter (fun s -> s <> "") (String.split_on_char ' ' trimmed) with
+  | [ "\\q" ] ->
+      Client.close client;
+      exit 0
+  | [ "\\metrics" ] -> print_remote_response (Client.request client Proto.Metrics)
+  | [ "\\metrics"; "prom" ] -> print_remote_response (Client.request client Proto.Metrics_prom)
+  | [ "\\ping" ] -> print_remote_response (Client.request client Proto.Ping)
+  | [ "\\timing" ] -> set_timing None
+  | [ "\\timing"; arg ] -> set_timing (Some arg)
+  | _ -> print_endline "unknown meta command (remote: \\q \\metrics [prom] \\ping \\timing)"
 
 let remote_repl client =
   print_endline "connected.  Statements end with ';'.  \\q quits, \\metrics shows server counters.";
@@ -121,13 +157,7 @@ let remote_repl client =
     | Some line ->
         let trimmed = String.trim line in
         if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\' then begin
-          (match trimmed with
-          | "\\q" ->
-              Client.close client;
-              exit 0
-          | "\\metrics" -> print_remote_response (Client.request client Proto.Metrics)
-          | "\\ping" -> print_remote_response (Client.request client Proto.Ping)
-          | _ -> print_endline "unknown meta command (remote: \\q \\metrics \\ping)");
+          remote_meta client trimmed;
           loop ()
         end
         else begin
@@ -153,7 +183,9 @@ let remote_main target rest =
   let rec go = function
     | [] -> remote_repl client
     | "-e" :: stmts :: rest ->
-        run_remote client stmts;
+        let trimmed = String.trim stmts in
+        if String.length trimmed > 0 && trimmed.[0] = '\\' then remote_meta client trimmed
+        else run_remote client stmts;
         if rest = [] then () else go rest
     | "-f" :: file :: rest ->
         run_remote client (In_channel.with_open_text file In_channel.input_all);

@@ -590,12 +590,39 @@ let matching_elements t ti (root : Tid.t) (sub_path : string list) (where : Ast.
 
 (* --- statement execution -------------------------------------------------------- *)
 
-let exec_stmt t (stmt : Ast.stmt) : result =
+module Trace = Nf2_obs.Trace
+
+(* A trace wired to this database's storage tier: pool, disk and WAL
+   stats are registered as counter sources, so every span delta-
+   snapshots them.  The sources read [t.pool] / [t.disk] / [t.wal] at
+   call time (rollback and recovery may replace them). *)
+let new_trace ?label t : Trace.t =
+  let tr = Trace.create ?label () in
+  Trace.add_source tr (fun () ->
+      let s = BP.stats t.pool in
+      [
+        ("pool.hits", s.BP.hits);
+        ("pool.misses", s.BP.misses);
+        ("pool.evictions", s.BP.evictions);
+      ]);
+  Trace.add_source tr (fun () ->
+      let s = Disk.stats t.disk in
+      [ ("disk.reads", s.Disk.reads); ("disk.writes", s.Disk.writes) ]);
+  Trace.add_source tr (fun () ->
+      match t.wal with
+      | Some w ->
+          let s = Wal.stats w in
+          [ ("wal.records", s.Wal.records); ("wal.bytes", s.Wal.bytes); ("wal.fsyncs", s.Wal.flushes) ]
+      | None -> [ ("wal.records", 0); ("wal.bytes", 0); ("wal.fsyncs", 0) ]);
+  tr
+
+let run_query ?trace t q =
+  t.last_plan <- [];
+  Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) ?trace (catalog t) q
+
+let exec_stmt ?trace t (stmt : Ast.stmt) : result =
   match stmt with
-  | Ast.Select q ->
-      t.last_plan <- [];
-      let rel = Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) (catalog t) q in
-      Rows rel
+  | Ast.Select q -> Rows (run_query ?trace t q)
   | Ast.Begin_txn ->
       txn_begin t;
       Msg "transaction started"
@@ -675,12 +702,23 @@ let exec_stmt t (stmt : Ast.stmt) : result =
         (Printf.sprintf "%d row(s) inserted into %s of %d object(s)" (List.length rows)
            (String.concat "." sub_path) (List.length targets))
   | Ast.Explain q ->
-      t.last_plan <- [];
-      let rel = Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) (catalog t) q in
+      let rel = run_query t q in
       let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
       Msg
         (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
            (String.concat "\n  " plan) (Rel.cardinality rel)
+           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+  | Ast.Explain_analyze q ->
+      (* execute the query under a trace wired to this database's
+         storage counters, then render plan + annotated operator tree *)
+      let tr = new_trace t in
+      let root = Trace.root tr in
+      let rel = Trace.timed tr root (fun () -> run_query ~trace:tr t q) in
+      Trace.add_rows root (Rel.cardinality rel);
+      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      Msg
+        (Printf.sprintf "plan:\n  %s\ntrace:\n%sresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) (Trace.render tr) (Rel.cardinality rel)
            (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
   | Ast.Alter_add { table; field } ->
       let ti = table_exn t table in
@@ -887,7 +925,7 @@ let exec_stmt t (stmt : Ast.stmt) : result =
 
 (* Is the statement a mutation (worth journaling)? *)
 let mutates = function
-  | Ast.Select _ | Ast.Explain _ | Ast.Show_tables | Ast.Describe _
+  | Ast.Select _ | Ast.Explain _ | Ast.Explain_analyze _ | Ast.Show_tables | Ast.Describe _
   | Ast.Begin_txn | Ast.Commit | Ast.Rollback ->
       false
   | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Create_text_index _

@@ -187,7 +187,18 @@ val pool : t -> BP.t
     evaluation pipelines). *)
 val catalog : t -> Nf2_lang.Eval.catalog
 
+(** {1 Observability}
+
+    See [docs/OBSERVABILITY.md].  A trace made by {!new_trace} carries
+    this database's storage counters (buffer-pool hits/misses/evictions,
+    disk reads/writes, WAL records/bytes/fsyncs) as delta-snapshot
+    sources; passing it to {!exec_stmt} makes the evaluator open one
+    span per operator on it.  [EXPLAIN ANALYZE <query>] does this
+    internally and renders the annotated operator tree. *)
+
+val new_trace : ?label:string -> t -> Nf2_obs.Trace.t
+
 (**/**)
 
-(* internal: statement-level entry used by the shell *)
-val exec_stmt : t -> Nf2_lang.Ast.stmt -> result
+(* internal: statement-level entry used by the shell and server *)
+val exec_stmt : ?trace:Nf2_obs.Trace.t -> t -> Nf2_lang.Ast.stmt -> result

@@ -90,6 +90,7 @@ type stmt =
   | Alter_add of { table : string; field : field_def }
   | Alter_drop of { table : string; attr : string }
   | Explain of query
+  | Explain_analyze of query
   | Begin_txn
   | Commit
   | Rollback
@@ -158,3 +159,66 @@ and query_to_string q =
             (List.map (fun { key; descending } -> expr_to_string key ^ if descending then " DESC" else "") items)
   in
   Printf.sprintf "SELECT %s%s FROM %s%s%s" (if q.distinct then "DISTINCT " else "") sel from where order
+
+let rec type_def_to_string = function
+  | T_atom Atom.Tint -> "INT"
+  | T_atom Atom.Tfloat -> "FLOAT"
+  | T_atom Atom.Tstring -> "TEXT"
+  | T_atom Atom.Tbool -> "BOOL"
+  | T_atom Atom.Tdate -> "DATE"
+  | T_table (kind, fields) ->
+      let kw = match kind with Nf2_model.Schema.Set -> "TABLE" | Nf2_model.Schema.List -> "LIST" in
+      kw ^ " (" ^ field_defs_to_string fields ^ ")"
+
+and field_defs_to_string fields =
+  String.concat ", " (List.map (fun f -> f.fname ^ " " ^ type_def_to_string f.ftype) fields)
+
+let rec literal_to_string = function
+  | L_atom a -> Atom.to_literal a
+  | L_param i -> Printf.sprintf "?%d" i
+  | L_table (kind, rows) ->
+      let o, c = match kind with Nf2_model.Schema.Set -> ("{", "}") | Nf2_model.Schema.List -> ("<", ">") in
+      o
+      ^ String.concat ", "
+          (List.map (fun row -> "(" ^ String.concat ", " (List.map literal_to_string row) ^ ")") rows)
+      ^ c
+
+let dotted table sub_path = String.concat "." (table :: sub_path)
+
+let stmt_to_string = function
+  | Select q -> query_to_string q
+  | Explain q -> "EXPLAIN " ^ query_to_string q
+  | Explain_analyze q -> "EXPLAIN ANALYZE " ^ query_to_string q
+  | Create_table { name; fields; versioned } ->
+      Printf.sprintf "CREATE TABLE %s (%s)%s" name (field_defs_to_string fields)
+        (if versioned then " WITH VERSIONS" else "")
+  | Drop_table name -> "DROP TABLE " ^ name
+  | Create_index { table; path; strategy } ->
+      let s = match strategy with S_data -> "DATA" | S_root -> "ROOT" | S_hier -> "HIERARCHICAL" in
+      Printf.sprintf "CREATE INDEX ON %s (%s) USING %s" table (String.concat "." path) s
+  | Create_text_index { table; path } ->
+      Printf.sprintf "CREATE TEXT INDEX ON %s (%s)" table (String.concat "." path)
+  | Insert { table; sub_path; where; rows } ->
+      Printf.sprintf "INSERT INTO %s%s VALUES %s" (dotted table sub_path)
+        (match where with Some p -> " WHERE " ^ pred_to_string p | None -> "")
+        (String.concat ", "
+           (List.map
+              (fun row -> "(" ^ String.concat ", " (List.map literal_to_string row) ^ ")")
+              rows))
+  | Update { table; sub_path; sets; where; at } ->
+      Printf.sprintf "UPDATE %s SET %s%s%s" (dotted table sub_path)
+        (String.concat ", " (List.map (fun (a, e) -> a ^ " = " ^ expr_to_string e) sets))
+        (match where with Some p -> " WHERE " ^ pred_to_string p | None -> "")
+        (match at with Some e -> " AT " ^ expr_to_string e | None -> "")
+  | Delete { table; sub_path; where; at } ->
+      Printf.sprintf "DELETE FROM %s%s%s" (dotted table sub_path)
+        (match where with Some p -> " WHERE " ^ pred_to_string p | None -> "")
+        (match at with Some e -> " AT " ^ expr_to_string e | None -> "")
+  | Alter_add { table; field } ->
+      Printf.sprintf "ALTER TABLE %s ADD %s %s" table field.fname (type_def_to_string field.ftype)
+  | Alter_drop { table; attr } -> Printf.sprintf "ALTER TABLE %s DROP %s" table attr
+  | Begin_txn -> "BEGIN"
+  | Commit -> "COMMIT"
+  | Rollback -> "ROLLBACK"
+  | Show_tables -> "SHOW TABLES"
+  | Describe name -> "DESCRIBE " ^ name

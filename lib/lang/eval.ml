@@ -24,6 +24,24 @@ exception Eval_error of string
 
 let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
 
+(* --- tracing ----------------------------------------------------------- *)
+
+(* When a trace is active ({!run} with [?trace]), the evaluator opens a
+   span per operator: one node per query / subquery, one per FROM range
+   (scan, join, unnest), one per quantifier range, plus a subscript
+   counter.  The context is dynamically scoped through this module-level
+   ref rather than threaded through every signature: the engine is
+   single-user (the server serializes statements under one mutex), and
+   the untraced path pays only a ref read. *)
+
+module Tr = Nf2_obs.Trace
+
+type tracing = { tr : Tr.t; mutable cursor : Tr.node }
+
+let tracing : tracing option ref = ref None
+
+let abbrev s = if String.length s > 48 then String.sub s 0 45 ^ "..." else s
+
 (* --- catalog interface ------------------------------------------------ *)
 
 type source_table = {
@@ -73,6 +91,7 @@ let rec walk_steps (cur : pv) (steps : path_step list) : pv =
       | P_value (Schema.Atomic _, _) -> eval_error "cannot select attribute %s of an atomic value" f
       | P_value _ -> eval_error "schema mismatch at %s" f)
   | Subscript i :: rest -> (
+      (match !tracing with Some ctx -> Tr.add_counter ctx.cursor "subscript.evals" 1 | None -> ());
       match cur with
       | P_value (Schema.Table sub, Value.Table inner) ->
           if sub.Schema.kind <> Schema.List then eval_error "subscript on an unordered table";
@@ -415,10 +434,10 @@ and eval_pred (catalog : catalog) (env : env) (p : pred) : bool =
   | Or (a, b) -> eval_pred catalog env a || eval_pred catalog env b
   | Not a -> not (eval_pred catalog env a)
   | Exists (r, body) ->
-      let tbl, tuples = range_tuples catalog env r in
+      let tbl, tuples = quantifier_range "EXISTS" catalog env r in
       List.exists (fun tup -> eval_pred catalog ((r.rvar, (tbl, tup)) :: env) body) tuples
   | Forall (r, body) ->
-      let tbl, tuples = range_tuples catalog env r in
+      let tbl, tuples = quantifier_range "ALL" catalog env r in
       List.for_all (fun tup -> eval_pred catalog ((r.rvar, (tbl, tup)) :: env) body) tuples
   | Contains (e, pat) -> (
       let mask = Masked.compile pat in
@@ -436,6 +455,21 @@ and eval_pred (catalog : catalog) (env : env) (p : pred) : bool =
       match eval_expr catalog env e with
       | Value.Atom (Atom.Bool b) -> b
       | _ -> eval_error "predicate expression is not boolean")
+
+(* Materializing a quantifier's range is where its storage work happens
+   (the body predicate recurses through eval_pred); one node accumulates
+   every activation across outer tuples. *)
+and quantifier_range kind (catalog : catalog) (env : env) (r : range) :
+    Schema.table * Value.tuple list =
+  match !tracing with
+  | None -> range_tuples catalog env r
+  | Some ctx ->
+      let src = match r.source with Table_src n -> n | Path_src p -> path_to_string p in
+      let node = Tr.child ctx.cursor (Printf.sprintf "quantifier %s %s IN %s" kind r.rvar src) in
+      Tr.timed ctx.tr node (fun () ->
+          let tbl, tuples = range_tuples catalog env r in
+          Tr.add_rows node (List.length tuples);
+          (tbl, tuples))
 
 (* --- the planner ----------------------------------------------------------------------- *)
 
@@ -597,8 +631,27 @@ and plan_candidates (st : source_table) (r : range) (where : pred) : (Tid.t list
 
 (* --- query evaluation ----------------------------------------------------------------------- *)
 
-and eval_query ?(plan : (string -> unit) option) (catalog : catalog) (outer_env : env) (q : query) :
-    Rel.t =
+and eval_query ?plan (catalog : catalog) (outer_env : env) (q : query) : Rel.t =
+  match !tracing with
+  | None -> eval_query_body ?plan catalog outer_env q
+  | Some ctx ->
+      let parent = ctx.cursor in
+      let label =
+        if parent == Tr.root ctx.tr then "query"
+        else "subquery (" ^ abbrev (query_to_string q) ^ ")"
+      in
+      let node = Tr.child parent label in
+      ctx.cursor <- node;
+      Fun.protect
+        ~finally:(fun () -> ctx.cursor <- parent)
+        (fun () ->
+          Tr.timed ctx.tr node (fun () ->
+              let rel = eval_query_body ?plan catalog outer_env q in
+              Tr.add_rows node (Rel.cardinality rel);
+              rel))
+
+and eval_query_body ?(plan : (string -> unit) option) (catalog : catalog) (outer_env : env)
+    (q : query) : Rel.t =
   (* typing pass: result schema *)
   let outer_tenv = List.map (fun (v, (tbl, _)) -> (v, tbl)) outer_env in
   let result_schema = type_query catalog outer_tenv q in
@@ -688,8 +741,35 @@ and eval_query ?(plan : (string -> unit) option) (catalog : catalog) (outer_env 
         | _ -> fun env -> range_tuples catalog env r)
     | _ -> fun env -> range_tuples catalog env r
   in
+  (* operator spans: one node per range, accumulating every activation
+     (the inner side of a nested loop is activated once per outer
+     tuple).  "scan"/"join" for stored tables, "unnest" for subtable
+     sources; the access-path detail (index, hash join) stays in the
+     plan notes. *)
+  let trace_access i (r : range) access : env -> Schema.table * Value.tuple list =
+    match !tracing with
+    | None -> access
+    | Some ctx ->
+        let label =
+          match r.source with
+          | Path_src p -> Printf.sprintf "unnest %s IN %s" r.rvar (path_to_string p)
+          | Table_src name ->
+              if catalog name = None then Printf.sprintf "unnest %s IN %s" r.rvar name
+              else if i = 0 then Printf.sprintf "scan %s" (String.uppercase_ascii name)
+              else Printf.sprintf "join %s IN %s" r.rvar (String.uppercase_ascii name)
+        in
+        let node = Tr.child ctx.cursor label in
+        fun env ->
+          Tr.timed ctx.tr node (fun () ->
+              let tbl, tuples = access env in
+              Tr.add_rows node (List.length tuples);
+              (tbl, tuples))
+  in
   let accesses =
-    List.mapi (fun i r -> if i = 0 then fun _ -> first_range_tuples r else mk_access r) q.from
+    List.mapi
+      (fun i r ->
+        trace_access i r (if i = 0 then fun _ -> first_range_tuples r else mk_access r))
+      q.from
   in
   (* ORDER BY keys: a bare name that is a result column sorts on the
      emitted row; any other expression is evaluated in the emission
@@ -771,6 +851,17 @@ and eval_query ?(plan : (string -> unit) option) (catalog : catalog) (outer_env 
   Rel.trusted result_schema { Value.kind; tuples = rows }
 
 (* Top-level entry: symbolic rewriting first (constant folding,
-   negation pushdown, quantifier duality), then evaluation. *)
-let run ?plan (catalog : catalog) (q : query) : Rel.t =
-  eval_query ?plan catalog [] (Rewrite.rewrite_query q)
+   negation pushdown, quantifier duality), then evaluation.  With
+   [trace], every operator opens a span on it (see the tracing note at
+   the top); the context is saved and restored so traced and untraced
+   evaluations may interleave. *)
+let run ?plan ?trace (catalog : catalog) (q : query) : Rel.t =
+  let q = Rewrite.rewrite_query q in
+  match trace with
+  | None -> eval_query ?plan catalog [] q
+  | Some tr ->
+      let saved = !tracing in
+      tracing := Some { tr; cursor = Tr.root tr };
+      Fun.protect
+        ~finally:(fun () -> tracing := saved)
+        (fun () -> eval_query ?plan catalog [] q)

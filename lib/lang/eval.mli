@@ -40,8 +40,12 @@ type catalog = string -> source_table option
 type env = (string * (Schema.table * Value.tuple)) list
 
 (** Evaluate a query after symbolic rewriting; [plan] receives one
-    line per access-path decision. *)
-val run : ?plan:(string -> unit) -> catalog -> Ast.query -> Rel.t
+    line per access-path decision.  With [trace], the evaluator opens
+    one {!Nf2_obs.Trace} span per operator (scan, join, unnest,
+    quantifier, subquery — plus a subscript counter), each annotated
+    with rows out, elapsed time, and the deltas of whatever counter
+    sources the trace carries. *)
+val run : ?plan:(string -> unit) -> ?trace:Nf2_obs.Trace.t -> catalog -> Ast.query -> Rel.t
 
 (** Evaluate without the rewriting pass (used by equivalence tests). *)
 val eval_query : ?plan:(string -> unit) -> catalog -> env -> Ast.query -> Rel.t

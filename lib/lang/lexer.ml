@@ -42,7 +42,7 @@ let keywords =
     "INSERT"; "INTO"; "VALUES"; "UPDATE"; "SET"; "DELETE"; "DROP"; "WITH"; "VERSIONS";
     "ORDER"; "BY"; "ASC"; "DESC"; "DISTINCT"; "TRUE"; "FALSE"; "NULL"; "DATE";
     "COUNT"; "SUM"; "MIN"; "MAX"; "AVG"; "INT"; "FLOAT"; "BOOL"; "AT";
-    "SHOW"; "TABLES"; "DESCRIBE"; "HIERARCHICAL"; "ROOT"; "DATA"; "ALTER"; "ADD"; "EXPLAIN";
+    "SHOW"; "TABLES"; "DESCRIBE"; "HIERARCHICAL"; "ROOT"; "DATA"; "ALTER"; "ADD"; "EXPLAIN"; "ANALYZE";
     "BEGIN"; "COMMIT"; "ROLLBACK";
   ]
 

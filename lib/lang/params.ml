@@ -62,6 +62,7 @@ let bind_stmt (stmt : stmt) (values : Atom.t list) : stmt =
   match stmt with
   | Select q -> Select (bind_query params q)
   | Explain q -> Explain (bind_query params q)
+  | Explain_analyze q -> Explain_analyze (bind_query params q)
   | Insert r ->
       Insert
         {

@@ -546,7 +546,8 @@ let parse_stmt st : stmt =
       | got -> parse_error "expected ADD or DROP, got %s" (token_to_string got))
   | Some (KW "EXPLAIN") ->
       advance st;
-      Explain (parse_query st)
+      if accept_kw st "ANALYZE" then Explain_analyze (parse_query st)
+      else Explain (parse_query st)
   | Some (KW "BEGIN") ->
       advance st;
       Begin_txn

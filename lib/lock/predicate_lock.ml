@@ -118,13 +118,41 @@ type txn = int
 
 type granted = { owner : txn; mode : mode; predicate : predicate }
 
+(* Cumulative counters, in the style of the storage tier's stats
+   records, so the observability layer can delta-snapshot lock work per
+   statement.  [wait_ns] is accumulated by the caller that owns the
+   wait loop (the lock table itself never blocks). *)
+type stats = {
+  mutable acquires : int;  (* requests, including re-entrant no-ops *)
+  mutable blocks : int;  (* requests answered Blocked *)
+  mutable deadlocks : int;  (* requests answered Deadlock *)
+  mutable wait_ns : int;  (* caller-reported time spent blocked *)
+}
+
 type t = {
   mutable granted : granted list;
   mutable next_txn : int;
   mutable waits_for : (txn * txn) list; (* waiter, holder *)
+  lstats : stats;
 }
 
-let create () = { granted = []; next_txn = 0; waits_for = [] }
+let create () =
+  {
+    granted = [];
+    next_txn = 0;
+    waits_for = [];
+    lstats = { acquires = 0; blocks = 0; deadlocks = 0; wait_ns = 0 };
+  }
+
+let stats t = t.lstats
+
+let reset_stats t =
+  t.lstats.acquires <- 0;
+  t.lstats.blocks <- 0;
+  t.lstats.deadlocks <- 0;
+  t.lstats.wait_ns <- 0
+
+let add_wait_ns t ns = t.lstats.wait_ns <- t.lstats.wait_ns + ns
 
 let begin_txn t : txn =
   t.next_txn <- t.next_txn + 1;
@@ -157,6 +185,7 @@ let would_deadlock t ~waiter ~holders =
    abort); a request that would close a waits-for cycle reports
    deadlock and registers nothing. *)
 let acquire t (txn : txn) (mode : mode) (predicate : predicate) : outcome =
+  t.lstats.acquires <- t.lstats.acquires + 1;
   (* re-entrant: an identical or stronger own lock is a no-op *)
   let own_covers =
     List.exists
@@ -176,8 +205,12 @@ let acquire t (txn : txn) (mode : mode) (predicate : predicate) : outcome =
         Granted
     | cs ->
         let holders = List.sort_uniq Int.compare (List.map (fun g -> g.owner) cs) in
-        if would_deadlock t ~waiter:txn ~holders then Deadlock holders
+        if would_deadlock t ~waiter:txn ~holders then begin
+          t.lstats.deadlocks <- t.lstats.deadlocks + 1;
+          Deadlock holders
+        end
         else begin
+          t.lstats.blocks <- t.lstats.blocks + 1;
           t.waits_for <- List.map (fun h -> (txn, h)) holders @ t.waits_for;
           Blocked holders
         end

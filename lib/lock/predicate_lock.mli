@@ -40,7 +40,20 @@ val modes_conflict : mode -> mode -> bool
 type txn = int
 type t
 
+(** Cumulative counters for the observability layer; [wait_ns] is
+    accumulated by the caller owning the wait loop via
+    {!add_wait_ns} (the lock table itself never blocks). *)
+type stats = {
+  mutable acquires : int;
+  mutable blocks : int;
+  mutable deadlocks : int;
+  mutable wait_ns : int;
+}
+
 val create : unit -> t
+val stats : t -> stats
+val reset_stats : t -> unit
+val add_wait_ns : t -> int -> unit
 val begin_txn : t -> txn
 
 type outcome =

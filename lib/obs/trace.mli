@@ -1,0 +1,56 @@
+(** Execution tracing: a tree of spans with storage-counter attribution.
+
+    A trace owns a node tree (one node per operator / statement) plus a
+    list of {e counter sources} — thunks reading cumulative stats from
+    the storage tier.  {!timed} snapshots every source before and after
+    the timed section and accumulates the deltas on the node, so each
+    node reports the storage work done while it was open (inclusive of
+    its children, like its elapsed time).  Nodes are found-or-created
+    by (parent, label), so repeated activations of one operator (the
+    inner side of a nested-loop join) accumulate into one node. *)
+
+type node = {
+  label : string;
+  mutable rows : int;  (** tuples produced by this operator *)
+  mutable calls : int;  (** timed activations *)
+  mutable ns : int;  (** elapsed nanoseconds, inclusive of children *)
+  mutable counters : (string * int) list;  (** accumulated deltas *)
+  mutable children : node list;  (** newest first *)
+}
+
+type t
+
+val create : ?label:string -> unit -> t
+(** A fresh trace whose root node is labelled [label]
+    (default ["statement"]). *)
+
+val root : t -> node
+
+val add_source : t -> (unit -> (string * int) list) -> unit
+(** Register a counter source; its names should be stable and unique
+    across sources (e.g. ["pool.hits"], ["wal.bytes"]). *)
+
+val child : node -> string -> node
+(** Find-or-create the child of [node] with this label. *)
+
+val timed : t -> node -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its elapsed time and per-source counter
+    deltas to the node (also on exception). *)
+
+val add_rows : node -> int -> unit
+val add_counter : node -> string -> int -> unit
+
+val find : t -> string -> node option
+(** First node with this label, depth-first (tests, assertions). *)
+
+val elapsed_s : node -> float
+
+val now_ns : unit -> int
+(** CLOCK_MONOTONIC, nanoseconds. *)
+
+val render : t -> string
+(** Indented tree, one node per line: label, rows, calls, time, counter
+    deltas (the root line shows all counters; children elide zeros). *)
+
+val render_compact : t -> string
+(** Single-line form for structured log records. *)

@@ -44,6 +44,23 @@ let counter_ref t name =
 let add t name n = with_mu t (fun () -> let r = counter_ref t name in r := !r + n)
 let incr t name = add t name 1
 let get t name = with_mu t (fun () -> match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
+let set t name v = with_mu t (fun () -> counter_ref t name := v)
+
+(* Labeled counters are stored under their canonical exposition key —
+   name{k="v",...} with labels sorted by key — in the same table, so
+   [render] and [dump] need no second code path. *)
+let labeled_key name labels =
+  match labels with
+  | [] -> name
+  | ls ->
+      let ls = List.sort (fun (a, _) (b, _) -> String.compare a b) ls in
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ "}"
+
+let add_labeled t name labels n = add t (labeled_key name labels) n
+let incr_labeled t name labels = add_labeled t name labels 1
+let get_labeled t name labels = get t (labeled_key name labels)
 
 let histogram_ref t name =
   match Hashtbl.find_opt t.histograms name with
@@ -88,6 +105,36 @@ let percentile t name q =
 let count t name =
   with_mu t (fun () -> match Hashtbl.find_opt t.histograms name with Some h -> h.hcount | None -> 0)
 
+(* --- raw export ---------------------------------------------------------- *)
+
+(* Exposition-friendly snapshot of one histogram: the raw bucket
+   boundaries and counts (last bound is +infinity), so consumers don't
+   re-derive the bucket math from rendered text. *)
+type hdump = {
+  bounds : float array;  (* upper bound per bucket; bounds.(nbuckets-1) = infinity *)
+  counts : int array;
+  total : int;
+  sum : float;  (* seconds *)
+}
+
+let dump t : (string * int) list * (string * hdump) list =
+  with_mu t (fun () ->
+      let counters =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let histograms =
+        Hashtbl.fold
+          (fun name h acc ->
+            let bounds =
+              Array.init nbuckets (fun i -> if i = nbuckets - 1 then Float.infinity else bucket_bound i)
+            in
+            (name, { bounds; counts = Array.copy h.buckets; total = h.hcount; sum = h.hsum }) :: acc)
+          t.histograms []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      (counters, histograms))
+
 (* --- rendering ---------------------------------------------------------- *)
 
 let fmt_seconds (s : float) =
@@ -118,3 +165,64 @@ let render t : string =
                (fmt_seconds (percentile_of h 0.99))))
         histograms;
       Buffer.contents b)
+
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+let sanitize_name s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      then c
+      else '_')
+    s
+
+(* "name{labels}" -> base name + "{labels}" suffix *)
+let split_key key =
+  match String.index_opt key '{' with
+  | None -> (key, "")
+  | Some i -> (String.sub key 0 i, String.sub key i (String.length key - i))
+
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let fmt_bound v = if v = Float.infinity then "+Inf" else Printf.sprintf "%g" v
+
+let render_prometheus ?(namespace = "aimii") t : string =
+  let counters, histograms = dump t in
+  let b = Buffer.create 2048 in
+  let seen = Hashtbl.create 16 in
+  (* all counters are exported as gauges: the registry's counters are
+     also used as gauges (sessions_active via add -1, the storage-tier
+     snapshots via set), and a gauge is always safe to scrape *)
+  List.iter
+    (fun (key, v) ->
+      let base, labels = split_key key in
+      let name = namespace ^ "_" ^ sanitize_name base in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name base);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name)
+      end;
+      Buffer.add_string b (Printf.sprintf "%s%s %d\n" name labels v))
+    counters;
+  List.iter
+    (fun (key, h) ->
+      let name = namespace ^ "_" ^ sanitize_name key ^ "_seconds" in
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s (seconds)\n" name key);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+      let acc = ref 0 in
+      Array.iteri
+        (fun i c ->
+          acc := !acc + c;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name (fmt_bound h.bounds.(i)) !acc))
+        h.counts;
+      Buffer.add_string b (Printf.sprintf "%s_sum %s\n" name (fmt_float h.sum));
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.total))
+    histograms;
+  Buffer.contents b

@@ -14,6 +14,20 @@ val incr : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int
 
+(** Gauge assignment (used to fold storage-tier snapshots into the
+    registry before an exposition). *)
+val set : t -> string -> int -> unit
+
+(** {1 Labeled counters}
+
+    Stored under the canonical exposition key [name{k="v",...}] with
+    labels sorted by key, so the same series is hit regardless of the
+    label order at the call site. *)
+
+val incr_labeled : t -> string -> (string * string) list -> unit
+val add_labeled : t -> string -> (string * string) list -> int -> unit
+val get_labeled : t -> string -> (string * string) list -> int
+
 (** {1 Histograms} *)
 
 (** Record one observation, in seconds. *)
@@ -25,6 +39,28 @@ val percentile : t -> string -> float -> float
 (** Observations recorded under [name]. *)
 val count : t -> string -> int
 
+(** {1 Raw export}
+
+    The histogram's actual bucket boundaries and counts, so an
+    exposition layer never re-derives them from rendered text. *)
+
+type hdump = {
+  bounds : float array;  (** upper bound per bucket; the last is [infinity] *)
+  counts : int array;
+  total : int;
+  sum : float;  (** seconds *)
+}
+
+(** Counters (by exposition key) and histograms, both sorted by name. *)
+val dump : t -> (string * int) list * (string * hdump) list
+
 (** One line per counter, then one line per histogram with
-    count/avg/p50/p95/p99. *)
+    count/avg/p50/p95/p99; deterministic (sorted names). *)
 val render : t -> string
+
+(** Prometheus text exposition format: [# HELP] / [# TYPE] comments,
+    [name{labels} value] samples, histograms with cumulative
+    [_bucket{le="..."}] series plus [_sum] / [_count].  Metric names are
+    prefixed with [namespace] (default ["aimii"]) and sanitized to
+    Prometheus' charset. *)
+val render_prometheus : ?namespace:string -> t -> string

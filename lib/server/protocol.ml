@@ -33,6 +33,7 @@ type request =
   | Rollback
   | Ping
   | Metrics
+  | Metrics_prom  (** Prometheus text-format scrape of the same registry *)
   | Quit
 
 type response =
@@ -67,7 +68,8 @@ let encode_request (r : request) : string =
   | Rollback -> Codec.put_u8 b 6
   | Ping -> Codec.put_u8 b 7
   | Metrics -> Codec.put_u8 b 8
-  | Quit -> Codec.put_u8 b 9);
+  | Quit -> Codec.put_u8 b 9
+  | Metrics_prom -> Codec.put_u8 b 10);
   Codec.contents b
 
 (* Truncated or garbled fields surface as Codec decode errors; at the
@@ -92,6 +94,7 @@ let decode_request (s : string) : request =
     | 7 -> Ping
     | 8 -> Metrics
     | 9 -> Quit
+    | 10 -> Metrics_prom
     | n -> protocol_error "unknown request tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after request";

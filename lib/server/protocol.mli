@@ -35,6 +35,7 @@ type request =
   | Rollback
   | Ping
   | Metrics
+  | Metrics_prom  (** Prometheus text-format scrape of the same registry *)
   | Quit
 
 type response =

@@ -20,6 +20,7 @@ type config = {
   lock_timeout : float;
   group_commit : bool;
   group_window : float;
+  slow_query : float option;  (** seconds; statements at/over it are logged with their trace *)
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     lock_timeout = 2.0;
     group_commit = true;
     group_window = 0.002;
+    slow_query = None;
   }
 
 type t = {
@@ -156,7 +158,7 @@ let start ?db:(db_opt : Db.t option) (config : config) : t =
   let metrics = Metrics.create () in
   let mgr =
     Session.create_manager ~lock_timeout:config.lock_timeout ~group_commit:config.group_commit
-      ~group_window:config.group_window ~metrics db
+      ~group_window:config.group_window ?slow_query:config.slow_query ~metrics db
   in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -205,3 +207,4 @@ let stop (t : t) =
   end
 
 let render_metrics (t : t) = Session.render_metrics t.mgr
+let render_prometheus (t : t) = Session.render_prometheus t.mgr

@@ -14,10 +14,13 @@ type config = {
   lock_timeout : float;
   group_commit : bool;
   group_window : float;  (** seconds a commit leader waits for followers *)
+  slow_query : float option;
+      (** seconds; when set, statements at/over it are logged to stderr
+          with their full trace (see docs/OBSERVABILITY.md) *)
 }
 
 (** 127.0.0.1, ephemeral port, 32 sessions, 300s idle, 2s lock
-    timeout, group commit on with a 2ms window. *)
+    timeout, group commit on with a 2ms window, no slow-query log. *)
 val default_config : config
 
 type t
@@ -35,6 +38,10 @@ val metrics : t -> Metrics.t
 
 (** The same report the [\metrics] request returns. *)
 val render_metrics : t -> string
+
+(** Prometheus text-format exposition of the same registry (served for
+    [Protocol.Metrics_prom]). *)
+val render_prometheus : t -> string
 
 (** Graceful shutdown: stop accepting, disconnect every session
     (rolling back in-flight transactions), join the workers, checkpoint

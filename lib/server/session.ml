@@ -29,6 +29,9 @@
 module Db = Nf2.Db
 module PL = Nf2_lock.Predicate_lock
 module Wal = Nf2_storage.Wal
+module BP = Nf2_storage.Buffer_pool
+module Disk = Nf2_storage.Disk
+module Trace = Nf2_obs.Trace
 module Atom = Nf2_model.Atom
 module Schema = Nf2_model.Schema
 module Value = Nf2_model.Value
@@ -54,6 +57,8 @@ type manager = {
   lock_timeout : float; (* seconds a lock / slot wait may last *)
   group_commit : bool;
   metrics : Metrics.t;
+  slow_query : float option; (* trace statements; log those slower than this *)
+  slow_sink : string -> unit; (* one structured line per offending statement *)
 }
 
 type prep = { pstmt : Ast.stmt; nparams : int }
@@ -68,7 +73,7 @@ type session = {
 }
 
 let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window = 0.002)
-    ~(metrics : Metrics.t) (db : Db.t) : manager =
+    ?slow_query ?(slow_sink = prerr_endline) ~(metrics : Metrics.t) (db : Db.t) : manager =
   Db.attach_wal db;
   (match Db.wal db with
   | Some w ->
@@ -84,6 +89,8 @@ let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window =
     lock_timeout;
     group_commit;
     metrics;
+    slow_query;
+    slow_sink;
   }
 
 let open_session (mgr : manager) ~(sid : int) : session =
@@ -143,7 +150,7 @@ let opt_e_tables e acc = match e with Some e -> e_tables e acc | None -> acc
 let stmt_tables (stmt : Ast.stmt) : string list * string list =
   let reads, writes =
     match stmt with
-    | Ast.Select q | Ast.Explain q -> (q_tables q [], [])
+    | Ast.Select q | Ast.Explain q | Ast.Explain_analyze q -> (q_tables q [], [])
     | Ast.Insert { table; where; _ } -> (opt_p_tables where [], [ table ])
     | Ast.Update { table; sets; where; at; _ } ->
         let acc = List.fold_left (fun acc (_, e) -> e_tables e acc) [] sets in
@@ -162,8 +169,8 @@ let stmt_tables (stmt : Ast.stmt) : string list * string list =
   (reads, writes)
 
 let mutates = function
-  | Ast.Select _ | Ast.Explain _ | Ast.Show_tables | Ast.Describe _ | Ast.Begin_txn | Ast.Commit
-  | Ast.Rollback ->
+  | Ast.Select _ | Ast.Explain _ | Ast.Explain_analyze _ | Ast.Show_tables | Ast.Describe _
+  | Ast.Begin_txn | Ast.Commit | Ast.Rollback ->
       false
   | Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Create_text_index _
   | Ast.Insert _ | Ast.Update _ | Ast.Delete _ | Ast.Alter_add _ | Ast.Alter_drop _ ->
@@ -179,19 +186,33 @@ let poll_interval = 0.002
 let acquire_locks (mgr : manager) (ltxn : PL.txn) (specs : (PL.mode * string) list)
     ~(deadline : float) =
   let acquire_one (mode, table) =
+    (* blocked time is charged to the lock table's stats, where the
+       per-statement trace picks it up as a wait_ns delta *)
+    let first_block = ref None in
+    let settle_wait () =
+      match !first_block with
+      | Some t0 ->
+          PL.add_wait_ns mgr.locks (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9))
+      | None -> ()
+    in
     let rec loop first =
       let outcome =
         with_lock mgr.mu (fun () -> PL.acquire mgr.locks ltxn mode (PL.whole_table table))
       in
       match outcome with
-      | PL.Granted -> ()
+      | PL.Granted -> settle_wait ()
       | PL.Deadlock _ ->
+          settle_wait ();
           Metrics.incr mgr.metrics "lock_deadlocks";
           refused P.err_deadlock "deadlock detected acquiring %s lock on %s" (PL.mode_name mode)
             table
       | PL.Blocked _ ->
-          if first then Metrics.incr mgr.metrics "lock_waits";
+          if first then begin
+            Metrics.incr mgr.metrics "lock_waits";
+            first_block := Some (Unix.gettimeofday ())
+          end;
           if Unix.gettimeofday () > deadline then begin
+            settle_wait ();
             Metrics.incr mgr.metrics "lock_timeouts";
             refused P.err_lock_timeout "lock wait on %s timed out after %.1fs" table
               mgr.lock_timeout
@@ -322,14 +343,15 @@ let abort_txn (sess : session) =
 let count_stmt_metric (mgr : manager) (stmt : Ast.stmt) =
   let kind =
     match stmt with
-    | Ast.Select _ | Ast.Explain _ -> "stmts_select"
-    | Ast.Insert _ -> "stmts_insert"
-    | Ast.Update _ -> "stmts_update"
-    | Ast.Delete _ -> "stmts_delete"
-    | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> "stmts_txn"
-    | _ -> "stmts_ddl"
+    | Ast.Select _ | Ast.Explain _ | Ast.Explain_analyze _ -> "select"
+    | Ast.Insert _ -> "insert"
+    | Ast.Update _ -> "update"
+    | Ast.Delete _ -> "delete"
+    | Ast.Begin_txn | Ast.Commit | Ast.Rollback -> "txn"
+    | _ -> "ddl"
   in
-  Metrics.incr mgr.metrics kind
+  Metrics.incr mgr.metrics ("stmts_" ^ kind);
+  Metrics.incr_labeled mgr.metrics "stmts" [ ("kind", kind) ]
 
 (* Run one non-transaction-control statement with proper locking.
 
@@ -338,7 +360,7 @@ let count_stmt_metric (mgr : manager) (stmt : Ast.stmt) =
    transaction.  Outside one: a mutating statement becomes its own
    engine transaction (slot + X locks, commit with group fsync); a read
    takes statement-duration S locks only. *)
-let run_stmt (sess : session) (stmt : Ast.stmt) : Db.result =
+let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
   let mgr = sess.mgr in
   count_stmt_metric mgr stmt;
   match stmt with
@@ -355,7 +377,7 @@ let run_stmt (sess : session) (stmt : Ast.stmt) : Db.result =
         let ltxn = Option.get sess.ltxn in
         match
           acquire_locks mgr ltxn specs ~deadline;
-          with_engine mgr (fun () -> Db.exec_stmt mgr.db stmt)
+          with_engine mgr (fun () -> Db.exec_stmt ?trace mgr.db stmt)
         with
         | r -> r
         | exception (Nf2_storage.Disk.Crash _ as e) -> raise e
@@ -383,7 +405,7 @@ let run_stmt (sess : session) (stmt : Ast.stmt) : Db.result =
               acquire_locks mgr ltxn specs ~deadline;
               with_engine mgr (fun () ->
                   Db.begin_txn mgr.db;
-                  match Db.exec_stmt mgr.db stmt with
+                  match Db.exec_stmt ?trace mgr.db stmt with
                   | r ->
                       Db.commit mgr.db;
                       (r, Option.map Wal.last_lsn (Db.wal mgr.db))
@@ -403,8 +425,50 @@ let run_stmt (sess : session) (stmt : Ast.stmt) : Db.result =
           ~finally:(fun () -> release_locks mgr ltxn)
           (fun () ->
             acquire_locks mgr ltxn specs ~deadline;
-            with_engine mgr (fun () -> Db.exec_stmt mgr.db stmt))
+            with_engine mgr (fun () -> Db.exec_stmt ?trace mgr.db stmt))
       end
+
+(* --- slow-query tracing -------------------------------------------------- *)
+
+let lock_source (mgr : manager) () =
+  let s = PL.stats mgr.locks in
+  [
+    ("lock.acquires", s.PL.acquires);
+    ("lock.blocks", s.PL.blocks);
+    ("lock.deadlocks", s.PL.deadlocks);
+    ("lock.wait_ns", s.PL.wait_ns);
+  ]
+
+(* With a slow-query threshold configured, every statement runs under a
+   trace (storage + lock attribution included); those at or over the
+   threshold emit one structured line to the sink.  Statements that
+   fail still report — a slow failure is still slow. *)
+let run_stmt_observed (sess : session) (stmt : Ast.stmt) : Db.result =
+  let mgr = sess.mgr in
+  match mgr.slow_query with
+  | None -> run_stmt sess stmt
+  | Some threshold ->
+      let tr = Db.new_trace ~label:(Ast.stmt_to_string stmt) mgr.db in
+      Trace.add_source tr (lock_source mgr);
+      let root = Trace.root tr in
+      let report status =
+        let elapsed = Trace.elapsed_s root in
+        if elapsed >= threshold then begin
+          Metrics.incr mgr.metrics "slow_queries";
+          mgr.slow_sink
+            (Printf.sprintf "slow-query ms=%.3f sid=%d status=%s stmt=%S trace=[%s]"
+               (elapsed *. 1e3) sess.sid status (Ast.stmt_to_string stmt)
+               (Trace.render_compact tr))
+        end
+      in
+      match Trace.timed tr root (fun () -> run_stmt ~trace:tr sess stmt) with
+      | r ->
+          (match r with Db.Rows rel -> Trace.add_rows root (Rel.cardinality rel) | Db.Msg _ -> ());
+          report "ok";
+          r
+      | exception e ->
+          report "error";
+          raise e
 
 (* --- results and errors on the wire ------------------------------------- *)
 
@@ -436,7 +500,37 @@ let error_of_exn (e : exn) : P.response option =
   | P.Protocol_error m -> Some (P.Error { code = P.err_protocol; message = m })
   | _ -> None
 
+(* Fold the storage-tier stats (buffer pool, disk, WAL, lock table)
+   into the registry as gauges, so one render — human or Prometheus —
+   covers engine, storage and sessions together. *)
+let fold_storage_stats (mgr : manager) =
+  let m = mgr.metrics in
+  let p = BP.stats (Db.pool mgr.db) in
+  Metrics.set m "pool_hits" p.BP.hits;
+  Metrics.set m "pool_misses" p.BP.misses;
+  Metrics.set m "pool_evictions" p.BP.evictions;
+  Metrics.set m "pool_log_captures" p.BP.log_captures;
+  let d = Disk.stats (Db.disk mgr.db) in
+  Metrics.set m "disk_reads" d.Disk.reads;
+  Metrics.set m "disk_writes" d.Disk.writes;
+  Metrics.set m "disk_allocs" d.Disk.allocs;
+  let l = PL.stats mgr.locks in
+  Metrics.set m "lock_acquires" l.PL.acquires;
+  Metrics.set m "lock_blocks" l.PL.blocks;
+  Metrics.set m "lock_wait_ns" l.PL.wait_ns;
+  match Db.wal mgr.db with
+  | None -> ()
+  | Some w ->
+      let s = Wal.stats w in
+      Metrics.set m "wal_records" s.Wal.records;
+      Metrics.set m "wal_bytes" s.Wal.bytes;
+      Metrics.set m "wal_flushes" s.Wal.flushes;
+      Metrics.set m "wal_forced_flushes" s.Wal.forced_flushes;
+      Metrics.set m "wal_group_commit_batches" s.Wal.group_commit_batches;
+      Metrics.set m "wal_group_commit_txns" s.Wal.group_commit_txns
+
 let render_metrics (mgr : manager) : string =
+  fold_storage_stats mgr;
   let base = Metrics.render mgr.metrics in
   match Db.wal mgr.db with
   | None -> base
@@ -446,13 +540,11 @@ let render_metrics (mgr : manager) : string =
         if s.Wal.group_commit_batches = 0 then 0.
         else Float.of_int s.Wal.group_commit_txns /. Float.of_int s.Wal.group_commit_batches
       in
-      base
-      ^ Printf.sprintf
-          "%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %d\n%-32s %.2f\n"
-          "wal_records" s.Wal.records "wal_bytes" s.Wal.bytes "wal_flushes" s.Wal.flushes
-          "wal_forced_flushes" s.Wal.forced_flushes "wal_group_commit_batches"
-          s.Wal.group_commit_batches "wal_group_commit_txns" s.Wal.group_commit_txns
-          "wal_avg_group_batch_size" avg
+      base ^ Printf.sprintf "%-32s %.2f\n" "wal_avg_group_batch_size" avg
+
+let render_prometheus (mgr : manager) : string =
+  fold_storage_stats mgr;
+  Metrics.render_prometheus mgr.metrics
 
 (* --- request dispatch ---------------------------------------------------- *)
 
@@ -469,6 +561,10 @@ let handle (sess : session) (req : P.request) : P.response =
     | resp -> timed latency_name resp
     | exception e -> (
         match error_of_exn e with
+        | Some (P.Error { code; _ } as err) ->
+            Metrics.incr mgr.metrics "errors_total";
+            Metrics.incr_labeled mgr.metrics "errors" [ ("code", code) ];
+            timed latency_name err
         | Some err ->
             Metrics.incr mgr.metrics "errors_total";
             timed latency_name err
@@ -481,6 +577,9 @@ let handle (sess : session) (req : P.request) : P.response =
   | P.Metrics ->
       Metrics.incr mgr.metrics "requests_metrics";
       P.Metrics_text (render_metrics mgr)
+  | P.Metrics_prom ->
+      Metrics.incr mgr.metrics "requests_metrics";
+      P.Metrics_text (render_prometheus mgr)
   | P.Quit -> P.Bye
   | P.Begin -> run_protected "requests_begin" "txn_latency" (fun () -> response_of_result (do_begin sess))
   | P.Commit ->
@@ -491,7 +590,7 @@ let handle (sess : session) (req : P.request) : P.response =
       run_protected "requests_query" "query_latency" (fun () ->
           let stmts = Parser.parse_script input in
           if stmts = [] then refused P.err_syntax "empty query";
-          let results = List.map (run_stmt sess) stmts in
+          let results = List.map (run_stmt_observed sess) stmts in
           Metrics.add mgr.metrics "statements_total" (List.length stmts);
           response_of_result (List.nth results (List.length results - 1)))
   | P.Prepare input ->
@@ -509,7 +608,7 @@ let handle (sess : session) (req : P.request) : P.response =
               if List.length params <> p.nparams then
                 refused P.err_semantic "prepared statement #%d needs %d parameter(s), got %d" id
                   p.nparams (List.length params);
-              response_of_result (run_stmt sess (Params.bind_stmt p.pstmt params)))
+              response_of_result (run_stmt_observed sess (Params.bind_stmt p.pstmt params)))
 
 (* Close a session: roll back an in-flight transaction, drop its locks
    and slot, forget its prepared statements. *)

@@ -23,11 +23,16 @@ type session
     has none and configuring group commit on it.  [lock_timeout]
     (default 2s) bounds every lock and transaction-slot wait;
     [group_window] (default 2ms) is how long a group-commit leader
-    lingers for followers before fsyncing. *)
+    lingers for followers before fsyncing.  With [slow_query] set,
+    every statement runs under a {!Nf2_obs.Trace} and those taking at
+    least that many seconds emit one structured line to [slow_sink]
+    (default stderr) — see docs/OBSERVABILITY.md for the format. *)
 val create_manager :
   ?lock_timeout:float ->
   ?group_commit:bool ->
   ?group_window:float ->
+  ?slow_query:float ->
+  ?slow_sink:(string -> unit) ->
   metrics:Metrics.t ->
   Nf2.Db.t ->
   manager
@@ -43,6 +48,11 @@ val handle : session -> Protocol.request -> Protocol.response
     transaction slot, and drops prepared statements. *)
 val close_session : session -> unit
 
-(** The metrics report served for [\metrics]: registry contents plus
-    WAL counters (records, flushes, group-commit batches). *)
+(** The metrics report served for [\metrics]: registry contents (with
+    the storage-tier stats folded in as gauges) plus the derived WAL
+    group-commit batch-size average. *)
 val render_metrics : manager -> string
+
+(** Prometheus text-format exposition of the same registry, storage
+    stats included; served for [Protocol.Metrics_prom]. *)
+val render_prometheus : manager -> string

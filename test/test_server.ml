@@ -38,7 +38,7 @@ let gen_request : P.request QCheck.Gen.t =
           (fun id params -> P.Execute_prepared { id; params })
           (int_bound 1000)
           (list_size (int_bound 8) gen_atom);
-        oneofl [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Quit ];
+        oneofl [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit ];
       ])
 
 let gen_response : P.response QCheck.Gen.t =

@@ -112,7 +112,7 @@ let wal_overhead ~(make : wal:bool -> Nf2.Db.t) ~(run : Nf2.Db.t -> unit) =
     time_once (fun () ->
         run logged;
         (* sharp checkpoint: flushes the pool, like flush_all above *)
-        Nf2.Db.wal_checkpoint logged)
+        ignore (Nf2.Db.wal_checkpoint logged))
   in
   let wal_writes = (D.stats (Nf2.Db.disk logged)).D.writes in
   let ws = Wal.stats (Option.get (Nf2.Db.wal logged)) in

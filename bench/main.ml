@@ -977,7 +977,7 @@ let bench_wal () =
   let module Recovery = Nf2_storage.Recovery in
   let db = make ~wal:true in
   let fd = FD.arm ~wal:(Option.get (Db.wal db)) (Db.disk db) (FD.Crash_at_write 5) in
-  let crashed = (try run db; Db.wal_checkpoint db; false with D.Crash _ -> true) in
+  let crashed = (try run db; ignore (Db.wal_checkpoint db); false with D.Crash _ -> true) in
   FD.disarm fd;
   check "the fault plan fired" crashed;
   let img = Db.crash_image db in
@@ -1201,6 +1201,146 @@ let bench_server () =
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_server.json\n%!"
 
+(* ================================================================== *)
+(* REPL: log shipping — primary throughput vs replica count, lag      *)
+(* ================================================================== *)
+
+module Repl = Nf2_repl.Repl
+
+type repl_trial = {
+  replicas : int;
+  r_txns : int;
+  r_seconds : float;
+  r_qps : float;
+  max_lag : int; (* worst (durable - applied) record lag sampled mid-run *)
+  catch_up_s : float; (* last commit -> every replica at the durable LSN *)
+}
+
+(* One writer commits [txns] autocommit updates against a primary
+   shipping to [replicas] attached replicas; a sampler thread records
+   the worst replication lag seen mid-run, and the clock keeps running
+   until every replica has applied the final durable LSN. *)
+let repl_trial ~replicas:n ~txns () : repl_trial =
+  let db = Db.create ~wal:true () in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      max_sessions = 8;
+      lock_timeout = 30.;
+      idle_timeout = 0.;
+      group_window = 0.001;
+    }
+  in
+  let srv = Server.start ~db config in
+  ignore (Repl.attach srv);
+  let wal = Option.get (Db.wal db) in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let reps =
+    List.init n (fun _ ->
+        let r = Repl.Replica.create () in
+        Repl.Replica.start r ~host:"127.0.0.1" ~port:(Server.port srv);
+        r)
+  in
+  Fun.protect ~finally:(fun () -> List.iter Repl.Replica.stop reps) @@ fun () ->
+  let c = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+  (match
+     SClient.request c (Proto.Query "CREATE TABLE R (K INT, N INT); INSERT INTO R VALUES (1, 0)")
+   with
+  | Some (Proto.Row_count _) -> ()
+  | _ -> failwith "repl bench setup failed");
+  let worst = ref 0 in
+  let running = Atomic.make true in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while Atomic.get running do
+          let durable = Wal.durable_lsn wal in
+          List.iter
+            (fun r -> worst := max !worst (durable - Repl.Replica.applied_lsn r))
+            reps;
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let committed = ref 0 in
+  let (), ns =
+    time_once (fun () ->
+        for _ = 1 to txns do
+          match SClient.request c (Proto.Query "UPDATE R SET N = N + 1 WHERE K = 1") with
+          | Some (Proto.Row_count _) -> incr committed
+          | _ -> ()
+        done)
+  in
+  Atomic.set running false;
+  Thread.join sampler;
+  let target = Wal.durable_lsn wal in
+  let (), cu_ns =
+    time_once (fun () ->
+        List.iter (fun r -> ignore (Repl.Replica.wait_applied ~timeout:30. r target)) reps)
+  in
+  SClient.close c;
+  let seconds = ns /. 1e9 in
+  {
+    replicas = n;
+    r_txns = !committed;
+    r_seconds = seconds;
+    r_qps = float_of_int !committed /. seconds;
+    max_lag = !worst;
+    catch_up_s = cu_ns /. 1e9;
+  }
+
+let bench_repl () =
+  section "REPL" "log shipping: primary write throughput vs replica count, lag";
+  let txns = 150 in
+  let trials = List.map (fun n -> repl_trial ~replicas:n ~txns ()) [ 0; 1; 2 ] in
+  subsection
+    (Printf.sprintf "autocommit update txns on the primary (%d txns, ack-per-batch shipping)" txns);
+  print_table
+    ~header:[ "replicas"; "txns"; "txn/s"; "max lag (records)"; "catch-up" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.replicas;
+           string_of_int t.r_txns;
+           Printf.sprintf "%.0f" t.r_qps;
+           string_of_int t.max_lag;
+           Printf.sprintf "%.1f ms" (t.catch_up_s *. 1e3);
+         ])
+       trials);
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "all %d txns committed with %d replica(s)" txns t.replicas)
+        (t.r_txns = txns))
+    trials;
+  check "every replica finished the run caught up"
+    (List.for_all (fun t -> t.catch_up_s < 30.) trials);
+  (* append machine-readable entries to the server results file (the
+     SRV section rewrites it at the start of a full run) *)
+  let entries =
+    List.map
+      (fun t ->
+        Printf.sprintf
+          "  {\"section\": \"repl\", \"replicas\": %d, \"txns\": %d, \"seconds\": %.4f, \
+           \"qps\": %.1f, \"max_lag_records\": %d, \"catch_up_seconds\": %.4f}"
+          t.replicas t.r_txns t.r_seconds t.r_qps t.max_lag t.catch_up_s)
+      trials
+  in
+  let body = String.concat ",\n" entries in
+  let json =
+    if Sys.file_exists "BENCH_server.json" then begin
+      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "appended repl entries to BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1221,6 +1361,7 @@ let sections : (string * (unit -> unit)) list =
     ("AB", bench_ablations);
     ("WL", bench_wal);
     ("SRV", bench_server);
+    ("REPL", bench_repl);
   ]
 
 let () =

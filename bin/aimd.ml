@@ -3,20 +3,27 @@
    Usage:
      aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
           [--lock-timeout S] [--no-group-commit] [--slow-query S]
-          [--demo] [-f init.sql]
+          [--demo] [-f init.sql] [--replica-of HOST:PORT]
 
    Serves the wire protocol (see docs/SERVER.md); connect with
-   `aimsh --connect HOST:PORT`.  SIGINT/SIGTERM shut down gracefully:
-   in-flight transactions roll back, the WAL is checkpointed, and the
-   metrics report is dumped to stdout. *)
+   `aimsh --connect HOST:PORT`.  Log shipping is always enabled: any
+   client may handshake as a replica (docs/REPLICATION.md).  With
+   --replica-of the node starts as a read-only replica of the given
+   primary instead: it catches up over the replication stream, serves
+   reads, and `aimsh -e '\promote'` turns it into a standalone primary.
+   SIGINT/SIGTERM shut down gracefully: in-flight transactions roll
+   back, the WAL is checkpointed, and the metrics report is dumped to
+   stdout. *)
 
 module Db = Nf2.Db
 module Server = Nf2_server.Server
+module Repl = Nf2_repl.Repl
 
 let () =
   let config = ref Server.default_config in
   let demo = ref false in
   let init_file = ref None in
+  let replica_of = ref None in
   let rec parse = function
     | [] -> ()
     | "--host" :: h :: rest ->
@@ -40,6 +47,16 @@ let () =
     | "--slow-query" :: s :: rest ->
         config := { !config with Server.slow_query = Some (float_of_string s) };
         parse rest
+    | "--replica-of" :: target :: rest ->
+        let host, port =
+          match String.rindex_opt target ':' with
+          | Some i ->
+              ( String.sub target 0 i,
+                int_of_string (String.sub target (i + 1) (String.length target - i - 1)) )
+          | None -> (target, 5433)
+        in
+        replica_of := Some (host, port);
+        parse rest
     | "--demo" :: rest ->
         demo := true;
         parse rest
@@ -49,32 +66,55 @@ let () =
     | "--help" :: _ ->
         print_endline
           "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
-           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--demo] [-f init.sql]";
+           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--demo] [-f init.sql] \
+           [--replica-of HOST:PORT]";
         exit 0
     | arg :: _ ->
         Printf.eprintf "aimd: unknown argument %s (try --help)\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let db = Db.create ~wal:true () in
-  if !demo then Nf2.Demo.load db;
-  (match !init_file with
-  | Some file -> ignore (Db.exec db (In_channel.with_open_text file In_channel.input_all))
-  | None -> ());
-  let srv = Server.start ~db !config in
-  Printf.printf "aimd: listening on %s:%d (max %d sessions, group commit %s)\n%!"
-    !config.Server.host (Server.port srv) !config.Server.max_sessions
-    (if !config.Server.group_commit then "on" else "off");
   let stop_requested = Atomic.make false in
   let request_stop _ = Atomic.set stop_requested true in
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
   (* signal handlers only set a flag; the main thread does the actual
      shutdown outside handler context *)
-  while not (Atomic.get stop_requested) do
-    Thread.delay 0.1
-  done;
-  print_endline "aimd: shutting down";
-  Server.stop srv;
-  print_string (Server.render_metrics srv);
-  print_endline "aimd: bye"
+  let wait_for_stop () =
+    while not (Atomic.get stop_requested) do
+      Thread.delay 0.1
+    done
+  in
+  match !replica_of with
+  | Some (phost, pport) ->
+      (* replica mode: an empty read-only database fed from the primary *)
+      let rep = Repl.Replica.create () in
+      let srv = Repl.Replica.serve rep !config in
+      Repl.Replica.start rep ~host:phost ~port:pport;
+      Printf.printf "aimd: read-only replica of %s:%d, listening on %s:%d (\\promote to take over)\n%!"
+        phost pport !config.Server.host (Server.port srv);
+      wait_for_stop ();
+      print_endline "aimd: shutting down";
+      Repl.Replica.stop rep;
+      Server.stop srv;
+      Printf.printf "aimd: applied LSN %d (source durable %d)\n" (Repl.Replica.applied_lsn rep)
+        (Repl.Replica.source_durable_lsn rep);
+      print_string (Server.render_metrics srv);
+      print_endline "aimd: bye"
+  | None ->
+      let db = Db.create ~wal:true () in
+      if !demo then Nf2.Demo.load db;
+      (match !init_file with
+      | Some file -> ignore (Db.exec db (In_channel.with_open_text file In_channel.input_all))
+      | None -> ());
+      let srv = Server.start ~db !config in
+      ignore (Repl.attach srv);
+      Printf.printf
+        "aimd: listening on %s:%d (max %d sessions, group commit %s, log shipping on)\n%!"
+        !config.Server.host (Server.port srv) !config.Server.max_sessions
+        (if !config.Server.group_commit then "on" else "off");
+      wait_for_stop ();
+      print_endline "aimd: shutting down";
+      Server.stop srv;
+      print_string (Server.render_metrics srv);
+      print_endline "aimd: bye"

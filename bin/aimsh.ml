@@ -10,6 +10,7 @@
      \q            quit        \plan         show the last query plan
      \demo         load demo   \stats        disk/pool counters
      \save <path>  persist     (reopen with: aimsh -d <path>)
+     \checkpoint   WAL sharp checkpoint; prints the durable LSN
      \timing on|off  print client-side wall-clock time per input
 
    With -d FILE -j JOURNAL the session is durable: it recovers from the
@@ -17,10 +18,11 @@
    checkpoints (truncating the journal).
 
    With --connect HOST:PORT the shell talks to a running aimd server
-   instead of an embedded engine; \metrics [prom], \ping and \timing
-   replace the local meta commands, and BEGIN/COMMIT/ROLLBACK span
-   multiple inputs.  In remote mode -e also accepts meta commands, so
-   `aimsh --connect HOST:PORT -e '\metrics prom'` scrapes the server.
+   instead of an embedded engine; \metrics [prom], \ping, \promote and
+   \timing replace the local meta commands, and BEGIN/COMMIT/ROLLBACK
+   span multiple inputs.  In remote mode -e also accepts meta commands,
+   so `aimsh --connect HOST:PORT -e '\metrics prom'` scrapes the server
+   and `-e '\promote'` promotes a read-only replica.
 *)
 
 module Db = Nf2.Db
@@ -82,6 +84,11 @@ let repl db =
           | [ "\\save"; path ] ->
               Db.checkpoint db ~db_path:path;
               Printf.printf "database checkpointed to %s\n" path
+          | [ "\\checkpoint" ] -> (
+              (* WAL sharp checkpoint; attaches a log on first use *)
+              Db.attach_wal db;
+              try Printf.printf "checkpointed at durable LSN %d\n" (Db.wal_checkpoint db)
+              with Db.Db_error m -> Printf.printf "error: %s\n" m)
           | [ "\\timing" ] -> set_timing None
           | [ "\\timing"; arg ] -> set_timing (Some arg)
           | _ -> print_endline "unknown meta command");
@@ -127,6 +134,7 @@ let print_remote_response = function
   | Some Proto.Pong -> print_endline "pong"
   | Some (Proto.Metrics_text s) -> print_string s
   | Some Proto.Bye -> print_endline "server closed the session"
+  | Some (Proto.Repl_batch _) -> print_endline "unexpected replication frame"
   | None -> print_endline "server hung up"
 
 let run_remote client input =
@@ -142,9 +150,11 @@ let remote_meta client trimmed =
   | [ "\\metrics" ] -> print_remote_response (Client.request client Proto.Metrics)
   | [ "\\metrics"; "prom" ] -> print_remote_response (Client.request client Proto.Metrics_prom)
   | [ "\\ping" ] -> print_remote_response (Client.request client Proto.Ping)
+  | [ "\\promote" ] -> print_remote_response (Client.request client Proto.Promote)
   | [ "\\timing" ] -> set_timing None
   | [ "\\timing"; arg ] -> set_timing (Some arg)
-  | _ -> print_endline "unknown meta command (remote: \\q \\metrics [prom] \\ping \\timing)"
+  | _ ->
+      print_endline "unknown meta command (remote: \\q \\metrics [prom] \\ping \\promote \\timing)"
 
 let remote_repl client =
   print_endline "connected.  Statements end with ';'.  \\q quits, \\metrics shows server counters.";

@@ -460,8 +460,19 @@ let wal_payload t : string =
 
 let restore_catalog t (payload : string) =
   let src = Codec.source_of_string payload in
-  ignore (Codec.get_u8 src) (* layout *);
-  ignore (Codec.get_bool src) (* clustering *);
+  let layout =
+    match Codec.get_u8 src with
+    | 1 -> MD.SS1
+    | 2 -> MD.SS2
+    | 3 -> MD.SS3
+    | n -> db_error "catalog payload: unknown layout %d" n
+  in
+  let clustering = Codec.get_bool src in
+  (* rollback restores always match; a *shipped* payload from a primary
+     with a different physical configuration must be refused — the page
+     images it describes would be misread under this layout *)
+  if layout <> t.layout || clustering <> t.clustering then
+    db_error "catalog payload: layout/clustering mismatch with this database";
   decode_catalog t src
 
 let begin_wal_txn t w =
@@ -1208,6 +1219,49 @@ let wal_checkpoint t =
 
 (* What a crash right now would leave behind. *)
 let crash_image t = Recovery.capture t.disk (wal_exn t)
+
+(* --- replication apply (replica side) ----------------------------------------
+
+   A replica replays shipped WAL records through its own buffer pool:
+   repeat history, byte for byte, in LSN order — the same redo rule
+   {!Recovery.replay} uses, but incremental and against a live pool so
+   read-only sessions keep serving between batches.  The applied images
+   are captured by the replica's *own* WAL (as system-transaction work),
+   which is what makes a replica locally recoverable and promotable. *)
+
+let ensure_page t page =
+  while Disk.npages t.disk <= page do
+    ignore (BP.alloc t.pool)
+  done
+
+(* Redo one shipped record.  Updates are byte-exact page images, so
+   re-applying an already-applied record is a no-op — catch-up may
+   safely restart from any conservative LSN. *)
+let replicate_record t ((_, r) : Wal.lsn * Wal.record) =
+  if in_txn t then db_error "replicate_record inside an open transaction";
+  match r with
+  | Wal.Update { page; off; after; _ } ->
+      ensure_page t page;
+      BP.write t.pool page (fun buf -> Bytes.blit_string after 0 buf off (String.length after))
+  | Wal.Alloc { page; _ } -> ensure_page t page
+  | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
+
+(* Refresh the replica's catalog from a shipped commit / checkpoint
+   payload, making the transaction's objects visible to readers. *)
+let replicate_catalog t (payload : string) =
+  if in_txn t then db_error "replicate_catalog inside an open transaction";
+  restore_catalog t payload
+
+(* Promotion undo: apply before-images (newest first) through the pool,
+   rolling unresolved shipped transactions back off the pages.  The
+   compensations are captured by the local WAL like any other write. *)
+let replicate_undo t (images : (int * int * string) list) =
+  if in_txn t then db_error "replicate_undo inside an open transaction";
+  List.iter
+    (fun (page, off, before) ->
+      ensure_page t page;
+      BP.write t.pool page (fun buf -> Bytes.blit_string before 0 buf off (String.length before)))
+    images
 
 let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
   let outcome = Recovery.replay img in

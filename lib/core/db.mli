@@ -166,8 +166,10 @@ val wal : t -> Nf2_storage.Wal.t option
 
 (** Sharp checkpoint: flush all dirty pages, then log a checkpoint
     record carrying the catalog; recovery starts its replay here.
+    Returns the checkpoint record's LSN — the durable LSN this
+    checkpoint covers.
     @raise Db_error without a WAL or inside an open transaction. *)
-val wal_checkpoint : t -> unit
+val wal_checkpoint : t -> Nf2_storage.Wal.lsn
 
 (** What a crash right now would leave behind: the physical page images
     (buffer-pool frames are lost) plus the log's durable prefix.
@@ -177,6 +179,32 @@ val crash_image : t -> Nf2_storage.Recovery.image
 (** Redo-then-undo replay of a crash image into a fresh database with a
     fresh WAL attached. *)
 val recover_from_image : ?frames:int -> Nf2_storage.Recovery.image -> t
+
+(** {1 Replication apply (replica side — see [lib/repl])}
+
+    A replica replays records shipped from a primary's WAL through its
+    own buffer pool: repeat history in LSN order, byte for byte, the
+    same redo rule recovery uses.  Applied images are captured by the
+    replica's own WAL (as system-transaction work), so a replica is
+    locally recoverable and promotable. *)
+
+(** Redo one shipped record (grows the local disk as needed).  Updates
+    are byte-exact images, so re-applying is a no-op — catch-up may
+    restart from any conservative LSN.
+    @raise Db_error inside an open transaction. *)
+val replicate_record : t -> Nf2_storage.Wal.lsn * Nf2_storage.Wal.record -> unit
+
+(** Refresh the catalog from a shipped commit / checkpoint payload,
+    making the shipped transaction's objects visible to readers.
+    @raise Db_error if the payload's layout/clustering do not match
+    this database, or inside an open transaction. *)
+val replicate_catalog : t -> string -> unit
+
+(** Promotion undo: apply before-images (give them newest first)
+    through the pool, rolling unresolved shipped transactions back off
+    the pages.
+    @raise Db_error inside an open transaction. *)
+val replicate_undo : t -> (int * int * string) list -> unit
 
 (** {1 Introspection (experiments, shell)} *)
 

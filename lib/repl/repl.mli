@@ -1,0 +1,131 @@
+(** WAL log shipping: primary/replica replication on the durable-prefix
+    model (see docs/REPLICATION.md).
+
+    A replica connects to the primary like any client and sends
+    [Repl_handshake]; the primary then streams [Repl_batch] frames of
+    raw framed WAL records cut at its durable mark, blocking for the
+    replica's [Repl_ack] between batches.  The replica replays each
+    batch through its own buffer pool — repeat history in LSN order,
+    the redo rule recovery uses — serves read-only NF² queries at its
+    applied LSN, and can be promoted to a standalone primary. *)
+
+module Db = Nf2.Db
+module Wal = Nf2_storage.Wal
+
+(** Fault injection on the replication link, in the spirit of
+    {!Nf2_storage.Faulty_disk}: sever the stream at the k-th batch
+    send (counted across all links of one primary). *)
+type link_fault =
+  | Drop_every of int  (** sever at every k-th batch send *)
+  | Drop_at of int  (** sever at exactly the k-th batch send *)
+
+(** Primary side: ships the WAL durable prefix to each connected
+    replica and tracks per-replica applied LSNs for lag accounting. *)
+module Primary : sig
+  type t
+
+  type replica_stat = {
+    rid : int;  (** 1-based link id (a reconnect gets a fresh id) *)
+    connected : bool;
+    start_lsn : Wal.lsn;  (** effective handshake start after the unresolved-transaction rewind *)
+    shipped_lsn : Wal.lsn;
+    applied_lsn : Wal.lsn;  (** last acked apply *)
+    batches : int;
+    bytes : int;
+  }
+
+  (** Shipper over [db]'s WAL.  [heartbeat] (default 50ms) bounds how
+      long an idle link stays silent — an empty batch is shipped so
+      peer death and server shutdown surface promptly; [max_batch]
+      (default 4MB) cuts batches at a record boundary.  Lag and
+      throughput gauges land in [metrics] when given.
+      @raise Invalid_argument if [db] has no WAL attached. *)
+  val create : ?heartbeat:float -> ?max_batch:int -> ?metrics:Nf2_server.Metrics.t -> Db.t -> t
+
+  (** Serve one replication stream on a connected socket whose
+      handshake named [start_lsn]; returns when the link ends.  Wired
+      into the server with {!Nf2_server.Server.set_repl_handler} (see
+      {!attach}). *)
+  val serve : t -> Unix.file_descr -> start_lsn:int -> unit
+
+  (** Every link ever accepted, oldest first (dead links keep their
+      final counters). *)
+  val replicas : t -> replica_stat list
+
+  val set_link_fault : t -> link_fault option -> unit
+  val faults_fired : t -> int
+end
+
+(** Replica side: a read-only database fed by a background applier,
+    promotable to a standalone primary. *)
+module Replica : sig
+  type t
+
+  (** A fresh, empty, WAL-backed replica database. *)
+  val create : ?page_size:int -> ?frames:int -> unit -> t
+
+  val db : t -> Db.t
+  val applied_lsn : t -> Wal.lsn
+
+  (** The primary's durable LSN as of the last received batch — the
+      lag reference. *)
+  val source_durable_lsn : t -> Wal.lsn
+
+  val read_only : t -> bool
+  val reconnects : t -> int
+
+  (** One connection to the primary: handshake from the current
+      applied LSN, then apply/ack until the link drops, [stop] is
+      called, or the primary refuses.  Normally driven via {!start}. *)
+  val run_once : t -> host:string -> port:int -> (unit, exn) result
+
+  (** Background applier with reconnect: every dropped link is retried
+      after [retry] seconds (default 50ms), handshaking from the
+      current applied LSN — catch-up and steady-state streaming are the
+      same loop.  @raise Invalid_argument if already running. *)
+  val start : ?retry:float -> t -> host:string -> port:int -> unit
+
+  (** Stop the applier (severs a live link) and join its thread.
+      Idempotent. *)
+  val stop : t -> unit
+
+  (** Poll until the applied LSN reaches [lsn]; false on [timeout]
+      (default 10s). *)
+  val wait_applied : ?timeout:float -> t -> Wal.lsn -> bool
+
+  (** Serve read-only queries over the ordinary server against the
+      replica's database: mutating statements and explicit BEGIN are
+      refused with SQLSTATE 25006 until promotion, and the [Promote]
+      wire request (aimsh [\promote]) is wired to {!promote}. *)
+  val serve : t -> Nf2_server.Server.config -> Nf2_server.Server.t
+
+  val server : t -> Nf2_server.Server.t option
+
+  (** Stop the applier, undo unresolved shipped transactions
+      (before-images, newest first), open for writes, checkpoint, and
+      start shipping this node's own log onward.  Returns the outcome
+      message served for the [Promote] request. *)
+  val promote : t -> string
+
+  (** Local durability point: sharp-checkpoint the replica's own WAL
+      and remember the applied LSN it covers — where catch-up resumes
+      after {!crash_restart}.  Returns the checkpoint LSN. *)
+  val checkpoint : t -> Wal.lsn
+
+  (** Simulated replica process crash: volatile state (pool frames,
+      unresolved-transaction table, applied watermark) dies; the local
+      disk and WAL durable prefix survive and are recovered into a
+      fresh replica that resumes catch-up from the last checkpoint's
+      applied LSN. *)
+  val crash_restart : t -> t
+
+  (** Test hook: called with the 1-based running record count before
+      each record applies; raise from it to simulate a crash
+      mid-apply. *)
+  val set_apply_hook : t -> (int -> unit) option -> unit
+end
+
+(** Enable log shipping on a running server: replication handshakes are
+    handed to a {!Primary} shipper over the server's database, with lag
+    gauges in the server's metrics registry. *)
+val attach : Nf2_server.Server.t -> Primary.t

@@ -21,6 +21,7 @@ let err_lock_timeout = "55P03" (* lock wait deadline exceeded *)
 let err_deadlock = "40P01" (* granting the wait would close a cycle *)
 let err_busy = "53300" (* admission control: too many sessions *)
 let err_txn_state = "25000" (* BEGIN in txn / COMMIT outside one *)
+let err_read_only = "25006" (* mutation on a read-only replica *)
 let err_protocol = "08P01" (* malformed or unexpected frame *)
 let err_internal = "XX000"
 
@@ -35,6 +36,11 @@ type request =
   | Metrics
   | Metrics_prom  (** Prometheus text-format scrape of the same registry *)
   | Quit
+  | Repl_handshake of { start_lsn : int }
+      (** turn this connection into a replication stream; ship records
+          with LSNs strictly after [start_lsn] *)
+  | Repl_ack of { applied_lsn : int }  (** replica -> primary after each batch *)
+  | Promote  (** turn a read-only replica into a standalone primary *)
 
 type response =
   | Result_table of { columns : string list; rows : string list list }
@@ -46,6 +52,9 @@ type response =
   | Pong
   | Metrics_text of string
   | Bye
+  | Repl_batch of { records : string; durable_lsn : int }
+      (** raw framed WAL records (decodable with [Wal.records_of_string])
+          plus the primary's durable LSN; empty [records] is a heartbeat *)
 
 (* --- pure encode / decode ---------------------------------------------- *)
 
@@ -69,13 +78,34 @@ let encode_request (r : request) : string =
   | Ping -> Codec.put_u8 b 7
   | Metrics -> Codec.put_u8 b 8
   | Quit -> Codec.put_u8 b 9
-  | Metrics_prom -> Codec.put_u8 b 10);
+  | Metrics_prom -> Codec.put_u8 b 10
+  | Repl_handshake { start_lsn } ->
+      Codec.put_u8 b 11;
+      Codec.put_uvarint b start_lsn
+  | Repl_ack { applied_lsn } ->
+      Codec.put_u8 b 12;
+      Codec.put_uvarint b applied_lsn
+  | Promote -> Codec.put_u8 b 13);
   Codec.contents b
 
 (* Truncated or garbled fields surface as Codec decode errors; at the
-   protocol boundary they are all just malformed frames. *)
+   protocol boundary they are all just malformed frames, answered with
+   the connection-exception SQLSTATE (08P01).  The catch is deliberately
+   wide: a garbled frame must never surface as anything but
+   [Protocol_error], whatever a field decoder happens to raise. *)
 let guard_decode what f =
-  try f () with Codec.Decode_error m -> protocol_error "malformed %s: %s" what m
+  try f () with
+  | Protocol_error _ as e -> raise e
+  | Codec.Decode_error m -> protocol_error "malformed %s: %s" what m
+  | Invalid_argument m | Failure m -> protocol_error "malformed %s: %s" what m
+
+(* An element count decoded from the wire: each element takes at least
+   one byte, so a count beyond the remaining payload is malformed —
+   checked *before* allocating, so a garbled varint cannot demand a
+   giant list. *)
+let bounded_count src what n =
+  if n < 0 || n > Codec.remaining src then protocol_error "implausible %s count %d" what n;
+  n
 
 let decode_request (s : string) : request =
   guard_decode "request" @@ fun () ->
@@ -86,7 +116,7 @@ let decode_request (s : string) : request =
     | 2 -> Prepare (Codec.get_string src)
     | 3 ->
         let id = Codec.get_uvarint src in
-        let n = Codec.get_uvarint src in
+        let n = bounded_count src "parameter" (Codec.get_uvarint src) in
         Execute_prepared { id; params = List.init n (fun _ -> Atom.decode src) }
     | 4 -> Begin
     | 5 -> Commit
@@ -95,6 +125,9 @@ let decode_request (s : string) : request =
     | 8 -> Metrics
     | 9 -> Quit
     | 10 -> Metrics_prom
+    | 11 -> Repl_handshake { start_lsn = Codec.get_uvarint src }
+    | 12 -> Repl_ack { applied_lsn = Codec.get_uvarint src }
+    | 13 -> Promote
     | n -> protocol_error "unknown request tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after request";
@@ -129,7 +162,11 @@ let encode_response (r : response) : string =
   | Metrics_text s ->
       Codec.put_u8 b 6;
       Codec.put_string b s
-  | Bye -> Codec.put_u8 b 7);
+  | Bye -> Codec.put_u8 b 7
+  | Repl_batch { records; durable_lsn } ->
+      Codec.put_u8 b 8;
+      Codec.put_string b records;
+      Codec.put_uvarint b durable_lsn);
   Codec.contents b
 
 let decode_response (s : string) : response =
@@ -138,12 +175,12 @@ let decode_response (s : string) : response =
   let r =
     match Codec.get_u8 src with
     | 1 ->
-        let ncols = Codec.get_uvarint src in
+        let ncols = bounded_count src "column" (Codec.get_uvarint src) in
         let columns = List.init ncols (fun _ -> Codec.get_string src) in
-        let nrows = Codec.get_uvarint src in
+        let nrows = bounded_count src "row" (Codec.get_uvarint src) in
         let rows =
           List.init nrows (fun _ ->
-              let n = Codec.get_uvarint src in
+              let n = bounded_count src "cell" (Codec.get_uvarint src) in
               List.init n (fun _ -> Codec.get_string src))
         in
         Result_table { columns; rows }
@@ -159,6 +196,9 @@ let decode_response (s : string) : response =
     | 5 -> Pong
     | 6 -> Metrics_text (Codec.get_string src)
     | 7 -> Bye
+    | 8 ->
+        let records = Codec.get_string src in
+        Repl_batch { records; durable_lsn = Codec.get_uvarint src }
     | n -> protocol_error "unknown response tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after response";

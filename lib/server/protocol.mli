@@ -22,6 +22,8 @@ val err_busy : string  (** 53300: admission control rejected the session *)
 
 val err_txn_state : string  (** 25000: BEGIN in txn / COMMIT outside one *)
 
+val err_read_only : string  (** 25006: mutation on a read-only replica *)
+
 val err_protocol : string  (** 08P01: malformed or unexpected frame *)
 
 val err_internal : string  (** XX000 *)
@@ -37,6 +39,12 @@ type request =
   | Metrics
   | Metrics_prom  (** Prometheus text-format scrape of the same registry *)
   | Quit
+  | Repl_handshake of { start_lsn : int }
+      (** turn this connection into a replication stream; the primary
+          ships records with LSNs strictly after [start_lsn] *)
+  | Repl_ack of { applied_lsn : int }
+      (** replica -> primary after applying each batch *)
+  | Promote  (** turn a read-only replica into a standalone primary *)
 
 type response =
   | Result_table of { columns : string list; rows : string list list }
@@ -48,17 +56,23 @@ type response =
   | Pong
   | Metrics_text of string
   | Bye
+  | Repl_batch of { records : string; durable_lsn : int }
+      (** raw framed WAL records (decodable with
+          [Wal.records_of_string]) plus the primary's durable LSN at
+          ship time; empty [records] is a heartbeat *)
 
 (** {1 Pure encoding layer} *)
 
 val encode_request : request -> string
 
-(** @raise Protocol_error on a malformed payload. *)
+(** @raise Protocol_error on a malformed payload — truncated, garbled,
+    or with implausible element counts; no other exception escapes. *)
 val decode_request : string -> request
 
 val encode_response : response -> string
 
-(** @raise Protocol_error on a malformed payload. *)
+(** @raise Protocol_error on a malformed payload — truncated, garbled,
+    or with implausible element counts; no other exception escapes. *)
 val decode_response : string -> response
 
 (** {1 Frame IO} *)

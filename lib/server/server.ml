@@ -47,11 +47,15 @@ type t = {
   mutable next_sid : int;
   mutable running : bool;
   mutable accept_thread : Thread.t option;
+  mutable repl_handler : (Unix.file_descr -> start_lsn:int -> unit) option;
+      (* installed by Repl.attach: owns a connection after its handshake *)
 }
 
 let port t = t.bound_port
 let db t = t.db
 let metrics t = t.metrics
+let session_manager t = t.mgr
+let set_repl_handler t h = t.repl_handler <- Some h
 
 let with_mu t f =
   Mutex.lock t.mu;
@@ -77,6 +81,19 @@ let serve_connection (t : t) (sess : Session.session) (fd : Unix.file_descr) =
     | exception Protocol.Protocol_error m ->
         (try Protocol.send_response fd (Protocol.Error { code = Protocol.err_protocol; message = m })
          with _ -> ())
+    | Some (Protocol.Repl_handshake { start_lsn }) -> (
+        (* the connection stops being a request/response session and
+           becomes a replication stream owned by the shipper; when the
+           handler returns (link severed, server stopping) the worker's
+           normal cleanup closes the socket *)
+        match t.repl_handler with
+        | Some handler ->
+            Metrics.incr t.metrics "repl_links_accepted";
+            handler fd ~start_lsn
+        | None ->
+            Protocol.send_response fd
+              (Protocol.Error
+                 { code = Protocol.err_protocol; message = "replication not enabled on this server" }))
     | Some req -> (
         match Session.handle sess req with
         | resp ->
@@ -184,6 +201,7 @@ let start ?db:(db_opt : Db.t option) (config : config) : t =
       next_sid = 1;
       running = true;
       accept_thread = None;
+      repl_handler = None;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
@@ -203,7 +221,7 @@ let stop (t : t) =
     let live = with_mu t (fun () -> Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []) in
     List.iter (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) live;
     List.iter (fun (th, _) -> try Thread.join th with _ -> ()) live;
-    (try Db.wal_checkpoint t.db with _ -> ())
+    (try ignore (Db.wal_checkpoint t.db) with _ -> ())
   end
 
 let render_metrics (t : t) = Session.render_metrics t.mgr

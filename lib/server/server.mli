@@ -36,6 +36,17 @@ val port : t -> int
 val db : t -> Db.t
 val metrics : t -> Metrics.t
 
+(** The session manager backing this server — the replica tier uses it
+    to flip read-only mode and serialize applies against statements. *)
+val session_manager : t -> Session.manager
+
+(** Install the replication handler (see [Repl.attach]): a connection
+    whose next request is [Repl_handshake] is handed to [handler] and
+    stops being a request/response session; the handler owns the socket
+    until the stream ends.  Without a handler, handshakes are answered
+    with an 08P01 error. *)
+val set_repl_handler : t -> (Unix.file_descr -> start_lsn:int -> unit) -> unit
+
 (** The same report the [\metrics] request returns. *)
 val render_metrics : t -> string
 

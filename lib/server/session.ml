@@ -59,6 +59,8 @@ type manager = {
   metrics : Metrics.t;
   slow_query : float option; (* trace statements; log those slower than this *)
   slow_sink : string -> unit; (* one structured line per offending statement *)
+  mutable read_only : bool; (* replica mode: mutations refused with 25006 *)
+  mutable promote : (unit -> string) option; (* installed by the replica tier *)
 }
 
 type prep = { pstmt : Ast.stmt; nparams : int }
@@ -91,7 +93,17 @@ let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window =
     metrics;
     slow_query;
     slow_sink;
+    read_only = false;
+    promote = None;
   }
+
+(* Replica wiring (see lib/repl): a read-only manager refuses mutating
+   statements with the replica SQLSTATE; the promote handler, when
+   installed, serves the [Promote] request. *)
+let set_read_only (mgr : manager) v = mgr.read_only <- v
+let read_only (mgr : manager) = mgr.read_only
+let set_promote_handler (mgr : manager) f = mgr.promote <- Some f
+let manager_db (mgr : manager) = mgr.db
 
 let open_session (mgr : manager) ~(sid : int) : session =
   { sid; mgr; prepared = Hashtbl.create 8; next_prep = 1; ltxn = None; in_txn = false }
@@ -280,6 +292,10 @@ let sync_commit (mgr : manager) (lsn : Wal.lsn option) =
 (* --- transaction control ------------------------------------------------ *)
 
 let do_begin (sess : session) : Db.result =
+  (* an explicit transaction would hold the engine's single transaction
+     slot open, stalling the replication applier between batches *)
+  if sess.mgr.read_only then
+    refused P.err_read_only "read-only replica: explicit transactions are refused";
   if sess.in_txn then refused P.err_txn_state "transaction already open";
   let deadline = Unix.gettimeofday () +. sess.mgr.lock_timeout in
   acquire_slot sess ~deadline;
@@ -368,6 +384,11 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
   | Ast.Commit -> do_commit sess
   | Ast.Rollback -> do_rollback sess
   | _ ->
+      if mgr.read_only && mutates stmt then begin
+        Metrics.incr mgr.metrics "stmts_refused_read_only";
+        refused P.err_read_only
+          "read-only replica: mutating statements are refused (promote to accept writes)"
+      end;
       let reads, writes = stmt_tables stmt in
       let specs =
         List.map (fun t -> (PL.Exclusive, t)) writes @ List.map (fun t -> (PL.Shared, t)) reads
@@ -581,6 +602,17 @@ let handle (sess : session) (req : P.request) : P.response =
       Metrics.incr mgr.metrics "requests_metrics";
       P.Metrics_text (render_prometheus mgr)
   | P.Quit -> P.Bye
+  | P.Promote ->
+      run_protected "requests_promote" "txn_latency" (fun () ->
+          match mgr.promote with
+          | None -> refused P.err_semantic "PROMOTE: this server is not a replica"
+          | Some f -> P.Row_count { affected = 0; message = f () })
+  | P.Repl_handshake _ | P.Repl_ack _ ->
+      (* handshakes are intercepted by the server loop before dispatch;
+         a replication frame reaching a plain session is a protocol
+         violation *)
+      Metrics.incr mgr.metrics "errors_total";
+      P.Error { code = P.err_protocol; message = "replication frame outside a replication stream" }
   | P.Begin -> run_protected "requests_begin" "txn_latency" (fun () -> response_of_result (do_begin sess))
   | P.Commit ->
       run_protected "requests_commit" "commit_latency" (fun () -> response_of_result (do_commit sess))

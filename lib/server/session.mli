@@ -39,6 +39,25 @@ val create_manager :
 
 val open_session : manager -> sid:int -> session
 
+(** {1 Replica wiring (see [lib/repl])} *)
+
+(** With read-only mode on, mutating statements and explicit BEGIN are
+    refused with the replica SQLSTATE (25006); reads serve normally. *)
+val set_read_only : manager -> bool -> unit
+
+val read_only : manager -> bool
+
+(** Install the handler behind the [Promote] request; it returns the
+    human-readable outcome message. *)
+val set_promote_handler : manager -> (unit -> string) -> unit
+
+val manager_db : manager -> Nf2.Db.t
+
+(** Run [f] under the global engine mutex — the replication applier
+    uses this to serialize batch application against serving
+    statements. *)
+val with_engine : manager -> (unit -> 'a) -> 'a
+
 (** Serves one request.  Engine / parser / lock errors come back as
     [Protocol.Error] responses; only connection-level exceptions (and
     {!Nf2_storage.Disk.Crash} from fault injection) escape. *)

@@ -334,13 +334,41 @@ let log_abort t tx = ignore (append t (fun _ -> Abort tx))
 
 let log_checkpoint t ~payload =
   with_mu t (fun () ->
-      ignore (append_unlocked t (fun _ -> Checkpoint { payload }));
-      flush_unlocked t)
+      let lsn = append_unlocked t (fun _ -> Checkpoint { payload }) in
+      flush_unlocked t;
+      lsn)
 
 (* --- introspection ------------------------------------------------------ *)
 
 let contents t = with_mu t (fun () -> Buffer.contents t.buf)
 let durable_contents t = with_mu t (fun () -> String.sub (Buffer.contents t.buf) 0 t.durable_len)
+
+(* The log-shipping read: every durable record strictly after [since],
+   raw framed bytes ready for re-decoding on the replica.  [recs] is
+   newest-first with dense LSNs, so the records after [since] are a
+   prefix of the list and the walk stops at the boundary record, whose
+   end offset is where the slice starts.  [max_bytes] cuts the slice at
+   a record boundary (always keeping at least one record) so one batch
+   never outgrows a wire frame. *)
+let durable_since ?(max_bytes = max_int) t (since : lsn) : string * lsn * lsn =
+  with_mu t (fun () ->
+      let rec newer acc = function
+        | (l, e, _) :: rest when l > since -> newer ((l, e) :: acc) rest
+        | (_, e, _) :: _ -> (acc, e) (* boundary record = [since] itself *)
+        | [] -> (acc, 0)
+      in
+      let after, start_off = newer [] t.recs in
+      (* oldest-first; durable only *)
+      let durable = List.filter (fun (_, e) -> e <= t.durable_len) after in
+      let rec cut chosen = function
+        | (l, e) :: rest when chosen = None || e - start_off <= max_bytes ->
+            cut (Some (l, e)) rest
+        | _ -> chosen
+      in
+      match cut None durable with
+      | None -> ("", since, t.durable_lsn)
+      | Some (last, stop_off) ->
+          (Buffer.sub t.buf start_off (stop_off - start_off), last, t.durable_lsn))
 
 (* Chronological (page, off, before) images of a transaction's updates,
    for runtime rollback. *)

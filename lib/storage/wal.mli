@@ -89,9 +89,10 @@ val commit : t -> tx:txid -> payload:string option -> unit
 
 val log_abort : t -> txid -> unit
 
-(** Append a checkpoint record and {!flush}.  The caller must have
-    flushed all dirty pages first (sharp checkpoint). *)
-val log_checkpoint : t -> payload:string option -> unit
+(** Append a checkpoint record and {!flush}; returns the checkpoint
+    record's LSN (the durable LSN as of this checkpoint).  The caller
+    must have flushed all dirty pages first (sharp checkpoint). *)
+val log_checkpoint : t -> payload:string option -> lsn
 
 (** Make the volatile tail durable.  [forced] marks the flush as driven
     by the WAL-before-data rule (for the stats).
@@ -106,6 +107,15 @@ val durable_contents : t -> string
 (** Decode a serialised log; a torn tail (truncated frame or checksum
     mismatch) ends the list silently. *)
 val records_of_string : string -> (lsn * record) list
+
+(** [durable_since t since] is the log-shipping read:
+    [(bytes, last, durable)] where [bytes] are the raw framed records
+    with LSNs in [(since, last]] drawn from the durable prefix —
+    decodable with {!records_of_string} — and [durable] is the current
+    durable LSN.  [max_bytes] cuts the slice at a record boundary
+    (always keeping at least one record); an up-to-date [since] yields
+    [("", since, durable)]. *)
+val durable_since : ?max_bytes:int -> t -> lsn -> string * lsn * lsn
 
 (** Chronological (page, offset, before-image) updates of one
     transaction, for runtime rollback. *)

@@ -38,7 +38,10 @@ let gen_request : P.request QCheck.Gen.t =
           (fun id params -> P.Execute_prepared { id; params })
           (int_bound 1000)
           (list_size (int_bound 8) gen_atom);
-        oneofl [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit ];
+        map (fun l -> P.Repl_handshake { start_lsn = l }) (int_bound 1_000_000);
+        map (fun l -> P.Repl_ack { applied_lsn = l }) (int_bound 1_000_000);
+        oneofl
+          [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit; P.Promote ];
       ])
 
 let gen_response : P.response QCheck.Gen.t =
@@ -55,6 +58,10 @@ let gen_response : P.response QCheck.Gen.t =
         map2 (fun id nparams -> P.Prepared { id; nparams }) (int_bound 1000) (int_bound 20);
         map2 (fun code message -> P.Error { code; message }) str str;
         map (fun s -> P.Metrics_text s) (string_size (int_bound 500));
+        map2
+          (fun records durable_lsn -> P.Repl_batch { records; durable_lsn })
+          (string_size (int_bound 120))
+          (int_bound 1_000_000);
         oneofl [ P.Pong; P.Bye ];
       ])
 
@@ -74,6 +81,79 @@ let test_protocol_malformed () =
   checkb "unknown request tag" true (bad P.decode_request "\xff");
   checkb "unknown response tag" true (bad P.decode_response "\xfe");
   checkb "trailing bytes" true (bad P.decode_request (P.encode_request P.Ping ^ "x"))
+
+(* Decode must fail *closed*: truncating or corrupting a frame of any
+   tag yields a decoded value or [Protocol_error] — never a stray
+   exception (Codec error, Invalid_argument) or an implausible-count
+   allocation. *)
+let fuzz_corpus =
+  let reqs =
+    [
+      P.Query "SELECT x.A FROM x IN T WHERE x.K = 1";
+      P.Prepare "SELECT x.A FROM x IN T WHERE x.K = ?";
+      P.Execute_prepared { id = 3; params = [ Atom.Int 42; Atom.Str "x"; Atom.Null ] };
+      P.Begin;
+      P.Commit;
+      P.Rollback;
+      P.Ping;
+      P.Metrics;
+      P.Metrics_prom;
+      P.Quit;
+      P.Repl_handshake { start_lsn = 12345 };
+      P.Repl_ack { applied_lsn = 99 };
+      P.Promote;
+    ]
+  in
+  let resps =
+    [
+      P.Result_table { columns = [ "A"; "B" ]; rows = [ [ "1"; "x" ]; [ "2"; "y" ] ] };
+      P.Row_count { affected = 7; message = "7 row(s)" };
+      P.Prepared { id = 3; nparams = 2 };
+      P.Error { code = "42601"; message = "parse error" };
+      P.Pong;
+      P.Bye;
+      P.Metrics_text "requests_query 1\n";
+      P.Repl_batch { records = String.init 48 (fun i -> Char.chr (i * 5 mod 256)); durable_lsn = 7 };
+    ]
+  in
+  (List.map P.encode_request reqs, List.map P.encode_response resps)
+
+let test_decode_fuzz () =
+  let total = ref 0 in
+  let safe what dec s =
+    incr total;
+    match dec s with
+    | _ -> ()
+    | exception P.Protocol_error _ -> ()
+    | exception e ->
+        Alcotest.fail (Printf.sprintf "%s leaked %s on %S" what (Printexc.to_string e) s)
+  in
+  let hammer what dec frames =
+    let prng = Prng.create 1986 in
+    List.iter
+      (fun s ->
+        (* every truncation point *)
+        for cut = 0 to String.length s - 1 do
+          safe what dec (String.sub s 0 cut)
+        done;
+        (* random single-byte corruptions *)
+        for _ = 1 to 200 do
+          let b = Bytes.of_string s in
+          Bytes.set b (Prng.int prng (String.length s)) (Char.chr (Prng.int prng 256));
+          safe what dec (Bytes.to_string b)
+        done;
+        (* corruption and truncation combined *)
+        for _ = 1 to 100 do
+          let b = Bytes.of_string s in
+          Bytes.set b (Prng.int prng (String.length s)) (Char.chr (Prng.int prng 256));
+          safe what dec (Bytes.sub_string b 0 (Prng.int prng (String.length s)))
+        done)
+      frames
+  in
+  let reqs, resps = fuzz_corpus in
+  hammer "decode_request" P.decode_request reqs;
+  hammer "decode_response" P.decode_response resps;
+  checkb "fuzz corpus exercised" true (!total > 1000)
 
 (* --- helpers for socket tests ------------------------------------------- *)
 
@@ -316,7 +396,9 @@ let () =
   Alcotest.run "server"
     [
       ( "protocol",
-        Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed :: props );
+        Alcotest.test_case "malformed payloads" `Quick test_protocol_malformed
+        :: Alcotest.test_case "truncation/corruption fuzz" `Quick test_decode_fuzz
+        :: props );
       ( "sessions",
         [
           Alcotest.test_case "basic round trips" `Quick test_server_basic;

@@ -95,7 +95,7 @@ let crash_run ss plan =
   let crashed =
     try
       run_scripts db ss;
-      Db.wal_checkpoint db;
+      ignore (Db.wal_checkpoint db);
       false
     with D.Crash _ -> true
   in
@@ -124,7 +124,7 @@ let check_recovery msg ss img =
 let total_writes ss =
   let db = fresh_wal_db () in
   run_scripts db ss;
-  Db.wal_checkpoint db;
+  ignore (Db.wal_checkpoint db);
   (D.stats (Db.disk db)).D.writes
 
 (* --- the crash matrix ---------------------------------------------------- *)
@@ -268,7 +268,7 @@ let test_wal_rollback () =
 let test_uncommitted_vanishes () =
   let db = fresh_wal_db () in
   run_scripts db scripts;
-  Db.wal_checkpoint db;
+  ignore (Db.wal_checkpoint db);
   ignore (Db.exec db "BEGIN");
   ignore (Db.exec db "UPDATE DEPT SET BUDGET = 777777 WHERE DNO = 1");
   ignore (Db.exec db "INSERT INTO DEPT VALUES (8, 'Doomed', 8, {})");
@@ -289,6 +289,106 @@ let test_recovery_deterministic () =
   let a = Db.recover_from_image img in
   let b = Db.recover_from_image img in
   same_state "replay twice" a b
+
+(* --- group-commit edges --------------------------------------------------- *)
+
+(* sync_to with nothing to do: an empty log or an already-durable LSN
+   must not fsync at all, and a flush that covers no commit record must
+   not count as a group-commit batch. *)
+let test_sync_to_empty () =
+  let w = Wal.create () in
+  Wal.set_group_commit w true;
+  Wal.sync_to w 0;
+  checki "empty log: no fsync" 0 (Wal.stats w).Wal.flushes;
+  let tx = Wal.begin_tx w in
+  Wal.commit w ~tx ~payload:None;
+  Wal.sync_to w (Wal.last_lsn w);
+  checki "one fsync for the commit" 1 (Wal.stats w).Wal.flushes;
+  Wal.sync_to w (Wal.last_lsn w);
+  checki "already durable: no extra fsync" 1 (Wal.stats w).Wal.flushes;
+  checkb "durable" true (Wal.durable_lsn w = Wal.last_lsn w);
+  (* a flush with no commit record in it is not a group-commit batch *)
+  let lsn = Wal.log_update w ~tx:Wal.system_tx ~page:0 ~off:0 ~before:"" ~after:"x" in
+  Wal.sync_to w lsn;
+  checkb "update durable" true (Wal.durable_lsn w >= lsn);
+  checki "no commit covered, no batch counted" 1 (Wal.stats w).Wal.group_commit_batches
+
+(* The leader's gathering window must cover followers that commit while
+   it is open: one fsync makes every one of them durable. *)
+let test_group_commit_followers () =
+  let w = Wal.create () in
+  let nfollowers = 3 in
+  let arrived = Atomic.make 0 in
+  let window () =
+    (* leader: hold the window open until every follower's commit
+       record is in the tail (bounded, in case of a test bug) *)
+    let deadline = Unix.gettimeofday () +. 5. in
+    while Atomic.get arrived < nfollowers && Unix.gettimeofday () < deadline do
+      Thread.delay 0.001
+    done
+  in
+  Wal.set_group_commit ~window w true;
+  let tx0 = Wal.begin_tx w in
+  Wal.commit w ~tx:tx0 ~payload:None;
+  let first_lsn = Wal.last_lsn w in
+  let leader = Thread.create (fun () -> Wal.sync_to w first_lsn) () in
+  let follower _ =
+    Thread.create
+      (fun () ->
+        let tx = Wal.begin_tx w in
+        Wal.commit w ~tx ~payload:None;
+        let lsn = Wal.last_lsn w in
+        Atomic.incr arrived;
+        Wal.sync_to w lsn)
+      ()
+  in
+  let followers = List.init nfollowers follower in
+  Thread.join leader;
+  List.iter Thread.join followers;
+  checkb "everything durable" true (Wal.durable_lsn w = Wal.last_lsn w);
+  let s = Wal.stats w in
+  checki "one shared fsync" 1 s.Wal.flushes;
+  checki "the batch covered every commit" (nfollowers + 1) s.Wal.group_commit_txns
+
+(* Leader crash between append and fsync: the group fsync dies
+   persisting nothing, and every committer in the group — the leader
+   and the followers parked in the wait — must observe Disk.Crash
+   rather than hang or report durability. *)
+let test_group_commit_leader_crash () =
+  let w = Wal.create () in
+  let nthreads = 4 in
+  let arrived = Atomic.make 0 in
+  let window () =
+    let deadline = Unix.gettimeofday () +. 5. in
+    while Atomic.get arrived < nthreads && Unix.gettimeofday () < deadline do
+      Thread.delay 0.001
+    done
+  in
+  Wal.set_group_commit ~window w true;
+  Wal.set_sync_hook w (Some (fun _ -> 0));
+  let crashes = Atomic.make 0 in
+  let worker _ =
+    Thread.create
+      (fun () ->
+        let tx = Wal.begin_tx w in
+        Wal.commit w ~tx ~payload:None;
+        let lsn = Wal.last_lsn w in
+        Atomic.incr arrived;
+        try Wal.sync_to w lsn with D.Crash _ -> Atomic.incr crashes)
+      ()
+  in
+  let threads = List.init nthreads worker in
+  List.iter Thread.join threads;
+  checki "every committer observed the crash" nthreads (Atomic.get crashes);
+  checki "nothing became durable" 0 (Wal.durable_lsn w);
+  (* the machine is dead: later durability waits must refuse too *)
+  checkb "post-crash sync_to raises" true
+    (try
+       Wal.sync_to w (Wal.last_lsn w);
+       false
+     with D.Crash _ -> true);
+  checki "the durable prefix reads back empty" 0
+    (List.length (Wal.records_of_string (Wal.durable_contents w)))
 
 (* WAL stats surface the logging work for the bench harness. *)
 let test_wal_stats () =
@@ -315,6 +415,14 @@ let () =
         [ Alcotest.test_case "differential oracle" `Quick test_randomized_crashes ] );
       ( "ordering",
         [ Alcotest.test_case "WAL before data" `Quick test_wal_before_data ] );
+      ( "group commit",
+        [
+          Alcotest.test_case "empty batch" `Quick test_sync_to_empty;
+          Alcotest.test_case "followers share the leader's fsync" `Quick
+            test_group_commit_followers;
+          Alcotest.test_case "leader crash releases the group" `Quick
+            test_group_commit_leader_crash;
+        ] );
       ( "transactions",
         [
           Alcotest.test_case "rollback via before-images" `Quick test_wal_rollback;

@@ -1341,6 +1341,162 @@ let bench_repl () =
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
   Printf.printf "appended repl entries to BENCH_server.json\n%!"
 
+(* ================================================================== *)
+(* RDS: parallel reads — throughput scaling with client count          *)
+(* ================================================================== *)
+
+type read_trial = {
+  rd_clients : int;
+  write_pct : int; (* 0 = pure reads, 5 = 95:5 read:write *)
+  ops : int;
+  rd_seconds : float;
+  rd_qps : float;
+}
+
+(* [clients] sessions hammer the same NF² table with subtable-joining
+   reads (plus, for the mixed trial, one update per 100/write_pct
+   statements) — the workload the shared engine latch and worker-domain
+   executor exist for.  All sessions read the SAME table, so shared
+   predicate locks, not table partitioning, provide the concurrency. *)
+let read_trial ~clients ~write_pct ~per_client () : read_trial =
+  let db = Db.create ~wal:true () in
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      max_sessions = clients + 2;
+      lock_timeout = 30.;
+      idle_timeout = 0.;
+      group_window = 0.001;
+    }
+  in
+  let srv = Server.start ~db config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let setup = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+  (match
+     SClient.request setup (Proto.Query "CREATE TABLE D (K INT, N INT, XS TABLE (X INT))")
+   with
+  | Some (Proto.Row_count _) -> ()
+  | _ -> failwith "read bench setup failed");
+  for k = 1 to 64 do
+    ignore
+      (SClient.request setup
+         (Proto.Query
+            (Printf.sprintf "INSERT INTO D VALUES (%d, %d, {(%d), (%d), (%d)})" k (k * 7 mod 100)
+               k (k + 100) (k + 200))))
+  done;
+  SClient.close setup;
+  let read_sql = "SELECT x.K, y.X FROM x IN D, y IN x.XS WHERE x.N > 50" in
+  let done_ops = Atomic.make 0 and errors = Atomic.make 0 in
+  let worker k () =
+    let c = SClient.connect ~host:"127.0.0.1" ~port:(Server.port srv) in
+    for i = 1 to per_client do
+      let sql =
+        if write_pct > 0 && i mod (100 / write_pct) = 0 then
+          Printf.sprintf "UPDATE D SET N = N + 1 WHERE K = %d" ((((k * 37) + i) mod 64) + 1)
+        else read_sql
+      in
+      match SClient.request c (Proto.Query sql) with
+      | Some (Proto.Result_table _ | Proto.Row_count _) -> Atomic.incr done_ops
+      | _ -> Atomic.incr errors
+    done;
+    SClient.close c
+  in
+  let (), ns =
+    time_once (fun () ->
+        let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+        List.iter Thread.join threads)
+  in
+  if Atomic.get errors > 0 then
+    Printf.printf "  (%d statement(s) failed at %d clients)\n" (Atomic.get errors) clients;
+  let seconds = ns /. 1e9 in
+  {
+    rd_clients = clients;
+    write_pct;
+    ops = Atomic.get done_ops;
+    rd_seconds = seconds;
+    rd_qps = float_of_int (Atomic.get done_ops) /. seconds;
+  }
+
+let bench_read_scaling () =
+  section "RDS" "parallel reads: shared-lock throughput vs client count";
+  let cores = Domain.recommended_domain_count () in
+  let domains = Server.effective_domains Server.default_config in
+  let per_client = 100 in
+  let client_counts = [ 1; 2; 4; 8 ] in
+  let trials =
+    List.concat_map
+      (fun write_pct ->
+        List.map (fun clients -> read_trial ~clients ~write_pct ~per_client ()) client_counts)
+      [ 0; 5 ]
+  in
+  subsection
+    (Printf.sprintf
+       "NF² subtable reads on one shared table (%d ops/client, %d core(s), %d read domain(s))"
+       per_client cores domains);
+  print_table
+    ~header:[ "clients"; "read:write"; "ops"; "ops/s" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.rd_clients;
+           (if t.write_pct = 0 then "100:0" else Printf.sprintf "%d:%d" (100 - t.write_pct) t.write_pct);
+           string_of_int t.ops;
+           Printf.sprintf "%.0f" t.rd_qps;
+         ])
+       trials);
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "all ops completed (%d clients, %d%% writes)" t.rd_clients t.write_pct)
+        (t.ops = t.rd_clients * per_client))
+    trials;
+  let find clients write_pct =
+    List.find (fun t -> t.rd_clients = clients && t.write_pct = write_pct) trials
+  in
+  let qps1 = (find 1 0).rd_qps and qps8 = (find 8 0).rd_qps in
+  let efficiency = qps8 /. qps1 in
+  Printf.printf "read-only scaling efficiency: qps@8 / qps@1 = %.2f (%d core(s))\n" efficiency cores;
+  (* parallel speedup needs cores to run on; on a small host the honest
+     claim is only that 8 concurrent readers do not collapse the
+     single-client rate (they share the engine latch, never queue
+     behind a writer) *)
+  if cores >= 4 then
+    check "8 read-only clients reach >= 3x single-client qps" (efficiency >= 3.0)
+  else
+    check "8 read-only clients sustain the single-client rate" (efficiency >= 0.6);
+  check "a 5% write mix does not serialize the readers"
+    ((find 8 5).rd_qps > 0.3 *. qps8);
+  (* append machine-readable entries (see bench_repl for the format) *)
+  let entries =
+    List.map
+      (fun t ->
+        Printf.sprintf
+          "  {\"section\": \"read_scaling\", \"clients\": %d, \"write_pct\": %d, \"ops\": %d, \
+           \"seconds\": %.4f, \"qps\": %.1f, \"cores\": %d, \"domains\": %d}"
+          t.rd_clients t.write_pct t.ops t.rd_seconds t.rd_qps cores domains)
+      trials
+    @ [
+        Printf.sprintf
+          "  {\"section\": \"read_scaling_efficiency\", \"qps_1\": %.1f, \"qps_8\": %.1f, \
+           \"efficiency\": %.3f, \"cores\": %d, \"domains\": %d}"
+          qps1 qps8 efficiency cores domains;
+      ]
+  in
+  let body = String.concat ",\n" entries in
+  let json =
+    if Sys.file_exists "BENCH_server.json" then begin
+      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "appended read-scaling entries to BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1362,6 +1518,7 @@ let sections : (string * (unit -> unit)) list =
     ("WL", bench_wal);
     ("SRV", bench_server);
     ("REPL", bench_repl);
+    ("RDS", bench_read_scaling);
   ]
 
 let () =

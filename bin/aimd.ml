@@ -3,7 +3,7 @@
    Usage:
      aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
           [--lock-timeout S] [--no-group-commit] [--slow-query S]
-          [--demo] [-f init.sql] [--replica-of HOST:PORT]
+          [--domains N] [--demo] [-f init.sql] [--replica-of HOST:PORT]
 
    Serves the wire protocol (see docs/SERVER.md); connect with
    `aimsh --connect HOST:PORT`.  Log shipping is always enabled: any
@@ -47,6 +47,9 @@ let () =
     | "--slow-query" :: s :: rest ->
         config := { !config with Server.slow_query = Some (float_of_string s) };
         parse rest
+    | "--domains" :: n :: rest ->
+        config := { !config with Server.domains = int_of_string n };
+        parse rest
     | "--replica-of" :: target :: rest ->
         let host, port =
           match String.rindex_opt target ':' with
@@ -66,8 +69,8 @@ let () =
     | "--help" :: _ ->
         print_endline
           "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
-           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--demo] [-f init.sql] \
-           [--replica-of HOST:PORT]";
+           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--domains N] [--demo] \
+           [-f init.sql] [--replica-of HOST:PORT]";
         exit 0
     | arg :: _ ->
         Printf.eprintf "aimd: unknown argument %s (try --help)\n" arg;
@@ -110,9 +113,11 @@ let () =
       let srv = Server.start ~db !config in
       ignore (Repl.attach srv);
       Printf.printf
-        "aimd: listening on %s:%d (max %d sessions, group commit %s, log shipping on)\n%!"
+        "aimd: listening on %s:%d (max %d sessions, group commit %s, %d read domain(s), log \
+         shipping on)\n%!"
         !config.Server.host (Server.port srv) !config.Server.max_sessions
-        (if !config.Server.group_commit then "on" else "off");
+        (if !config.Server.group_commit then "on" else "off")
+        (Server.effective_domains !config);
       wait_for_stop ();
       print_endline "aimd: shutting down";
       Server.stop srv;

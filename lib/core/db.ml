@@ -627,13 +627,18 @@ let new_trace ?label t : Trace.t =
       | None -> [ ("wal.records", 0); ("wal.bytes", 0); ("wal.fsyncs", 0) ]);
   tr
 
-let run_query ?trace t q =
-  t.last_plan <- [];
-  Eval.run ~plan:(fun p -> t.last_plan <- p :: t.last_plan) ?trace (catalog t) q
+let run_query ?trace ?rewrite t q =
+  (* plan notes accumulate locally and are stored in one assignment:
+     parallel readers may run this concurrently, and [last_plan] is a
+     last-writer-wins debugging aid, not shared state *)
+  let notes = ref [] in
+  let rel = Eval.run ~plan:(fun p -> notes := p :: !notes) ?trace ?rewrite (catalog t) q in
+  t.last_plan <- !notes;
+  rel
 
-let exec_stmt ?trace t (stmt : Ast.stmt) : result =
+let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
   match stmt with
-  | Ast.Select q -> Rows (run_query ?trace t q)
+  | Ast.Select q -> Rows (run_query ?trace ?rewrite t q)
   | Ast.Begin_txn ->
       txn_begin t;
       Msg "transaction started"
@@ -713,7 +718,7 @@ let exec_stmt ?trace t (stmt : Ast.stmt) : result =
         (Printf.sprintf "%d row(s) inserted into %s of %d object(s)" (List.length rows)
            (String.concat "." sub_path) (List.length targets))
   | Ast.Explain q ->
-      let rel = run_query t q in
+      let rel = run_query ?rewrite t q in
       let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
       Msg
         (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
@@ -724,7 +729,7 @@ let exec_stmt ?trace t (stmt : Ast.stmt) : result =
          storage counters, then render plan + annotated operator tree *)
       let tr = new_trace t in
       let root = Trace.root tr in
-      let rel = Trace.timed tr root (fun () -> run_query ~trace:tr t q) in
+      let rel = Trace.timed tr root (fun () -> run_query ~trace:tr ?rewrite t q) in
       Trace.add_rows root (Rel.cardinality rel);
       let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
       Msg

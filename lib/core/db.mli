@@ -229,4 +229,5 @@ val new_trace : ?label:string -> t -> Nf2_obs.Trace.t
 (**/**)
 
 (* internal: statement-level entry used by the shell and server *)
-val exec_stmt : ?trace:Nf2_obs.Trace.t -> t -> Nf2_lang.Ast.stmt -> result
+val exec_stmt :
+  ?trace:Nf2_obs.Trace.t -> ?rewrite:bool -> t -> Nf2_lang.Ast.stmt -> result

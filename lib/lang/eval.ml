@@ -29,16 +29,21 @@ let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
 (* When a trace is active ({!run} with [?trace]), the evaluator opens a
    span per operator: one node per query / subquery, one per FROM range
    (scan, join, unnest), one per quantifier range, plus a subscript
-   counter.  The context is dynamically scoped through this module-level
-   ref rather than threaded through every signature: the engine is
-   single-user (the server serializes statements under one mutex), and
-   the untraced path pays only a ref read. *)
+   counter.  The context is dynamically scoped through domain-local
+   storage rather than threaded through every signature.  Safety under
+   the parallel read path: a traced evaluation runs either under the
+   engine's exclusive latch (mutating statements, domain 0) or on an
+   executor worker domain that executes one statement at a time, so no
+   two evaluations share the slot; the untraced path pays only a DLS
+   read. *)
 
 module Tr = Nf2_obs.Trace
 
 type tracing = { tr : Tr.t; mutable cursor : Tr.node }
 
-let tracing : tracing option ref = ref None
+let tracing_key : tracing option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let get_tracing () = Domain.DLS.get tracing_key
+let set_tracing v = Domain.DLS.set tracing_key v
 
 let abbrev s = if String.length s > 48 then String.sub s 0 45 ^ "..." else s
 
@@ -91,7 +96,7 @@ let rec walk_steps (cur : pv) (steps : path_step list) : pv =
       | P_value (Schema.Atomic _, _) -> eval_error "cannot select attribute %s of an atomic value" f
       | P_value _ -> eval_error "schema mismatch at %s" f)
   | Subscript i :: rest -> (
-      (match !tracing with Some ctx -> Tr.add_counter ctx.cursor "subscript.evals" 1 | None -> ());
+      (match get_tracing () with Some ctx -> Tr.add_counter ctx.cursor "subscript.evals" 1 | None -> ());
       match cur with
       | P_value (Schema.Table sub, Value.Table inner) ->
           if sub.Schema.kind <> Schema.List then eval_error "subscript on an unordered table";
@@ -461,7 +466,7 @@ and eval_pred (catalog : catalog) (env : env) (p : pred) : bool =
    every activation across outer tuples. *)
 and quantifier_range kind (catalog : catalog) (env : env) (r : range) :
     Schema.table * Value.tuple list =
-  match !tracing with
+  match get_tracing () with
   | None -> range_tuples catalog env r
   | Some ctx ->
       let src = match r.source with Table_src n -> n | Path_src p -> path_to_string p in
@@ -632,7 +637,7 @@ and plan_candidates (st : source_table) (r : range) (where : pred) : (Tid.t list
 (* --- query evaluation ----------------------------------------------------------------------- *)
 
 and eval_query ?plan (catalog : catalog) (outer_env : env) (q : query) : Rel.t =
-  match !tracing with
+  match get_tracing () with
   | None -> eval_query_body ?plan catalog outer_env q
   | Some ctx ->
       let parent = ctx.cursor in
@@ -747,7 +752,7 @@ and eval_query_body ?(plan : (string -> unit) option) (catalog : catalog) (outer
      sources; the access-path detail (index, hash join) stays in the
      plan notes. *)
   let trace_access i (r : range) access : env -> Schema.table * Value.tuple list =
-    match !tracing with
+    match get_tracing () with
     | None -> access
     | Some ctx ->
         let label =
@@ -855,13 +860,13 @@ and eval_query_body ?(plan : (string -> unit) option) (catalog : catalog) (outer
    [trace], every operator opens a span on it (see the tracing note at
    the top); the context is saved and restored so traced and untraced
    evaluations may interleave. *)
-let run ?plan ?trace (catalog : catalog) (q : query) : Rel.t =
-  let q = Rewrite.rewrite_query q in
+let run ?plan ?trace ?(rewrite = true) (catalog : catalog) (q : query) : Rel.t =
+  let q = if rewrite then Rewrite.rewrite_query q else q in
   match trace with
   | None -> eval_query ?plan catalog [] q
   | Some tr ->
-      let saved = !tracing in
-      tracing := Some { tr; cursor = Tr.root tr };
+      let saved = get_tracing () in
+      set_tracing (Some { tr; cursor = Tr.root tr });
       Fun.protect
-        ~finally:(fun () -> tracing := saved)
+        ~finally:(fun () -> set_tracing saved)
         (fun () -> eval_query ?plan catalog [] q)

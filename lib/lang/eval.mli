@@ -45,7 +45,13 @@ type env = (string * (Schema.table * Value.tuple)) list
     quantifier, subquery — plus a subscript counter), each annotated
     with rows out, elapsed time, and the deltas of whatever counter
     sources the trace carries. *)
-val run : ?plan:(string -> unit) -> ?trace:Nf2_obs.Trace.t -> catalog -> Ast.query -> Rel.t
+val run :
+  ?plan:(string -> unit) ->
+  ?trace:Nf2_obs.Trace.t ->
+  ?rewrite:bool ->
+  catalog ->
+  Ast.query ->
+  Rel.t
 
 (** Evaluate without the rewriting pass (used by equivalence tests). *)
 val eval_query : ?plan:(string -> unit) -> catalog -> env -> Ast.query -> Rel.t

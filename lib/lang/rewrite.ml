@@ -28,6 +28,12 @@ let ff : pred = Bool_expr (Const (Atom.Bool false))
 let is_true = function Bool_expr (Const (Atom.Bool true)) -> true | _ -> false
 let is_false = function Bool_expr (Const (Atom.Bool false)) -> true | _ -> false
 
+(* Cumulative count of query rewrites (subqueries included), exposed
+   so the session's prepared-statement cache can be regression-tested:
+   Execute on a cached handle must not rewrite again. *)
+let rewrites = Atomic.make 0
+let rewrite_count () = Atomic.get rewrites
+
 (* --- expression folding ----------------------------------------------- *)
 
 let fold_arith op (a : Atom.t) (b : Atom.t) : Atom.t option =
@@ -115,6 +121,7 @@ and rewrite_pred (p : pred) : pred =
 and rewrite_range (r : range) : range = { r with asof = Option.map rewrite_expr r.asof }
 
 and rewrite_query (q : query) : query =
+  Atomic.incr rewrites;
   let select =
     match q.select with
     | Star -> Star
@@ -134,6 +141,29 @@ and rewrite_query (q : query) : query =
     where;
     order_by = List.map (fun oi -> { oi with key = rewrite_expr oi.key }) q.order_by;
   }
+
+(* Whole-statement normalisation: rewrite the query (or the embedded
+   predicates/expressions of a mutation) exactly once, so callers can
+   cache the result — the session does this per statement and per
+   prepared handle, and evaluation then runs with [rewrite:false]. *)
+let rewrite_stmt (s : stmt) : stmt =
+  match s with
+  | Select q -> Select (rewrite_query q)
+  | Explain q -> Explain (rewrite_query q)
+  | Explain_analyze q -> Explain_analyze (rewrite_query q)
+  | Insert i -> Insert { i with where = Option.map rewrite_pred i.where }
+  | Update u ->
+      Update
+        {
+          u with
+          sets = List.map (fun (n, e) -> (n, rewrite_expr e)) u.sets;
+          where = Option.map rewrite_pred u.where;
+          at = Option.map rewrite_expr u.at;
+        }
+  | Delete d ->
+      Delete { d with where = Option.map rewrite_pred d.where; at = Option.map rewrite_expr d.at }
+  | Create_table _ | Drop_table _ | Create_index _ | Create_text_index _ | Alter_add _
+  | Alter_drop _ | Begin_txn | Commit | Rollback | Show_tables | Describe _ -> s
 
 (* Conjunction flattening with deduplication — used by EXPLAIN and the
    planner to see through repeated conjuncts. *)

@@ -8,6 +8,16 @@ val rewrite_expr : Ast.expr -> Ast.expr
 val rewrite_pred : Ast.pred -> Ast.pred
 val rewrite_query : Ast.query -> Ast.query
 
+(** Normalise a whole statement (queries, and the predicates and
+    expressions embedded in mutations) exactly once, so callers can
+    cache the result and evaluate with [Eval.run ~rewrite:false]. *)
+val rewrite_stmt : Ast.stmt -> Ast.stmt
+
+(** Cumulative number of {!rewrite_query} applications (subqueries
+    included) — lets tests assert that cached statements are not
+    rewritten again. *)
+val rewrite_count : unit -> int
+
 (** Flattened, deduplicated conjuncts of a predicate. *)
 val conjuncts_dedup : Ast.pred -> Ast.pred list
 

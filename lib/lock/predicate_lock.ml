@@ -127,10 +127,20 @@ type stats = {
   mutable blocks : int;  (* requests answered Blocked *)
   mutable deadlocks : int;  (* requests answered Deadlock *)
   mutable wait_ns : int;  (* caller-reported time spent blocked *)
+  mutable shared_grants : int;  (* Shared locks actually granted *)
+  mutable exclusive_grants : int;  (* Exclusive locks actually granted *)
+  mutable upgrades : int;  (* own S replaced by X on the same predicate *)
 }
+
+(* A registered-but-not-granted request.  Waiters matter for fairness:
+   a queued Exclusive request blocks later Shared requests on an
+   overlapping predicate, so a stream of readers cannot starve a
+   writer. *)
+type waiter = { wtxn : txn; wmode : mode; wpredicate : predicate }
 
 type t = {
   mutable granted : granted list;
+  mutable waiters : waiter list;
   mutable next_txn : int;
   mutable waits_for : (txn * txn) list; (* waiter, holder *)
   lstats : stats;
@@ -139,9 +149,19 @@ type t = {
 let create () =
   {
     granted = [];
+    waiters = [];
     next_txn = 0;
     waits_for = [];
-    lstats = { acquires = 0; blocks = 0; deadlocks = 0; wait_ns = 0 };
+    lstats =
+      {
+        acquires = 0;
+        blocks = 0;
+        deadlocks = 0;
+        wait_ns = 0;
+        shared_grants = 0;
+        exclusive_grants = 0;
+        upgrades = 0;
+      };
   }
 
 let stats t = t.lstats
@@ -150,7 +170,10 @@ let reset_stats t =
   t.lstats.acquires <- 0;
   t.lstats.blocks <- 0;
   t.lstats.deadlocks <- 0;
-  t.lstats.wait_ns <- 0
+  t.lstats.wait_ns <- 0;
+  t.lstats.shared_grants <- 0;
+  t.lstats.exclusive_grants <- 0;
+  t.lstats.upgrades <- 0
 
 let add_wait_ns t ns = t.lstats.wait_ns <- t.lstats.wait_ns + ns
 
@@ -169,7 +192,11 @@ type outcome = Granted | Blocked of txn list (* holders *) | Deadlock of txn lis
 
 (* Would adding waiter->holders edges close a waits-for cycle? *)
 let would_deadlock t ~waiter ~holders =
-  let edges = List.map (fun h -> (waiter, h)) holders @ t.waits_for in
+  (* the waiter's own outgoing edges are superseded by this request *)
+  let edges =
+    List.map (fun h -> (waiter, h)) holders
+    @ List.filter (fun (a, _) -> a <> waiter) t.waits_for
+  in
   let rec reachable from target seen =
     if from = target then true
     else if List.mem from seen then false
@@ -180,10 +207,40 @@ let would_deadlock t ~waiter ~holders =
   in
   List.exists (fun h -> reachable h waiter []) holders
 
+(* Queued Exclusive requests from other transactions that a new Shared
+   request must queue behind (writer-starvation fairness).  Exception:
+   if this transaction already holds a lock that blocks the queued
+   writer, granting it another Shared lock cannot extend the writer's
+   wait — and refusing would manufacture a spurious deadlock between
+   the two. *)
+let fairness_barriers t ~owner ~mode ~predicate =
+  if mode <> Shared then []
+  else
+    List.filter
+      (fun w ->
+        w.wtxn <> owner && w.wmode = Exclusive
+        && predicates_overlap w.wpredicate predicate
+        && not
+             (List.exists
+                (fun g ->
+                  g.owner = owner
+                  && modes_conflict g.mode w.wmode
+                  && predicates_overlap g.predicate w.wpredicate)
+                t.granted))
+      t.waiters
+
+(* Drop a transaction's queued request and its outgoing waits-for
+   edges (a transaction has at most one request in flight). *)
+let clear_request t txn =
+  t.waiters <- List.filter (fun w -> w.wtxn <> txn) t.waiters;
+  t.waits_for <- List.filter (fun (a, _) -> a <> txn) t.waits_for
+
 (* Request a predicate lock.  Granted locks are recorded; a blocked
-   request registers waits-for edges (the caller decides to retry or
-   abort); a request that would close a waits-for cycle reports
-   deadlock and registers nothing. *)
+   request is registered as a waiter together with its waits-for edges
+   (the caller decides to retry or abort); a request that would close
+   a waits-for cycle reports deadlock and registers nothing new.
+   Re-polling a blocked request is idempotent: the waiter entry and
+   edge set are replaced, not accumulated. *)
 let acquire t (txn : txn) (mode : mode) (predicate : predicate) : outcome =
   t.lstats.acquires <- t.lstats.acquires + 1;
   (* re-entrant: an identical or stronger own lock is a no-op *)
@@ -197,28 +254,58 @@ let acquire t (txn : txn) (mode : mode) (predicate : predicate) : outcome =
         || (g.owner = txn && g.predicate = predicate && (g.mode = Exclusive || g.mode = mode)))
       t.granted
   in
-  if own_covers then Granted
+  if own_covers then begin
+    clear_request t txn;
+    Granted
+  end
   else
-    match conflicts t ~owner:txn ~mode ~predicate with
-    | [] ->
+    let cs = conflicts t ~owner:txn ~mode ~predicate in
+    let barriers = fairness_barriers t ~owner:txn ~mode ~predicate in
+    match cs, barriers with
+    | [], [] ->
+        (* upgrade: an X grant subsumes the owner's S lock on the same
+           predicate — replace rather than stack both modes *)
+        (if mode = Exclusive then
+           let subsumed, kept =
+             List.partition
+               (fun g -> g.owner = txn && g.mode = Shared && g.predicate = predicate)
+               t.granted
+           in
+           if subsumed <> [] then begin
+             t.lstats.upgrades <- t.lstats.upgrades + 1;
+             t.granted <- kept
+           end);
         t.granted <- { owner = txn; mode; predicate } :: t.granted;
+        (match mode with
+        | Shared -> t.lstats.shared_grants <- t.lstats.shared_grants + 1
+        | Exclusive -> t.lstats.exclusive_grants <- t.lstats.exclusive_grants + 1);
+        clear_request t txn;
         Granted
-    | cs ->
-        let holders = List.sort_uniq Int.compare (List.map (fun g -> g.owner) cs) in
+    | _ ->
+        let holders =
+          List.sort_uniq Int.compare
+            (List.map (fun g -> g.owner) cs @ List.map (fun w -> w.wtxn) barriers)
+        in
         if would_deadlock t ~waiter:txn ~holders then begin
           t.lstats.deadlocks <- t.lstats.deadlocks + 1;
           Deadlock holders
         end
         else begin
           t.lstats.blocks <- t.lstats.blocks + 1;
-          t.waits_for <- List.map (fun h -> (txn, h)) holders @ t.waits_for;
+          t.waiters <-
+            { wtxn = txn; wmode = mode; wpredicate = predicate }
+            :: List.filter (fun w -> w.wtxn <> txn) t.waiters;
+          t.waits_for <-
+            List.map (fun h -> (txn, h)) holders
+            @ List.filter (fun (a, _) -> a <> txn) t.waits_for;
           Blocked holders
         end
 
-(* Two-phase release: a transaction drops all its locks and waits at
-   once (commit or abort). *)
+(* Two-phase release: a transaction drops all its locks, queued
+   requests, and waits at once (commit or abort). *)
 let release_all t (txn : txn) =
   t.granted <- List.filter (fun g -> g.owner <> txn) t.granted;
+  t.waiters <- List.filter (fun w -> w.wtxn <> txn) t.waiters;
   t.waits_for <- List.filter (fun (a, b) -> a <> txn && b <> txn) t.waits_for
 
 let held_by t (txn : txn) =

@@ -48,6 +48,9 @@ type stats = {
   mutable blocks : int;
   mutable deadlocks : int;
   mutable wait_ns : int;
+  mutable shared_grants : int;
+  mutable exclusive_grants : int;
+  mutable upgrades : int;
 }
 
 val create : unit -> t
@@ -61,9 +64,16 @@ type outcome =
   | Blocked of txn list  (** current holders to wait for *)
   | Deadlock of txn list  (** granting the wait would close this cycle *)
 
-(** Request a lock.  Granted locks are recorded; a blocked request
-    registers waits-for edges (caller retries or aborts); a request
-    that would deadlock registers nothing. *)
+(** Request a lock.  Granted locks are recorded; a blocked request is
+    registered as a waiter with its waits-for edges (caller retries or
+    aborts — re-polling replaces, never accumulates); a request that
+    would deadlock registers nothing new.
+
+    Fairness: a Shared request queues behind any waiting Exclusive
+    request on an overlapping predicate, unless the requester already
+    holds a lock blocking that writer (granting then cannot extend the
+    writer's wait).  Upgrade: an Exclusive grant replaces the owner's
+    Shared lock on the same predicate. *)
 val acquire : t -> txn -> mode -> predicate -> outcome
 
 (** Two-phase release: drop all locks and waits of a transaction. *)

@@ -1,0 +1,115 @@
+(* Domain-backed query executor.
+
+   The server keeps accept/IO and the request loop on systhreads (one
+   per connection, cheap and blocking-friendly), but systhreads inside
+   one domain never run OCaml code in parallel.  To let read-only
+   statements use more than one core, session threads hand query
+   evaluation to a small pool of worker domains and block until the
+   result comes back.
+
+   [run] is synchronous by design: the session thread has already
+   taken the predicate locks and the engine latch, so the job's
+   lifetime is strictly inside the caller's critical section.
+   Exceptions (including Db_error and lock refusals) are re-raised in
+   the caller with their original backtrace.
+
+   If the pool is sized zero, has been shut down, or [run] is called
+   from one of the pool's own domains (nested dispatch), the thunk
+   runs inline on the caller. *)
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+  active : int Atomic.t;  (* jobs currently executing, for the gauge *)
+  executed : int Atomic.t;  (* cumulative jobs run on the pool *)
+}
+
+let rec worker t () =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.jobs && not t.stopping do
+    Condition.wait t.nonempty t.mu
+  done;
+  if Queue.is_empty t.jobs then Mutex.unlock t.mu (* stopping and drained *)
+  else begin
+    let job = Queue.pop t.jobs in
+    Mutex.unlock t.mu;
+    Atomic.incr t.active;
+    job ();
+    (* jobs wrap user work in a result box and never raise *)
+    Atomic.decr t.active;
+    Atomic.incr t.executed;
+    worker t ()
+  end
+
+let create ~domains =
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      workers = [];
+      size = max 0 domains;
+      active = Atomic.make 0;
+      executed = Atomic.make 0;
+    }
+  in
+  t.workers <- List.init t.size (fun _ -> Domain.spawn (worker t));
+  t
+
+let size t = t.size
+let active t = Atomic.get t.active
+let executed t = Atomic.get t.executed
+
+let in_pool t =
+  let self = Domain.self () in
+  List.exists (fun d -> Domain.get_id d = self) t.workers
+
+let run t (f : unit -> 'a) : 'a =
+  if t.size = 0 || in_pool t then f ()
+  else begin
+    let jm = Mutex.create () in
+    let jc = Condition.create () in
+    let cell = ref None in
+    let job () =
+      let r = try Ok (f ()) with e -> Error (e, Printexc.get_raw_backtrace ()) in
+      Mutex.lock jm;
+      cell := Some r;
+      Condition.signal jc;
+      Mutex.unlock jm
+    in
+    Mutex.lock t.mu;
+    if t.stopping then begin
+      Mutex.unlock t.mu;
+      f ()
+    end
+    else begin
+      Queue.push job t.jobs;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mu;
+      Mutex.lock jm;
+      while !cell = None do
+        Condition.wait jc jm
+      done;
+      let r = Option.get !cell in
+      Mutex.unlock jm;
+      match r with
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  if not already then begin
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -1,0 +1,27 @@
+(** Domain-backed query executor.
+
+    Session systhreads hand query evaluation to a small pool of worker
+    domains so read statements can use more than one core; accept/IO
+    stays on systhreads.  [run] blocks the calling thread until the
+    job finishes and re-raises the job's exception with its original
+    backtrace.  With [domains = 0], after {!shutdown}, or when called
+    from a pool domain, the thunk runs inline on the caller. *)
+
+type t
+
+val create : domains:int -> t
+
+(** Configured pool size (worker domain count). *)
+val size : t -> int
+
+(** Jobs currently executing (gauge). *)
+val active : t -> int
+
+(** Cumulative jobs run on the pool. *)
+val executed : t -> int
+
+val run : t -> (unit -> 'a) -> 'a
+
+(** Stop accepting work, drain the queue, and join the worker domains.
+    Idempotent. *)
+val shutdown : t -> unit

@@ -8,7 +8,12 @@
    after [idle_timeout] (enforced with a receive timeout on the
    socket).  {!stop} is graceful: it stops accepting, shuts down every
    client socket (which makes the workers exit and roll back their
-   in-flight transactions), joins them, and checkpoints the WAL. *)
+   in-flight transactions), joins them, and checkpoints the WAL.
+
+   Connection threads handle IO and locking; query *evaluation* for
+   read-only statements is dispatched to a pool of worker domains
+   ({!Executor}), so read throughput scales with cores instead of
+   being time-sliced on the single domain systhreads share. *)
 
 module Db = Nf2.Db
 
@@ -21,6 +26,7 @@ type config = {
   group_commit : bool;
   group_window : float;
   slow_query : float option;  (** seconds; statements at/over it are logged with their trace *)
+  domains : int;  (** worker domains for read evaluation; 0 = derive from the host's cores *)
 }
 
 let default_config =
@@ -33,11 +39,20 @@ let default_config =
     group_commit = true;
     group_window = 0.002;
     slow_query = None;
+    domains = 0;
   }
+
+(* Keep one domain for the systhreads (accept loop, sessions, WAL);
+   cap the derived size so a large host doesn't spawn domains the read
+   workload can't feed. *)
+let effective_domains (c : config) =
+  if c.domains > 0 then c.domains
+  else max 1 (min 4 (Domain.recommended_domain_count () - 1))
 
 type t = {
   db : Db.t;
   mgr : Session.manager;
+  executor : Executor.t;
   metrics : Metrics.t;
   config : config;
   listener : Unix.file_descr;
@@ -173,9 +188,10 @@ let start ?db:(db_opt : Db.t option) (config : config) : t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let db = match db_opt with Some db -> db | None -> Db.create ~wal:true () in
   let metrics = Metrics.create () in
+  let executor = Executor.create ~domains:(effective_domains config) in
   let mgr =
     Session.create_manager ~lock_timeout:config.lock_timeout ~group_commit:config.group_commit
-      ~group_window:config.group_window ?slow_query:config.slow_query ~metrics db
+      ~group_window:config.group_window ?slow_query:config.slow_query ~executor ~metrics db
   in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -192,6 +208,7 @@ let start ?db:(db_opt : Db.t option) (config : config) : t =
     {
       db;
       mgr;
+      executor;
       metrics;
       config;
       listener;
@@ -221,6 +238,7 @@ let stop (t : t) =
     let live = with_mu t (fun () -> Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []) in
     List.iter (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) live;
     List.iter (fun (th, _) -> try Thread.join th with _ -> ()) live;
+    Executor.shutdown t.executor;
     (try ignore (Db.wal_checkpoint t.db) with _ -> ())
   end
 

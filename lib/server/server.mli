@@ -17,11 +17,20 @@ type config = {
   slow_query : float option;
       (** seconds; when set, statements at/over it are logged to stderr
           with their full trace (see docs/OBSERVABILITY.md) *)
+  domains : int;
+      (** worker domains for parallel read evaluation; 0 (the default)
+          derives a size from the host's cores, keeping one domain for
+          the systhreads (see docs/CONCURRENCY.md) *)
 }
 
 (** 127.0.0.1, ephemeral port, 32 sessions, 300s idle, 2s lock
-    timeout, group commit on with a 2ms window, no slow-query log. *)
+    timeout, group commit on with a 2ms window, no slow-query log,
+    core-derived read executor. *)
 val default_config : config
+
+(** The worker-domain count [start] will actually use for this config
+    (resolves [domains = 0] against the host's cores). *)
+val effective_domains : config -> int
 
 type t
 

@@ -1,16 +1,21 @@
 (* Session manager: one session per connection, mapping the wire
-   protocol onto the single-user engine.
+   protocol onto the engine.
 
-   Concurrency model (the engine itself is single-user, as the paper's
-   prototype was):
+   Concurrency model (see docs/CONCURRENCY.md):
 
-   - every statement executes under one global engine mutex, so the
-     engine only ever sees serial access;
+   - statements are classified (after Rewrite normalisation) as
+     read-only or mutating.  The old global engine mutex is now a
+     reader-writer latch: read-only statements run concurrently under
+     the shared side — and in parallel, dispatched to the server's
+     worker-domain executor — while mutating statements, DDL, and the
+     replication applier hold the exclusive side and still see the
+     engine strictly alone;
    - isolation across sessions comes from predicate locks
      ({!Nf2_lock.Predicate_lock}): readers take Shared whole-table
      locks for the duration of a statement, writers take Exclusive
      locks that explicit transactions hold until COMMIT/ROLLBACK
-     (two-phase locking);
+     (two-phase locking).  The lock table is fair: a queued writer
+     blocks later shared grants, so readers cannot starve it;
    - at most one *engine* transaction is open at a time (the engine has
      a single transaction state); BEGIN and autocommitted mutations
      acquire this "transaction slot" first, so a transaction's
@@ -40,6 +45,7 @@ module Ast = Nf2_lang.Ast
 module Parser = Nf2_lang.Parser
 module Lexer = Nf2_lang.Lexer
 module Eval = Nf2_lang.Eval
+module Rewrite = Nf2_lang.Rewrite
 module Params = Nf2_lang.Params
 module P = Protocol
 
@@ -50,7 +56,8 @@ let refused code fmt = Fmt.kstr (fun s -> raise (Refused (code, s))) fmt
 
 type manager = {
   db : Db.t;
-  engine : Mutex.t; (* serializes all engine access *)
+  engine : Rwlock.t; (* readers share the engine; writers hold it alone *)
+  executor : Executor.t option; (* worker domains for parallel read evaluation *)
   mu : Mutex.t; (* guards the lock table and the transaction slot *)
   locks : PL.t;
   mutable txn_owner : int option; (* session id holding the engine txn slot *)
@@ -63,6 +70,9 @@ type manager = {
   mutable promote : (unit -> string) option; (* installed by the replica tier *)
 }
 
+(* [pstmt] is stored already Rewrite-normalised, so Execute binds
+   parameters and runs without rewriting again (see the regression
+   test: rewrite happens once, at Prepare). *)
 type prep = { pstmt : Ast.stmt; nparams : int }
 
 type session = {
@@ -75,7 +85,8 @@ type session = {
 }
 
 let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window = 0.002)
-    ?slow_query ?(slow_sink = prerr_endline) ~(metrics : Metrics.t) (db : Db.t) : manager =
+    ?slow_query ?(slow_sink = prerr_endline) ?executor ~(metrics : Metrics.t) (db : Db.t) :
+    manager =
   Db.attach_wal db;
   (match Db.wal db with
   | Some w ->
@@ -84,7 +95,8 @@ let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window =
   | None -> ());
   {
     db;
-    engine = Mutex.create ();
+    engine = Rwlock.create ();
+    executor;
     mu = Mutex.create ();
     locks = PL.create ();
     txn_owner = None;
@@ -275,15 +287,27 @@ let release_locks (mgr : manager) (ltxn : PL.txn) =
 
 let fresh_ltxn (mgr : manager) : PL.txn = with_lock mgr.mu (fun () -> PL.begin_txn mgr.locks)
 
-(* --- engine access ------------------------------------------------------ *)
+(* --- engine access ------------------------------------------------------
 
-let with_engine (mgr : manager) f =
-  Mutex.lock mgr.engine;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mgr.engine) f
+   The engine latch has two sides.  Mutating statements, DDL, engine
+   transaction control, and the replication applier take the exclusive
+   side ([with_engine]) and see the engine strictly alone, exactly as
+   under the old global mutex.  Read-only statements take the shared
+   side and additionally dispatch their evaluation to the executor's
+   worker domains, so reads run in parallel across cores while the
+   session systhread merely blocks for the result.  Lock order is
+   predicate locks first, engine latch second, for readers and writers
+   alike, so the two layers cannot deadlock against each other. *)
 
-(* After a commit released the engine mutex, make it durable — sharing
+let with_engine (mgr : manager) f = Rwlock.with_write mgr.engine f
+
+let with_engine_read (mgr : manager) f =
+  Rwlock.with_read mgr.engine (fun () ->
+      match mgr.executor with Some ex -> Executor.run ex f | None -> f ())
+
+(* After a commit released the engine latch, make it durable — sharing
    the fsync with concurrent committers when group commit is on (with
-   it off, Wal.commit already flushed under the mutex). *)
+   it off, Wal.commit already flushed under the latch). *)
 let sync_commit (mgr : manager) (lsn : Wal.lsn option) =
   match (Db.wal mgr.db, lsn) with
   | Some w, Some lsn when mgr.group_commit -> Wal.sync_to w lsn
@@ -370,12 +394,16 @@ let count_stmt_metric (mgr : manager) (stmt : Ast.stmt) =
   Metrics.incr_labeled mgr.metrics "stmts" [ ("kind", kind) ]
 
 (* Run one non-transaction-control statement with proper locking.
+   [stmt] is already Rewrite-normalised (handle/Execute do it once),
+   so evaluation below runs with [rewrite:false] and classification
+   happens on the normalised form.
 
    In an explicit transaction: locks accumulate on the session's lock
    transaction and are held until COMMIT/ROLLBACK; a failure aborts the
    transaction.  Outside one: a mutating statement becomes its own
-   engine transaction (slot + X locks, commit with group fsync); a read
-   takes statement-duration S locks only. *)
+   engine transaction (slot + X locks + exclusive latch, commit with
+   group fsync); a read takes statement-duration S locks and runs
+   under the shared latch on a worker domain. *)
 let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
   let mgr = sess.mgr in
   count_stmt_metric mgr stmt;
@@ -393,12 +421,17 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
       let specs =
         List.map (fun t -> (PL.Exclusive, t)) writes @ List.map (fun t -> (PL.Shared, t)) reads
       in
+      let exec () = Db.exec_stmt ?trace ~rewrite:false mgr.db stmt in
       let deadline = Unix.gettimeofday () +. mgr.lock_timeout in
       if sess.in_txn then begin
         let ltxn = Option.get sess.ltxn in
+        (* reads inside an explicit transaction may still share the
+           latch: predicate locks keep other sessions off this
+           transaction's written tables, and a read mutates nothing *)
+        let with_eng = if mutates stmt then with_engine mgr else with_engine_read mgr in
         match
           acquire_locks mgr ltxn specs ~deadline;
-          with_engine mgr (fun () -> Db.exec_stmt ?trace mgr.db stmt)
+          with_eng exec
         with
         | r -> r
         | exception (Nf2_storage.Disk.Crash _ as e) -> raise e
@@ -426,7 +459,7 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
               acquire_locks mgr ltxn specs ~deadline;
               with_engine mgr (fun () ->
                   Db.begin_txn mgr.db;
-                  match Db.exec_stmt ?trace mgr.db stmt with
+                  match exec () with
                   | r ->
                       Db.commit mgr.db;
                       (r, Option.map Wal.last_lsn (Db.wal mgr.db))
@@ -440,13 +473,14 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
         r
       end
       else begin
-        (* plain read: statement-duration shared locks *)
+        (* plain read: statement-duration shared locks, shared engine
+           latch, evaluation on a worker domain *)
         let ltxn = fresh_ltxn mgr in
         Fun.protect
           ~finally:(fun () -> release_locks mgr ltxn)
           (fun () ->
             acquire_locks mgr ltxn specs ~deadline;
-            with_engine mgr (fun () -> Db.exec_stmt ?trace mgr.db stmt))
+            with_engine_read mgr exec)
       end
 
 (* --- slow-query tracing -------------------------------------------------- *)
@@ -458,6 +492,8 @@ let lock_source (mgr : manager) () =
     ("lock.blocks", s.PL.blocks);
     ("lock.deadlocks", s.PL.deadlocks);
     ("lock.wait_ns", s.PL.wait_ns);
+    ("lock.shared_grants", s.PL.shared_grants);
+    ("lock.exclusive_grants", s.PL.exclusive_grants);
   ]
 
 (* With a slow-query threshold configured, every statement runs under a
@@ -539,6 +575,18 @@ let fold_storage_stats (mgr : manager) =
   Metrics.set m "lock_acquires" l.PL.acquires;
   Metrics.set m "lock_blocks" l.PL.blocks;
   Metrics.set m "lock_wait_ns" l.PL.wait_ns;
+  Metrics.set m "lock_shared_acquired" l.PL.shared_grants;
+  Metrics.set m "lock_exclusive_acquired" l.PL.exclusive_grants;
+  Metrics.set m "lock_upgrades" l.PL.upgrades;
+  Metrics.set m "engine_readers_active" (Rwlock.readers_active mgr.engine);
+  Metrics.set m "engine_read_grants" (Rwlock.read_grants mgr.engine);
+  Metrics.set m "engine_write_grants" (Rwlock.write_grants mgr.engine);
+  (match mgr.executor with
+  | Some ex ->
+      Metrics.set m "executor_domains" (Executor.size ex);
+      Metrics.set m "executor_active" (Executor.active ex);
+      Metrics.set m "executor_jobs" (Executor.executed ex)
+  | None -> ());
   match Db.wal mgr.db with
   | None -> ()
   | Some w ->
@@ -622,12 +670,17 @@ let handle (sess : session) (req : P.request) : P.response =
       run_protected "requests_query" "query_latency" (fun () ->
           let stmts = Parser.parse_script input in
           if stmts = [] then refused P.err_syntax "empty query";
+          (* normalise once, here; classification and evaluation both
+             work on the rewritten form *)
+          let stmts = List.map Rewrite.rewrite_stmt stmts in
           let results = List.map (run_stmt_observed sess) stmts in
           Metrics.add mgr.metrics "statements_total" (List.length stmts);
           response_of_result (List.nth results (List.length results - 1)))
   | P.Prepare input ->
       run_protected "requests_prepare" "query_latency" (fun () ->
           let pstmt, nparams = Parser.parse_prepared input in
+          (* rewrite once at Prepare; Execute only binds parameters *)
+          let pstmt = Rewrite.rewrite_stmt pstmt in
           let id = sess.next_prep in
           sess.next_prep <- id + 1;
           Hashtbl.replace sess.prepared id { pstmt; nparams };

@@ -1,19 +1,25 @@
-(** Session manager: maps wire-protocol requests onto the single-user
-    engine with one global engine mutex, predicate locks for
-    cross-session isolation (2PL for explicit transactions,
-    statement-duration shared locks for reads), a single engine
-    transaction slot, and deadline-bounded waits that fail with
-    lock-timeout / deadlock errors instead of hanging.  Commit fsyncs
-    run outside the engine mutex so concurrent committers batch into
-    one fsync when group commit is enabled. *)
+(** Session manager: maps wire-protocol requests onto the engine.
+
+    Statements are classified (after Rewrite) as read-only or
+    mutating.  Reads run concurrently under the shared side of a
+    reader-writer engine latch — and in parallel, on the server's
+    worker-domain executor — while mutations, DDL and the replication
+    applier hold the exclusive side and see the engine strictly
+    alone.  Cross-session isolation comes from predicate locks (2PL
+    for explicit transactions, statement-duration shared locks for
+    reads, writer-fair), plus a single engine transaction slot, and
+    deadline-bounded waits that fail with lock-timeout / deadlock
+    errors instead of hanging.  Commit fsyncs run outside the engine
+    latch so concurrent committers batch into one fsync when group
+    commit is enabled.  See docs/CONCURRENCY.md. *)
 
 (** A request refusal carrying a SQLSTATE-style code from {!Protocol}
     and a message; {!handle} converts it to [Protocol.Error]. *)
 exception Refused of string * string
 
 type manager
-(** Shared server-side state: the database, engine mutex, lock table,
-    transaction slot, and metrics registry. *)
+(** Shared server-side state: the database, engine latch, executor,
+    lock table, transaction slot, and metrics registry. *)
 
 type session
 (** Per-connection state: transaction flags, held locks, prepared
@@ -26,13 +32,17 @@ type session
     lingers for followers before fsyncing.  With [slow_query] set,
     every statement runs under a {!Nf2_obs.Trace} and those taking at
     least that many seconds emit one structured line to [slow_sink]
-    (default stderr) — see docs/OBSERVABILITY.md for the format. *)
+    (default stderr) — see docs/OBSERVABILITY.md for the format.
+    [executor] supplies the worker-domain pool read statements are
+    evaluated on; without one, reads still share the engine latch but
+    evaluate inline on the session systhread. *)
 val create_manager :
   ?lock_timeout:float ->
   ?group_commit:bool ->
   ?group_window:float ->
   ?slow_query:float ->
   ?slow_sink:(string -> unit) ->
+  ?executor:Executor.t ->
   metrics:Metrics.t ->
   Nf2.Db.t ->
   manager
@@ -53,9 +63,10 @@ val set_promote_handler : manager -> (unit -> string) -> unit
 
 val manager_db : manager -> Nf2.Db.t
 
-(** Run [f] under the global engine mutex — the replication applier
-    uses this to serialize batch application against serving
-    statements. *)
+(** Run [f] holding the engine latch exclusively — the replication
+    applier uses this to serialize batch application against serving
+    statements (concurrent readers drain first, and none run while [f]
+    does). *)
 val with_engine : manager -> (unit -> 'a) -> 'a
 
 (** Serves one request.  Engine / parser / lock errors come back as

@@ -11,7 +11,16 @@
    the frame is stamped with its LSN.  No dirty frame reaches the disk
    before its log record is durable — the flush path forces a log flush
    (or, in strict mode, raises [Wal_ordering]) whenever the frame's LSN
-   is ahead of the log's durable mark. *)
+   is ahead of the log's durable mark.
+
+   Thread safety: a single pool latch covers the map/LRU state — page
+   lookup, pin/unpin, eviction, and the log-capture bookkeeping.  The
+   user callback runs *outside* the latch (its pin keeps the frame
+   resident), which keeps hold times short and lets nested pool calls
+   from inside a callback (the object store's relocation path) re-enter
+   without self-deadlock.  Concurrent readers never mutate frame bytes;
+   mutating callbacks are serialized above the pool by the engine's
+   exclusive latch. *)
 
 type frame = {
   mutable page : int; (* -1 when frame is empty *)
@@ -33,6 +42,7 @@ type t = {
   disk : Disk.t;
   frames : frame array;
   table : (int, int) Hashtbl.t; (* page -> frame index *)
+  latch : Mutex.t; (* covers table/frames/tick/stats; never held during callbacks *)
   mutable tick : int;
   mutable wal : Wal.t option;
   mutable wal_tx : Wal.txid; (* transaction charged for captures; Wal.system_tx outside *)
@@ -54,6 +64,7 @@ let create ?(frames = 64) disk =
       Array.init frames (fun _ ->
           { page = -1; buf = Bytes.make (Disk.page_size disk) '\000'; dirty = false; pins = 0; lru = 0; lsn = 0 });
     table = Hashtbl.create (2 * frames);
+    latch = Mutex.create ();
     tick = 0;
     wal = None;
     wal_tx = Wal.system_tx;
@@ -64,11 +75,16 @@ let create ?(frames = 64) disk =
 let stats t = t.stats
 let disk t = t.disk
 
+let latched t f =
+  Mutex.lock t.latch;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.latch) f
+
 let reset_stats t =
-  t.stats.hits <- 0;
-  t.stats.misses <- 0;
-  t.stats.evictions <- 0;
-  t.stats.log_captures <- 0
+  latched t (fun () ->
+      t.stats.hits <- 0;
+      t.stats.misses <- 0;
+      t.stats.evictions <- 0;
+      t.stats.log_captures <- 0)
 
 let logical_accesses t = t.stats.hits + t.stats.misses
 
@@ -117,7 +133,7 @@ let flush_frame t f =
     f.dirty <- false
   end
 
-let flush_all t = Array.iter (flush_frame t) t.frames
+let flush_all t = latched t (fun () -> Array.iter (flush_frame t) t.frames)
 
 (* Pick a victim frame: empty frame if any, else LRU unpinned. *)
 let victim t =
@@ -158,8 +174,14 @@ let load t page =
       (i, f)
 
 let with_page t page ~dirty fn =
-  let _, f = load t page in
-  f.pins <- f.pins + 1;
+  (* lookup/eviction and the pin happen atomically under the latch; the
+     callback itself runs unlatched (the pin keeps the frame resident) *)
+  let f =
+    latched t (fun () ->
+        let _, f = load t page in
+        f.pins <- f.pins + 1;
+        f)
+  in
   (* Snapshot for the log: the capture runs in the cleanup path so even
      a callback that raises mid-mutation leaves its changes logged (and
      therefore undoable). *)
@@ -168,11 +190,12 @@ let with_page t page ~dirty fn =
   in
   Fun.protect
     ~finally:(fun () ->
-      (match (before, t.wal) with
-      | Some b, Some w -> capture_diff t w b f
-      | _ -> ());
-      f.pins <- f.pins - 1;
-      if dirty then f.dirty <- true)
+      latched t (fun () ->
+          (match (before, t.wal) with
+          | Some b, Some w -> capture_diff t w b f
+          | _ -> ());
+          f.pins <- f.pins - 1;
+          if dirty then f.dirty <- true))
     (fun () ->
       let r = fn f.buf in
       if dirty then f.dirty <- true;

@@ -17,10 +17,12 @@ module Atom = Nf2_model.Atom
 module Schema = Nf2_model.Schema
 module Value = Nf2_model.Value
 
+(* Counter snapshot; the live counters are Atomics so concurrent
+   readers (parallel read execution in the server) count exactly. *)
 type stats = {
-  mutable md_reads : int; (* MD subtuple fetches *)
-  mutable data_reads : int; (* data subtuple fetches *)
-  mutable subtuple_writes : int;
+  md_reads : int; (* MD subtuple fetches *)
+  data_reads : int; (* data subtuple fetches *)
+  subtuple_writes : int;
 }
 
 type t = {
@@ -31,7 +33,9 @@ type t = {
   mutable data_pages : int list; (* every page holding object subtuples *)
   fsm : (int, int) Hashtbl.t; (* free bytes per data page *)
   mutable free_pages : int list; (* emptied pages ready for reuse *)
-  stats : stats;
+  md_reads : int Atomic.t;
+  data_reads : int Atomic.t;
+  subtuple_writes : int Atomic.t;
 }
 
 exception Store_error of string
@@ -47,16 +51,24 @@ let create ?(layout = Mini_directory.SS3) ?(clustering = true) pool =
     data_pages = [];
     fsm = Hashtbl.create 64;
     free_pages = [];
-    stats = { md_reads = 0; data_reads = 0; subtuple_writes = 0 };
+    md_reads = Atomic.make 0;
+    data_reads = Atomic.make 0;
+    subtuple_writes = Atomic.make 0;
   }
 
 let layout t = t.layout
-let stats t = t.stats
+
+let stats t =
+  {
+    md_reads = Atomic.get t.md_reads;
+    data_reads = Atomic.get t.data_reads;
+    subtuple_writes = Atomic.get t.subtuple_writes;
+  }
 
 let reset_stats t =
-  t.stats.md_reads <- 0;
-  t.stats.data_reads <- 0;
-  t.stats.subtuple_writes <- 0
+  Atomic.set t.md_reads 0;
+  Atomic.set t.data_reads 0;
+  Atomic.set t.subtuple_writes 0
 
 (* ------------------------------------------------------------------ *)
 (* Page management and local record operations *)
@@ -97,7 +109,7 @@ let max_chunk_part t = record_budget t - Record.chunk_overhead
    any shared page with room is used and merely registered in the page
    list. *)
 let place_record t (plist : Page_list.t) (record : Record.t) : Mini_tid.t =
-  t.stats.subtuple_writes <- t.stats.subtuple_writes + 1;
+  Atomic.incr t.subtuple_writes;
   let encoded = Record.encode record in
   let need = String.length encoded + Page.slot_size in
   let candidates =
@@ -206,11 +218,11 @@ let read_local t (plist : Page_list.t) (m : Mini_tid.t) : string =
           | None -> store_error "dangling forward at %s" (Mini_tid.to_string m)))
 
 let read_md t plist m =
-  t.stats.md_reads <- t.stats.md_reads + 1;
+  Atomic.incr t.md_reads;
   Subtuple.decode_md (read_local t plist m)
 
 let read_data t plist m =
-  t.stats.data_reads <- t.stats.data_reads + 1;
+  Atomic.incr t.data_reads;
   Subtuple.decode_data (read_local t plist m)
 
 let kill_local t (plist : Page_list.t) (m : Mini_tid.t) =
@@ -233,7 +245,7 @@ let rec free_tail t plist = function
 (* Update a local record in place when possible; spill + forward when it
    outgrows its page so the Mini-TID stays valid. *)
 let update_local t (plist : Page_list.t) (m : Mini_tid.t) (payload : string) =
-  t.stats.subtuple_writes <- t.stats.subtuple_writes + 1;
+  Atomic.incr t.subtuple_writes;
   let home =
     match read_raw_local t plist m with
     | Some s -> Record.decode s
@@ -500,7 +512,7 @@ let subtable_elements t plist root_sections (sub : Schema.table) (st : subtable_
 (* Whole-object and partial retrieval *)
 
 let load_root t (root : Tid.t) =
-  t.stats.md_reads <- t.stats.md_reads + 1;
+  Atomic.incr t.md_reads;
   match Heap.read t.dir root with
   | Some payload -> Subtuple.decode_root payload
   | None -> store_error "no complex object at %s" (Tid.to_string root)
@@ -1219,7 +1231,9 @@ let restore ?(layout = Mini_directory.SS3) ?(clustering = true) pool ~dir_pages 
       data_pages;
       fsm = Hashtbl.create 64;
       free_pages;
-      stats = { md_reads = 0; data_reads = 0; subtuple_writes = 0 };
+      md_reads = Atomic.make 0;
+      data_reads = Atomic.make 0;
+      subtuple_writes = Atomic.make 0;
     }
   in
   List.iter

@@ -15,12 +15,12 @@ module Schema = Nf2_model.Schema
 module Value = Nf2_model.Value
 
 (** Per-store counters of logical subtuple reads/writes, exposed for
-    the experiments.  Note this is a live mutable record: copy fields
-    out before triggering further operations. *)
+    the experiments.  {!stats} returns an immutable snapshot; the live
+    counters are Atomics, so concurrent readers count exactly. *)
 type stats = {
-  mutable md_reads : int;  (** MD subtuple fetches *)
-  mutable data_reads : int;  (** data subtuple fetches *)
-  mutable subtuple_writes : int;
+  md_reads : int;  (** MD subtuple fetches *)
+  data_reads : int;  (** data subtuple fetches *)
+  subtuple_writes : int;
 }
 
 type t

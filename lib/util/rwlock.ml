@@ -1,0 +1,103 @@
+(* A reader-writer latch with writer preference, built on the stdlib
+   Mutex/Condition pair (which are safe across both systhreads and
+   domains on OCaml 5).
+
+   Many readers may hold the latch at once; a writer holds it alone.
+   Writer preference: once a writer is waiting, new readers queue
+   behind it, so a stream of readers cannot starve a writer.  The
+   latch is not re-entrant — a holder that re-acquires in the same
+   mode deadlocks itself (acquisition is once per statement in the
+   server, so nesting never arises there).
+
+   Unlike Mutex, release may happen on a different systhread than
+   acquisition (the state transition is plain counters under the
+   internal mutex), which lets a session thread acquire and a worker
+   domain run while the latch is held. *)
+
+type t = {
+  mu : Mutex.t;
+  read_ok : Condition.t;
+  write_ok : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable waiting_writers : int;
+  mutable read_grants : int;
+  mutable write_grants : int;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    read_ok = Condition.create ();
+    write_ok = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    waiting_writers = 0;
+    read_grants = 0;
+    write_grants = 0;
+  }
+
+let lock_read t =
+  Mutex.lock t.mu;
+  while t.writer_active || t.waiting_writers > 0 do
+    Condition.wait t.read_ok t.mu
+  done;
+  t.active_readers <- t.active_readers + 1;
+  t.read_grants <- t.read_grants + 1;
+  Mutex.unlock t.mu
+
+let unlock_read t =
+  Mutex.lock t.mu;
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 && t.waiting_writers > 0 then Condition.signal t.write_ok;
+  Mutex.unlock t.mu
+
+let lock_write t =
+  Mutex.lock t.mu;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.write_ok t.mu
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer_active <- true;
+  t.write_grants <- t.write_grants + 1;
+  Mutex.unlock t.mu
+
+let unlock_write t =
+  Mutex.lock t.mu;
+  t.writer_active <- false;
+  if t.waiting_writers > 0 then Condition.signal t.write_ok
+  else Condition.broadcast t.read_ok;
+  Mutex.unlock t.mu
+
+let with_read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let with_write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f
+
+let readers_active t =
+  Mutex.lock t.mu;
+  let n = t.active_readers in
+  Mutex.unlock t.mu;
+  n
+
+let writer_active t =
+  Mutex.lock t.mu;
+  let b = t.writer_active in
+  Mutex.unlock t.mu;
+  b
+
+let read_grants t =
+  Mutex.lock t.mu;
+  let n = t.read_grants in
+  Mutex.unlock t.mu;
+  n
+
+let write_grants t =
+  Mutex.lock t.mu;
+  let n = t.write_grants in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,33 @@
+(** Reader-writer latch with writer preference.
+
+    Many readers or one writer.  Once a writer is waiting, new readers
+    queue behind it (no writer starvation).  Not re-entrant.  Release
+    may happen on a different systhread than acquisition, so a session
+    thread can acquire while a worker domain executes under the
+    latch. *)
+
+type t
+
+val create : unit -> t
+
+val lock_read : t -> unit
+val unlock_read : t -> unit
+val lock_write : t -> unit
+val unlock_write : t -> unit
+
+(** [with_read t f] runs [f ()] holding the latch in shared mode;
+    always released, even on exception. *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+(** [with_write t f] runs [f ()] holding the latch exclusively. *)
+val with_write : t -> (unit -> 'a) -> 'a
+
+(** Number of readers currently inside the latch (gauge). *)
+val readers_active : t -> int
+
+val writer_active : t -> bool
+
+(** Cumulative grant counters. *)
+val read_grants : t -> int
+
+val write_grants : t -> int

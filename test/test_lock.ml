@@ -122,6 +122,79 @@ let test_reentrancy_and_release () =
   L.release_all t t1;
   checki "none held" 0 (List.length (L.held_by t t1))
 
+let test_writer_fairness () =
+  (* a stream of readers must not starve a queued writer: once an X
+     request is waiting, later S requests on an overlapping predicate
+     queue behind it instead of piling onto the granted S set *)
+  let t = L.create () in
+  let r1 = L.begin_txn t and w = L.begin_txn t and r2 = L.begin_txn t in
+  let whole = L.whole_table "DEPARTMENTS" in
+  checkb "r1 S" true (L.acquire t r1 L.Shared whole = L.Granted);
+  (match L.acquire t w L.Exclusive whole with
+  | L.Blocked holders -> Alcotest.(check (list int)) "w waits for r1" [ r1 ] holders
+  | _ -> Alcotest.fail "w must block behind r1");
+  (* fairness: r2's S queues behind the waiting writer... *)
+  (match L.acquire t r2 L.Shared whole with
+  | L.Blocked holders -> Alcotest.(check (list int)) "r2 queues behind w" [ w ] holders
+  | _ -> Alcotest.fail "r2 must queue behind the waiting writer");
+  (* ...while a disjoint table is unaffected *)
+  checkb "other table unaffected" true (L.acquire t r2 L.Shared (L.whole_table "REPORTS") = L.Granted);
+  (* r1 finishes; the writer's retry wins before r2 *)
+  L.release_all t r1;
+  checkb "w granted after r1" true (L.acquire t w L.Exclusive whole = L.Granted);
+  (match L.acquire t r2 L.Shared whole with
+  | L.Blocked holders -> Alcotest.(check (list int)) "r2 now waits for w" [ w ] holders
+  | _ -> Alcotest.fail "r2 must wait for the granted writer");
+  (* writer done: readers flow again *)
+  L.release_all t w;
+  checkb "r2 granted after w" true (L.acquire t r2 L.Shared whole = L.Granted)
+
+let test_fairness_no_self_deadlock () =
+  (* exception to the barrier: a reader that already blocks the queued
+     writer may extend its own S coverage — refusing would manufacture
+     a deadlock between the two *)
+  let t = L.create () in
+  let r1 = L.begin_txn t and w = L.begin_txn t in
+  let p300 = pred [ dno (L.Eq (Atom.Int 300)) ] in
+  let p400 = pred [ dno (L.Eq (Atom.Int 400)) ] in
+  checkb "r1 S 300" true (L.acquire t r1 L.Shared p300 = L.Granted);
+  (match L.acquire t w L.Exclusive (L.whole_table "DEPARTMENTS") with
+  | L.Blocked _ -> ()
+  | _ -> Alcotest.fail "w must block behind r1");
+  (* r1 already blocks w, so another S for r1 passes the barrier *)
+  checkb "r1 extends its S set" true (L.acquire t r1 L.Shared p400 = L.Granted)
+
+let test_upgrade () =
+  (* an X grant on the same predicate replaces the owner's S lock *)
+  let t = L.create () in
+  let t1 = L.begin_txn t in
+  let p = pred [ dno (L.Eq (Atom.Int 314)) ] in
+  checkb "S first" true (L.acquire t t1 L.Shared p = L.Granted);
+  checkb "upgrade to X" true (L.acquire t t1 L.Exclusive p = L.Granted);
+  (match L.held_by t t1 with
+  | [ (_, L.Exclusive, _) ] -> ()
+  | held -> Alcotest.fail (Printf.sprintf "expected one X lock, got %d" (List.length held)));
+  checki "one upgrade counted" 1 (L.stats t).L.upgrades;
+  (* an upgrade still conflicts like any X: another txn's S blocks *)
+  let t2 = L.begin_txn t in
+  match L.acquire t t2 L.Shared p with
+  | L.Blocked _ -> ()
+  | _ -> Alcotest.fail "S must block behind the upgraded X"
+
+let test_grant_counters () =
+  let t = L.create () in
+  L.reset_stats t;
+  let t1 = L.begin_txn t and t2 = L.begin_txn t in
+  ignore (L.acquire t t1 L.Shared (L.whole_table "A"));
+  ignore (L.acquire t t2 L.Shared (L.whole_table "A"));
+  ignore (L.acquire t t1 L.Exclusive (L.whole_table "B"));
+  let s = L.stats t in
+  checki "shared grants" 2 s.L.shared_grants;
+  checki "exclusive grants" 1 s.L.exclusive_grants;
+  (* re-entrant no-op does not count as a new grant *)
+  ignore (L.acquire t t1 L.Shared (L.whole_table "A"));
+  checki "re-entrant uncounted" 2 (L.stats t).L.shared_grants
+
 let prop_overlap_symmetric =
   let gen_restriction =
     QCheck.Gen.(
@@ -204,6 +277,10 @@ let () =
           Alcotest.test_case "phantom protection" `Quick test_phantom_protection;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "re-entrancy/release" `Quick test_reentrancy_and_release;
+          Alcotest.test_case "writer fairness" `Quick test_writer_fairness;
+          Alcotest.test_case "fairness self-deadlock exception" `Quick test_fairness_no_self_deadlock;
+          Alcotest.test_case "shared-to-exclusive upgrade" `Quick test_upgrade;
+          Alcotest.test_case "grant counters" `Quick test_grant_counters;
         ] );
       ("properties", props);
     ]

@@ -10,6 +10,8 @@ module Db = Nf2.Db
 module Wal = Nf2_storage.Wal
 module FD = Nf2_storage.Faulty_disk
 module Atom = Nf2_model.Atom
+module OS = Nf2_storage.Object_store
+module Rewrite = Nf2_lang.Rewrite
 
 let checkb msg expected actual = Alcotest.(check bool) msg expected actual
 let checki msg expected actual = Alcotest.(check int) msg expected actual
@@ -158,7 +160,7 @@ let test_decode_fuzz () =
 (* --- helpers for socket tests ------------------------------------------- *)
 
 let with_server ?(max_sessions = 16) ?(lock_timeout = 5.0) ?(group_commit = true)
-    ?(group_window = 0.001) ?db (f : Server.t -> 'a) : 'a =
+    ?(group_window = 0.001) ?(domains = 0) ?db (f : Server.t -> 'a) : 'a =
   let config =
     {
       Server.default_config with
@@ -168,6 +170,7 @@ let with_server ?(max_sessions = 16) ?(lock_timeout = 5.0) ?(group_commit = true
       group_commit;
       group_window;
       idle_timeout = 0.;
+      domains;
     }
   in
   let srv = Server.start ?db config in
@@ -334,6 +337,145 @@ let test_admission_control () =
       retry 20;
       Client.close b)
 
+(* --- parallel reads: torn-read stress, counters, cached rewrites -------- *)
+
+(* A writer replaces one NF² object inside explicit transactions while
+   reader threads scan its subtable through the shared-lock / worker-
+   domain read path.  Every committed state has [slots] subtable rows
+   sharing a single GEN value, so any mixed-GEN or wrong-cardinality
+   result is a torn read.  Afterwards (writer quiesced) the same scan
+   is calibrated once and re-run from concurrent readers: the object
+   store's atomic counters must reconcile exactly. *)
+let test_concurrent_read_stress () =
+  (* domains:2 forces cross-domain dispatch even on a 1-core host *)
+  with_server ~domains:2 ~lock_timeout:10. (fun srv ->
+      let c0 = conn srv in
+      let slots = 8 in
+      ignore (expect_ok c0 "CREATE TABLE G (ID INT, XS TABLE (GEN INT, SLOT INT))");
+      let subtable g =
+        "{" ^ String.concat ", " (List.init slots (Printf.sprintf "(%d, %d)" g)) ^ "}"
+      in
+      ignore (expect_ok c0 (Printf.sprintf "INSERT INTO G VALUES (1, %s)" (subtable 0)));
+      let torn = Atomic.make 0 and read_errors = Atomic.make 0 and write_errors = Atomic.make 0 in
+      let writer () =
+        let c = conn srv in
+        for g = 1 to 15 do
+          let step req ok =
+            match Client.request c req with
+            | Some r when ok r -> ()
+            | _ -> Atomic.incr write_errors
+          in
+          let dml = function P.Row_count _ -> true | _ -> false in
+          step P.Begin dml;
+          step (P.Query "DELETE FROM G WHERE ID = 1") dml;
+          step (P.Query (Printf.sprintf "INSERT INTO G VALUES (1, %s)" (subtable g))) dml;
+          step P.Commit dml
+        done;
+        Client.close c
+      in
+      let reader () =
+        let c = conn srv in
+        for _ = 1 to 20 do
+          (* GEN alone would dedupe to one row (set semantics); SLOT
+             keeps the 8 rows distinct so cardinality is checkable *)
+          match
+            Client.request c (P.Query "SELECT x.GEN, x.SLOT FROM t IN G, x IN t.XS WHERE t.ID = 1")
+          with
+          | Some (P.Result_table { rows; _ }) -> (
+              match List.map (function [ g; _ ] -> g | _ -> "?") rows with
+              | g0 :: rest when List.length rest = slots - 1 && List.for_all (String.equal g0) rest
+                -> ()
+              | _ -> Atomic.incr torn)
+          | _ -> Atomic.incr read_errors
+        done;
+        Client.close c
+      in
+      let threads = Thread.create writer () :: List.init 4 (fun _ -> Thread.create reader ()) in
+      List.iter Thread.join threads;
+      checki "no write errors" 0 (Atomic.get write_errors);
+      checki "no read errors" 0 (Atomic.get read_errors);
+      checki "no torn subtable reads" 0 (Atomic.get torn);
+      (* counter reconciliation: calibrate one scan, then R readers x Q
+         scans must account for exactly R*Q times the calibrated reads *)
+      let store = Db.table_store (Server.db srv) ~table:"G" in
+      let scan c =
+        match Client.request c (P.Query "SELECT x.GEN, x.SLOT FROM t IN G, x IN t.XS") with
+        | Some (P.Result_table { rows; _ }) -> List.length rows
+        | _ -> -1
+      in
+      let cal = conn srv in
+      ignore (scan cal);
+      OS.reset_stats store;
+      checki "calibration scan rows" slots (scan cal);
+      let per = OS.stats store in
+      Client.close cal;
+      checkb "calibration scan reads metadata" true (per.OS.md_reads > 0);
+      OS.reset_stats store;
+      let readers = 4 and scans = 5 in
+      let bad = Atomic.make 0 in
+      let rthreads =
+        List.init readers (fun _ ->
+            Thread.create
+              (fun () ->
+                let c = conn srv in
+                for _ = 1 to scans do
+                  if scan c <> slots then Atomic.incr bad
+                done;
+                Client.close c)
+              ())
+      in
+      List.iter Thread.join rthreads;
+      checki "all reconciliation scans returned the object" 0 (Atomic.get bad);
+      let total = OS.stats store in
+      checki "md_reads reconcile" (readers * scans * per.OS.md_reads) total.OS.md_reads;
+      checki "data_reads reconcile" (readers * scans * per.OS.data_reads) total.OS.data_reads;
+      checki "reads performed no subtuple writes" 0 total.OS.subtuple_writes;
+      Client.close c0)
+
+(* Preparing a statement rewrites it once; executions reuse the cached
+   rewrite instead of re-running the rewriter per call. *)
+let test_prepared_rewrite_once () =
+  with_server (fun srv ->
+      let c = conn srv in
+      ignore (expect_ok c "CREATE TABLE T (K INT, V TEXT)");
+      ignore (expect_ok c "INSERT INTO T VALUES (1, 'one'), (2, 'two')");
+      let before = Rewrite.rewrite_count () in
+      let id =
+        match Client.request c (P.Prepare "SELECT x.V FROM x IN T WHERE x.K = ?") with
+        | Some (P.Prepared { id; _ }) -> id
+        | _ -> Alcotest.fail "prepare failed"
+      in
+      checki "prepare rewrites exactly once" 1 (Rewrite.rewrite_count () - before);
+      for i = 1 to 3 do
+        match Client.request c (P.Execute_prepared { id; params = [ Atom.Int (1 + (i mod 2)) ] }) with
+        | Some (P.Result_table { rows = [ [ _ ] ]; _ }) -> ()
+        | _ -> Alcotest.fail "execute failed"
+      done;
+      checki "executions reuse the cached rewrite" 1 (Rewrite.rewrite_count () - before);
+      Client.close c)
+
+let test_prometheus_read_gauges () =
+  with_server (fun srv ->
+      let c = conn srv in
+      ignore (expect_ok c "CREATE TABLE T (K INT)");
+      ignore (expect_ok c "INSERT INTO T VALUES (1)");
+      checki "read row" 1 (List.length (rows c "SELECT x.K FROM x IN T"));
+      let text =
+        match Client.request c P.Metrics_prom with
+        | Some (P.Metrics_text s) -> s
+        | _ -> Alcotest.fail "expected prometheus text"
+      in
+      let contains needle =
+        let nh = String.length text and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+        go 0
+      in
+      checkb "engine_readers_active exposed" true (contains "engine_readers_active");
+      checkb "lock_shared_acquired exposed" true (contains "lock_shared_acquired");
+      (* the SELECT above took a statement-duration shared lock *)
+      checkb "shared grants counted" false (contains "lock_shared_acquired 0\n");
+      Client.close c)
+
 (* --- crash during concurrent commits ------------------------------------ *)
 
 (* Kill the "machine" at the k-th WAL fsync while several sessions
@@ -407,6 +549,12 @@ let () =
           Alcotest.test_case "rollback" `Quick test_rollback_over_wire;
           Alcotest.test_case "no lost updates" `Quick test_no_lost_updates;
           Alcotest.test_case "admission control" `Quick test_admission_control;
+        ] );
+      ( "parallel reads",
+        [
+          Alcotest.test_case "concurrent read stress" `Quick test_concurrent_read_stress;
+          Alcotest.test_case "prepared rewrite cached" `Quick test_prepared_rewrite_once;
+          Alcotest.test_case "prometheus read gauges" `Quick test_prometheus_read_gauges;
         ] );
       ( "crash",
         [ Alcotest.test_case "crash mid-commit recovers" `Quick test_crash_mid_commit_recovers ] );

@@ -1355,9 +1355,10 @@ type read_trial = {
 
 (* [clients] sessions hammer the same NF² table with subtable-joining
    reads (plus, for the mixed trial, one update per 100/write_pct
-   statements) — the workload the shared engine latch and worker-domain
-   executor exist for.  All sessions read the SAME table, so shared
-   predicate locks, not table partitioning, provide the concurrency. *)
+   statements) — the workload the MVCC snapshot read path and
+   worker-domain executor exist for.  All sessions read the SAME table;
+   reads pin lock-free snapshots, so neither predicate locks nor the
+   engine latch serialize them against the writers. *)
 let read_trial ~clients ~write_pct ~per_client () : read_trial =
   let db = Db.create ~wal:true () in
   let config =
@@ -1419,7 +1420,7 @@ let read_trial ~clients ~write_pct ~per_client () : read_trial =
   }
 
 let bench_read_scaling () =
-  section "RDS" "parallel reads: shared-lock throughput vs client count";
+  section "RDS" "parallel reads: snapshot-read throughput vs client count";
   let cores = Domain.recommended_domain_count () in
   let domains = Server.effective_domains Server.default_config in
   let per_client = 100 in
@@ -1465,8 +1466,11 @@ let bench_read_scaling () =
     check "8 read-only clients reach >= 3x single-client qps" (efficiency >= 3.0)
   else
     check "8 read-only clients sustain the single-client rate" (efficiency >= 0.6);
-  check "a 5% write mix does not serialize the readers"
-    ((find 8 5).rd_qps > 0.3 *. qps8);
+  (* MVCC snapshot reads never queue behind the writers, so the mixed
+     workload must stay within 15% of the read-only floor — not merely
+     avoid collapse as under the old shared-lock read path *)
+  check "95:5 qps@8 within 15% of the read-only floor"
+    ((find 8 5).rd_qps >= 0.85 *. qps8);
   (* append machine-readable entries (see bench_repl for the format) *)
   let entries =
     List.map

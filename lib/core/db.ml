@@ -14,7 +14,9 @@ module Tid = Nf2_storage.Tid
 module VI = Nf2_index.Value_index
 module TI = Nf2_index.Text_index
 module VS = Nf2_temporal.Version_store
+module Mvcc = Nf2_temporal.Mvcc
 module Tname = Nf2_tname.Tuple_name
+module StrSet = Set.Make (String)
 module Wal = Nf2_storage.Wal
 module Recovery = Nf2_storage.Recovery
 open Nf2_lang
@@ -49,6 +51,8 @@ type t = {
   mutable txn : txn_state option; (* open snapshot transaction, if any *)
   mutable wal : Wal.t option; (* physical write-ahead log, if attached *)
   mutable wal_txn : wal_txn_state option; (* open WAL transaction, if any *)
+  mvcc : Mvcc.t; (* committed version chains for lock-free snapshot reads *)
+  mutable dirty : StrSet.t; (* tables touched since the last MVCC publish *)
 }
 
 and txn_state = { snapshot : string; mutable pending_journal : string list }
@@ -98,6 +102,8 @@ let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering =
       txn = None;
       wal = None;
       wal_txn = None;
+      mvcc = Mvcc.create ();
+      dirty = StrSet.empty;
     }
   in
   if wal then attach_wal t;
@@ -174,17 +180,80 @@ let catalog t : Eval.catalog =
             ( Some (fun () -> OS.roots ti.store),
               Some (fun root -> OS.fetch ti.store ti.schema root) )
       in
+      let scan_asof_lsn =
+        match ti.vstore with
+        | Some _ -> None
+        | None ->
+            (* ASOF <int> on an unversioned table: MVCC time-travel to
+               the newest committed version at or below that LSN *)
+            Some
+              (fun lsn ->
+                match Mvcc.resolve_at (Mvcc.view t.mvcc) ti.schema.Schema.name ~lsn with
+                | Some v -> v.Mvcc.v_tuples
+                | None -> [])
+      in
       Some
         {
           Eval.schema = ti.schema;
           versioned = ti.versioned;
           scan;
           scan_asof;
+          scan_asof_lsn;
           roots;
           fetch_root;
           indexes = List.map (fun ii -> (ii.ipath, ii.vindex)) ti.indexes;
           text_indexes = ti.text_indexes;
         }
+
+(* --- MVCC publication --------------------------------------------------------
+
+   Every committed mutation publishes, per touched table, a full
+   immutable version stamped with the commit LSN into [t.mvcc]
+   (lib/temporal/mvcc).  Mutating statements record the tables they
+   touch in [t.dirty]; the capture below runs on the write side — at
+   WAL commit, at snapshot-transaction commit, or right after an
+   autocommitted mutation — so readers holding a snapshot handle never
+   look at shared storage at all.  Versioned tables additionally freeze
+   their Section 5 time-version store into pure data, keeping date-ASOF
+   queries answerable from a snapshot. *)
+
+let touch t name = t.dirty <- StrSet.add (String.uppercase_ascii name) t.dirty
+
+let capture_table t name : Mvcc.input =
+  match find_table t name with
+  | None -> Mvcc.Drop
+  | Some ti ->
+      let tuples =
+        match ti.vstore with
+        | Some vs -> VS.current_all vs ti.schema
+        | None -> List.map (OS.fetch ti.store ti.schema) (OS.roots ti.store)
+      in
+      let asof = Option.map (fun vs -> VS.freeze vs ti.schema) ti.vstore in
+      Mvcc.Publish { schema = ti.schema; versioned = ti.versioned; tuples; asof }
+
+(* Commit LSN: the WAL's last appended record (the commit record, when
+   called right after [Wal.commit]); without a WAL, an internal counter. *)
+let next_publish_lsn t =
+  match t.wal with
+  | Some w -> Wal.last_lsn w
+  | None -> Mvcc.snapshot_lsn t.mvcc + 1
+
+let mvcc_publish ?lsn ?monotonize t =
+  let names = StrSet.elements t.dirty in
+  t.dirty <- StrSet.empty;
+  let lsn = match lsn with Some l -> l | None -> next_publish_lsn t in
+  Mvcc.publish t.mvcc ?monotonize ~lsn (List.map (fun n -> (n, capture_table t n)) names)
+
+(* Wholesale refresh (load, recovery, replica catalog apply): publish
+   every live table, tombstoning chains whose table disappeared. *)
+let mvcc_refresh_all ?lsn ?monotonize t =
+  t.dirty <- StrSet.empty;
+  let names =
+    List.sort_uniq String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.tables (Mvcc.live_names t.mvcc))
+  in
+  let lsn = match lsn with Some l -> l | None -> next_publish_lsn t in
+  Mvcc.publish t.mvcc ?monotonize ~lsn (List.map (fun n -> (n, capture_table t n)) names)
 
 (* --- index maintenance ------------------------------------------------------ *)
 
@@ -486,6 +555,10 @@ let commit_wal_txn t w (st : wal_txn_state) =
   Wal.commit w ~tx:st.wtx ~payload:(Some (wal_payload t));
   BP.set_tx t.pool Wal.system_tx;
   t.wal_txn <- None;
+  (* the commit record is the last appended LSN: publish the touched
+     tables' new versions at it, making the commit visible to snapshot
+     readers in one atomic step *)
+  mvcc_publish t;
   List.iter (journal_write t) (List.rev st.wpending_journal)
 
 (* Runtime rollback: apply the transaction's before-images in reverse
@@ -501,6 +574,7 @@ let abort_wal_txn t w (st : wal_txn_state) =
   Wal.log_abort w st.wtx;
   BP.set_tx t.pool Wal.system_tx;
   t.wal_txn <- None;
+  t.dirty <- StrSet.empty; (* nothing committed: publish nothing *)
   restore_catalog t st.saved_catalog
 
 (* Run [f] as its own logged transaction when a WAL is attached and no
@@ -521,7 +595,22 @@ let logged t (f : unit -> 'a) : 'a =
       | e ->
           if still_ours () then abort_wal_txn t w st;
           raise e)
-  | _ -> f ()
+  | _ ->
+      (* no WAL (or already inside a transaction): outside a
+         transaction each mutating call publishes its own MVCC version
+         directly — also on failure, since without a WAL a failed
+         script may have partially applied and the snapshot must track
+         the actual state *)
+      let publish () =
+        if t.txn = None && t.wal_txn = None && not (StrSet.is_empty t.dirty) then mvcc_publish t
+      in
+      (match f () with
+      | r ->
+          publish ();
+          r
+      | exception e ->
+          publish ();
+          raise e)
 
 (* Transaction hooks are installed after persistence is defined (they
    snapshot/restore whole database images). *)
@@ -661,10 +750,12 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       let vstore = if versioned then Some (VS.create store t.pool) else None in
       Hashtbl.replace t.tables (String.uppercase_ascii name)
         { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] };
+      touch t name;
       Msg (Printf.sprintf "table %s created%s" (String.uppercase_ascii name) (if versioned then " (versioned)" else ""))
   | Ast.Drop_table name ->
       let _ = table_exn t name in
       Hashtbl.remove t.tables (String.uppercase_ascii name);
+      touch t name;
       Msg (Printf.sprintf "table %s dropped" (String.uppercase_ascii name))
   | Ast.Create_index { table; path; strategy } ->
       let ti = table_exn t table in
@@ -684,6 +775,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       Msg (Printf.sprintf "text index on %s(%s) created" (String.uppercase_ascii table) (String.concat "." path))
   | Ast.Insert { table; sub_path = []; where = None; rows } ->
       let ti = table_exn t table in
+      touch t table;
       let tuples = List.map (tuple_of_literals ti.schema.Schema.table) rows in
       (match ti.vstore with
       | Some vs -> List.iter (fun tup -> ignore (VS.insert vs ti.schema ~ts:vs.VS.clock tup)) tuples
@@ -705,6 +797,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
         | Schema.Table sub -> sub
         | Schema.Atomic _ -> db_error "%s is not a subtable" (String.concat "." sub_path)
       in
+      touch t table;
       let tuples = List.map (tuple_of_literals sub) rows in
       let steps = List.map (fun a -> OS.Attr a) sub_path in
       let targets = matching_roots t ti where in
@@ -752,6 +845,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       in
       let tuples = List.map (fun r -> OS.fetch ti.store ti.schema r @ [ default ]) (OS.roots ti.store) in
       rebuild_table t ti schema' tuples;
+      touch t table;
       Msg (Printf.sprintf "attribute %s added to %s" new_field.Schema.name (String.uppercase_ascii table))
   | Ast.Alter_drop { table; attr } ->
       let ti = table_exn t table in
@@ -772,9 +866,11 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
           (OS.roots ti.store)
       in
       rebuild_table t ti schema' tuples;
+      touch t table;
       Msg (Printf.sprintf "attribute %s dropped from %s" (String.uppercase_ascii attr) (String.uppercase_ascii table))
   | Ast.Update { table; sub_path = _ :: _ as sub_path; sets; where; at } ->
       let ti = table_exn t table in
+      touch t table;
       if ti.versioned then db_error "subtable update on versioned tables is not supported";
       if at <> None then db_error "AT applies to versioned tables only";
       let sub =
@@ -838,6 +934,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       Msg (Printf.sprintf "%d element(s) updated in %s" !count (String.concat "." sub_path))
   | Ast.Delete { table; sub_path = _ :: _ as sub_path; where; at } ->
       let ti = table_exn t table in
+      touch t table;
       if ti.versioned then db_error "subtable delete on versioned tables is not supported";
       if at <> None then db_error "AT applies to versioned tables only";
       (match Schema.resolve_path ti.schema.Schema.table sub_path with
@@ -870,6 +967,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       Msg (Printf.sprintf "%d element(s) deleted from %s" !count (String.concat "." sub_path))
   | Ast.Update { table; sub_path = []; sets; where; at } -> (
       let ti = table_exn t table in
+      touch t table;
       (* updated first-level atoms of a tuple *)
       let new_atoms (tup : Value.tuple) : Atom.t list =
         let env = [ ("#row", (ti.schema.Schema.table, tup)) ] in
@@ -924,6 +1022,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
           Msg (Printf.sprintf "%d row(s) updated in %s" (List.length targets) (String.uppercase_ascii table)))
   | Ast.Delete { table; sub_path = []; where; at } -> (
       let ti = table_exn t table in
+      touch t table;
       match ti.vstore with
       | Some vs ->
           let ts = eval_ts t at ~vs in
@@ -999,6 +1098,7 @@ let register_table t (schema : Schema.t) ?(versioned = false) (rows : Value.tupl
       let vstore = if versioned then Some (VS.create store t.pool) else None in
       let ti = { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] } in
       Hashtbl.replace t.tables key ti;
+      touch t key;
       match vstore with
       | Some vs -> List.iter (fun tup -> ignore (VS.insert vs schema ~ts:0 tup)) rows
       | None -> List.iter (fun tup -> ignore (OS.insert ti.store schema tup)) rows)
@@ -1007,6 +1107,7 @@ let insert_tuple t ~table (tup : Value.tuple) : Tid.t =
   let ti = table_exn t table in
   (match ti.vstore with Some _ -> db_error "use the language for versioned tables" | None -> ());
   logged t (fun () ->
+      touch t table;
       let root = OS.insert ti.store ti.schema tup in
       reindex_object ti root;
       root)
@@ -1089,9 +1190,12 @@ let decode_db ?(frames = 256) (data : string) : t =
       txn = None;
       wal = None;
       wal_txn = None;
+      mvcc = Mvcc.create ();
+      dirty = StrSet.empty;
     }
   in
   decode_catalog t src;
+  mvcc_refresh_all t;
   t
 
 let load ?frames (path : string) : t =
@@ -1120,6 +1224,7 @@ let commit t =
   match (t.txn, t.wal_txn, t.wal) with
   | Some st, _, _ ->
       t.txn <- None;
+      mvcc_publish t;
       List.iter (journal_write t) (List.rev st.pending_journal)
   | None, Some st, Some w -> commit_wal_txn t w st
   | _ -> db_error "COMMIT without BEGIN"
@@ -1136,7 +1241,8 @@ let rollback t =
       Hashtbl.reset t.tables;
       Hashtbl.iter (fun k v -> Hashtbl.replace t.tables k v) t'.tables;
       t.tnames <- t'.tnames;
-      t.txn <- None
+      t.txn <- None;
+      t.dirty <- StrSet.empty
   | None, Some st, Some w -> abort_wal_txn t w st
   | _ -> db_error "ROLLBACK without BEGIN"
 
@@ -1252,10 +1358,16 @@ let replicate_record t ((_, r) : Wal.lsn * Wal.record) =
   | Wal.Begin _ | Wal.Commit _ | Wal.Abort _ | Wal.Checkpoint _ -> ()
 
 (* Refresh the replica's catalog from a shipped commit / checkpoint
-   payload, making the transaction's objects visible to readers. *)
-let replicate_catalog t (payload : string) =
+   payload, making the transaction's objects visible to readers.  With
+   [lsn] (the shipped record's LSN) the refresh publishes a new MVCC
+   version stamped with the primary's commit LSN — and is a no-op when
+   that LSN was already applied, so catch-up may safely re-apply. *)
+let replicate_catalog ?lsn t (payload : string) =
   if in_txn t then db_error "replicate_catalog inside an open transaction";
-  restore_catalog t payload
+  restore_catalog t payload;
+  match lsn with
+  | Some lsn -> mvcc_refresh_all ~lsn ~monotonize:false t
+  | None -> mvcc_refresh_all t
 
 (* Promotion undo: apply before-images (newest first) through the pool,
    rolling unresolved shipped transactions back off the pages.  The
@@ -1266,7 +1378,8 @@ let replicate_undo t (images : (int * int * string) list) =
     (fun (page, off, before) ->
       ensure_page t page;
       BP.write t.pool page (fun buf -> Bytes.blit_string before 0 buf off (String.length before)))
-    images
+    images;
+  mvcc_refresh_all t
 
 let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
   let outcome = Recovery.replay img in
@@ -1302,10 +1415,13 @@ let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
       txn = None;
       wal = None;
       wal_txn = None;
+      mvcc = Mvcc.create ();
+      dirty = StrSet.empty;
     }
   in
   (match cat with None -> () | Some src -> decode_catalog t src);
   attach_wal t;
+  mvcc_refresh_all t;
   t
 
 (* --- tuple names ------------------------------------------------------------------ *)
@@ -1326,3 +1442,92 @@ let resolve_tname t (token : string) : Value.v =
   let tn = Tname.find_token t.tnames token in
   let ti = table_exn t tn.Tname.table in
   Tname.resolve ti.store ti.schema tn
+
+(* --- MVCC snapshot reads ------------------------------------------------------
+
+   The lock-free read path: pin the current multi-version state (one
+   atomic read), build a catalog that resolves every table to its
+   newest committed version at or below the snapshot LSN, and evaluate
+   read-only statements against that — no predicate locks, no engine
+   latch, and writers are never blocked.  ASOF falls out naturally:
+   versioned tables carry their frozen Section 5 date reader, and
+   [ASOF <int>] on any table is time-travel to an older LSN within the
+   same pinned snapshot. *)
+
+let snapshot t : Mvcc.snapshot = Mvcc.snapshot t.mvcc
+let release_snapshot t (s : Mvcc.snapshot) = Mvcc.release t.mvcc s
+let snapshot_lsn (s : Mvcc.snapshot) = Mvcc.lsn s
+let current_snapshot_lsn t = Mvcc.snapshot_lsn t.mvcc
+let mvcc_stats t : Mvcc.stats = Mvcc.stats t.mvcc
+let set_mvcc_retain t n = Mvcc.set_retain t.mvcc n
+
+(* Catalog over a pinned snapshot: scans come from the frozen version's
+   tuples, so evaluation touches no shared storage at all (index access
+   paths are deliberately absent — they point into live pages). *)
+let snapshot_catalog (s : Mvcc.snapshot) : Eval.catalog =
+ fun name ->
+  match Mvcc.resolve s name with
+  | None -> None
+  | Some v ->
+      let tuples = v.Mvcc.v_tuples in
+      let scan_asof_lsn =
+        if v.Mvcc.v_versioned then None
+        else
+          Some
+            (fun lsn ->
+              match Mvcc.resolve_at s name ~lsn with
+              | Some v -> v.Mvcc.v_tuples
+              | None -> [])
+      in
+      Some
+        {
+          Eval.schema = v.Mvcc.v_schema;
+          versioned = v.Mvcc.v_versioned;
+          scan = (fun () -> tuples);
+          scan_asof = v.Mvcc.v_asof;
+          scan_asof_lsn;
+          roots = None;
+          fetch_root = None;
+          indexes = [];
+          text_indexes = [];
+        }
+
+let snapshot_table_names (s : Mvcc.snapshot) =
+  List.map (fun (_, v) -> v.Mvcc.v_schema.Schema.name) (Mvcc.live_tables s)
+
+let run_query_snap ?trace ?rewrite t (s : Mvcc.snapshot) q =
+  let notes = ref [ Printf.sprintf "snapshot @ LSN %d" (Mvcc.lsn s) ] in
+  let rel = Eval.run ~plan:(fun p -> notes := p :: !notes) ?trace ?rewrite (snapshot_catalog s) q in
+  t.last_plan <- !notes;
+  rel
+
+(* Execute one read-only statement against a pinned snapshot.  Callers
+   classify statements first (the server's statement rewrite does);
+   anything mutating is rejected here as a backstop. *)
+let exec_read ?trace ?rewrite t (s : Mvcc.snapshot) (stmt : Ast.stmt) : result =
+  match stmt with
+  | Ast.Select q -> Rows (run_query_snap ?trace ?rewrite t s q)
+  | Ast.Show_tables -> Msg (String.concat "\n" (snapshot_table_names s))
+  | Ast.Describe name -> (
+      match Mvcc.resolve s name with
+      | Some v ->
+          Msg (Schema.to_string v.Mvcc.v_schema ^ "\n" ^ Schema.render_segment_tree v.Mvcc.v_schema)
+      | None -> db_error "no such table: %s" name)
+  | Ast.Explain q ->
+      let rel = run_query_snap ?rewrite t s q in
+      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      Msg
+        (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) (Rel.cardinality rel)
+           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+  | Ast.Explain_analyze q ->
+      let tr = new_trace t in
+      let root = Trace.root tr in
+      let rel = Trace.timed tr root (fun () -> run_query_snap ~trace:tr ?rewrite t s q) in
+      Trace.add_rows root (Rel.cardinality rel);
+      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      Msg
+        (Printf.sprintf "plan:\n  %s\ntrace:\n%sresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) (Trace.render tr) (Rel.cardinality rel)
+           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+  | _ -> db_error "exec_read: statement is not read-only"

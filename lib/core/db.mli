@@ -195,16 +195,69 @@ val recover_from_image : ?frames:int -> Nf2_storage.Recovery.image -> t
 val replicate_record : t -> Nf2_storage.Wal.lsn * Nf2_storage.Wal.record -> unit
 
 (** Refresh the catalog from a shipped commit / checkpoint payload,
-    making the shipped transaction's objects visible to readers.
+    making the shipped transaction's objects visible to readers.  With
+    [lsn] (the shipped record's LSN) the refresh also publishes a new
+    MVCC version stamped with the primary's commit LSN — and is a no-op
+    if that LSN was already applied, so catch-up may safely re-apply.
     @raise Db_error if the payload's layout/clustering do not match
     this database, or inside an open transaction. *)
-val replicate_catalog : t -> string -> unit
+val replicate_catalog : ?lsn:int -> t -> string -> unit
 
 (** Promotion undo: apply before-images (give them newest first)
     through the pool, rolling unresolved shipped transactions back off
     the pages.
     @raise Db_error inside an open transaction. *)
 val replicate_undo : t -> (int * int * string) list -> unit
+
+(** {1 MVCC snapshot reads}
+
+    Every commit publishes, per touched table, a new immutable version
+    stamped with the commit LSN into an engine-wide multi-version store
+    ({!Nf2_temporal.Mvcc}); the database's {e snapshot LSN} advances
+    monotonically with it.  A snapshot pins that state with one atomic
+    read: read-only statements evaluated through {!exec_read} resolve
+    every table to its newest version at or below the snapshot LSN and
+    touch no shared storage at all — no predicate locks, no engine
+    latch, never blocking (or blocked by) writers.  [ASOF <int>] inside
+    a snapshot is time-travel to an older LSN; versioned tables keep
+    their Section 5 date-ASOF semantics through a frozen reader.  Old
+    versions are garbage-collected (see {!set_mvcc_retain}); resolving
+    below the GC horizon raises {!Nf2_temporal.Mvcc.Snapshot_too_old}. *)
+
+(** Pin the current committed state.  O(1), wait-free with respect to
+    writers.  Release promptly: a pinned snapshot holds the GC horizon. *)
+val snapshot : t -> Nf2_temporal.Mvcc.snapshot
+
+val release_snapshot : t -> Nf2_temporal.Mvcc.snapshot -> unit
+val snapshot_lsn : Nf2_temporal.Mvcc.snapshot -> int
+
+(** The newest published commit LSN. *)
+val current_snapshot_lsn : t -> int
+
+val mvcc_stats : t -> Nf2_temporal.Mvcc.stats
+
+(** Minimum number of versions kept per table regardless of pins
+    (default 8). *)
+val set_mvcc_retain : t -> int -> unit
+
+(** Evaluator catalog over a pinned snapshot — scans serve the frozen
+    version's tuples; index access paths are absent by design (they
+    point into live pages). *)
+val snapshot_catalog : Nf2_temporal.Mvcc.snapshot -> Nf2_lang.Eval.catalog
+
+(** Execute one read-only statement (SELECT / EXPLAIN [ANALYZE] /
+    SHOW TABLES / DESCRIBE) against a pinned snapshot.  The plan notes
+    lead with ["snapshot @ LSN <n>"].
+    @raise Db_error on a mutating statement.
+    @raise Nf2_temporal.Mvcc.Snapshot_too_old for [ASOF <lsn>] below
+    the GC horizon. *)
+val exec_read :
+  ?trace:Nf2_obs.Trace.t ->
+  ?rewrite:bool ->
+  t ->
+  Nf2_temporal.Mvcc.snapshot ->
+  Nf2_lang.Ast.stmt ->
+  result
 
 (** {1 Introspection (experiments, shell)} *)
 

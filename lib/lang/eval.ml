@@ -54,6 +54,7 @@ type source_table = {
   versioned : bool;
   scan : unit -> Value.tuple list;
   scan_asof : (int -> Value.tuple list) option;
+  scan_asof_lsn : (int -> Value.tuple list) option;
   roots : (unit -> Tid.t list) option;
   fetch_root : (Tid.t -> Value.tuple) option;
   indexes : (Schema.path * VI.t) list;
@@ -389,12 +390,16 @@ and eval_agg agg (tb : Value.table) : Atom.t =
 
 and range_tuples (catalog : catalog) (env : env) (r : range) : Schema.table * Value.tuple list =
   let ts_of_asof () =
+    (* [`Date]: a Section 5 time-version timestamp; [`Lsn]: an integer,
+       which versioned tables also read as a timestamp (timestamps are
+       logical ints) while unversioned tables read it as a commit LSN
+       (MVCC time-travel = an old snapshot) *)
     match r.asof with
     | None -> None
     | Some e -> (
         match eval_expr catalog env e with
-        | Value.Atom (Atom.Date d) -> Some d
-        | Value.Atom (Atom.Int i) -> Some i
+        | Value.Atom (Atom.Date d) -> Some (`Date, d)
+        | Value.Atom (Atom.Int i) -> Some (`Lsn, i)
         | _ -> eval_error "ASOF expression must be a date or integer timestamp")
   in
   match r.source with
@@ -403,10 +408,13 @@ and range_tuples (catalog : catalog) (env : env) (r : range) : Schema.table * Va
       | Some st -> (
           match ts_of_asof () with
           | None -> (st.schema.Schema.table, st.scan ())
-          | Some ts -> (
-              match st.scan_asof with
-              | Some f -> (st.schema.Schema.table, f ts)
-              | None -> eval_error "table %s is not versioned (ASOF unavailable)" name))
+          | Some (kind, ts) -> (
+              match st.scan_asof, kind, st.scan_asof_lsn with
+              | Some f, _, _ -> (st.schema.Schema.table, f ts)
+              | None, `Lsn, Some f -> (st.schema.Schema.table, f ts)
+              | None, _, _ ->
+                  eval_error "table %s is not versioned (DATE ASOF unavailable; ASOF <lsn> reads an old snapshot)"
+                    name))
       | None -> (
           (* unqualified subtable attribute of a variable in scope *)
           if ts_of_asof () <> None then eval_error "ASOF applies to stored tables only";

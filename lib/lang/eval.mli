@@ -26,7 +26,13 @@ type source_table = {
   schema : Schema.t;
   versioned : bool;
   scan : unit -> Value.tuple list;  (** current contents *)
-  scan_asof : (int -> Value.tuple list) option;  (** versioned tables *)
+  scan_asof : (int -> Value.tuple list) option;
+      (** versioned tables: date/timestamp ASOF (Section 5) *)
+  scan_asof_lsn : (int -> Value.tuple list) option;
+      (** unversioned tables under MVCC: [ASOF <int>] selects the
+          newest committed version at or below that commit LSN
+          (time-travel = old snapshot); raises
+          {!Nf2_temporal.Mvcc.Snapshot_too_old} below the GC horizon *)
   roots : (unit -> Tid.t list) option;  (** for index plans *)
   fetch_root : (Tid.t -> Value.tuple) option;
   indexes : (Schema.path * VI.t) list;

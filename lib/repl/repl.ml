@@ -342,15 +342,18 @@ module Replica = struct
                 Hashtbl.replace t.live tx ((lsn, page, off, before) :: undo)
             | Wal.Commit { tx; payload = pl } ->
                 Hashtbl.remove t.live tx;
-                (match pl with Some pl -> payload := Some pl | None -> ())
+                (match pl with Some pl -> payload := Some (lsn, pl) | None -> ())
             | Wal.Abort tx -> Hashtbl.remove t.live tx
             | Wal.Checkpoint { payload = pl } -> (
-                match pl with Some pl -> payload := Some pl | None -> ())
+                match pl with Some pl -> payload := Some (lsn, pl) | None -> ())
             | _ -> ());
             Db.replicate_record t.db entry;
             t.records_applied <- t.records_applied + 1)
           recs;
-        (match !payload with Some pl -> Db.replicate_catalog t.db pl | None -> ());
+        (* publish the refreshed catalog as an MVCC version at the
+           shipped record's LSN: snapshot readers on this replica see a
+           consistent state that advances exactly with [applied_lsn] *)
+        (match !payload with Some (lsn, pl) -> Db.replicate_catalog ~lsn t.db pl | None -> ());
         (match List.rev recs with
         | (lsn, _) :: _ -> t.applied_lsn <- max t.applied_lsn lsn
         | [] -> ());

@@ -22,6 +22,7 @@ let err_deadlock = "40P01" (* granting the wait would close a cycle *)
 let err_busy = "53300" (* admission control: too many sessions *)
 let err_txn_state = "25000" (* BEGIN in txn / COMMIT outside one *)
 let err_read_only = "25006" (* mutation on a read-only replica *)
+let err_snapshot_too_old = "72000" (* ASOF below the MVCC GC horizon *)
 let err_protocol = "08P01" (* malformed or unexpected frame *)
 let err_internal = "XX000"
 

@@ -24,6 +24,9 @@ val err_txn_state : string  (** 25000: BEGIN in txn / COMMIT outside one *)
 
 val err_read_only : string  (** 25006: mutation on a read-only replica *)
 
+val err_snapshot_too_old : string
+(** 72000: ASOF at an LSN whose versions the MVCC GC reclaimed *)
+
 val err_protocol : string  (** 08P01: malformed or unexpected frame *)
 
 val err_internal : string  (** XX000 *)

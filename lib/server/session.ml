@@ -4,18 +4,21 @@
    Concurrency model (see docs/CONCURRENCY.md):
 
    - statements are classified (after Rewrite normalisation) as
-     read-only or mutating.  The old global engine mutex is now a
-     reader-writer latch: read-only statements run concurrently under
-     the shared side — and in parallel, dispatched to the server's
-     worker-domain executor — while mutating statements, DDL, and the
-     replication applier hold the exclusive side and still see the
-     engine strictly alone;
-   - isolation across sessions comes from predicate locks
-     ({!Nf2_lock.Predicate_lock}): readers take Shared whole-table
-     locks for the duration of a statement, writers take Exclusive
+     read-only or mutating.  A plain read-only statement takes {e no
+     lock and no latch at all}: it pins an MVCC snapshot (one atomic
+     read of the engine's multi-version state, {!Nf2_temporal.Mvcc}),
+     evaluates against the frozen version chains on a worker domain,
+     and releases the pin — writers never block readers and readers
+     never block writers.  Mutating statements, DDL, and the
+     replication applier hold the engine's exclusive latch and still
+     see the engine strictly alone; commits publish new versions and
+     advance the snapshot LSN;
+   - write-write isolation across sessions comes from predicate locks
+     ({!Nf2_lock.Predicate_lock}): writers take Exclusive whole-table
      locks that explicit transactions hold until COMMIT/ROLLBACK
-     (two-phase locking).  The lock table is fair: a queued writer
-     blocks later shared grants, so readers cannot starve it;
+     (two-phase locking).  Shared locks remain only for reads {e
+     inside} an explicit transaction, which must see the transaction's
+     own uncommitted writes and therefore bypass the snapshot path;
    - at most one *engine* transaction is open at a time (the engine has
      a single transaction state); BEGIN and autocommitted mutations
      acquire this "transaction slot" first, so a transaction's
@@ -32,6 +35,7 @@
      lets concurrent committers share one fsync (group commit). *)
 
 module Db = Nf2.Db
+module Mvcc = Nf2_temporal.Mvcc
 module PL = Nf2_lock.Predicate_lock
 module Wal = Nf2_storage.Wal
 module BP = Nf2_storage.Buffer_pool
@@ -473,14 +477,18 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
         r
       end
       else begin
-        (* plain read: statement-duration shared locks, shared engine
-           latch, evaluation on a worker domain *)
-        let ltxn = fresh_ltxn mgr in
+        (* plain read: lock-free MVCC snapshot — no predicate locks and
+           no engine latch.  The pinned version chains are immutable,
+           so evaluation runs on a worker domain while writers commit
+           freely; the pin only holds the GC horizon. *)
+        ignore specs;
+        Metrics.incr mgr.metrics "snapshot_reads";
+        let snap = Db.snapshot mgr.db in
         Fun.protect
-          ~finally:(fun () -> release_locks mgr ltxn)
+          ~finally:(fun () -> Db.release_snapshot mgr.db snap)
           (fun () ->
-            acquire_locks mgr ltxn specs ~deadline;
-            with_engine_read mgr exec)
+            let eval () = Db.exec_read ?trace ~rewrite:false mgr.db snap stmt in
+            match mgr.executor with Some ex -> Executor.run ex eval | None -> eval ())
       end
 
 (* --- slow-query tracing -------------------------------------------------- *)
@@ -554,6 +562,16 @@ let error_of_exn (e : exn) : P.response option =
   | Schema.Schema_error m -> Some (P.Error { code = P.err_semantic; message = m })
   | Value.Value_error m -> Some (P.Error { code = P.err_semantic; message = m })
   | Params.Param_error m -> Some (P.Error { code = P.err_semantic; message = m })
+  | Mvcc.Snapshot_too_old { table; lsn; floor } ->
+      Some
+        (P.Error
+           {
+             code = P.err_snapshot_too_old;
+             message =
+               Printf.sprintf
+                 "snapshot too old: %s @ LSN %d is below the version GC horizon (oldest kept: %d)"
+                 table lsn floor;
+           })
   | P.Protocol_error m -> Some (P.Error { code = P.err_protocol; message = m })
   | _ -> None
 
@@ -581,6 +599,11 @@ let fold_storage_stats (mgr : manager) =
   Metrics.set m "engine_readers_active" (Rwlock.readers_active mgr.engine);
   Metrics.set m "engine_read_grants" (Rwlock.read_grants mgr.engine);
   Metrics.set m "engine_write_grants" (Rwlock.write_grants mgr.engine);
+  let mv = Db.mvcc_stats mgr.db in
+  Metrics.set m "mvcc_snapshot_lsn" mv.Mvcc.snapshot_lsn;
+  Metrics.set m "mvcc_versions_live" mv.Mvcc.versions_live;
+  Metrics.set m "mvcc_gc_reclaimed" mv.Mvcc.gc_reclaimed;
+  Metrics.set m "mvcc_pinned_snapshots" mv.Mvcc.pins;
   (match mgr.executor with
   | Some ex ->
       Metrics.set m "executor_domains" (Executor.size ex);

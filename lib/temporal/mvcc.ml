@@ -1,0 +1,219 @@
+(* Engine-wide LSN-stamped version chains for MVCC snapshot reads.
+
+   The whole multi-version state is one immutable value behind an
+   [Atomic.t]: a map from table name to its chain of committed
+   versions, newest first.  Publishing (the write side, already
+   serialised by the engine's exclusive latch) builds a new state and
+   swaps the pointer; taking a snapshot is a single [Atomic.get], so
+   readers are wait-free with respect to writers and always observe a
+   commit-consistent boundary — there is no moment at which a reader
+   can see table A after a commit and table B before it.
+
+   GC runs inside publish: every chain keeps its newest [retain]
+   versions plus everything a pinned snapshot might still resolve;
+   older versions are dropped and the chain remembers that it was
+   trimmed, so resolving below the horizon fails with the typed
+   [Snapshot_too_old] instead of silently returning a younger state. *)
+
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+module SMap = Map.Make (String)
+
+exception Snapshot_too_old of { table : string; lsn : int; floor : int }
+
+type version = {
+  v_lsn : int;
+  v_schema : Schema.t;
+  v_versioned : bool;
+  v_tuples : Value.tuple list;
+  v_asof : (int -> Value.tuple list) option;
+  v_live : bool; (* false: drop tombstone — the table is gone above v_lsn *)
+}
+
+type input =
+  | Publish of {
+      schema : Schema.t;
+      versioned : bool;
+      tuples : Value.tuple list;
+      asof : (int -> Value.tuple list) option;
+    }
+  | Drop
+
+(* [c_trimmed]: GC has dropped versions off the old end, so resolution
+   below the oldest kept version must fail rather than answer wrong. *)
+type chain = { c_versions : version list (* newest first, never [] *); c_trimmed : bool }
+
+type state = { s_lsn : int; s_tables : chain SMap.t; s_versions : int }
+
+type t = {
+  state : state Atomic.t;
+  mu : Mutex.t; (* serialises publishers; guards pins *)
+  pins : (int, int) Hashtbl.t; (* pinned snapshot LSN -> refcount *)
+  mutable retain : int;
+  mutable reclaimed : int;
+  mutable floor : int;
+}
+
+type snapshot = { snap_state : state; snap_lsn : int }
+
+type stats = {
+  snapshot_lsn : int;
+  versions_live : int;
+  gc_reclaimed : int;
+  gc_floor : int;
+  pins : int;
+}
+
+let create ?(retain = 8) () =
+  {
+    state = Atomic.make { s_lsn = 0; s_tables = SMap.empty; s_versions = 0 };
+    mu = Mutex.create ();
+    pins = Hashtbl.create 8;
+    retain = max 1 retain;
+    reclaimed = 0;
+    floor = 0;
+  }
+
+let with_mu (t : t) f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let set_retain (t : t) n = with_mu t (fun () -> t.retain <- max 1 n)
+
+let oldest_pin_locked (t : t) =
+  Hashtbl.fold (fun lsn n acc -> if n > 0 then min lsn acc else acc) t.pins max_int
+
+(* Trim one chain: keep the newest [retain] versions, plus down to and
+   including the first version at or below [keep_lsn] — the version a
+   snapshot pinned at [keep_lsn] (or anything newer) resolves to. *)
+let gc_chain (t : t) ~keep_lsn (c : chain) : chain =
+  let rec keep idx = function
+    | [] -> ([], [])
+    | v :: rest ->
+        if idx >= t.retain && v.v_lsn <= keep_lsn then ([ v ], rest)
+        else
+          let kept, dropped = keep (idx + 1) rest in
+          (v :: kept, dropped)
+  in
+  let kept, dropped = keep 0 c.c_versions in
+  if dropped = [] then c
+  else begin
+    t.reclaimed <- t.reclaimed + List.length dropped;
+    List.iter (fun v -> t.floor <- max t.floor v.v_lsn) dropped;
+    { c_versions = kept; c_trimmed = true }
+  end
+
+let publish (t : t) ?(monotonize = true) ~lsn (inputs : (string * input) list) =
+  with_mu t (fun () ->
+      let cur = Atomic.get t.state in
+      if lsn <= cur.s_lsn && not monotonize then ()
+      else begin
+        let lsn = if lsn > cur.s_lsn then lsn else cur.s_lsn + 1 in
+        let tables =
+          List.fold_left
+            (fun tables (name, input) ->
+              let key = String.uppercase_ascii name in
+              let old = SMap.find_opt key tables in
+              match input, old with
+              | Drop, None -> tables (* drop of a never-published table *)
+              | Drop, Some c ->
+                  let prev = List.hd c.c_versions in
+                  let v = { prev with v_lsn = lsn; v_tuples = []; v_asof = None; v_live = false } in
+                  SMap.add key { c with c_versions = v :: c.c_versions } tables
+              | Publish { schema; versioned; tuples; asof }, _ ->
+                  let v =
+                    { v_lsn = lsn; v_schema = schema; v_versioned = versioned;
+                      v_tuples = tuples; v_asof = asof; v_live = true }
+                  in
+                  let c =
+                    match old with
+                    | Some c -> { c with c_versions = v :: c.c_versions }
+                    | None -> { c_versions = [ v ]; c_trimmed = false }
+                  in
+                  SMap.add key c tables)
+            cur.s_tables inputs
+        in
+        let keep_lsn = min (oldest_pin_locked t) lsn in
+        let tables = SMap.map (gc_chain t ~keep_lsn) tables in
+        let s_versions = SMap.fold (fun _ c n -> n + List.length c.c_versions) tables 0 in
+        Atomic.set t.state { s_lsn = lsn; s_tables = tables; s_versions }
+      end)
+
+let snapshot_lsn (t : t) = (Atomic.get t.state).s_lsn
+
+let live_names (t : t) =
+  SMap.fold
+    (fun k c acc -> if (List.hd c.c_versions).v_live then k :: acc else acc)
+    (Atomic.get t.state).s_tables []
+
+let snapshot (t : t) : snapshot =
+  with_mu t (fun () ->
+      let st = Atomic.get t.state in
+      let n = Option.value (Hashtbl.find_opt t.pins st.s_lsn) ~default:0 in
+      Hashtbl.replace t.pins st.s_lsn (n + 1);
+      { snap_state = st; snap_lsn = st.s_lsn })
+
+(* Unpinned view of the current state: safe to resolve against (the
+   state is immutable), but does not hold the GC horizon. *)
+let view (t : t) : snapshot =
+  let st = Atomic.get t.state in
+  { snap_state = st; snap_lsn = st.s_lsn }
+
+let release (t : t) (s : snapshot) =
+  with_mu t (fun () ->
+      match Hashtbl.find_opt t.pins s.snap_lsn with
+      | Some n when n > 1 -> Hashtbl.replace t.pins s.snap_lsn (n - 1)
+      | Some _ -> Hashtbl.remove t.pins s.snap_lsn
+      | None -> ())
+
+let lsn (s : snapshot) = s.snap_lsn
+
+(* Newest version at or below [lsn], or the reason there is none. *)
+let resolve_chain (c : chain) ~lsn : [ `Version of version | `Absent | `Too_old of int ] =
+  let rec go = function
+    | [] ->
+        if c.c_trimmed then
+          let oldest = List.nth c.c_versions (List.length c.c_versions - 1) in
+          `Too_old oldest.v_lsn
+        else `Absent
+    | v :: rest -> if v.v_lsn <= lsn then `Version v else go rest
+  in
+  go c.c_versions
+
+let resolve (s : snapshot) name : version option =
+  match SMap.find_opt (String.uppercase_ascii name) s.snap_state.s_tables with
+  | None -> None
+  | Some c -> (
+      (* chain heads never exceed the state's LSN, so `Too_old cannot
+         surface here: the head itself is always at or below snap_lsn *)
+      match resolve_chain c ~lsn:s.snap_lsn with
+      | `Version v when v.v_live -> Some v
+      | _ -> None)
+
+let resolve_at (s : snapshot) name ~lsn : version option =
+  let key = String.uppercase_ascii name in
+  let lsn = min lsn s.snap_lsn in
+  match SMap.find_opt key s.snap_state.s_tables with
+  | None -> None
+  | Some c -> (
+      match resolve_chain c ~lsn with
+      | `Version v -> if v.v_live then Some v else None
+      | `Absent -> None
+      | `Too_old floor -> raise (Snapshot_too_old { table = key; lsn; floor }))
+
+let live_tables (s : snapshot) : (string * version) list =
+  SMap.fold
+    (fun k _ acc -> match resolve s k with Some v -> (k, v) :: acc | None -> acc)
+    s.snap_state.s_tables []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let stats (t : t) : stats =
+  let st = Atomic.get t.state in
+  with_mu t (fun () ->
+      {
+        snapshot_lsn = st.s_lsn;
+        versions_live = st.s_versions;
+        gc_reclaimed = t.reclaimed;
+        gc_floor = t.floor;
+        pins = Hashtbl.fold (fun _ n acc -> acc + n) t.pins 0;
+      })

@@ -1,0 +1,113 @@
+(** Engine-wide multi-version store for MVCC snapshot reads.
+
+    {!Nf2_temporal.Version_store} keeps {e per-table} reverse-delta
+    chains stamped with user-visible timestamps (Section 5 ASOF); this
+    module generalises the idea to the whole engine: every commit
+    publishes, per touched table, a new immutable version stamped with
+    the commit LSN, and the full map [table -> version chain] lives
+    behind a single [Atomic.t].  A snapshot is therefore one atomic
+    read — readers never take a lock or latch, never block a writer,
+    and always see a transaction-consistent state: the newest version
+    of every table at or below the snapshot LSN.
+
+    Publication happens only on the engine's write side (which is
+    serialised by the server's exclusive latch, or single-threaded in
+    embedded use); an internal mutex additionally serialises publishers
+    against each other and guards the snapshot-pin registry, so the
+    module is safe under any mix of domains and systhreads.
+
+    Old versions are garbage-collected: each publish trims every chain
+    to the newest [retain] versions plus whatever the oldest pinned
+    snapshot still needs.  Resolving a table at an LSN below the
+    trimmed horizon raises {!Snapshot_too_old} — the typed error the
+    server maps to its own SQLSTATE. *)
+
+module Schema = Nf2_model.Schema
+module Value = Nf2_model.Value
+
+(** [table] at [lsn] is older than the GC horizon [floor]: the versions
+    needed to answer were reclaimed. *)
+exception Snapshot_too_old of { table : string; lsn : int; floor : int }
+
+(** One immutable committed state of one table. *)
+type version = {
+  v_lsn : int;  (** commit LSN that published this version *)
+  v_schema : Schema.t;
+  v_versioned : bool;  (** carries a Section 5 time-version store *)
+  v_tuples : Value.tuple list;  (** full contents, scan order *)
+  v_asof : (int -> Value.tuple list) option;
+      (** frozen date-ASOF reader (versioned tables): pure, touches no
+          shared storage *)
+  v_live : bool;  (** [false]: drop tombstone — the table is gone above [v_lsn] *)
+}
+
+(** What a commit publishes for one table. *)
+type input =
+  | Publish of {
+      schema : Schema.t;
+      versioned : bool;
+      tuples : Value.tuple list;
+      asof : (int -> Value.tuple list) option;
+    }
+  | Drop  (** the table was dropped; readers above this LSN skip it *)
+
+type t
+
+type snapshot
+(** A consistent view at one LSN.  Holding the value keeps its versions
+    reachable regardless of GC (the state is immutable); {e pinning}
+    ([snapshot]/[release] below) additionally holds the GC horizon so
+    ASOF-at-LSN queries through newer snapshots stay answerable. *)
+
+type stats = {
+  snapshot_lsn : int;  (** newest published LSN *)
+  versions_live : int;  (** versions currently reachable, all chains *)
+  gc_reclaimed : int;  (** versions reclaimed since [create] *)
+  gc_floor : int;  (** highest LSN any reclamation has passed *)
+  pins : int;  (** live pinned snapshots *)
+}
+
+val create : ?retain:int -> unit -> t
+(** [retain] (default 8) is the minimum number of versions kept per
+    chain regardless of pins. *)
+
+val set_retain : t -> int -> unit
+
+val publish : t -> ?monotonize:bool -> lsn:int -> (string * input) list -> unit
+(** Append one version per listed table (keys are uppercased inside)
+    and advance the snapshot LSN, then run GC.  An [lsn] at or below
+    the current one is bumped to [current + 1] when [monotonize] is
+    [true] (the default — local commit clocks may lag after promotion)
+    and makes the whole publish a no-op when [false] (the replica
+    re-apply path, where a stale LSN means an already-applied batch). *)
+
+val snapshot_lsn : t -> int
+
+val live_names : t -> string list
+(** Chains currently holding a live (non-tombstone) head. *)
+
+val snapshot : t -> snapshot
+(** Pin and return the current state: one atomic read plus O(1) under
+    the pin mutex; never blocks on writers. *)
+
+val view : t -> snapshot
+(** Unpinned view of the current state — safe to resolve against (the
+    state is immutable) but does not hold the GC horizon.  For
+    statement-scoped reads prefer [snapshot]/[release]. *)
+
+val release : t -> snapshot -> unit
+val lsn : snapshot -> int
+
+val resolve : snapshot -> string -> version option
+(** The table's state at the snapshot LSN; [None] if it does not exist
+    (never created, or dropped at or below the LSN). *)
+
+val resolve_at : snapshot -> string -> lsn:int -> version option
+(** Time-travel within the snapshot: the newest version at or below
+    [min lsn (snapshot lsn)].  [None] when the table did not exist yet.
+    @raise Snapshot_too_old when the needed versions were reclaimed. *)
+
+val live_tables : snapshot -> (string * version) list
+(** All tables visible at the snapshot, sorted by name. *)
+
+val stats : t -> stats

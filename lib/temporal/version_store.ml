@@ -282,6 +282,37 @@ let walk_through_time t (schema : Schema.t) id ~lo ~hi : (int * Value.tuple) lis
     (fun ts -> match asof t schema id ~ts with Some tup -> Some (ts, tup) | None -> None)
     points
 
+(* Freeze the whole store into pure in-memory data for MVCC snapshot
+   reads (lib/temporal/mvcc): every historical state of every object is
+   decoded eagerly — all page access happens here, on the engine's
+   write side — and the returned closure answers date-ASOF questions
+   from the decoded states alone, touching no shared storage.  The
+   closure reproduces [snapshot] exactly: alive-at-ts filtering, then
+   [Value.compare_tuple] order. *)
+let freeze t (schema : Schema.t) : int -> Value.tuple list =
+  let objects =
+    Hashtbl.fold
+      (fun id v acc ->
+        let stamps = List.sort_uniq Int.compare (List.rev_map (fun m -> m.ts) v.versions) in
+        let states =
+          List.filter_map
+            (fun ts -> match asof t schema id ~ts with Some tup -> Some (ts, tup) | None -> None)
+            stamps
+        in
+        (v.created, v.deleted_at, states) :: acc)
+      t.objects []
+  in
+  fun ts ->
+    List.filter_map
+      (fun (created, deleted_at, states) ->
+        if ts < created then None
+        else if (match deleted_at with Some d -> ts >= d | None -> false) then None
+        else
+          (* newest decoded state at or before ts (states are oldest first) *)
+          List.fold_left (fun acc (sts, tup) -> if sts <= ts then Some tup else acc) None states)
+      objects
+    |> List.sort Value.compare_tuple
+
 (* Space accounting for the C6 experiment. *)
 (* --- persistence ------------------------------------------------------- *)
 

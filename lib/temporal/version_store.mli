@@ -74,6 +74,12 @@ val walk_through_time : t -> Schema.t -> int -> lo:int -> hi:int -> (int * Value
 
 val ids : t -> int list
 
+(** Decode the store's entire history into pure in-memory data (all
+    page access happens at freeze time) and return a date-ASOF reader
+    equivalent to {!snapshot} that touches no shared storage — the
+    bridge to the engine-wide MVCC layer ({!Nf2_temporal.Mvcc}). *)
+val freeze : t -> Schema.t -> int -> Value.tuple list
+
 (** {1 Persistence} *)
 
 type export = {

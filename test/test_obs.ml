@@ -246,8 +246,11 @@ let test_slow_query_log () =
       List.iter
         (fun needle ->
           if not (contains line needle) then Alcotest.failf "slow-query line misses %S:\n%s" needle line)
-        [ "slow-query ms="; "sid=7"; "status=ok"; "stmt=\"SELECT"; "trace=["; "scan DEPARTMENTS";
-          "lock.acquires=" ];
+        [ "slow-query ms="; "sid=7"; "status=ok"; "stmt=\"SELECT"; "trace=["; "scan DEPARTMENTS" ];
+      (* a snapshot read acquires no predicate locks, so the trace's
+         lock-counter deltas are all zero and stay off the line *)
+      Alcotest.(check bool) "no lock activity on a snapshot read" true
+        (not (contains line "lock.acquires="));
       Alcotest.(check bool) "one line only" true (not (contains line "\n"));
       Alcotest.(check int) "slow_queries counter" 1 (Metrics.get metrics "slow_queries")
   | ls -> Alcotest.failf "expected exactly one slow-query line, got %d" (List.length ls)

@@ -1501,6 +1501,136 @@ let bench_read_scaling () =
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
   Printf.printf "appended read-scaling entries to BENCH_server.json\n%!"
 
+(* ================================================================== *)
+(* QP: cost-based planner — index-backed vs forced sequential reads    *)
+(* ================================================================== *)
+
+let bench_qp () =
+  section "QP" "query planner: index-backed point reads vs forced sequential scans";
+  let n = 100_000 in
+  let db = Db.create ~frames:1024 () in
+  let schema = Schema.relation "BIG" [ Schema.int_ "K"; Schema.int_ "V"; Schema.str_ "S" ] in
+  let rows =
+    List.init n (fun i ->
+        [ Value.int_ i; Value.int_ (i * 7); Value.str (Printf.sprintf "row%06d" i) ])
+  in
+  let (), load_ns = time_once (fun () -> Db.register_table db schema rows) in
+  let (), index_ns = time_once (fun () -> ignore (Db.exec db "CREATE INDEX ON BIG (K)")) in
+  subsection
+    (Printf.sprintf "%d rows loaded in %.2fs, index built in %.2fs" n (load_ns /. 1e9)
+       (index_ns /. 1e9));
+  (* the planner must pick the index for a selective equality... *)
+  ignore (Db.exec1 db "EXPLAIN SELECT x.V FROM x IN BIG WHERE x.K = 54321");
+  (match Db.last_plan_tree db with
+  | Some t -> check "EXPLAIN shows index-scan" (Nf2_plan.Plan.uses_op "index-scan" t)
+  | None -> check "EXPLAIN produced a tree" false);
+  (* ...and both access paths must agree on the answer *)
+  let point = "SELECT x.V FROM x IN BIG WHERE x.K = 54321" in
+  let timed_query () =
+    let r, ns = time_once (fun () -> Db.query db point) in
+    (Rel.render r, ns)
+  in
+  let auto_answer, _warm = timed_query () in
+  let _, auto_ns = timed_query () in
+  let _, auto_ns' = timed_query () in
+  let auto_ns = Float.min auto_ns auto_ns' in
+  Db.set_plan_force_seq db true;
+  let seq_answer, seq_ns = timed_query () in
+  Db.set_plan_force_seq db false;
+  check "index and scan agree" (auto_answer = seq_answer);
+  let speedup = seq_ns /. auto_ns in
+  print_table
+    ~header:[ "access path"; "latency"; "speedup" ]
+    [
+      [ "planner (index-scan)"; Printf.sprintf "%.3f ms" (auto_ns /. 1e6); "1.0x" ];
+      [ "forced seq-scan"; Printf.sprintf "%.3f ms" (seq_ns /. 1e6); Printf.sprintf "%.1fx" speedup ];
+    ];
+  check
+    (Printf.sprintf "index-backed point read >= 10x faster at %d rows (%.1fx)" n speedup)
+    (speedup >= 10.0);
+  let pc = Db.planner_counters db in
+  check "access-path counters moved" (pc.Db.index_scans > 0 && pc.Db.seq_scans > 0);
+  (* nested conjunction at scale: two hierarchical indexes, decided by
+     address-prefix comparison (paper Fig 7b, P2 = F2) *)
+  let params = { G.default_dept_params with G.departments = 2_000; G.members_per_project = 10 } in
+  let depts = G.departments ~params () in
+  let member_rows =
+    params.G.departments * params.G.projects_per_dept * params.G.members_per_project
+  in
+  let (), nload_ns = time_once (fun () -> Db.register_table db P.departments depts) in
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)");
+  subsection
+    (Printf.sprintf "%d departments (%d member subtuples) loaded in %.2fs" params.G.departments
+       member_rows (nload_ns /. 1e9));
+  let nested_q =
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : (y.PNO = 4711 AND EXISTS \
+     z IN y.MEMBERS : z.FUNCTION = 'Consultant')"
+  in
+  ignore (Db.exec1 db ("EXPLAIN " ^ nested_q));
+  (match Db.last_plan_tree db with
+  | Some t ->
+      check "EXPLAIN shows index-intersect for the nested conjunction"
+        (Nf2_plan.Plan.uses_op "index-intersect" t)
+  | None -> check "EXPLAIN produced a tree" false);
+  let timed_nested () =
+    let r, ns = time_once (fun () -> Db.query db nested_q) in
+    (Rel.render r, ns)
+  in
+  let n_auto_answer, _warm = timed_nested () in
+  let _, n_auto_ns = timed_nested () in
+  let _, n_auto_ns' = timed_nested () in
+  let n_auto_ns = Float.min n_auto_ns n_auto_ns' in
+  Db.set_plan_force_seq db true;
+  let n_seq_answer, n_seq_ns = timed_nested () in
+  Db.set_plan_force_seq db false;
+  check "intersection and scan agree" (n_auto_answer = n_seq_answer);
+  let n_speedup = n_seq_ns /. n_auto_ns in
+  print_table
+    ~header:[ "access path"; "latency"; "speedup" ]
+    [
+      [ "planner (index-intersect)"; Printf.sprintf "%.3f ms" (n_auto_ns /. 1e6); "1.0x" ];
+      [
+        "forced seq-scan"; Printf.sprintf "%.3f ms" (n_seq_ns /. 1e6); Printf.sprintf "%.1fx" n_speedup;
+      ];
+    ];
+  check
+    (Printf.sprintf "index-intersected nested read >= 10x faster (%.1fx)" n_speedup)
+    (n_speedup >= 10.0);
+  (* append machine-readable entries (see bench_repl for the format) *)
+  let entries =
+    [
+      Printf.sprintf
+        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"index\", \"seconds\": %.6f}"
+        n (auto_ns /. 1e9);
+      Printf.sprintf
+        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq\", \"seconds\": %.6f, \
+         \"speedup\": %.1f}"
+        n (seq_ns /. 1e9) speedup;
+      Printf.sprintf
+        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"intersect\", \"seconds\": \
+         %.6f}"
+        member_rows (n_auto_ns /. 1e9);
+      Printf.sprintf
+        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq_nested\", \"seconds\": \
+         %.6f, \"speedup\": %.1f}"
+        member_rows (n_seq_ns /. 1e9) n_speedup;
+    ]
+  in
+  let body = String.concat ",\n" entries in
+  let json =
+    if Sys.file_exists "BENCH_server.json" then begin
+      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "appended query-planner entries to BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1523,6 +1653,7 @@ let sections : (string * (unit -> unit)) list =
     ("SRV", bench_server);
     ("REPL", bench_repl);
     ("RDS", bench_read_scaling);
+    ("QP", bench_qp);
   ]
 
 let () =

@@ -19,6 +19,9 @@ module Tname = Nf2_tname.Tuple_name
 module StrSet = Set.Make (String)
 module Wal = Nf2_storage.Wal
 module Recovery = Nf2_storage.Recovery
+module Plan = Nf2_plan.Plan
+module Pstats = Nf2_plan.Stats
+module Driver = Nf2_plan.Driver
 open Nf2_lang
 
 exception Db_error of string
@@ -35,6 +38,7 @@ type table_info = {
   mutable ids : (Tid.t * int) list; (* versioned: root (stale) unused; id list *)
   mutable indexes : index_info list;
   mutable text_indexes : (Schema.path * TI.t) list;
+  mutable stat_rows : int; (* planner statistic: current object count *)
 }
 
 type t = {
@@ -53,6 +57,12 @@ type t = {
   mutable wal_txn : wal_txn_state option; (* open WAL transaction, if any *)
   mvcc : Mvcc.t; (* committed version chains for lock-free snapshot reads *)
   mutable dirty : StrSet.t; (* tables touched since the last MVCC publish *)
+  mutable plan_force_seq : bool; (* planner ablation: sequential plans only *)
+  mutable last_plan_tree : Plan.node option;
+  (* access-path counters; atomic because parallel readers plan too *)
+  pc_seq_scans : int Atomic.t;
+  pc_index_scans : int Atomic.t;
+  pc_index_intersections : int Atomic.t;
 }
 
 and txn_state = { snapshot : string; mutable pending_journal : string list }
@@ -104,6 +114,11 @@ let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering =
       wal_txn = None;
       mvcc = Mvcc.create ();
       dirty = StrSet.empty;
+      plan_force_seq = false;
+      last_plan_tree = None;
+      pc_seq_scans = Atomic.make 0;
+      pc_index_scans = Atomic.make 0;
+      pc_index_intersections = Atomic.make 0;
     }
   in
   if wal then attach_wal t;
@@ -228,6 +243,7 @@ let capture_table t name : Mvcc.input =
         | Some vs -> VS.current_all vs ti.schema
         | None -> List.map (OS.fetch ti.store ti.schema) (OS.roots ti.store)
       in
+      ti.stat_rows <- List.length tuples;
       let asof = Option.map (fun vs -> VS.freeze vs ti.schema) ti.vstore in
       Mvcc.Publish { schema = ti.schema; versioned = ti.versioned; tuples; asof }
 
@@ -479,7 +495,17 @@ let decode_catalog t src =
     in
     let text_indexes = List.map (fun p -> (p, TI.create store schema p)) text_paths in
     Hashtbl.replace t.tables (String.uppercase_ascii schema.Schema.name)
-      { schema; versioned; store; vstore; ids = []; indexes; text_indexes }
+      {
+        schema;
+        versioned;
+        store;
+        vstore;
+        ids = [];
+        indexes;
+        text_indexes;
+        (* initial estimate; refined at the next MVCC publish *)
+        stat_rows = List.length (OS.roots store);
+      }
   done;
   let nnames = Codec.get_uvarint src in
   let names =
@@ -650,7 +676,7 @@ let rebuild_table t ti (schema' : Schema.t) (tuples : Value.tuple list) =
   in
   Hashtbl.replace t.tables
     (String.uppercase_ascii schema'.Schema.name)
-    { ti with schema = schema'; store; indexes; text_indexes }
+    { ti with schema = schema'; store; indexes; text_indexes; stat_rows = List.length tuples }
 
 (* Elements of the subtable at [sub_path] (inside every nesting level)
    satisfying [where]; returns (steps-to-element, env) pairs where env
@@ -716,13 +742,43 @@ let new_trace ?label t : Trace.t =
       | None -> [ ("wal.records", 0); ("wal.bytes", 0); ("wal.fsyncs", 0) ]);
   tr
 
+(* Planner statistics: cached row counts (maintained at publish /
+   create / load time), live indexes supply their own cardinalities. *)
+let stats_of t : Pstats.provider =
+ fun name -> Option.map (fun ti -> { Pstats.rows = ti.stat_rows }) (find_table t name)
+
+let count_access t = function
+  | `Seq -> Atomic.incr t.pc_seq_scans
+  | `Index -> Atomic.incr t.pc_index_scans
+  | `Intersect -> Atomic.incr t.pc_index_intersections
+
+type planner_counters = { seq_scans : int; index_scans : int; index_intersections : int }
+
+let planner_counters t =
+  {
+    seq_scans = Atomic.get t.pc_seq_scans;
+    index_scans = Atomic.get t.pc_index_scans;
+    index_intersections = Atomic.get t.pc_index_intersections;
+  }
+
+let set_plan_force_seq t v = t.plan_force_seq <- v
+let plan_force_seq t = t.plan_force_seq
+let last_plan_tree t = t.last_plan_tree
+
 let run_query ?trace ?rewrite t q =
   (* plan notes accumulate locally and are stored in one assignment:
      parallel readers may run this concurrently, and [last_plan] is a
      last-writer-wins debugging aid, not shared state *)
   let notes = ref [] in
-  let rel = Eval.run ~plan:(fun p -> notes := p :: !notes) ?trace ?rewrite (catalog t) q in
+  let rel, tree =
+    Driver.run
+      ~plan_note:(fun p -> notes := p :: !notes)
+      ?trace ~force_seq:t.plan_force_seq
+      ~on_access:(count_access t)
+      ?rewrite ~stats:(stats_of t) (catalog t) q
+  in
   t.last_plan <- !notes;
+  t.last_plan_tree <- Some tree;
   rel
 
 let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
@@ -749,7 +805,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
       let vstore = if versioned then Some (VS.create store t.pool) else None in
       Hashtbl.replace t.tables (String.uppercase_ascii name)
-        { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] };
+        { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = []; stat_rows = 0 };
       touch t name;
       Msg (Printf.sprintf "table %s created%s" (String.uppercase_ascii name) (if versioned then " (versioned)" else ""))
   | Ast.Drop_table name ->
@@ -811,12 +867,10 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
         (Printf.sprintf "%d row(s) inserted into %s of %d object(s)" (List.length rows)
            (String.concat "." sub_path) (List.length targets))
   | Ast.Explain q ->
-      let rel = run_query ?rewrite t q in
-      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
-      Msg
-        (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
-           (String.concat "\n  " plan) (Rel.cardinality rel)
-           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+      (* plan only — typing runs (errors surface) but nothing executes *)
+      let tree = Driver.explain ~force_seq:t.plan_force_seq ?rewrite ~stats:(stats_of t) (catalog t) q in
+      t.last_plan_tree <- Some tree;
+      Msg (Printf.sprintf "plan:\n%s" (Plan.render ~indent:2 tree))
   | Ast.Explain_analyze q ->
       (* execute the query under a trace wired to this database's
          storage counters, then render plan + annotated operator tree *)
@@ -825,9 +879,12 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       let rel = Trace.timed tr root (fun () -> run_query ~trace:tr ?rewrite t q) in
       Trace.add_rows root (Rel.cardinality rel);
       let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      let tree =
+        match t.last_plan_tree with Some n -> Plan.render ~indent:2 n | None -> ""
+      in
       Msg
-        (Printf.sprintf "plan:\n  %s\ntrace:\n%sresult: %d row(s), schema %s"
-           (String.concat "\n  " plan) (Trace.render tr) (Rel.cardinality rel)
+        (Printf.sprintf "plan:\n  %s\ntree:\n%strace:\n%sresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) tree (Trace.render tr) (Rel.cardinality rel)
            (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
   | Ast.Alter_add { table; field } ->
       let ti = table_exn t table in
@@ -1096,7 +1153,18 @@ let register_table t (schema : Schema.t) ?(versioned = false) (rows : Value.tupl
   logged t (fun () ->
       let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
       let vstore = if versioned then Some (VS.create store t.pool) else None in
-      let ti = { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = [] } in
+      let ti =
+        {
+          schema;
+          versioned;
+          store;
+          vstore;
+          ids = [];
+          indexes = [];
+          text_indexes = [];
+          stat_rows = List.length rows;
+        }
+      in
       Hashtbl.replace t.tables key ti;
       touch t key;
       match vstore with
@@ -1110,6 +1178,7 @@ let insert_tuple t ~table (tup : Value.tuple) : Tid.t =
       touch t table;
       let root = OS.insert ti.store ti.schema tup in
       reindex_object ti root;
+      ti.stat_rows <- ti.stat_rows + 1;
       root)
 
 let fetch_tuple t ~table (root : Tid.t) : Value.tuple =
@@ -1192,6 +1261,11 @@ let decode_db ?(frames = 256) (data : string) : t =
       wal_txn = None;
       mvcc = Mvcc.create ();
       dirty = StrSet.empty;
+      plan_force_seq = false;
+      last_plan_tree = None;
+      pc_seq_scans = Atomic.make 0;
+      pc_index_scans = Atomic.make 0;
+      pc_index_intersections = Atomic.make 0;
     }
   in
   decode_catalog t src;
@@ -1417,6 +1491,11 @@ let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
       wal_txn = None;
       mvcc = Mvcc.create ();
       dirty = StrSet.empty;
+      plan_force_seq = false;
+      last_plan_tree = None;
+      pc_seq_scans = Atomic.make 0;
+      pc_index_scans = Atomic.make 0;
+      pc_index_intersections = Atomic.make 0;
     }
   in
   (match cat with None -> () | Some src -> decode_catalog t src);
@@ -1460,6 +1539,8 @@ let snapshot_lsn (s : Mvcc.snapshot) = Mvcc.lsn s
 let current_snapshot_lsn t = Mvcc.snapshot_lsn t.mvcc
 let mvcc_stats t : Mvcc.stats = Mvcc.stats t.mvcc
 let set_mvcc_retain t n = Mvcc.set_retain t.mvcc n
+let set_mvcc_budget t n = Mvcc.set_budget t.mvcc n
+let mvcc_budget t = Mvcc.budget t.mvcc
 
 (* Catalog over a pinned snapshot: scans come from the frozen version's
    tuples, so evaluation touches no shared storage at all (index access
@@ -1495,10 +1576,22 @@ let snapshot_catalog (s : Mvcc.snapshot) : Eval.catalog =
 let snapshot_table_names (s : Mvcc.snapshot) =
   List.map (fun (_, v) -> v.Mvcc.v_schema.Schema.name) (Mvcc.live_tables s)
 
+(* Snapshot statistics: frozen versions are already materialized tuple
+   lists, so the row count is exact. *)
+let snapshot_stats (s : Mvcc.snapshot) : Pstats.provider =
+ fun name -> Option.map (fun v -> { Pstats.rows = List.length v.Mvcc.v_tuples }) (Mvcc.resolve s name)
+
 let run_query_snap ?trace ?rewrite t (s : Mvcc.snapshot) q =
   let notes = ref [ Printf.sprintf "snapshot @ LSN %d" (Mvcc.lsn s) ] in
-  let rel = Eval.run ~plan:(fun p -> notes := p :: !notes) ?trace ?rewrite (snapshot_catalog s) q in
+  let rel, tree =
+    Driver.run
+      ~plan_note:(fun p -> notes := p :: !notes)
+      ?trace ~force_seq:t.plan_force_seq
+      ~on_access:(count_access t)
+      ?rewrite ~stats:(snapshot_stats s) (snapshot_catalog s) q
+  in
   t.last_plan <- !notes;
+  t.last_plan_tree <- Some tree;
   rel
 
 (* Execute one read-only statement against a pinned snapshot.  Callers
@@ -1514,20 +1607,25 @@ let exec_read ?trace ?rewrite t (s : Mvcc.snapshot) (stmt : Ast.stmt) : result =
           Msg (Schema.to_string v.Mvcc.v_schema ^ "\n" ^ Schema.render_segment_tree v.Mvcc.v_schema)
       | None -> db_error "no such table: %s" name)
   | Ast.Explain q ->
-      let rel = run_query_snap ?rewrite t s q in
-      let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      let tree =
+        Driver.explain ~force_seq:t.plan_force_seq ?rewrite ~stats:(snapshot_stats s)
+          (snapshot_catalog s) q
+      in
+      t.last_plan_tree <- Some tree;
       Msg
-        (Printf.sprintf "plan:\n  %s\nresult: %d row(s), schema %s"
-           (String.concat "\n  " plan) (Rel.cardinality rel)
-           (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
+        (Printf.sprintf "plan:\n  snapshot @ LSN %d\n%s" (Mvcc.lsn s)
+           (Plan.render ~indent:2 tree))
   | Ast.Explain_analyze q ->
       let tr = new_trace t in
       let root = Trace.root tr in
       let rel = Trace.timed tr root (fun () -> run_query_snap ~trace:tr ?rewrite t s q) in
       Trace.add_rows root (Rel.cardinality rel);
       let plan = match last_plan t with [] -> [ "in-memory evaluation" ] | ps -> ps in
+      let tree =
+        match t.last_plan_tree with Some n -> Plan.render ~indent:2 n | None -> ""
+      in
       Msg
-        (Printf.sprintf "plan:\n  %s\ntrace:\n%sresult: %d row(s), schema %s"
-           (String.concat "\n  " plan) (Trace.render tr) (Rel.cardinality rel)
+        (Printf.sprintf "plan:\n  %s\ntree:\n%strace:\n%sresult: %d row(s), schema %s"
+           (String.concat "\n  " plan) tree (Trace.render tr) (Rel.cardinality rel)
            (Format.asprintf "%a" Schema.pp_table rel.Rel.schema))
   | _ -> db_error "exec_read: statement is not read-only"

@@ -60,6 +60,24 @@ val render_result : result -> string
     "scan T via index(...)", "hash join ..."), oldest first. *)
 val last_plan : t -> string list
 
+(** Physical plan tree of the most recent query or EXPLAIN (estimates
+    attached); [None] before the first query. *)
+val last_plan_tree : t -> Nf2_plan.Plan.node option
+
+(** Planner ablation: when set, the cost-based planner only emits
+    sequential plans (no index access paths, no index joins).  Results
+    are byte-identical; only the access paths change. *)
+val set_plan_force_seq : t -> bool -> unit
+
+val plan_force_seq : t -> bool
+
+(** Cumulative access-path counters since [create]: how many range
+    accesses ran as full scans, single-index scans, and multi-index
+    (address-prefix) intersections. *)
+type planner_counters = { seq_scans : int; index_scans : int; index_intersections : int }
+
+val planner_counters : t -> planner_counters
+
 (** {1 Catalog} *)
 
 val table_names : t -> string list
@@ -239,6 +257,14 @@ val mvcc_stats : t -> Nf2_temporal.Mvcc.stats
 (** Minimum number of versions kept per table regardless of pins
     (default 8). *)
 val set_mvcc_retain : t -> int -> unit
+
+(** Soft cap on version-store bytes ([None] = unbounded): when live
+    version bytes exceed the budget, eager sweeps trim unpinned history
+    beyond the retain floor.  Pinned snapshots always stay readable —
+    the budget may be overshot while a pin holds the horizon. *)
+val set_mvcc_budget : t -> int option -> unit
+
+val mvcc_budget : t -> int option
 
 (** Evaluator catalog over a pinned snapshot — scans serve the frozen
     version's tuples; index access paths are absent by design (they

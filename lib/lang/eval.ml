@@ -878,3 +878,13 @@ let run ?plan ?trace ?(rewrite = true) (catalog : catalog) (q : query) : Rel.t =
       Fun.protect
         ~finally:(fun () -> set_tracing saved)
         (fun () -> eval_query ?plan catalog [] q)
+
+(* Planner interface (lib/plan): run [f] with the dynamically-scoped
+   trace cursor parked on [node], so predicate / expression evaluation
+   delegated back here opens its quantifier, subquery, and subscript
+   spans under the caller's operator node — identically nested to the
+   evaluator's own traced execution. *)
+let with_trace_cursor tr node f =
+  let saved = get_tracing () in
+  set_tracing (Some { tr; cursor = node });
+  Fun.protect ~finally:(fun () -> set_tracing saved) f

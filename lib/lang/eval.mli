@@ -67,3 +67,60 @@ val eval_expr : catalog -> env -> Ast.expr -> Value.v
 
 (** Result schema of a query in a typing environment. *)
 val type_query : catalog -> (string * Schema.table) list -> Ast.query -> Schema.table
+
+(** {1 Planner interface}
+
+    Predicate-shape recognisers and execution helpers shared with the
+    cost-based planner ({!Nf2_plan}).  The planner enumerates access
+    paths from the same shapes this evaluator's candidate restriction
+    uses, so the two agree on what is sargable. *)
+
+(** Conjuncts of a predicate ([AND] flattened). *)
+val conjuncts : Ast.pred -> Ast.pred list
+
+(** [p] seen as [v.attr-path = const]: [(schema path, atom)]. *)
+val eq_on_var : string -> Ast.pred -> (string list * Atom.t) option
+
+(** [p] seen as an inequality on an attribute path of [v]:
+    [(path, lower, upper)], inclusive, [None] = open. *)
+val range_on_var :
+  string -> Ast.pred -> (string list * Atom.t option * Atom.t option) option
+
+(** Quantifier chains from [v] ending in an equality, plus the Fig 7b
+    same-subobject conjunction (two paths answerable together by
+    hierarchical-address prefix join). *)
+val indexable_shapes :
+  string ->
+  Ast.pred ->
+  [ `Single of string list * Atom.t
+  | `Conj of (string list * Atom.t) * (string list * Atom.t) ]
+  list
+
+(** [p] seen as [CONTAINS (v.path, pattern)]. *)
+val contains_shape : string -> Ast.pred -> (string list * string) option
+
+(** Index on exactly this attribute path (case-insensitive). *)
+val find_index : source_table -> string list -> VI.t option
+
+val find_text_index : source_table -> string list -> TI.t option
+
+(** Materialize one FROM range in an environment (stored table, ASOF
+    state, or unnested subtable). *)
+val range_tuples : catalog -> env -> Ast.range -> Schema.table * Value.tuple list
+
+(** Comparison used by predicates and ORDER BY: atoms compare as atoms
+    (scalar coercion first), everything else structurally. *)
+val compare_values : Value.v -> Value.v -> int
+
+(** Collapse single-attribute, single-tuple tables to their atom. *)
+val coerce_atom : Value.v -> Atom.t option
+
+(** Innermost binding of a variable (case-insensitive). *)
+val lookup_var : env -> string -> (Schema.table * Value.tuple) option
+
+(** Run [f] with the dynamically-scoped trace cursor parked on [node]:
+    predicate / expression evaluation inside [f] opens its quantifier,
+    subquery, and subscript spans under that node, matching the nesting
+    of the evaluator's own traced execution.  Restores the previous
+    context on exit. *)
+val with_trace_cursor : Nf2_obs.Trace.t -> Nf2_obs.Trace.node -> (unit -> 'a) -> 'a

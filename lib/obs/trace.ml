@@ -18,6 +18,7 @@
 
 type node = {
   label : string;
+  mutable detail : string;  (* free-form annotation (planner estimates), "" when unset *)
   mutable rows : int;  (* tuples produced by this operator *)
   mutable calls : int;  (* timed activations *)
   mutable ns : int;  (* elapsed nanoseconds, inclusive *)
@@ -32,7 +33,7 @@ type t = {
 
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
-let make_node label = { label; rows = 0; calls = 0; ns = 0; counters = []; children = [] }
+let make_node label = { label; detail = ""; rows = 0; calls = 0; ns = 0; counters = []; children = [] }
 
 let create ?(label = "statement") () = { root = make_node label; sources = [] }
 let root t = t.root
@@ -47,6 +48,7 @@ let child parent label =
       n
 
 let add_rows n k = n.rows <- n.rows + k
+let set_detail n d = n.detail <- d
 
 (* Merge a named delta into the node, preserving first-seen order so
    rendering is deterministic. *)
@@ -105,7 +107,9 @@ let node_line ~all_counters n =
     | [] -> ""
     | cs -> "  " ^ String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%+d" k v) cs)
   in
-  Printf.sprintf "%-44s rows=%-6d calls=%-4d time=%-8s%s" n.label n.rows n.calls (fmt_ns n.ns) cs
+  let detail = if n.detail = "" then "" else "  [" ^ n.detail ^ "]" in
+  Printf.sprintf "%-44s rows=%-6d calls=%-4d time=%-8s%s%s" n.label n.rows n.calls (fmt_ns n.ns) cs
+    detail
 
 let render t : string =
   let b = Buffer.create 256 in

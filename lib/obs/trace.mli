@@ -11,6 +11,10 @@
 
 type node = {
   label : string;
+  mutable detail : string;
+      (** free-form annotation rendered in brackets after the timing
+          columns (planner estimates like [est_rows=1 cost=2.1]);
+          [""] when unset *)
   mutable rows : int;  (** tuples produced by this operator *)
   mutable calls : int;  (** timed activations *)
   mutable ns : int;  (** elapsed nanoseconds, inclusive of children *)
@@ -39,6 +43,10 @@ val timed : t -> node -> (unit -> 'a) -> 'a
 
 val add_rows : node -> int -> unit
 val add_counter : node -> string -> int -> unit
+
+val set_detail : node -> string -> unit
+(** Attach a free-form annotation (e.g. planner estimates) shown in
+    brackets on the node's rendered line. *)
 
 val find : t -> string -> node option
 (** First node with this label, depth-first (tests, assertions). *)

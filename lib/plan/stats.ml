@@ -1,0 +1,20 @@
+(* Table statistics for the cost-based planner.
+
+   Row counts are maintained incrementally by the catalog owner (Db
+   updates them when a commit publishes a table, when a table is
+   created, loaded, or bulk-registered) and handed to the planner
+   through a [provider].  Key cardinalities are not duplicated here:
+   each value index knows its own distinct-key count
+   ({!Nf2_index.Value_index.key_count}), so equality selectivity is
+   always read from the live index — a statistic that cannot go stale
+   because it {e is} the access path. *)
+
+type t = { rows : int (* current tuple (object) count of the table *) }
+
+(* Case-insensitive by convention: providers uppercase internally like
+   the catalog does.  [None]: the table is unknown to the provider —
+   the planner then treats index access as always preferable (it has
+   no scan cost to compare against). *)
+type provider = string -> t option
+
+let none : provider = fun _ -> None

@@ -476,6 +476,12 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
         Metrics.incr mgr.metrics "txns_committed";
         r
       end
+      else if (match stmt with Ast.Explain _ -> true | _ -> false) then
+        (* EXPLAIN executes nothing: plan against the live catalog
+           (under the shared latch, so DDL cannot race the planner) and
+           show the access paths an in-transaction read would use —
+           snapshot catalogs deliberately expose no index paths *)
+        with_engine_read mgr exec
       else begin
         (* plain read: lock-free MVCC snapshot — no predicate locks and
            no engine latch.  The pinned version chains are immutable,
@@ -604,6 +610,11 @@ let fold_storage_stats (mgr : manager) =
   Metrics.set m "mvcc_versions_live" mv.Mvcc.versions_live;
   Metrics.set m "mvcc_gc_reclaimed" mv.Mvcc.gc_reclaimed;
   Metrics.set m "mvcc_pinned_snapshots" mv.Mvcc.pins;
+  Metrics.set m "mvcc_bytes_live" mv.Mvcc.bytes_live;
+  let pc = Db.planner_counters mgr.db in
+  Metrics.set m "plan_seq_scans" pc.Db.seq_scans;
+  Metrics.set m "plan_index_scans" pc.Db.index_scans;
+  Metrics.set m "plan_index_intersections" pc.Db.index_intersections;
   (match mgr.executor with
   | Some ex ->
       Metrics.set m "executor_domains" (Executor.size ex);

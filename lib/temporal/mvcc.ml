@@ -28,7 +28,23 @@ type version = {
   v_tuples : Value.tuple list;
   v_asof : (int -> Value.tuple list) option;
   v_live : bool; (* false: drop tombstone — the table is gone above v_lsn *)
+  v_bytes : int; (* approximate payload size, for the byte budget *)
 }
+
+(* Approximate in-memory size of a version's payload.  Per-constructor
+   constants stand in for boxing + list-cons overhead; only string
+   payloads vary.  Exactness does not matter — the budget needs a
+   monotone, stable measure, not an allocator audit. *)
+let rec approx_bytes_v = function
+  | Value.Atom (Nf2_model.Atom.Str s) -> 32 + String.length s
+  | Value.Atom _ -> 16
+  | Value.Table tb ->
+      List.fold_left (fun acc tup -> acc + approx_bytes_tuple tup) 48 tb.Value.tuples
+
+and approx_bytes_tuple tup = List.fold_left (fun acc v -> acc + 16 + approx_bytes_v v) 16 tup
+
+let approx_bytes_tuples tuples =
+  List.fold_left (fun acc tup -> acc + approx_bytes_tuple tup) 0 tuples
 
 type input =
   | Publish of {
@@ -43,13 +59,14 @@ type input =
    below the oldest kept version must fail rather than answer wrong. *)
 type chain = { c_versions : version list (* newest first, never [] *); c_trimmed : bool }
 
-type state = { s_lsn : int; s_tables : chain SMap.t; s_versions : int }
+type state = { s_lsn : int; s_tables : chain SMap.t; s_versions : int; s_bytes : int }
 
 type t = {
   state : state Atomic.t;
   mu : Mutex.t; (* serialises publishers; guards pins *)
   pins : (int, int) Hashtbl.t; (* pinned snapshot LSN -> refcount *)
   mutable retain : int;
+  mutable budget : int option; (* byte budget over all chains; None = unbounded *)
   mutable reclaimed : int;
   mutable floor : int;
 }
@@ -59,6 +76,7 @@ type snapshot = { snap_state : state; snap_lsn : int }
 type stats = {
   snapshot_lsn : int;
   versions_live : int;
+  bytes_live : int;
   gc_reclaimed : int;
   gc_floor : int;
   pins : int;
@@ -66,10 +84,11 @@ type stats = {
 
 let create ?(retain = 8) () =
   {
-    state = Atomic.make { s_lsn = 0; s_tables = SMap.empty; s_versions = 0 };
+    state = Atomic.make { s_lsn = 0; s_tables = SMap.empty; s_versions = 0; s_bytes = 0 };
     mu = Mutex.create ();
     pins = Hashtbl.create 8;
     retain = max 1 retain;
+    budget = None;
     reclaimed = 0;
     floor = 0;
   }
@@ -86,11 +105,11 @@ let oldest_pin_locked (t : t) =
 (* Trim one chain: keep the newest [retain] versions, plus down to and
    including the first version at or below [keep_lsn] — the version a
    snapshot pinned at [keep_lsn] (or anything newer) resolves to. *)
-let gc_chain (t : t) ~keep_lsn (c : chain) : chain =
+let gc_chain (t : t) ~retain ~keep_lsn (c : chain) : chain =
   let rec keep idx = function
     | [] -> ([], [])
     | v :: rest ->
-        if idx >= t.retain && v.v_lsn <= keep_lsn then ([ v ], rest)
+        if idx >= retain && v.v_lsn <= keep_lsn then ([ v ], rest)
         else
           let kept, dropped = keep (idx + 1) rest in
           (v :: kept, dropped)
@@ -102,6 +121,20 @@ let gc_chain (t : t) ~keep_lsn (c : chain) : chain =
     List.iter (fun v -> t.floor <- max t.floor v.v_lsn) dropped;
     { c_versions = kept; c_trimmed = true }
   end
+
+let state_bytes tables = SMap.fold (fun _ c n -> List.fold_left (fun n v -> n + v.v_bytes) n c.c_versions) tables 0
+
+(* GC over a whole table map.  First pass honours the configured
+   [retain]; if the byte budget is still exceeded, a pressure pass
+   shrinks the effective retain to 1 — pinned snapshots keep their
+   horizon either way ([keep_lsn] is still respected), so the budget
+   can legitimately stay exceeded while pins hold old versions. *)
+let gc_tables (t : t) ~keep_lsn tables =
+  let tables = SMap.map (gc_chain t ~retain:t.retain ~keep_lsn) tables in
+  match t.budget with
+  | Some b when state_bytes tables > b && t.retain > 1 ->
+      SMap.map (gc_chain t ~retain:1 ~keep_lsn) tables
+  | _ -> tables
 
 let publish (t : t) ?(monotonize = true) ~lsn (inputs : (string * input) list) =
   with_mu t (fun () ->
@@ -118,12 +151,15 @@ let publish (t : t) ?(monotonize = true) ~lsn (inputs : (string * input) list) =
               | Drop, None -> tables (* drop of a never-published table *)
               | Drop, Some c ->
                   let prev = List.hd c.c_versions in
-                  let v = { prev with v_lsn = lsn; v_tuples = []; v_asof = None; v_live = false } in
+                  let v =
+                    { prev with v_lsn = lsn; v_tuples = []; v_asof = None; v_live = false; v_bytes = 0 }
+                  in
                   SMap.add key { c with c_versions = v :: c.c_versions } tables
               | Publish { schema; versioned; tuples; asof }, _ ->
                   let v =
                     { v_lsn = lsn; v_schema = schema; v_versioned = versioned;
-                      v_tuples = tuples; v_asof = asof; v_live = true }
+                      v_tuples = tuples; v_asof = asof; v_live = true;
+                      v_bytes = approx_bytes_tuples tuples }
                   in
                   let c =
                     match old with
@@ -134,10 +170,27 @@ let publish (t : t) ?(monotonize = true) ~lsn (inputs : (string * input) list) =
             cur.s_tables inputs
         in
         let keep_lsn = min (oldest_pin_locked t) lsn in
-        let tables = SMap.map (gc_chain t ~keep_lsn) tables in
+        let tables = gc_tables t ~keep_lsn tables in
         let s_versions = SMap.fold (fun _ c n -> n + List.length c.c_versions) tables 0 in
-        Atomic.set t.state { s_lsn = lsn; s_tables = tables; s_versions }
+        Atomic.set t.state { s_lsn = lsn; s_tables = tables; s_versions; s_bytes = state_bytes tables }
       end)
+
+(* Re-run GC over the current state without publishing anything — used
+   when the budget or retain changes so pressure takes effect at once
+   rather than at the next commit. *)
+let sweep (t : t) =
+  with_mu t (fun () ->
+      let cur = Atomic.get t.state in
+      let keep_lsn = min (oldest_pin_locked t) cur.s_lsn in
+      let tables = gc_tables t ~keep_lsn cur.s_tables in
+      let s_versions = SMap.fold (fun _ c n -> n + List.length c.c_versions) tables 0 in
+      Atomic.set t.state { cur with s_tables = tables; s_versions; s_bytes = state_bytes tables })
+
+let set_budget (t : t) b =
+  with_mu t (fun () -> t.budget <- (match b with Some n when n >= 0 -> Some n | _ -> None));
+  sweep t
+
+let budget (t : t) = t.budget
 
 let snapshot_lsn (t : t) = (Atomic.get t.state).s_lsn
 
@@ -213,6 +266,7 @@ let stats (t : t) : stats =
       {
         snapshot_lsn = st.s_lsn;
         versions_live = st.s_versions;
+        bytes_live = st.s_bytes;
         gc_reclaimed = t.reclaimed;
         gc_floor = t.floor;
         pins = Hashtbl.fold (fun _ n acc -> acc + n) t.pins 0;

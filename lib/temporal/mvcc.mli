@@ -39,6 +39,7 @@ type version = {
       (** frozen date-ASOF reader (versioned tables): pure, touches no
           shared storage *)
   v_live : bool;  (** [false]: drop tombstone — the table is gone above [v_lsn] *)
+  v_bytes : int;  (** approximate payload size (byte-budget accounting) *)
 }
 
 (** What a commit publishes for one table. *)
@@ -62,6 +63,7 @@ type snapshot
 type stats = {
   snapshot_lsn : int;  (** newest published LSN *)
   versions_live : int;  (** versions currently reachable, all chains *)
+  bytes_live : int;  (** approximate bytes held by reachable versions *)
   gc_reclaimed : int;  (** versions reclaimed since [create] *)
   gc_floor : int;  (** highest LSN any reclamation has passed *)
   pins : int;  (** live pinned snapshots *)
@@ -72,6 +74,19 @@ val create : ?retain:int -> unit -> t
     chain regardless of pins. *)
 
 val set_retain : t -> int -> unit
+
+val set_budget : t -> int option -> unit
+(** Byte budget over all chains ([None] = unbounded, the default).
+    While the approximate live bytes exceed the budget, GC shrinks the
+    effective per-chain retain to 1; versions a pinned snapshot still
+    needs are kept regardless, so the budget may stay exceeded while
+    pins hold their horizon.  Takes effect immediately (a GC sweep
+    runs) and at every subsequent publish. *)
+
+val budget : t -> int option
+
+val sweep : t -> unit
+(** Re-run GC over the current state without publishing. *)
 
 val publish : t -> ?monotonize:bool -> lsn:int -> (string * input) list -> unit
 (** Append one version per listed table (keys are uppercased inside)

@@ -112,6 +112,47 @@ let test_gc_reclaims_versions () =
   checkb "chain bounded by retain" true (s.Mvcc.versions_live <= 8 + 1);
   checkb "horizon advanced" true (s.Mvcc.gc_floor > 0)
 
+(* Byte budget: under pressure the effective retain shrinks to 1, but a
+   pinned snapshot's versions are untouchable — the budget stays
+   exceeded while the pin holds its horizon, and enforcement resumes
+   once released. *)
+let test_budget_with_pinned_horizon () =
+  let db = Db.create ~wal:true () in
+  checkb "budget defaults to unbounded" true (Db.mvcc_budget db = None);
+  ignore (Db.exec db "CREATE TABLE T (K INT, N INT); INSERT INTO T VALUES (1, 0)");
+  for i = 1 to 40 do
+    ignore (Db.exec db (Printf.sprintf "UPDATE T SET N = %d WHERE K = 1" i))
+  done;
+  let before = Db.mvcc_stats db in
+  let pin = Db.snapshot db in
+  let expect = Rel.render (Db.query db (scan_q "T")) in
+  (* a budget below the live footprint triggers an immediate sweep that
+     trims the default-retain history the plain GC was keeping *)
+  Db.set_mvcc_budget db (Some 1);
+  checkb "budget readable" true (Db.mvcc_budget db = Some 1);
+  let squeezed = Db.mvcc_stats db in
+  checkb "budget sweep reclaimed history" true
+    (squeezed.Mvcc.gc_reclaimed > before.Mvcc.gc_reclaimed
+    && squeezed.Mvcc.bytes_live < before.Mvcc.bytes_live);
+  (* versions newer than the pinned horizon are untouchable: continued
+     writes overshoot the budget for as long as the pin is held *)
+  for i = 41 to 60 do
+    ignore (Db.exec db (Printf.sprintf "UPDATE T SET N = %d WHERE K = 1" i))
+  done;
+  let grown = Db.mvcc_stats db in
+  checkb "budget overshoots while pinned" true (grown.Mvcc.bytes_live > squeezed.Mvcc.bytes_live);
+  checks "pinned snapshot readable under budget pressure" expect (render_read db pin (scan_q "T"));
+  Db.release_snapshot db pin;
+  (* the next publish resumes enforcement past the released horizon *)
+  ignore (Db.exec db "UPDATE T SET N = 99 WHERE K = 1");
+  let final = Db.mvcc_stats db in
+  checkb "released horizon reclaimed" true
+    (final.Mvcc.versions_live < grown.Mvcc.versions_live
+    && final.Mvcc.bytes_live < grown.Mvcc.bytes_live);
+  (* lifting the budget stops eager sweeps *)
+  Db.set_mvcc_budget db None;
+  checkb "budget lifted" true (Db.mvcc_budget db = None)
+
 let test_snapshot_too_old () =
   let db = Db.create ~wal:true () in
   ignore (Db.exec db "CREATE TABLE T (K INT, N INT); INSERT INTO T VALUES (1, 0)");
@@ -231,6 +272,7 @@ let () =
       ( "gc",
         [
           Alcotest.test_case "reclaims versions" `Quick test_gc_reclaims_versions;
+          Alcotest.test_case "byte budget with pinned horizon" `Quick test_budget_with_pinned_horizon;
           Alcotest.test_case "snapshot too old (typed)" `Quick test_snapshot_too_old;
           Alcotest.test_case "pin holds the horizon" `Quick test_pin_holds_gc_horizon;
         ] );

@@ -226,6 +226,35 @@ let test_explain_analyze_stmt () =
           "pool.hits="; "pool.misses="; "wal.bytes="; "result: 2 row(s)" ]
   | _ -> Alcotest.fail "expected a message result"
 
+(* --- planner gauges in the exposition ------------------------------------- *)
+
+(* The access-path counters reach Prometheus through the storage-stat
+   fold.  An in-transaction point read runs on the live catalog and
+   bumps the index-scan series; a plain (snapshot) read has no index
+   paths by design and bumps the seq-scan series; the MVCC byte gauge
+   is present. *)
+let test_planner_gauges () =
+  let db = Db.create () in
+  Nf2.Demo.load db;
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  let mgr = Session.create_manager ~metrics:(Metrics.create ()) db in
+  let sess = Session.open_session mgr ~sid:1 in
+  ignore (Session.handle sess (P.Query "BEGIN;"));
+  (match Session.handle sess (P.Query "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314;") with
+  | P.Result_table _ -> ()
+  | _ -> Alcotest.fail "indexed read failed");
+  ignore (Session.handle sess (P.Query "COMMIT;"));
+  (match Session.handle sess (P.Query "SELECT x.DNO FROM x IN DEPARTMENTS;") with
+  | P.Result_table _ -> ()
+  | _ -> Alcotest.fail "scan read failed");
+  Session.close_session sess;
+  let out = Session.render_prometheus mgr in
+  List.iter
+    (fun needle ->
+      if not (contains out needle) then Alcotest.failf "exposition misses %S" needle)
+    [ "aimii_plan_index_scans 1"; "aimii_plan_seq_scans 1"; "aimii_plan_index_intersections 0";
+      "aimii_mvcc_bytes_live" ]
+
 (* --- slow-query log ------------------------------------------------------- *)
 
 let test_slow_query_log () =
@@ -270,6 +299,10 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "node accumulation" `Quick test_trace_accumulation;
+        ] );
+      ( "planner gauges",
+        [
+          Alcotest.test_case "exposition series" `Quick test_planner_gauges;
         ] );
       ( "explain analyze",
         [

@@ -1,0 +1,365 @@
+(* Cost-based planner + volcano executor battery.
+
+   Three layers:
+   - operator units for [Nf2_plan.Exec] (laziness, order, dedup);
+   - plan-shape assertions: the planner must pick the access path the
+     cost model promises at a given cardinality (index for selective
+     equality, seq-scan when every row matches, intersection for the
+     paper's Fig 7b conjunction, seq under MVCC snapshots where index
+     paths are absent by design);
+   - a differential harness: every query runs once with the planner
+     free and once with [set_plan_force_seq] — rendered results must be
+     byte-equal, including ASOF reads, pinned-snapshot reads, and reads
+     inside an open transaction. *)
+
+module Atom = Nf2_model.Atom
+module Value = Nf2_model.Value
+module Rel = Nf2_algebra.Rel
+module Tid = Nf2_storage.Tid
+module Db = Nf2.Db
+module Exec = Nf2_plan.Exec
+module Plan = Nf2_plan.Plan
+module Parser = Nf2_lang.Parser
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let is_infix needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* --- Exec operator units ------------------------------------------------- *)
+
+let test_exec_combinators () =
+  Alcotest.(check (list int)) "of_list/to_list" [ 1; 2; 3 ] (Exec.to_list (Exec.of_list [ 1; 2; 3 ]));
+  Alcotest.(check (list int)) "map" [ 2; 4 ] (Exec.to_list (Exec.map (( * ) 2) (Exec.of_list [ 1; 2 ])));
+  Alcotest.(check (list int)) "filter" [ 2; 4 ]
+    (Exec.to_list (Exec.filter (fun x -> x mod 2 = 0) (Exec.of_list [ 1; 2; 3; 4 ])));
+  (* flat_map is depth-first in outer order: the nested-loop contract *)
+  Alcotest.(check (list int)) "flat_map dfs" [ 10; 11; 20; 21 ]
+    (Exec.to_list (Exec.flat_map (fun x -> [ x; x + 1 ]) (Exec.of_list [ 10; 20 ])));
+  checki "length" 3 (Exec.length (Exec.of_list [ (); (); () ]));
+  checki "empty" 0 (Exec.length Exec.empty);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Exec.to_list (Exec.singleton 7))
+
+let test_exec_laziness () =
+  (* a seq-scan built but never pulled must not touch its source *)
+  let scans = ref 0 in
+  let it =
+    Exec.seq_scan (fun () ->
+        incr scans;
+        [ 1; 2; 3 ])
+  in
+  checki "no scan before first pull" 0 !scans;
+  (match it () with Some 1 -> () | _ -> Alcotest.fail "first element");
+  checki "one scan after pull" 1 !scans;
+  ignore (Exec.to_list it);
+  checki "scan ran once" 1 !scans;
+  (* index_scan fetches one object per pull: stopping early skips fetches *)
+  let fetched = ref 0 in
+  let tid n = { Tid.page = n; slot = 0 } in
+  let it =
+    Exec.index_scan
+      ~fetch:(fun t ->
+        incr fetched;
+        t.Tid.page)
+      [ tid 1; tid 2; tid 3 ]
+  in
+  (match it () with Some 1 -> () | _ -> Alcotest.fail "fetch 1");
+  checki "early stop skips fetches" 1 !fetched
+
+let test_exec_joins () =
+  let inner_builds = ref 0 in
+  let it =
+    Exec.bnl_join
+      (fun () ->
+        incr inner_builds;
+        [ "a"; "b" ])
+      (fun x y -> (x, y))
+      (Exec.of_list [ 1; 2 ])
+  in
+  Alcotest.(check (list (pair int string)))
+    "bnl pairs" [ (1, "a"); (1, "b"); (2, "a"); (2, "b") ] (Exec.to_list it);
+  checki "inner materialized once" 1 !inner_builds;
+  let it = Exec.nl_join (fun x -> [ x * 10 ]) (fun x y -> x + y) (Exec.of_list [ 1; 2 ]) in
+  Alcotest.(check (list int)) "nl join" [ 11; 22 ] (Exec.to_list it)
+
+let test_exec_hash_agg () =
+  let groups =
+    Exec.hash_agg
+      ~key:(fun x -> string_of_int (x mod 2))
+      ~init:0 ~step:( + )
+      (Exec.of_list [ 1; 2; 3; 4; 5 ])
+  in
+  (* first-seen key order *)
+  Alcotest.(check (list (pair string int))) "groups" [ ("1", 9); ("0", 6) ] groups;
+  let probe =
+    Exec.hash_build ~key:(fun x -> if x > 0 then Some (string_of_int (x mod 2)) else None) [ 1; 2; 3; -5 ]
+  in
+  Alcotest.(check (list int)) "probe odd, input order" [ 1; 3 ] (probe "1");
+  Alcotest.(check (list int)) "probe even" [ 2 ] (probe "0");
+  Alcotest.(check (list int)) "probe miss" [] (probe "9")
+
+(* --- plan shapes ---------------------------------------------------------- *)
+
+let demo_db () = Nf2.Demo.create ()
+
+let tree_of db q =
+  ignore (Db.exec1 db ("EXPLAIN " ^ q));
+  match Db.last_plan_tree db with Some t -> t | None -> Alcotest.fail "no plan tree"
+
+let test_explain_is_non_executing () =
+  let db = demo_db () in
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  let before = Nf2_storage.Buffer_pool.stats (Db.pool db) in
+  let t = tree_of db "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314" in
+  let after = Nf2_storage.Buffer_pool.stats (Db.pool db) in
+  checkb "index-scan chosen" true (Plan.uses_op "index-scan" t);
+  checki "no pool traffic from EXPLAIN" before.Nf2_storage.Buffer_pool.hits
+    after.Nf2_storage.Buffer_pool.hits;
+  (* the planner's access counters do not move either: nothing executed *)
+  let pc = Db.planner_counters db in
+  checki "no scans counted" 0 (pc.Db.seq_scans + pc.Db.index_scans + pc.Db.index_intersections)
+
+let test_plan_shapes () =
+  let db = demo_db () in
+  (* no index: sequential scan *)
+  let t = tree_of db "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = 314" in
+  checkb "seq without index" true (Plan.uses_op "seq-scan" t);
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  let t = tree_of db "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = 314" in
+  checkb "index-scan on selective equality" true (Plan.uses_op "index-scan" t);
+  checkb "filter above access" true (Plan.uses_op "filter" t);
+  checkb "project on top" true (Plan.uses_op "project" t);
+  (* the paper's Fig 7b conjunction: two hierarchical indexes intersect *)
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)");
+  let t =
+    tree_of db
+      "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : (y.PNO = 17 AND EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant')"
+  in
+  checkb "index-intersect for Fig 7b" true (Plan.uses_op "index-intersect" t);
+  (* ORDER BY adds a sort; set semantics add distinct *)
+  let t = tree_of db "SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.DNO" in
+  checkb "sort for ORDER BY" true (Plan.uses_op "sort" t);
+  let t = tree_of db "SELECT x.DNO FROM x IN DEPARTMENTS" in
+  checkb "distinct for set result" true (Plan.uses_op "distinct" t);
+  (* force_seq ablation: same query, no index ops *)
+  Db.set_plan_force_seq db true;
+  let t = tree_of db "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = 314" in
+  checkb "force_seq suppresses index" true
+    (Plan.uses_op "seq-scan" t && not (Plan.exists (fun n -> n.Plan.op = "index-scan") t));
+  Db.set_plan_force_seq db false
+
+let test_stats_flip_to_seq () =
+  (* one distinct key over many rows: selectivity 1 — the index fetches
+     every object and must lose to the scan *)
+  let db = Db.create () in
+  ignore (Db.exec db "CREATE TABLE U (K INT, V INT)");
+  for i = 1 to 50 do
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO U VALUES (7, %d)" i))
+  done;
+  ignore (Db.exec db "CREATE INDEX ON U (K)");
+  let t = tree_of db "SELECT x.V FROM x IN U WHERE x.K = 7" in
+  checkb "useless index rejected" true (Plan.uses_op "seq-scan" t);
+  (* many distinct keys: the same query shape flips to the index *)
+  ignore (Db.exec db "CREATE TABLE W (K INT, V INT)");
+  for i = 1 to 50 do
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO W VALUES (%d, %d)" i i))
+  done;
+  ignore (Db.exec db "CREATE INDEX ON W (K)");
+  let t = tree_of db "SELECT x.V FROM x IN W WHERE x.K = 7" in
+  checkb "selective index chosen" true (Plan.uses_op "index-scan" t)
+
+let test_snapshot_plans_are_scans () =
+  (* snapshot catalogs expose no index paths (they point into live
+     pages), so snapshot plans are sequential — and say so *)
+  let db = demo_db () in
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  let snap = Db.snapshot db in
+  let stmt =
+    match Parser.parse_script "EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = 314" with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "one stmt"
+  in
+  (match Db.exec_read db snap stmt with
+  | Db.Msg m -> checkb "snapshot explain mentions snapshot" true (is_infix "snapshot @ LSN" m)
+  | Db.Rows _ -> Alcotest.fail "EXPLAIN returned rows");
+  (match Db.last_plan_tree db with
+  | Some t -> checkb "snapshot plan is seq" true (Plan.uses_op "seq-scan" t)
+  | None -> Alcotest.fail "no tree");
+  Db.release_snapshot db snap
+
+let test_planner_counters () =
+  let db = demo_db () in
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  let base = Db.planner_counters db in
+  ignore (Db.query db "SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314");
+  let pc = Db.planner_counters db in
+  checki "one index scan" (base.Db.index_scans + 1) pc.Db.index_scans;
+  ignore (Db.query db "SELECT x.DNO FROM x IN DEPARTMENTS");
+  let pc2 = Db.planner_counters db in
+  checki "one seq scan" (pc.Db.seq_scans + 1) pc2.Db.seq_scans
+
+(* --- differential: planner-chosen vs forced sequential -------------------- *)
+
+let differential_queries =
+  [
+    "SELECT * FROM DEPARTMENTS";
+    "SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = 314";
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET >= 320000 AND x.BUDGET < 440000";
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : y.PNO = 17";
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : (y.PNO = 17 AND EXISTS z \
+     IN y.MEMBERS : z.FUNCTION = 'Consultant')";
+    "SELECT x.DNO, y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE EXISTS z IN y.MEMBERS : \
+     z.FUNCTION = 'Consultant'";
+    "SELECT x.DNO, (SELECT y.PNO FROM y IN x.PROJECTS) = PROJECTS FROM x IN DEPARTMENTS";
+    "SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.BUDGET DESC";
+    "SELECT d.DNO, e.ENO FROM d IN DEPARTMENTS, e IN EMPS WHERE d.MGRNO = e.ENO";
+    "SELECT d.DNO, e.NAME FROM d IN DEPARTMENTS, e IN EMPS WHERE d.MGRNO = e.ENO ORDER BY d.DNO";
+    "SELECT x.REPNO FROM x IN REPORTS WHERE x.TITLE CONTAINS '*onsisten*'";
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE ALL y IN x.PROJECTS : y.PNO > 0";
+  ]
+
+let both_ways db q =
+  Db.set_plan_force_seq db false;
+  let auto = Rel.render (Db.query db q) in
+  Db.set_plan_force_seq db true;
+  let seq = Rel.render (Db.query db q) in
+  Db.set_plan_force_seq db false;
+  (auto, seq)
+
+let test_differential () =
+  let db = demo_db () in
+  (* a flat side table for equi-join shapes *)
+  ignore (Db.exec db "CREATE TABLE EMPS (ENO INT, NAME TEXT)");
+  List.iter
+    (fun (eno, name) -> ignore (Db.exec db (Printf.sprintf "INSERT INTO EMPS VALUES (%d, '%s')" eno name)))
+    [ (110, "Smith"); (123, "Jones"); (201, "Chen"); (301, "Date") ];
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)");
+  ignore (Db.exec db "CREATE INDEX ON EMPS (ENO)");
+  ignore (Db.exec db "CREATE TEXT INDEX ON REPORTS (TITLE)");
+  List.iter
+    (fun q ->
+      let auto, seq = both_ways db q in
+      checks q seq auto)
+    differential_queries
+
+(* Randomized workload over generator-scale data: every query template is
+   instantiated with PRNG-drawn constants (some hitting, some missing) and
+   run through both access paths.  Deterministic via Prng, so a failure
+   reproduces; the failing query text is the check name. *)
+let test_differential_randomized () =
+  let module G = Nf2_workload.Generator in
+  let module P = Nf2_workload.Paper_data in
+  let params = { G.default_dept_params with G.departments = 60; seed = 11 } in
+  let db = Db.create () in
+  Db.register_table db P.departments (G.departments ~params ());
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (DNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.PNO)");
+  ignore (Db.exec db "CREATE INDEX ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)");
+  let rng = Prng.create 2026 in
+  let functions = [| "Leader"; "Consultant"; "Secretary"; "Staff"; "Engineer"; "Analyst" |] in
+  let random_query () =
+    (* dno in [100, 159] exists; [160, 170] misses.  pno in [2, 301]. *)
+    let dno = Prng.in_range rng 100 170 in
+    let pno = Prng.in_range rng 1 310 in
+    let f = Prng.pick rng functions in
+    let base =
+      match Prng.int rng 6 with
+      | 0 -> Printf.sprintf "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = %d" dno
+      | 1 ->
+          let lo = Prng.in_range rng 100 900 * 1000 in
+          Printf.sprintf
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET >= %d AND x.BUDGET < %d" lo
+            (lo + (Prng.in_range rng 10 300 * 1000))
+      | 2 ->
+          Printf.sprintf "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : y.PNO = %d"
+            pno
+      | 3 ->
+          Printf.sprintf
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : (y.PNO = %d AND \
+             EXISTS z IN y.MEMBERS : z.FUNCTION = '%s')"
+            pno f
+      | 4 ->
+          Printf.sprintf
+            "SELECT x.DNO, y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = %d AND \
+             EXISTS z IN y.MEMBERS : z.FUNCTION = '%s'"
+            dno f
+      | _ ->
+          Printf.sprintf
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO >= %d AND EXISTS y IN x.PROJECTS : \
+             EXISTS z IN y.MEMBERS : z.FUNCTION = '%s'"
+            dno f
+    in
+    if Prng.bool rng then base ^ " ORDER BY x.DNO DESC" else base
+  in
+  for _ = 1 to 50 do
+    let q = random_query () in
+    let auto, seq = both_ways db q in
+    checks q seq auto
+  done
+
+let test_differential_snapshot_and_txn () =
+  let db = Db.create ~wal:true () in
+  ignore (Db.exec db "CREATE TABLE T (K INT, N INT)");
+  for i = 1 to 20 do
+    ignore (Db.exec db (Printf.sprintf "INSERT INTO T VALUES (%d, %d)" i (i * i)))
+  done;
+  ignore (Db.exec db "CREATE INDEX ON T (K)");
+  let lsn0 = Db.current_snapshot_lsn db in
+  for i = 1 to 5 do
+    ignore (Db.exec db (Printf.sprintf "UPDATE T SET N = 0 WHERE K = %d" i))
+  done;
+  let stmt_of q =
+    match Parser.parse_script q with [ s ] -> s | _ -> Alcotest.fail "one stmt"
+  in
+  let snap = Db.snapshot db in
+  let read q =
+    Db.set_plan_force_seq db false;
+    let auto = Db.render_result (Db.exec_read db snap (stmt_of q)) in
+    Db.set_plan_force_seq db true;
+    let seq = Db.render_result (Db.exec_read db snap (stmt_of q)) in
+    Db.set_plan_force_seq db false;
+    checks q seq auto
+  in
+  read "SELECT x.K, x.N FROM x IN T WHERE x.K = 3";
+  read (Printf.sprintf "SELECT x.K, x.N FROM x IN T ASOF %d WHERE x.K = 3" lsn0);
+  Db.release_snapshot db snap;
+  (* reads inside an open transaction see uncommitted rows identically *)
+  ignore (Db.exec db "BEGIN");
+  ignore (Db.exec db "INSERT INTO T VALUES (99, 1)");
+  let auto, seq = both_ways db "SELECT x.N FROM x IN T WHERE x.K = 99" in
+  checks "in-txn read" seq auto;
+  checkb "uncommitted row visible" true (auto <> "");
+  ignore (Db.exec db "ROLLBACK")
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "combinators" `Quick test_exec_combinators;
+          Alcotest.test_case "laziness" `Quick test_exec_laziness;
+          Alcotest.test_case "joins" `Quick test_exec_joins;
+          Alcotest.test_case "hash agg / build" `Quick test_exec_hash_agg;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "EXPLAIN does not execute" `Quick test_explain_is_non_executing;
+          Alcotest.test_case "plan shapes" `Quick test_plan_shapes;
+          Alcotest.test_case "cardinality flips the choice" `Quick test_stats_flip_to_seq;
+          Alcotest.test_case "snapshot plans are scans" `Quick test_snapshot_plans_are_scans;
+          Alcotest.test_case "access-path counters" `Quick test_planner_counters;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "forced-seq vs planner" `Quick test_differential;
+          Alcotest.test_case "randomized workload" `Quick test_differential_randomized;
+          Alcotest.test_case "snapshots and transactions" `Quick test_differential_snapshot_and_txn;
+        ] );
+    ]

@@ -1631,6 +1631,92 @@ let bench_qp () =
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
   Printf.printf "appended query-planner entries to BENCH_server.json\n%!"
 
+(* ================================================================== *)
+(* SYS: introspection schema — pay-for-use, bounded query latency      *)
+(* ================================================================== *)
+
+let bench_sys () =
+  section "SYS" "SYS introspection: pay-for-use materialization, bounded query cost";
+  let n = 20_000 in
+  let db = Db.create ~frames:1024 () in
+  let schema = Schema.relation "BIG" [ Schema.int_ "K"; Schema.int_ "V" ] in
+  Db.register_table db schema (List.init n (fun i -> [ Value.int_ i; Value.int_ (i * 3) ]));
+  ignore (Db.exec db "CREATE INDEX ON BIG (K)");
+  let reg = Db.sys_registry db in
+  (* user statements must never touch a provider: SYS is pay-for-use *)
+  let user_queries = 2_000 in
+  let (), user_ns =
+    time_once (fun () ->
+        for i = 1 to user_queries do
+          ignore (Db.query db (Printf.sprintf "SELECT x.V FROM x IN BIG WHERE x.K = %d" (i * 7)))
+        done)
+  in
+  subsection
+    (Printf.sprintf "%d user point reads in %.2fs (%.0f q/s)" user_queries (user_ns /. 1e9)
+       (float_of_int user_queries /. (user_ns /. 1e9)));
+  check "no SYS materialization on the user hot path"
+    (Nf2_sys.Registry.materializations reg = 0);
+  (* grow version chains so SYS_MVCC has real substance to materialize *)
+  for _ = 1 to 3 do
+    ignore (Db.exec db "UPDATE BIG SET V = V + 1 WHERE K < 2000")
+  done;
+  let timed_sys q =
+    let _warm = Db.query db q in
+    let r, ns = time_once (fun () -> Db.query db q) in
+    let r', ns' = time_once (fun () -> Db.query db q) in
+    ignore r';
+    (r, Float.min ns ns')
+  in
+  let flat, flat_ns = timed_sys "SELECT t.NAME FROM t IN SYS_TABLES" in
+  let nested, nested_ns =
+    timed_sys
+      "SELECT m.TBL, v.LSN FROM m IN SYS_MVCC, v IN m.CHAIN WHERE m.TBL = 'BIG' AND v.LIVE = \
+       TRUE"
+  in
+  print_table
+    ~header:[ "SYS query"; "rows"; "latency" ]
+    [
+      [ "SYS_TABLES flat scan"; string_of_int (Rel.cardinality flat); Printf.sprintf "%.3f ms" (flat_ns /. 1e6) ];
+      [
+        "SYS_MVCC nested chain walk";
+        string_of_int (Rel.cardinality nested);
+        Printf.sprintf "%.3f ms" (nested_ns /. 1e6);
+      ];
+    ];
+  (* chains are table-level: one version per commit that touched BIG *)
+  check "SYS_MVCC chain walk sees each update pass" (Rel.cardinality nested >= 3);
+  (* each SYS statement freezes the touched providers exactly once *)
+  check "providers materialize per statement, not per row"
+    (Nf2_sys.Registry.materializations reg >= 2);
+  check
+    (Printf.sprintf "SYS introspection stays interactive (flat %.1fms, nested %.1fms)"
+       (flat_ns /. 1e6) (nested_ns /. 1e6))
+    (flat_ns < 250. *. 1e6 && nested_ns < 250. *. 1e6);
+  let body =
+    String.concat ",\n"
+      [
+        Printf.sprintf
+          "  {\"section\": \"sys_introspection\", \"mode\": \"flat\", \"seconds\": %.6f}"
+          (flat_ns /. 1e9);
+        Printf.sprintf
+          "  {\"section\": \"sys_introspection\", \"mode\": \"nested\", \"rows\": %d, \
+           \"seconds\": %.6f}"
+          (Rel.cardinality nested) (nested_ns /. 1e9);
+      ]
+  in
+  let json =
+    if Sys.file_exists "BENCH_server.json" then begin
+      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "appended SYS introspection entries to BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1654,6 +1740,7 @@ let sections : (string * (unit -> unit)) list =
     ("REPL", bench_repl);
     ("RDS", bench_read_scaling);
     ("QP", bench_qp);
+    ("SYS", bench_sys);
   ]
 
 let () =

@@ -12,15 +12,17 @@
      \save <path>  persist     (reopen with: aimsh -d <path>)
      \checkpoint   WAL sharp checkpoint; prints the durable LSN
      \timing on|off  print client-side wall-clock time per input
+     \sys          list the SYS introspection tables (SELECT-able)
+     \slow-query S|off  report inputs taking >= S seconds
 
    With -d FILE -j JOURNAL the session is durable: it recovers from the
    checkpoint + journal on start, journals every mutation, and \save
    checkpoints (truncating the journal).
 
    With --connect HOST:PORT the shell talks to a running aimd server
-   instead of an embedded engine; \metrics [prom], \ping, \promote and
-   \timing replace the local meta commands, and BEGIN/COMMIT/ROLLBACK
-   span multiple inputs.  In remote mode -e also accepts meta commands,
+   instead of an embedded engine; \metrics [prom], \ping, \promote,
+   \sys [reset], \slow-query and \timing replace the local meta
+   commands, and BEGIN/COMMIT/ROLLBACK span multiple inputs.  In remote mode -e also accepts meta commands,
    so `aimsh --connect HOST:PORT -e '\metrics prom'` scrapes the server
    and `-e '\promote'` promotes a read-only replica.
 *)
@@ -46,12 +48,46 @@ let set_timing arg =
   (match arg with Some "on" -> timing := true | Some "off" -> timing := false | _ -> timing := not !timing);
   Printf.printf "timing %s\n" (if !timing then "on" else "off")
 
+(* \slow-query: in embedded mode there is no server-side tracer, so the
+   shell itself times each input and reports the ones at or over the
+   threshold on stderr (remote mode forwards the threshold to aimd). *)
+let local_slow_query : float option ref = ref None
+
+let parse_slow_query arg =
+  match arg with
+  | "off" -> Ok None
+  | s -> (
+      match float_of_string_opt s with
+      | Some f when f >= 0. -> Ok (Some f)
+      | _ -> Error (Printf.sprintf "bad threshold %S (want seconds or 'off')" s))
+
+let set_local_slow_query arg =
+  match parse_slow_query arg with
+  | Error m -> print_endline m
+  | Ok thr ->
+      local_slow_query := thr;
+      (match thr with
+      | None -> print_endline "slow-query tracing off"
+      | Some s -> Printf.printf "slow-query threshold %gs\n" s)
+
 let load_demo db =
   Nf2.Demo.load db;
   print_endline "demo tables loaded: DEPARTMENTS, *_1NF, EMPLOYEES_1NF, REPORTS"
 
 let run_input db input =
-  try List.iter (fun r -> print_string (Db.render_result r); print_newline ()) (Db.exec db input) with
+  let t0 = Unix.gettimeofday () in
+  let report () =
+    match !local_slow_query with
+    | Some thr when Unix.gettimeofday () -. t0 >= thr ->
+        Printf.eprintf "slow-query: %.1f ms  %s\n%!"
+          ((Unix.gettimeofday () -. t0) *. 1e3)
+          (String.concat " " (String.split_on_char '\n' (String.trim input)))
+    | _ -> ()
+  in
+  try
+    Fun.protect ~finally:report (fun () ->
+        List.iter (fun r -> print_string (Db.render_result r); print_newline ()) (Db.exec db input))
+  with
   | Db.Db_error m -> Printf.printf "error: %s\n" m
   | Nf2_lang.Parser.Parse_error m -> Printf.printf "parse error: %s\n" m
   | Nf2_lang.Lexer.Lex_error m -> Printf.printf "lex error: %s\n" m
@@ -91,6 +127,11 @@ let repl db =
               with Db.Db_error m -> Printf.printf "error: %s\n" m)
           | [ "\\timing" ] -> set_timing None
           | [ "\\timing"; arg ] -> set_timing (Some arg)
+          | [ "\\sys" ] -> run_input db "SELECT * FROM SYS_TABLES;"
+          | [ "\\sys"; "reset" ] ->
+              print_endline
+                "nothing to reset: cumulative statement statistics live in aimd (use --connect)"
+          | [ "\\slow-query"; arg ] -> set_local_slow_query arg
           | _ -> print_endline "unknown meta command");
           loop ()
         end
@@ -153,8 +194,16 @@ let remote_meta client trimmed =
   | [ "\\promote" ] -> print_remote_response (Client.request client Proto.Promote)
   | [ "\\timing" ] -> set_timing None
   | [ "\\timing"; arg ] -> set_timing (Some arg)
+  | [ "\\sys" ] -> run_remote client "SELECT * FROM SYS_TABLES;"
+  | [ "\\sys"; "reset" ] -> print_remote_response (Client.request client Proto.Sys_reset)
+  | [ "\\slow-query"; arg ] -> (
+      match parse_slow_query arg with
+      | Error m -> print_endline m
+      | Ok thr -> print_remote_response (Client.request client (Proto.Set_slow_query thr)))
   | _ ->
-      print_endline "unknown meta command (remote: \\q \\metrics [prom] \\ping \\promote \\timing)"
+      print_endline
+        "unknown meta command (remote: \\q \\metrics [prom] \\ping \\promote \\sys [reset] \
+         \\slow-query S|off \\timing)"
 
 let remote_repl client =
   print_endline "connected.  Statements end with ';'.  \\q quits, \\metrics shows server counters.";

@@ -22,6 +22,7 @@ module Recovery = Nf2_storage.Recovery
 module Plan = Nf2_plan.Plan
 module Pstats = Nf2_plan.Stats
 module Driver = Nf2_plan.Driver
+module Sysr = Nf2_sys.Registry
 open Nf2_lang
 
 exception Db_error of string
@@ -56,6 +57,7 @@ type t = {
   mutable wal : Wal.t option; (* physical write-ahead log, if attached *)
   mutable wal_txn : wal_txn_state option; (* open WAL transaction, if any *)
   mvcc : Mvcc.t; (* committed version chains for lock-free snapshot reads *)
+  sys : Sysr.t; (* SYS introspection providers (engine + host layers) *)
   mutable dirty : StrSet.t; (* tables touched since the last MVCC publish *)
   mutable plan_force_seq : bool; (* planner ablation: sequential plans only *)
   mutable last_plan_tree : Plan.node option;
@@ -93,6 +95,175 @@ let attach_wal t =
 
 let wal t = t.wal
 
+(* --- SYS introspection providers -----------------------------------------
+
+   The engine's own telemetry is queryable as NF² relations: each
+   subsystem registers a named thunk that materializes its state on
+   demand.  Providers never run eagerly — the catalog wrapper below
+   freezes each SYS table lazily at its first touch within one
+   statement, so a statement sees one consistent materialization and
+   EXPLAIN (typing only) materializes nothing. *)
+
+let sys_registry t = t.sys
+
+(* A SYS name resolves to a provider only where no user table shadows
+   it — user data always wins, SYS is a fallback namespace. *)
+let is_sys_table t name =
+  let up = String.uppercase_ascii name in
+  (not (Hashtbl.mem t.tables up)) && Sysr.find t.sys up <> None
+
+let sys_field n ty = { Schema.name = n; attr = Schema.Atomic ty }
+
+let sys_nested n kind fields =
+  { Schema.name = n; attr = Schema.Table { Schema.kind; fields } }
+
+let sys_schema name fields =
+  Schema.validate { Schema.name; table = { Schema.kind = Schema.Set; fields } }
+
+let vint n = Value.Atom (Atom.Int n)
+let vstr s = Value.Atom (Atom.Str s)
+let vbool b = Value.Atom (Atom.Bool b)
+let vlist tuples = Value.Table { Value.kind = Schema.List; tuples }
+
+(* SYS_WAL: one row of cumulative write-ahead-log state. *)
+let sys_wal_provider t : Sysr.provider =
+  let schema =
+    sys_schema "SYS_WAL"
+      [
+        sys_field "ATTACHED" Atom.Tbool;
+        sys_field "RECORDS" Atom.Tint;
+        sys_field "BYTES" Atom.Tint;
+        sys_field "FSYNCS" Atom.Tint;
+        sys_field "FORCED_FSYNCS" Atom.Tint;
+        sys_field "GROUP_BATCHES" Atom.Tint;
+        sys_field "GROUP_TXNS" Atom.Tint;
+        sys_field "DURABLE_LSN" Atom.Tint;
+        sys_field "LAST_LSN" Atom.Tint;
+      ]
+  in
+  let materialize () =
+    match t.wal with
+    | None -> [ [ vbool false; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0 ] ]
+    | Some w ->
+        let s = Wal.stats w in
+        [
+          [
+            vbool true;
+            vint s.Wal.records;
+            vint s.Wal.bytes;
+            vint s.Wal.flushes;
+            vint s.Wal.forced_flushes;
+            vint s.Wal.group_commit_batches;
+            vint s.Wal.group_commit_txns;
+            vint (Wal.durable_lsn w);
+            vint (Wal.last_lsn w);
+          ];
+        ]
+  in
+  { Sysr.name = "SYS_WAL"; schema; materialize }
+
+(* SYS_MVCC: one row per version chain, versions nested newest-first.
+   A version is PINNED when some pinned snapshot LSN resolves to it. *)
+let sys_mvcc_provider t : Sysr.provider =
+  let schema =
+    sys_schema "SYS_MVCC"
+      [
+        sys_field "TBL" Atom.Tstring;
+        sys_field "TRIMMED" Atom.Tbool;
+        sys_field "NVERSIONS" Atom.Tint;
+        sys_nested "CHAIN" Schema.List
+          [
+            sys_field "LSN" Atom.Tint;
+            sys_field "BYTES" Atom.Tint;
+            sys_field "LIVE" Atom.Tbool;
+            sys_field "PINNED" Atom.Tbool;
+          ];
+      ]
+  in
+  let materialize () =
+    let pins = List.map fst (Mvcc.pinned_lsns t.mvcc) in
+    List.map
+      (fun (name, trimmed, versions) ->
+        (* newest-first: pin p resolves to the first version at or below p *)
+        let pinned_lsns =
+          List.filter_map
+            (fun p ->
+              List.find_opt (fun v -> v.Mvcc.v_lsn <= p) versions
+              |> Option.map (fun v -> v.Mvcc.v_lsn))
+            pins
+        in
+        let vrows =
+          List.map
+            (fun v ->
+              [
+                vint v.Mvcc.v_lsn;
+                vint v.Mvcc.v_bytes;
+                vbool v.Mvcc.v_live;
+                vbool (List.mem v.Mvcc.v_lsn pinned_lsns);
+              ])
+            versions
+        in
+        [ vstr name; vbool trimmed; vint (List.length versions); vlist vrows ])
+      (Mvcc.chains t.mvcc)
+  in
+  { Sysr.name = "SYS_MVCC"; schema; materialize }
+
+(* SYS_TABLES: the SYS namespace itself — what providers exist, with
+   their top-level arity.  [\sys] in the shell is just a query here. *)
+let sys_tables_provider t : Sysr.provider =
+  let schema =
+    sys_schema "SYS_TABLES" [ sys_field "NAME" Atom.Tstring; sys_field "COLS" Atom.Tint ]
+  in
+  let materialize () =
+    List.filter_map
+      (fun n ->
+        match Sysr.find t.sys n with
+        | None -> None
+        | Some p -> Some [ vstr n; vint (List.length p.Sysr.schema.Schema.table.Schema.fields) ])
+      (Sysr.names t.sys)
+  in
+  { Sysr.name = "SYS_TABLES"; schema; materialize }
+
+let register_builtin_sys t =
+  Sysr.register t.sys (sys_wal_provider t);
+  Sysr.register t.sys (sys_mvcc_provider t);
+  Sysr.register t.sys (sys_tables_provider t)
+
+(* Wrap a catalog with the SYS fallback.  One wrapper is built per
+   statement, so the lazy cell freezes each touched SYS table exactly
+   once for that statement: repeated references (self-joins, EXISTS
+   subqueries) see the same materialization, and the next statement
+   sees fresh state. *)
+let with_sys t (base : Eval.catalog) : Eval.catalog =
+  let memo : (string, Eval.source_table) Hashtbl.t = Hashtbl.create 4 in
+  fun name ->
+    match base name with
+    | Some _ as r -> r
+    | None -> (
+        let up = String.uppercase_ascii name in
+        match Hashtbl.find_opt memo up with
+        | Some src -> Some src
+        | None -> (
+            match if Hashtbl.mem t.tables up then None else Sysr.find t.sys up with
+            | None -> None
+            | Some p ->
+                let frozen = lazy (p.Sysr.materialize ()) in
+                let src =
+                  {
+                    Eval.schema = p.Sysr.schema;
+                    versioned = false;
+                    scan = (fun () -> Lazy.force frozen);
+                    scan_asof = None;
+                    scan_asof_lsn = None;
+                    roots = None;
+                    fetch_root = None;
+                    indexes = [];
+                    text_indexes = [];
+                  }
+                in
+                Hashtbl.replace memo up src;
+                Some src))
+
 let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering = true)
     ?(wal = false) () =
   let disk = Disk.create ~page_size () in
@@ -113,6 +284,7 @@ let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering =
       wal = None;
       wal_txn = None;
       mvcc = Mvcc.create ();
+      sys = Sysr.create ();
       dirty = StrSet.empty;
       plan_force_seq = false;
       last_plan_tree = None;
@@ -121,6 +293,7 @@ let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering =
       pc_index_intersections = Atomic.make 0;
     }
   in
+  register_builtin_sys t;
   if wal then attach_wal t;
   t
 
@@ -747,10 +920,15 @@ let new_trace ?label t : Trace.t =
 let stats_of t : Pstats.provider =
  fun name -> Option.map (fun ti -> { Pstats.rows = ti.stat_rows }) (find_table t name)
 
-let count_access t = function
-  | `Seq -> Atomic.incr t.pc_seq_scans
-  | `Index -> Atomic.incr t.pc_index_scans
-  | `Intersect -> Atomic.incr t.pc_index_intersections
+(* SYS scans are deliberately invisible to the plan-path counters:
+   introspecting the engine must not perturb what it reports. *)
+let count_access t name kind =
+  if is_sys_table t name then ()
+  else
+    match kind with
+    | `Seq -> Atomic.incr t.pc_seq_scans
+    | `Index -> Atomic.incr t.pc_index_scans
+    | `Intersect -> Atomic.incr t.pc_index_intersections
 
 type planner_counters = { seq_scans : int; index_scans : int; index_intersections : int }
 
@@ -775,7 +953,7 @@ let run_query ?trace ?rewrite t q =
       ~plan_note:(fun p -> notes := p :: !notes)
       ?trace ~force_seq:t.plan_force_seq
       ~on_access:(count_access t)
-      ?rewrite ~stats:(stats_of t) (catalog t) q
+      ?rewrite ~stats:(stats_of t) (with_sys t (catalog t)) q
   in
   t.last_plan <- !notes;
   t.last_plan_tree <- Some tree;
@@ -794,9 +972,15 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       txn_rollback t;
       Msg "rolled back"
   | Ast.Show_tables -> Msg (String.concat "\n" (table_names t))
-  | Ast.Describe name ->
-      let ti = table_exn t name in
-      Msg (Schema.to_string ti.schema ^ "\n" ^ Schema.render_segment_tree ti.schema)
+  | Ast.Describe name -> (
+      match find_table t name with
+      | Some ti -> Msg (Schema.to_string ti.schema ^ "\n" ^ Schema.render_segment_tree ti.schema)
+      | None -> (
+          match Sysr.find t.sys name with
+          | Some p ->
+              Msg
+                (Schema.to_string p.Sysr.schema ^ "\n" ^ Schema.render_segment_tree p.Sysr.schema)
+          | None -> db_error "no such table: %s" name))
   | Ast.Create_table { name; fields; versioned } ->
       if find_table t name <> None then db_error "table %s already exists" name;
       let schema =
@@ -868,7 +1052,10 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
            (String.concat "." sub_path) (List.length targets))
   | Ast.Explain q ->
       (* plan only — typing runs (errors surface) but nothing executes *)
-      let tree = Driver.explain ~force_seq:t.plan_force_seq ?rewrite ~stats:(stats_of t) (catalog t) q in
+      let tree =
+        Driver.explain ~force_seq:t.plan_force_seq ?rewrite ~stats:(stats_of t)
+          (with_sys t (catalog t)) q
+      in
       t.last_plan_tree <- Some tree;
       Msg (Printf.sprintf "plan:\n%s" (Plan.render ~indent:2 tree))
   | Ast.Explain_analyze q ->
@@ -1260,6 +1447,7 @@ let decode_db ?(frames = 256) (data : string) : t =
       wal = None;
       wal_txn = None;
       mvcc = Mvcc.create ();
+      sys = Sysr.create ();
       dirty = StrSet.empty;
       plan_force_seq = false;
       last_plan_tree = None;
@@ -1268,6 +1456,7 @@ let decode_db ?(frames = 256) (data : string) : t =
       pc_index_intersections = Atomic.make 0;
     }
   in
+  register_builtin_sys t;
   decode_catalog t src;
   mvcc_refresh_all t;
   t
@@ -1490,6 +1679,7 @@ let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
       wal = None;
       wal_txn = None;
       mvcc = Mvcc.create ();
+      sys = Sysr.create ();
       dirty = StrSet.empty;
       plan_force_seq = false;
       last_plan_tree = None;
@@ -1498,6 +1688,7 @@ let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
       pc_index_intersections = Atomic.make 0;
     }
   in
+  register_builtin_sys t;
   (match cat with None -> () | Some src -> decode_catalog t src);
   attach_wal t;
   mvcc_refresh_all t;
@@ -1588,7 +1779,7 @@ let run_query_snap ?trace ?rewrite t (s : Mvcc.snapshot) q =
       ~plan_note:(fun p -> notes := p :: !notes)
       ?trace ~force_seq:t.plan_force_seq
       ~on_access:(count_access t)
-      ?rewrite ~stats:(snapshot_stats s) (snapshot_catalog s) q
+      ?rewrite ~stats:(snapshot_stats s) (with_sys t (snapshot_catalog s)) q
   in
   t.last_plan <- !notes;
   t.last_plan_tree <- Some tree;
@@ -1605,11 +1796,16 @@ let exec_read ?trace ?rewrite t (s : Mvcc.snapshot) (stmt : Ast.stmt) : result =
       match Mvcc.resolve s name with
       | Some v ->
           Msg (Schema.to_string v.Mvcc.v_schema ^ "\n" ^ Schema.render_segment_tree v.Mvcc.v_schema)
-      | None -> db_error "no such table: %s" name)
+      | None -> (
+          match if find_table t name <> None then None else Sysr.find t.sys name with
+          | Some p ->
+              Msg
+                (Schema.to_string p.Sysr.schema ^ "\n" ^ Schema.render_segment_tree p.Sysr.schema)
+          | None -> db_error "no such table: %s" name))
   | Ast.Explain q ->
       let tree =
         Driver.explain ~force_seq:t.plan_force_seq ?rewrite ~stats:(snapshot_stats s)
-          (snapshot_catalog s) q
+          (with_sys t (snapshot_catalog s)) q
       in
       t.last_plan_tree <- Some tree;
       Msg

@@ -78,6 +78,24 @@ type planner_counters = { seq_scans : int; index_scans : int; index_intersection
 
 val planner_counters : t -> planner_counters
 
+(** {1 SYS introspection}
+
+    The engine's own telemetry, queryable as NF² relations under
+    reserved [SYS_*] names.  Each subsystem registers a provider —
+    a named thunk materializing its state on demand; the database
+    registers [SYS_WAL], [SYS_MVCC] and [SYS_TABLES] itself, and the
+    server layers add session, lock, metrics, statement and trace
+    providers.  Within one statement every touched SYS table is frozen
+    at its first access (self-joins and subqueries see one consistent
+    materialization); SYS reads take no locks, use no index paths, and
+    leave the plan-path counters of user tables untouched.  A user
+    table of the same name shadows the provider. *)
+
+val sys_registry : t -> Nf2_sys.Registry.t
+
+(** [name] resolves to a SYS provider (and no user table shadows it). *)
+val is_sys_table : t -> string -> bool
+
 (** {1 Catalog} *)
 
 val table_names : t -> string list

@@ -314,3 +314,10 @@ let held_by t (txn : txn) =
     t.granted
 
 let lock_count t = List.length t.granted
+
+(* Full state dump for the SYS introspection layer: the caller holds
+   the manager mutex, so the three lists are one consistent cut. *)
+let dump t =
+  ( List.map (fun g -> (g.owner, g.mode, g.predicate)) t.granted,
+    List.map (fun w -> (w.wtxn, w.wmode, w.wpredicate)) t.waiters,
+    t.waits_for )

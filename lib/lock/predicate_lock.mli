@@ -82,3 +82,9 @@ val release_all : t -> txn -> unit
 val held_by : t -> txn -> (txn * mode * predicate) list
 
 val lock_count : t -> int
+
+val dump : t -> (txn * mode * predicate) list * (txn * mode * predicate) list * (txn * txn) list
+(** One consistent cut of the lock table for introspection
+    ([SYS_LOCKS]): granted locks, queued waiters, and the waits-for
+    edges [(waiter, holder)].  Call under the mutex that serialises
+    {!acquire}/{!release_all}. *)

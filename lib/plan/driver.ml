@@ -34,7 +34,12 @@ let eval_err fmt = Printf.ksprintf (fun s -> raise (Eval.Eval_error s)) fmt
 let execute ?plan_note ?trace ?on_access ~(pl : Planner.t) (catalog : Eval.catalog) (q : query) :
     Rel.t =
   let note s = match plan_note with Some f -> f s | None -> () in
-  let fire k = match on_access with Some f -> f k | None -> () in
+  (* access callbacks carry the range's source table so the sink can
+     attribute (or deliberately ignore, for SYS sources) the access *)
+  let fire name k = match on_access with Some f -> f name k | None -> () in
+  let range_name (r : range) =
+    match r.source with Table_src t -> t | Path_src _ -> ""
+  in
   (* typing pass first: result schema, and type errors surface before
      any plan note is emitted (the evaluator's order) *)
   let result_schema = Eval.type_query catalog [] q in
@@ -77,12 +82,12 @@ let execute ?plan_note ?trace ?on_access ~(pl : Planner.t) (catalog : Eval.catal
             note
               (Printf.sprintf "scan %s via %s -> %d candidate object(s)" name desc
                  (List.length cands));
-            fire (if intersect then `Intersect else `Index);
+            fire name (if intersect then `Intersect else `Index);
             (table, Exec.to_list (Exec.index_scan ~fetch cands))
       | `First (Planner.F_range { scan_note; seq }) ->
           fun env ->
             (match scan_note with Some s -> note s | None -> ());
-            if seq then fire `Seq;
+            if seq then fire (range_name r) `Seq;
             Eval.range_tuples catalog env r
       | `Inner (Planner.I_hash { name; ai; probe; join_note }) ->
           let st = match catalog name with Some st -> st | None -> assert false in
@@ -118,20 +123,20 @@ let execute ?plan_note ?trace ?on_access ~(pl : Planner.t) (catalog : Eval.catal
             | Some v -> (
                 match Eval.coerce_atom v with
                 | Some a ->
-                    fire `Index;
+                    fire name `Index;
                     (table, Exec.to_list (Exec.index_scan ~fetch (VI.roots_for vi a)))
                 | None -> Eval.range_tuples catalog env r)
             | None -> Eval.range_tuples catalog env r)
       | `Inner (Planner.I_bnl _) ->
           let block =
             lazy
-              (fire `Seq;
+              (fire (range_name r) `Seq;
                Eval.range_tuples catalog [] r)
           in
           fun _env -> Lazy.force block
       | `Inner (Planner.I_range { seq }) ->
           fun env ->
-            if seq then fire `Seq;
+            if seq then fire (range_name r) `Seq;
             Eval.range_tuples catalog env r
     in
     let traced lbl anode access =

@@ -548,9 +548,83 @@ module Replica = struct
     }
 end
 
+(* --- SYS_REPLICATION ---------------------------------------------------- *)
+
+(* One row per replication link (dead links stay, for lag history),
+   with the ack/lag state nested as a one-row PROGRESS subtable — the
+   same freeze-at-first-touch contract as every other SYS provider, so
+   joining it against SYS_WAL sees one consistent cut. *)
+let sys_replication_provider (p : Primary.t) : Nf2_sys.Registry.provider =
+  let module Schema = Nf2_model.Schema in
+  let module Atom = Nf2_model.Atom in
+  let module Value = Nf2_model.Value in
+  let field n ty = { Schema.name = n; attr = Schema.Atomic ty } in
+  let vint n = Value.Atom (Atom.Int n) and vbool b = Value.Atom (Atom.Bool b) in
+  let schema =
+    Schema.validate
+      {
+        Schema.name = "SYS_REPLICATION";
+        table =
+          {
+            Schema.kind = Schema.Set;
+            fields =
+              [
+                field "RID" Atom.Tint;
+                field "CONNECTED" Atom.Tbool;
+                field "BATCHES" Atom.Tint;
+                field "BYTES" Atom.Tint;
+                {
+                  Schema.name = "PROGRESS";
+                  attr =
+                    Schema.Table
+                      {
+                        Schema.kind = Schema.List;
+                        fields =
+                          [
+                            field "START_LSN" Atom.Tint;
+                            field "SHIPPED_LSN" Atom.Tint;
+                            field "APPLIED_LSN" Atom.Tint;
+                            field "DURABLE_LSN" Atom.Tint;
+                            field "LAG" Atom.Tint;
+                          ];
+                      };
+                };
+              ];
+          };
+      }
+  in
+  let materialize () =
+    let durable = Wal.durable_lsn p.Primary.wal in
+    List.map
+      (fun (r : Primary.replica_stat) ->
+        [
+          vint r.Primary.rid;
+          vbool r.Primary.connected;
+          vint r.Primary.batches;
+          vint r.Primary.bytes;
+          Value.Table
+            {
+              Value.kind = Schema.List;
+              tuples =
+                [
+                  [
+                    vint r.Primary.start_lsn;
+                    vint r.Primary.shipped_lsn;
+                    vint r.Primary.applied_lsn;
+                    vint durable;
+                    vint (max 0 (durable - r.Primary.applied_lsn));
+                  ];
+                ];
+            };
+        ])
+      (Primary.replicas p)
+  in
+  { Nf2_sys.Registry.name = "SYS_REPLICATION"; schema; materialize }
+
 (* Enable log shipping on a running server: handshake connections are
    handed to a shipper over the server's own database and metrics. *)
 let attach (srv : Server.t) : Primary.t =
   let p = Primary.create ~metrics:(Server.metrics srv) (Server.db srv) in
+  Nf2_sys.Registry.register (Db.sys_registry (Server.db srv)) (sys_replication_provider p);
   Server.set_repl_handler srv (fun fd ~start_lsn -> Primary.serve p fd ~start_lsn);
   p

@@ -24,10 +24,17 @@ let bucket_bound i = bucket_floor *. Float.of_int (1 lsl i)
 type t = {
   mu : Mutex.t;
   counters : (string, int ref) Hashtbl.t;
+  floats : (string, float ref) Hashtbl.t; (* float-valued gauges *)
   histograms : (string, histogram) Hashtbl.t;
 }
 
-let create () = { mu = Mutex.create (); counters = Hashtbl.create 32; histograms = Hashtbl.create 8 }
+let create () =
+  {
+    mu = Mutex.create ();
+    counters = Hashtbl.create 32;
+    floats = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
 
 let with_mu t f =
   Mutex.lock t.mu;
@@ -46,6 +53,22 @@ let incr t name = add t name 1
 let get t name = with_mu t (fun () -> match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 let set t name v = with_mu t (fun () -> counter_ref t name := v)
 
+(* Prometheus label-value escaping: exactly backslash, double quote
+   and newline are escaped — nothing else.  (OCaml's [%S] is close but
+   wrong: it emits [\t], decimal [\ddd] escapes and more, which the
+   exposition format does not define.) *)
+let escape_label_value v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
 (* Labeled counters are stored under their canonical exposition key —
    name{k="v",...} with labels sorted by key — in the same table, so
    [render] and [dump] need no second code path. *)
@@ -55,12 +78,35 @@ let labeled_key name labels =
   | ls ->
       let ls = List.sort (fun (a, _) (b, _) -> String.compare a b) ls in
       name ^ "{"
-      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) ls)
       ^ "}"
 
 let add_labeled t name labels n = add t (labeled_key name labels) n
 let incr_labeled t name labels = add_labeled t name labels 1
 let get_labeled t name labels = get t (labeled_key name labels)
+let set_labeled t name labels v = set t (labeled_key name labels) v
+
+(* Float-valued gauges (uptime, thresholds, build info): a separate
+   table so integer counters keep their exact arithmetic. *)
+let float_ref t name =
+  match Hashtbl.find_opt t.floats name with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      Hashtbl.replace t.floats name r;
+      r
+
+let set_float t name v = with_mu t (fun () -> float_ref t name := v)
+
+let get_float t name =
+  with_mu t (fun () -> match Hashtbl.find_opt t.floats name with Some r -> !r | None -> 0.)
+
+let set_float_labeled t name labels v = set_float t (labeled_key name labels) v
+
+let dump_floats t : (string * float) list =
+  with_mu t (fun () -> Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.floats [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let histogram_ref t name =
   match Hashtbl.find_opt t.histograms name with
@@ -150,6 +196,11 @@ let render t : string =
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
       in
       List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-32s %d\n" name v)) counters;
+      let floats =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.floats []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-32s %g\n" name v)) floats;
       let histograms =
         Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -210,6 +261,17 @@ let render_prometheus ?(namespace = "aimii") t : string =
       end;
       Buffer.add_string b (Printf.sprintf "%s%s %d\n" name labels v))
     counters;
+  List.iter
+    (fun (key, v) ->
+      let base, labels = split_key key in
+      let name = namespace ^ "_" ^ sanitize_name base in
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.replace seen name ();
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name base);
+        Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name)
+      end;
+      Buffer.add_string b (Printf.sprintf "%s%s %s\n" name labels (fmt_float v)))
+    (dump_floats t);
   List.iter
     (fun (key, h) ->
       let name = namespace ^ "_" ^ sanitize_name key ^ "_seconds" in

@@ -28,6 +28,24 @@ val incr_labeled : t -> string -> (string * string) list -> unit
 val add_labeled : t -> string -> (string * string) list -> int -> unit
 val get_labeled : t -> string -> (string * string) list -> int
 
+(** Gauge assignment on a labeled series. *)
+val set_labeled : t -> string -> (string * string) list -> int -> unit
+
+(** Label values are escaped per the Prometheus exposition format
+    (backslash, double quote and newline — nothing else). *)
+val escape_label_value : string -> string
+
+(** {1 Float gauges}
+
+    Float-valued gauges (uptime, thresholds, build info) live in their
+    own table so integer counters keep exact arithmetic; they render
+    and expose exactly like counters. *)
+
+val set_float : t -> string -> float -> unit
+val get_float : t -> string -> float
+val set_float_labeled : t -> string -> (string * string) list -> float -> unit
+val dump_floats : t -> (string * float) list
+
 (** {1 Histograms} *)
 
 (** Record one observation, in seconds. *)

@@ -42,6 +42,12 @@ type request =
           with LSNs strictly after [start_lsn] *)
   | Repl_ack of { applied_lsn : int }  (** replica -> primary after each batch *)
   | Promote  (** turn a read-only replica into a standalone primary *)
+  | Sys_reset
+      (** clear cumulative statement statistics and the slow-query trace
+          ring (the [\sys reset] meta command) *)
+  | Set_slow_query of float option
+      (** set or clear the slow-query tracing threshold at runtime (the
+          [\slow-query] meta command) *)
 
 type response =
   | Result_table of { columns : string list; rows : string list list }
@@ -86,7 +92,14 @@ let encode_request (r : request) : string =
   | Repl_ack { applied_lsn } ->
       Codec.put_u8 b 12;
       Codec.put_uvarint b applied_lsn
-  | Promote -> Codec.put_u8 b 13);
+  | Promote -> Codec.put_u8 b 13
+  | Sys_reset -> Codec.put_u8 b 14
+  | Set_slow_query thr ->
+      (* encoded as a string so "off" needs no separate tag: "" clears
+         the threshold, anything else must parse as a float *)
+      Codec.put_u8 b 15;
+      Codec.put_string b
+        (match thr with None -> "" | Some s -> Printf.sprintf "%.17g" s));
   Codec.contents b
 
 (* Truncated or garbled fields surface as Codec decode errors; at the
@@ -129,6 +142,14 @@ let decode_request (s : string) : request =
     | 11 -> Repl_handshake { start_lsn = Codec.get_uvarint src }
     | 12 -> Repl_ack { applied_lsn = Codec.get_uvarint src }
     | 13 -> Promote
+    | 14 -> Sys_reset
+    | 15 -> (
+        match Codec.get_string src with
+        | "" -> Set_slow_query None
+        | s -> (
+            match float_of_string_opt s with
+            | Some f when f >= 0. -> Set_slow_query (Some f)
+            | _ -> protocol_error "bad slow-query threshold %S" s))
     | n -> protocol_error "unknown request tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after request";

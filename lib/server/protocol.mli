@@ -48,6 +48,13 @@ type request =
   | Repl_ack of { applied_lsn : int }
       (** replica -> primary after applying each batch *)
   | Promote  (** turn a read-only replica into a standalone primary *)
+  | Sys_reset
+      (** clear cumulative statement statistics and the slow-query trace
+          ring (the [\sys reset] meta command) *)
+  | Set_slow_query of float option
+      (** set or clear the slow-query tracing threshold at runtime (the
+          [\slow-query] meta command); thresholds are non-negative
+          seconds *)
 
 type response =
   | Result_table of { columns : string list; rows : string list list }

@@ -51,12 +51,23 @@ module Lexer = Nf2_lang.Lexer
 module Eval = Nf2_lang.Eval
 module Rewrite = Nf2_lang.Rewrite
 module Params = Nf2_lang.Params
+module Sysr = Nf2_sys.Registry
+module Stmt_stats = Nf2_sys.Stmt_stats
+module Trace_ring = Nf2_sys.Trace_ring
 module P = Protocol
 
 (* A refusal that maps straight to a wire error. *)
 exception Refused of string * string (* SQLSTATE-style code, message *)
 
 let refused code fmt = Fmt.kstr (fun s -> raise (Refused (code, s))) fmt
+
+(* [pstmt] is stored already Rewrite-normalised, so Execute binds
+   parameters and runs without rewriting again (see the regression
+   test: rewrite happens once, at Prepare). *)
+type prep = { pstmt : Ast.stmt; nparams : int }
+
+(* One finished statement in a session's recent ring (SYS_SESSIONS). *)
+type recent = { rseq : int; rstmt : string; rms : float; rstatus : string }
 
 type manager = {
   db : Db.t;
@@ -68,25 +79,492 @@ type manager = {
   lock_timeout : float; (* seconds a lock / slot wait may last *)
   group_commit : bool;
   metrics : Metrics.t;
-  slow_query : float option; (* trace statements; log those slower than this *)
+  mutable slow_query : float option; (* trace statements; log those slower than this *)
   slow_sink : string -> unit; (* one structured line per offending statement *)
   mutable read_only : bool; (* replica mode: mutations refused with 25006 *)
   mutable promote : (unit -> string) option; (* installed by the replica tier *)
+  start_time : float; (* for the uptime gauge *)
+  smu : Mutex.t; (* guards [sessions] and every session's recent ring *)
+  sessions : (int, session) Hashtbl.t; (* open sessions, by sid *)
+  stmt_stats : Stmt_stats.t; (* cumulative per-shape statement statistics *)
+  traces : Trace_ring.t; (* recent slow-query span trees *)
 }
 
-(* [pstmt] is stored already Rewrite-normalised, so Execute binds
-   parameters and runs without rewriting again (see the regression
-   test: rewrite happens once, at Prepare). *)
-type prep = { pstmt : Ast.stmt; nparams : int }
-
-type session = {
+and session = {
   sid : int;
   mgr : manager;
   prepared : (int, prep) Hashtbl.t;
   mutable next_prep : int;
   mutable ltxn : PL.txn option; (* lock-table transaction while in an explicit txn *)
   mutable in_txn : bool;
+  started : float;
+  mutable stmts_run : int; (* guarded by [mgr.smu], like [recent] *)
+  mutable recent : recent list; (* newest first, <= [recent_cap] *)
 }
+
+let recent_cap = 16
+
+(* --- statement-shape normalization ------------------------------------
+
+   The SYS_STATEMENTS key: the statement with every constant (and
+   every already-bound parameter) replaced by a fresh [?n] placeholder,
+   printed back to text.  Two executions differing only in literals
+   share one shape, so their statistics aggregate — the
+   pg_stat_statements model, computed on the AST instead of the
+   lexeme stream. *)
+
+let normalize_stmt (stmt : Ast.stmt) : string =
+  let n = ref 0 in
+  let fresh () =
+    incr n;
+    !n
+  in
+  let rec expr (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Const _ | Ast.Param _ -> Ast.Param (fresh ())
+    | Ast.Path _ -> e
+    | Ast.Subquery q -> Ast.Subquery (query q)
+    | Ast.Binop (op, a, b) ->
+        let a = expr a in
+        Ast.Binop (op, a, expr b)
+    | Ast.Neg e -> Ast.Neg (expr e)
+    | Ast.Agg (a, eo) -> Ast.Agg (a, Option.map expr eo)
+  and pred (pr : Ast.pred) : Ast.pred =
+    match pr with
+    | Ast.Cmp (c, a, b) ->
+        let a = expr a in
+        Ast.Cmp (c, a, expr b)
+    | Ast.And (a, b) ->
+        let a = pred a in
+        Ast.And (a, pred b)
+    | Ast.Or (a, b) ->
+        let a = pred a in
+        Ast.Or (a, pred b)
+    | Ast.Not a -> Ast.Not (pred a)
+    | Ast.Exists (r, body) ->
+        let r = range r in
+        Ast.Exists (r, pred body)
+    | Ast.Forall (r, body) ->
+        let r = range r in
+        Ast.Forall (r, pred body)
+    | Ast.Contains (e, pat) -> Ast.Contains (expr e, pat)
+    | Ast.Bool_expr e -> Ast.Bool_expr (expr e)
+  and range (r : Ast.range) : Ast.range = { r with Ast.asof = Option.map expr r.Ast.asof }
+  and query (q : Ast.query) : Ast.query =
+    let select =
+      match q.Ast.select with
+      | Ast.Star -> Ast.Star
+      | Ast.Items items ->
+          Ast.Items
+            (List.map (fun (it : Ast.sel_item) -> { it with Ast.expr = expr it.Ast.expr }) items)
+    in
+    let from = List.map range q.Ast.from in
+    let where = Option.map pred q.Ast.where in
+    let order_by =
+      List.map (fun (oi : Ast.order_item) -> { oi with Ast.key = expr oi.Ast.key }) q.Ast.order_by
+    in
+    { q with Ast.select; from; where; order_by }
+  in
+  let rec literal (l : Ast.literal_value) : Ast.literal_value =
+    match l with
+    | Ast.L_atom _ | Ast.L_param _ -> Ast.L_param (fresh ())
+    | Ast.L_table (k, rows) -> Ast.L_table (k, List.map (List.map literal) rows)
+  in
+  let stmt =
+    match stmt with
+    | Ast.Select q -> Ast.Select (query q)
+    | Ast.Explain q -> Ast.Explain (query q)
+    | Ast.Explain_analyze q -> Ast.Explain_analyze (query q)
+    | Ast.Insert i ->
+        Ast.Insert
+          { i with where = Option.map pred i.where; rows = List.map (List.map literal) i.rows }
+    | Ast.Update u ->
+        Ast.Update
+          {
+            u with
+            sets = List.map (fun (a, e) -> (a, expr e)) u.sets;
+            where = Option.map pred u.where;
+            at = Option.map expr u.at;
+          }
+    | Ast.Delete d ->
+        Ast.Delete { d with where = Option.map pred d.where; at = Option.map expr d.at }
+    | ( Ast.Create_table _ | Ast.Drop_table _ | Ast.Create_index _ | Ast.Create_text_index _
+      | Ast.Alter_add _ | Ast.Alter_drop _ | Ast.Begin_txn | Ast.Commit | Ast.Rollback
+      | Ast.Show_tables | Ast.Describe _ ) as s ->
+        s
+  in
+  Ast.stmt_to_string stmt
+
+(* --- per-statement resource attribution --------------------------------
+
+   A before/after cut of the engine's cumulative counters; the delta is
+   charged to the finishing statement.  Under concurrency attribution
+   is approximate (another session's work in the window lands here too)
+   — the same contract the trace layer documents. *)
+
+type counter_base = {
+  b_pool_hits : int;
+  b_pool_misses : int;
+  b_disk_reads : int;
+  b_wal_records : int;
+  b_wal_bytes : int;
+  b_lock_acquires : int;
+  b_lock_wait_ns : int;
+  b_plan_seq : int;
+  b_plan_index : int;
+  b_plan_intersect : int;
+}
+
+let capture_base (mgr : manager) : counter_base =
+  let p = BP.stats (Db.pool mgr.db) in
+  let d = Disk.stats (Db.disk mgr.db) in
+  let l = PL.stats mgr.locks in
+  let pc = Db.planner_counters mgr.db in
+  let wal_records, wal_bytes =
+    match Db.wal mgr.db with
+    | Some w ->
+        let s = Wal.stats w in
+        (s.Wal.records, s.Wal.bytes)
+    | None -> (0, 0)
+  in
+  {
+    b_pool_hits = p.BP.hits;
+    b_pool_misses = p.BP.misses;
+    b_disk_reads = d.Disk.reads;
+    b_wal_records = wal_records;
+    b_wal_bytes = wal_bytes;
+    b_lock_acquires = l.PL.acquires;
+    b_lock_wait_ns = l.PL.wait_ns;
+    b_plan_seq = pc.Db.seq_scans;
+    b_plan_index = pc.Db.index_scans;
+    b_plan_intersect = pc.Db.index_intersections;
+  }
+
+let delta_of (before : counter_base) (after : counter_base) ~seconds ~rows : Stmt_stats.delta =
+  {
+    Stmt_stats.d_seconds = seconds;
+    d_rows = rows;
+    d_pool_hits = after.b_pool_hits - before.b_pool_hits;
+    d_pool_misses = after.b_pool_misses - before.b_pool_misses;
+    d_disk_reads = after.b_disk_reads - before.b_disk_reads;
+    d_wal_records = after.b_wal_records - before.b_wal_records;
+    d_wal_bytes = after.b_wal_bytes - before.b_wal_bytes;
+    d_lock_acquires = after.b_lock_acquires - before.b_lock_acquires;
+    d_lock_wait_ns = after.b_lock_wait_ns - before.b_lock_wait_ns;
+    d_plan_seq = after.b_plan_seq - before.b_plan_seq;
+    d_plan_index = after.b_plan_index - before.b_plan_index;
+    d_plan_intersect = after.b_plan_intersect - before.b_plan_intersect;
+  }
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* --- SYS providers (server tier) ---------------------------------------
+
+   The session layer's half of the SYS schema: sessions, cumulative
+   statement statistics, the lock table, the metrics registry and the
+   slow-query trace ring, each materialized on demand as an NF²
+   relation.  Registration happens once per manager; the thunks close
+   over [mgr].  None of this sits on the statement hot path — the
+   per-statement recorders above touch only [stmt_stats] / [recent],
+   never the registry. *)
+
+let version = "0.9"
+
+let sf n ty = { Schema.name = n; attr = Schema.Atomic ty }
+
+let snest n kind fields = { Schema.name = n; attr = Schema.Table { Schema.kind; fields } }
+
+let sys_schema name fields =
+  Schema.validate { Schema.name; table = { Schema.kind = Schema.Set; fields } }
+
+let vint n = Value.Atom (Atom.Int n)
+let vstr s = Value.Atom (Atom.Str s)
+let vbool b = Value.Atom (Atom.Bool b)
+let vfloat f = Value.Atom (Atom.Float f)
+let vset tuples = Value.Table { Value.kind = Schema.Set; tuples }
+let vlist tuples = Value.Table { Value.kind = Schema.List; tuples }
+
+(* SYS_SESSIONS: open sessions with their recent-statement rings.  TXN
+   is the predicate-lock transaction id (-1 outside a transaction) —
+   the join key against SYS_LOCKS. *)
+let sys_sessions_provider (mgr : manager) : Sysr.provider =
+  let schema =
+    sys_schema "SYS_SESSIONS"
+      [
+        sf "SID" Atom.Tint;
+        sf "IN_TXN" Atom.Tbool;
+        sf "TXN" Atom.Tint;
+        sf "NSTMTS" Atom.Tint;
+        sf "AGE_S" Atom.Tfloat;
+        snest "STMTS" Schema.List
+          [ sf "SEQ" Atom.Tint; sf "STMT" Atom.Tstring; sf "MS" Atom.Tfloat; sf "STATUS" Atom.Tstring ];
+      ]
+  in
+  let materialize () =
+    let now = Unix.gettimeofday () in
+    with_lock mgr.smu (fun () ->
+        Hashtbl.fold (fun _ sess acc -> sess :: acc) mgr.sessions []
+        |> List.sort (fun a b -> compare a.sid b.sid)
+        |> List.map (fun sess ->
+               let stmts =
+                 List.rev_map
+                   (fun r -> [ vint r.rseq; vstr r.rstmt; vfloat r.rms; vstr r.rstatus ])
+                   sess.recent
+                 |> List.rev
+               in
+               [
+                 vint sess.sid;
+                 vbool sess.in_txn;
+                 vint (match sess.ltxn with Some l -> l | None -> -1);
+                 vint sess.stmts_run;
+                 vfloat (now -. sess.started);
+                 vlist stmts;
+               ]))
+  in
+  { Sysr.name = "SYS_SESSIONS"; schema; materialize }
+
+(* SYS_STATEMENTS: cumulative per-shape statistics (pg_stat_statements
+   in the NF² idiom).  Times in milliseconds. *)
+let sys_statements_provider (mgr : manager) : Sysr.provider =
+  let schema =
+    sys_schema "SYS_STATEMENTS"
+      [
+        sf "SHAPE" Atom.Tstring;
+        sf "CALLS" Atom.Tint;
+        sf "ROWS_OUT" Atom.Tint;
+        sf "TOTAL_MS" Atom.Tfloat;
+        sf "MIN_MS" Atom.Tfloat;
+        sf "MAX_MS" Atom.Tfloat;
+        sf "P95_MS" Atom.Tfloat;
+        sf "POOL_HITS" Atom.Tint;
+        sf "POOL_MISSES" Atom.Tint;
+        sf "DISK_READS" Atom.Tint;
+        sf "WAL_RECORDS" Atom.Tint;
+        sf "WAL_BYTES" Atom.Tint;
+        sf "LOCK_ACQUIRES" Atom.Tint;
+        sf "LOCK_WAIT_MS" Atom.Tfloat;
+        sf "PLAN_SEQ" Atom.Tint;
+        sf "PLAN_INDEX" Atom.Tint;
+        sf "PLAN_INTERSECT" Atom.Tint;
+      ]
+  in
+  let materialize () =
+    List.map
+      (fun (e : Stmt_stats.entry) ->
+        [
+          vstr e.Stmt_stats.shape;
+          vint e.calls;
+          vint e.rows;
+          vfloat (e.total_s *. 1e3);
+          vfloat (e.min_s *. 1e3);
+          vfloat (e.max_s *. 1e3);
+          vfloat (e.p95_s *. 1e3);
+          vint e.pool_hits;
+          vint e.pool_misses;
+          vint e.disk_reads;
+          vint e.wal_records;
+          vint e.wal_bytes;
+          vint e.lock_acquires;
+          vfloat (Float.of_int e.lock_wait_ns /. 1e6);
+          vint e.plan_seq;
+          vint e.plan_index;
+          vint e.plan_intersect;
+        ])
+      (Stmt_stats.snapshot mgr.stmt_stats)
+  in
+  { Sysr.name = "SYS_STATEMENTS"; schema; materialize }
+
+(* SYS_LOCKS: one row per granted predicate lock, with the waiters
+   actually blocked on it nested — a waiter appears under a grant when
+   its waits-for edge targets the grant's owner and the two requests
+   genuinely conflict (mode and predicate). *)
+let sys_locks_provider (mgr : manager) : Sysr.provider =
+  let schema =
+    sys_schema "SYS_LOCKS"
+      [
+        sf "TXN" Atom.Tint;
+        sf "MODE" Atom.Tstring;
+        sf "PREDICATE" Atom.Tstring;
+        sf "NWAITERS" Atom.Tint;
+        snest "WAITERS" Schema.Set
+          [ sf "WTXN" Atom.Tint; sf "WMODE" Atom.Tstring; sf "WPREDICATE" Atom.Tstring ];
+      ]
+  in
+  let materialize () =
+    let granted, waiters, waits_for =
+      with_lock mgr.mu (fun () -> PL.dump mgr.locks)
+    in
+    List.map
+      (fun (owner, mode, predicate) ->
+        let blocked =
+          List.filter_map
+            (fun (wtxn, wmode, wpredicate) ->
+              if
+                List.mem (wtxn, owner) waits_for
+                && PL.modes_conflict wmode mode
+                && PL.predicates_overlap wpredicate predicate
+              then
+                Some
+                  [ vint wtxn; vstr (PL.mode_name wmode); vstr (PL.predicate_to_string wpredicate) ]
+              else None)
+            waiters
+        in
+        [
+          vint owner;
+          vstr (PL.mode_name mode);
+          vstr (PL.predicate_to_string predicate);
+          vint (List.length blocked);
+          vset blocked;
+        ])
+      granted
+  in
+  { Sysr.name = "SYS_LOCKS"; schema; materialize }
+
+(* Fold the storage-tier stats (buffer pool, disk, WAL, lock table)
+   into the registry as gauges, so one render — human or Prometheus —
+   covers engine, storage and sessions together. *)
+let fold_storage_stats (mgr : manager) =
+  let m = mgr.metrics in
+  let p = BP.stats (Db.pool mgr.db) in
+  Metrics.set m "pool_hits" p.BP.hits;
+  Metrics.set m "pool_misses" p.BP.misses;
+  Metrics.set m "pool_evictions" p.BP.evictions;
+  Metrics.set m "pool_log_captures" p.BP.log_captures;
+  let d = Disk.stats (Db.disk mgr.db) in
+  Metrics.set m "disk_reads" d.Disk.reads;
+  Metrics.set m "disk_writes" d.Disk.writes;
+  Metrics.set m "disk_allocs" d.Disk.allocs;
+  let l = PL.stats mgr.locks in
+  Metrics.set m "lock_acquires" l.PL.acquires;
+  Metrics.set m "lock_blocks" l.PL.blocks;
+  Metrics.set m "lock_wait_ns" l.PL.wait_ns;
+  Metrics.set m "lock_shared_acquired" l.PL.shared_grants;
+  Metrics.set m "lock_exclusive_acquired" l.PL.exclusive_grants;
+  Metrics.set m "lock_upgrades" l.PL.upgrades;
+  Metrics.set m "engine_readers_active" (Rwlock.readers_active mgr.engine);
+  Metrics.set m "engine_read_grants" (Rwlock.read_grants mgr.engine);
+  Metrics.set m "engine_write_grants" (Rwlock.write_grants mgr.engine);
+  let mv = Db.mvcc_stats mgr.db in
+  Metrics.set m "mvcc_snapshot_lsn" mv.Mvcc.snapshot_lsn;
+  Metrics.set m "mvcc_versions_live" mv.Mvcc.versions_live;
+  Metrics.set m "mvcc_gc_reclaimed" mv.Mvcc.gc_reclaimed;
+  Metrics.set m "mvcc_pinned_snapshots" mv.Mvcc.pins;
+  Metrics.set m "mvcc_bytes_live" mv.Mvcc.bytes_live;
+  let pc = Db.planner_counters mgr.db in
+  Metrics.set m "plan_seq_scans" pc.Db.seq_scans;
+  Metrics.set m "plan_index_scans" pc.Db.index_scans;
+  Metrics.set m "plan_index_intersections" pc.Db.index_intersections;
+  (match mgr.executor with
+  | Some ex ->
+      Metrics.set m "executor_domains" (Executor.size ex);
+      Metrics.set m "executor_active" (Executor.active ex);
+      Metrics.set m "executor_jobs" (Executor.executed ex)
+  | None -> ());
+  (match Db.wal mgr.db with
+  | None -> ()
+  | Some w ->
+      let s = Wal.stats w in
+      Metrics.set m "wal_records" s.Wal.records;
+      Metrics.set m "wal_bytes" s.Wal.bytes;
+      Metrics.set m "wal_flushes" s.Wal.flushes;
+      Metrics.set m "wal_forced_flushes" s.Wal.forced_flushes;
+      Metrics.set m "wal_group_commit_batches" s.Wal.group_commit_batches;
+      Metrics.set m "wal_group_commit_txns" s.Wal.group_commit_txns);
+  Metrics.set_float_labeled m "build_info"
+    [ ("version", version); ("ocaml", Sys.ocaml_version) ]
+    1.;
+  Metrics.set_float m "uptime_seconds" (Unix.gettimeofday () -. mgr.start_time);
+  Metrics.set_float m "slow_query_threshold_seconds"
+    (Option.value mgr.slow_query ~default:0.)
+
+(* SYS_METRICS: the registry itself.  Counters and float gauges carry
+   their value flat; histograms carry their sum in VALUE and the raw
+   (non-cumulative) bucket counts as a nested LIST — nested-path
+   queries aggregate them back.  Storage-tier stats are folded in
+   first, so the view matches what an exposition would serve. *)
+let sys_metrics_provider (mgr : manager) : Sysr.provider =
+  let schema =
+    sys_schema "SYS_METRICS"
+      [
+        sf "NAME" Atom.Tstring;
+        sf "VALUE" Atom.Tfloat;
+        snest "BUCKETS" Schema.List [ sf "LE" Atom.Tfloat; sf "CNT" Atom.Tint ];
+      ]
+  in
+  let materialize () =
+    fold_storage_stats mgr;
+    let counters, histograms = Metrics.dump mgr.metrics in
+    let floats = Metrics.dump_floats mgr.metrics in
+    List.map (fun (name, v) -> [ vstr name; vfloat (Float.of_int v); vlist [] ]) counters
+    @ List.map (fun (name, v) -> [ vstr name; vfloat v; vlist [] ]) floats
+    @ List.map
+        (fun (name, (h : Metrics.hdump)) ->
+          let buckets =
+            List.init (Array.length h.Metrics.counts) (fun i ->
+                [ vfloat h.Metrics.bounds.(i); vint h.Metrics.counts.(i) ])
+          in
+          [ vstr name; vfloat h.Metrics.sum; vlist buckets ])
+        histograms
+  in
+  { Sysr.name = "SYS_METRICS"; schema; materialize }
+
+(* SYS_TRACES: the bounded ring of recent slow-query traces, span
+   trees flattened to depth-annotated LIST rows (pre-order). *)
+let sys_traces_provider (mgr : manager) : Sysr.provider =
+  let schema =
+    sys_schema "SYS_TRACES"
+      [
+        sf "SEQ" Atom.Tint;
+        sf "SID" Atom.Tint;
+        sf "STMT" Atom.Tstring;
+        sf "MS" Atom.Tfloat;
+        sf "STATUS" Atom.Tstring;
+        snest "SPANS" Schema.List
+          [
+            sf "DEPTH" Atom.Tint;
+            sf "LABEL" Atom.Tstring;
+            sf "SROWS" Atom.Tint;
+            sf "CALLS" Atom.Tint;
+            sf "US" Atom.Tint;
+          ];
+      ]
+  in
+  let materialize () =
+    List.map
+      (fun (e : Trace_ring.entry) ->
+        let spans =
+          List.map
+            (fun (sp : Trace_ring.span) ->
+              [
+                vint sp.Trace_ring.depth;
+                vstr sp.Trace_ring.label;
+                vint sp.Trace_ring.srows;
+                vint sp.Trace_ring.calls;
+                vint sp.Trace_ring.us;
+              ])
+            e.Trace_ring.spans
+        in
+        [
+          vint e.Trace_ring.seq;
+          vint e.Trace_ring.sid;
+          vstr e.Trace_ring.stmt;
+          vfloat e.Trace_ring.ms;
+          vstr e.Trace_ring.status;
+          vlist spans;
+        ])
+      (Trace_ring.snapshot mgr.traces)
+  in
+  { Sysr.name = "SYS_TRACES"; schema; materialize }
+
+let register_server_sys (mgr : manager) =
+  let reg = Db.sys_registry mgr.db in
+  Sysr.register reg (sys_sessions_provider mgr);
+  Sysr.register reg (sys_statements_provider mgr);
+  Sysr.register reg (sys_locks_provider mgr);
+  Sysr.register reg (sys_metrics_provider mgr);
+  Sysr.register reg (sys_traces_provider mgr)
 
 let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window = 0.002)
     ?slow_query ?(slow_sink = prerr_endline) ?executor ~(metrics : Metrics.t) (db : Db.t) :
@@ -97,21 +575,39 @@ let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window =
       let window = if group_window > 0. then fun () -> Thread.delay group_window else fun () -> () in
       Wal.set_group_commit ~window w group_commit
   | None -> ());
-  {
-    db;
-    engine = Rwlock.create ();
-    executor;
-    mu = Mutex.create ();
-    locks = PL.create ();
-    txn_owner = None;
-    lock_timeout;
-    group_commit;
-    metrics;
-    slow_query;
-    slow_sink;
-    read_only = false;
-    promote = None;
-  }
+  let mgr =
+    {
+      db;
+      engine = Rwlock.create ();
+      executor;
+      mu = Mutex.create ();
+      locks = PL.create ();
+      txn_owner = None;
+      lock_timeout;
+      group_commit;
+      metrics;
+      slow_query;
+      slow_sink;
+      read_only = false;
+      promote = None;
+      start_time = Unix.gettimeofday ();
+      smu = Mutex.create ();
+      sessions = Hashtbl.create 16;
+      stmt_stats = Stmt_stats.create ();
+      traces = Trace_ring.create ();
+    }
+  in
+  register_server_sys mgr;
+  mgr
+
+(* Runtime observability switches (the [\\sys] / [\\slow-query] meta
+   commands). *)
+let set_slow_query (mgr : manager) v = mgr.slow_query <- v
+let slow_query (mgr : manager) = mgr.slow_query
+
+let sys_reset (mgr : manager) =
+  Stmt_stats.reset mgr.stmt_stats;
+  Trace_ring.reset mgr.traces
 
 (* Replica wiring (see lib/repl): a read-only manager refuses mutating
    statements with the replica SQLSTATE; the promote handler, when
@@ -122,11 +618,21 @@ let set_promote_handler (mgr : manager) f = mgr.promote <- Some f
 let manager_db (mgr : manager) = mgr.db
 
 let open_session (mgr : manager) ~(sid : int) : session =
-  { sid; mgr; prepared = Hashtbl.create 8; next_prep = 1; ltxn = None; in_txn = false }
-
-let with_lock mu f =
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+  let sess =
+    {
+      sid;
+      mgr;
+      prepared = Hashtbl.create 8;
+      next_prep = 1;
+      ltxn = None;
+      in_txn = false;
+      started = Unix.gettimeofday ();
+      stmts_run = 0;
+      recent = [];
+    }
+  in
+  with_lock mgr.smu (fun () -> Hashtbl.replace mgr.sessions sid sess);
+  sess
 
 (* --- which tables does a statement touch? ------------------------------
 
@@ -422,6 +928,10 @@ let run_stmt ?trace (sess : session) (stmt : Ast.stmt) : Db.result =
           "read-only replica: mutating statements are refused (promote to accept writes)"
       end;
       let reads, writes = stmt_tables stmt in
+      (* SYS sources materialize engine state on demand — nothing a
+         predicate lock protects, so reads of them lock nothing even
+         inside an explicit transaction *)
+      let reads = List.filter (fun t -> not (Db.is_sys_table mgr.db t)) reads in
       let specs =
         List.map (fun t -> (PL.Exclusive, t)) writes @ List.map (fun t -> (PL.Shared, t)) reads
       in
@@ -510,15 +1020,69 @@ let lock_source (mgr : manager) () =
     ("lock.exclusive_grants", s.PL.exclusive_grants);
   ]
 
-(* With a slow-query threshold configured, every statement runs under a
-   trace (storage + lock attribution included); those at or over the
-   threshold emit one structured line to the sink.  Statements that
-   fail still report — a slow failure is still slow. *)
+(* Record one finished statement in the session's bounded recent ring
+   (SYS_SESSIONS) and the cumulative shape statistics (SYS_STATEMENTS). *)
+let record_statement (sess : session) (stmt : Ast.stmt) (before : counter_base) ~t0 ~rows
+    ~status : unit =
+  let mgr = sess.mgr in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let delta = delta_of before (capture_base mgr) ~seconds ~rows in
+  Stmt_stats.record mgr.stmt_stats ~shape:(normalize_stmt stmt) delta;
+  with_lock mgr.smu (fun () ->
+      sess.stmts_run <- sess.stmts_run + 1;
+      let r =
+        {
+          rseq = sess.stmts_run;
+          rstmt = Ast.stmt_to_string stmt;
+          rms = seconds *. 1e3;
+          rstatus = status;
+        }
+      in
+      let kept =
+        if List.length sess.recent >= recent_cap then
+          List.filteri (fun i _ -> i < recent_cap - 1) sess.recent
+        else sess.recent
+      in
+      sess.recent <- r :: kept)
+
+(* Flatten a trace's span tree to depth-annotated pre-order rows for
+   the SYS_TRACES ring (children are stored newest first). *)
+let flatten_trace (tr : Trace.t) : Trace_ring.span list =
+  let rec go depth (n : Trace.node) acc =
+    let span =
+      {
+        Trace_ring.depth;
+        label = n.Trace.label;
+        srows = n.Trace.rows;
+        calls = n.Trace.calls;
+        us = n.Trace.ns / 1000;
+      }
+    in
+    List.fold_left (fun acc c -> go (depth + 1) c acc) (span :: acc) (List.rev n.Trace.children)
+  in
+  List.rev (go 0 (Trace.root tr) [])
+
+(* Every statement is measured and aggregated into the cumulative
+   shape statistics.  With a slow-query threshold configured the
+   statement additionally runs under a trace (storage + lock
+   attribution included); those at or over the threshold emit one
+   structured line to the sink and enter the SYS_TRACES ring.
+   Statements that fail still report — a slow failure is still slow. *)
 let run_stmt_observed (sess : session) (stmt : Ast.stmt) : Db.result =
   let mgr = sess.mgr in
+  let before = capture_base mgr in
+  let t0 = Unix.gettimeofday () in
   match mgr.slow_query with
-  | None -> run_stmt sess stmt
-  | Some threshold ->
+  | None -> (
+      match run_stmt sess stmt with
+      | r ->
+          let rows = match r with Db.Rows rel -> Rel.cardinality rel | Db.Msg _ -> 0 in
+          record_statement sess stmt before ~t0 ~rows ~status:"ok";
+          r
+      | exception e ->
+          record_statement sess stmt before ~t0 ~rows:0 ~status:"error";
+          raise e)
+  | Some threshold -> (
       let tr = Db.new_trace ~label:(Ast.stmt_to_string stmt) mgr.db in
       Trace.add_source tr (lock_source mgr);
       let root = Trace.root tr in
@@ -526,6 +1090,8 @@ let run_stmt_observed (sess : session) (stmt : Ast.stmt) : Db.result =
         let elapsed = Trace.elapsed_s root in
         if elapsed >= threshold then begin
           Metrics.incr mgr.metrics "slow_queries";
+          Trace_ring.add mgr.traces ~sid:sess.sid ~stmt:(Ast.stmt_to_string stmt)
+            ~ms:(elapsed *. 1e3) ~status (flatten_trace tr);
           mgr.slow_sink
             (Printf.sprintf "slow-query ms=%.3f sid=%d status=%s stmt=%S trace=[%s]"
                (elapsed *. 1e3) sess.sid status (Ast.stmt_to_string stmt)
@@ -535,11 +1101,14 @@ let run_stmt_observed (sess : session) (stmt : Ast.stmt) : Db.result =
       match Trace.timed tr root (fun () -> run_stmt ~trace:tr sess stmt) with
       | r ->
           (match r with Db.Rows rel -> Trace.add_rows root (Rel.cardinality rel) | Db.Msg _ -> ());
+          let rows = match r with Db.Rows rel -> Rel.cardinality rel | Db.Msg _ -> 0 in
+          record_statement sess stmt before ~t0 ~rows ~status:"ok";
           report "ok";
           r
       | exception e ->
+          record_statement sess stmt before ~t0 ~rows:0 ~status:"error";
           report "error";
-          raise e
+          raise e)
 
 (* --- results and errors on the wire ------------------------------------- *)
 
@@ -580,57 +1149,6 @@ let error_of_exn (e : exn) : P.response option =
            })
   | P.Protocol_error m -> Some (P.Error { code = P.err_protocol; message = m })
   | _ -> None
-
-(* Fold the storage-tier stats (buffer pool, disk, WAL, lock table)
-   into the registry as gauges, so one render — human or Prometheus —
-   covers engine, storage and sessions together. *)
-let fold_storage_stats (mgr : manager) =
-  let m = mgr.metrics in
-  let p = BP.stats (Db.pool mgr.db) in
-  Metrics.set m "pool_hits" p.BP.hits;
-  Metrics.set m "pool_misses" p.BP.misses;
-  Metrics.set m "pool_evictions" p.BP.evictions;
-  Metrics.set m "pool_log_captures" p.BP.log_captures;
-  let d = Disk.stats (Db.disk mgr.db) in
-  Metrics.set m "disk_reads" d.Disk.reads;
-  Metrics.set m "disk_writes" d.Disk.writes;
-  Metrics.set m "disk_allocs" d.Disk.allocs;
-  let l = PL.stats mgr.locks in
-  Metrics.set m "lock_acquires" l.PL.acquires;
-  Metrics.set m "lock_blocks" l.PL.blocks;
-  Metrics.set m "lock_wait_ns" l.PL.wait_ns;
-  Metrics.set m "lock_shared_acquired" l.PL.shared_grants;
-  Metrics.set m "lock_exclusive_acquired" l.PL.exclusive_grants;
-  Metrics.set m "lock_upgrades" l.PL.upgrades;
-  Metrics.set m "engine_readers_active" (Rwlock.readers_active mgr.engine);
-  Metrics.set m "engine_read_grants" (Rwlock.read_grants mgr.engine);
-  Metrics.set m "engine_write_grants" (Rwlock.write_grants mgr.engine);
-  let mv = Db.mvcc_stats mgr.db in
-  Metrics.set m "mvcc_snapshot_lsn" mv.Mvcc.snapshot_lsn;
-  Metrics.set m "mvcc_versions_live" mv.Mvcc.versions_live;
-  Metrics.set m "mvcc_gc_reclaimed" mv.Mvcc.gc_reclaimed;
-  Metrics.set m "mvcc_pinned_snapshots" mv.Mvcc.pins;
-  Metrics.set m "mvcc_bytes_live" mv.Mvcc.bytes_live;
-  let pc = Db.planner_counters mgr.db in
-  Metrics.set m "plan_seq_scans" pc.Db.seq_scans;
-  Metrics.set m "plan_index_scans" pc.Db.index_scans;
-  Metrics.set m "plan_index_intersections" pc.Db.index_intersections;
-  (match mgr.executor with
-  | Some ex ->
-      Metrics.set m "executor_domains" (Executor.size ex);
-      Metrics.set m "executor_active" (Executor.active ex);
-      Metrics.set m "executor_jobs" (Executor.executed ex)
-  | None -> ());
-  match Db.wal mgr.db with
-  | None -> ()
-  | Some w ->
-      let s = Wal.stats w in
-      Metrics.set m "wal_records" s.Wal.records;
-      Metrics.set m "wal_bytes" s.Wal.bytes;
-      Metrics.set m "wal_flushes" s.Wal.flushes;
-      Metrics.set m "wal_forced_flushes" s.Wal.forced_flushes;
-      Metrics.set m "wal_group_commit_batches" s.Wal.group_commit_batches;
-      Metrics.set m "wal_group_commit_txns" s.Wal.group_commit_txns
 
 let render_metrics (mgr : manager) : string =
   fold_storage_stats mgr;
@@ -689,6 +1207,19 @@ let handle (sess : session) (req : P.request) : P.response =
           match mgr.promote with
           | None -> refused P.err_semantic "PROMOTE: this server is not a replica"
           | Some f -> P.Row_count { affected = 0; message = f () })
+  | P.Sys_reset ->
+      Metrics.incr mgr.metrics "requests_sys_reset";
+      sys_reset mgr;
+      P.Row_count { affected = 0; message = "SYS statistics reset" }
+  | P.Set_slow_query thr ->
+      Metrics.incr mgr.metrics "requests_slow_query";
+      set_slow_query mgr thr;
+      let message =
+        match thr with
+        | None -> "slow-query tracing off"
+        | Some s -> Printf.sprintf "slow-query threshold %gs" s
+      in
+      P.Row_count { affected = 0; message }
   | P.Repl_handshake _ | P.Repl_ack _ ->
       (* handshakes are intercepted by the server loop before dispatch;
          a replication frame reaching a plain session is a protocol
@@ -733,4 +1264,5 @@ let handle (sess : session) (req : P.request) : P.response =
    and slot, forget its prepared statements. *)
 let close_session (sess : session) =
   abort_txn sess;
+  with_lock sess.mgr.smu (fun () -> Hashtbl.remove sess.mgr.sessions sess.sid);
   Hashtbl.reset sess.prepared

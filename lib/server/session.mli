@@ -49,6 +49,23 @@ val create_manager :
 
 val open_session : manager -> sid:int -> session
 
+(** {1 Runtime observability switches}
+
+    The session layer registers the server-tier SYS providers
+    ([SYS_SESSIONS], [SYS_STATEMENTS], [SYS_LOCKS], [SYS_METRICS],
+    [SYS_TRACES]) on the database's registry at {!create_manager};
+    see docs/OBSERVABILITY.md. *)
+
+(** Change the slow-query threshold at runtime ([None] disables
+    tracing); serves the [\slow-query] meta command. *)
+val set_slow_query : manager -> float option -> unit
+
+val slow_query : manager -> float option
+
+(** Clear the cumulative statement statistics and the slow-query trace
+    ring ([\sys reset]).  Nothing else is touched. *)
+val sys_reset : manager -> unit
+
 (** {1 Replica wiring (see [lib/repl])} *)
 
 (** With read-only mode on, mutating statements and explicit BEGIN are

@@ -1,0 +1,220 @@
+(* Cumulative per-shape statement statistics behind one mutex: a
+   bounded map shape -> aggregates, LRU-evicted by update order when a
+   new shape arrives at capacity. *)
+
+type delta = {
+  d_seconds : float;
+  d_rows : int;
+  d_pool_hits : int;
+  d_pool_misses : int;
+  d_disk_reads : int;
+  d_wal_records : int;
+  d_wal_bytes : int;
+  d_lock_acquires : int;
+  d_lock_wait_ns : int;
+  d_plan_seq : int;
+  d_plan_index : int;
+  d_plan_intersect : int;
+}
+
+let zero_delta =
+  {
+    d_seconds = 0.;
+    d_rows = 0;
+    d_pool_hits = 0;
+    d_pool_misses = 0;
+    d_disk_reads = 0;
+    d_wal_records = 0;
+    d_wal_bytes = 0;
+    d_lock_acquires = 0;
+    d_lock_wait_ns = 0;
+    d_plan_seq = 0;
+    d_plan_index = 0;
+    d_plan_intersect = 0;
+  }
+
+(* Logarithmic latency buckets, factor 2 from 1µs: 28 buckets reach
+   ~134s, plenty for a statement latency distribution. *)
+let nbuckets = 28
+let bucket_floor = 1e-6
+
+let bucket_of (v : float) : int =
+  let rec go i bound = if i >= nbuckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.) in
+  go 0 bucket_floor
+
+let bucket_bound i = bucket_floor *. Float.of_int (1 lsl i)
+
+type cell = {
+  shape : string;
+  mutable calls : int;
+  mutable rows : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  buckets : int array;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable disk_reads : int;
+  mutable wal_records : int;
+  mutable wal_bytes : int;
+  mutable lock_acquires : int;
+  mutable lock_wait_ns : int;
+  mutable plan_seq : int;
+  mutable plan_index : int;
+  mutable plan_intersect : int;
+  mutable last_seq : int; (* update order, for LRU eviction *)
+}
+
+type entry = {
+  shape : string;
+  calls : int;
+  rows : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  p95_s : float;
+  pool_hits : int;
+  pool_misses : int;
+  disk_reads : int;
+  wal_records : int;
+  wal_bytes : int;
+  lock_acquires : int;
+  lock_wait_ns : int;
+  plan_seq : int;
+  plan_index : int;
+  plan_intersect : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  cells : (string, cell) Hashtbl.t;
+  scap : int;
+  mutable seq : int; (* monotonic update counter *)
+  mutable nrecorded : int;
+}
+
+let create ?(cap = 512) () =
+  { mu = Mutex.create (); cells = Hashtbl.create 64; scap = max 1 cap; seq = 0; nrecorded = 0 }
+
+let cap t = t.scap
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let fresh_cell shape =
+  {
+    shape;
+    calls = 0;
+    rows = 0;
+    total_s = 0.;
+    min_s = Float.infinity;
+    max_s = 0.;
+    buckets = Array.make nbuckets 0;
+    pool_hits = 0;
+    pool_misses = 0;
+    disk_reads = 0;
+    wal_records = 0;
+    wal_bytes = 0;
+    lock_acquires = 0;
+    lock_wait_ns = 0;
+    plan_seq = 0;
+    plan_index = 0;
+    plan_intersect = 0;
+    last_seq = 0;
+  }
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ c ->
+      match !victim with
+      | Some v when v.last_seq <= c.last_seq -> ()
+      | _ -> victim := Some c)
+    t.cells;
+  match !victim with Some v -> Hashtbl.remove t.cells v.shape | None -> ()
+
+let record t ~shape (d : delta) =
+  with_mu t (fun () ->
+      t.seq <- t.seq + 1;
+      t.nrecorded <- t.nrecorded + 1;
+      let c =
+        match Hashtbl.find_opt t.cells shape with
+        | Some c -> c
+        | None ->
+            if Hashtbl.length t.cells >= t.scap then evict_lru t;
+            let c = fresh_cell shape in
+            Hashtbl.replace t.cells shape c;
+            c
+      in
+      c.calls <- c.calls + 1;
+      c.rows <- c.rows + d.d_rows;
+      c.total_s <- c.total_s +. d.d_seconds;
+      c.min_s <- Float.min c.min_s d.d_seconds;
+      c.max_s <- Float.max c.max_s d.d_seconds;
+      c.buckets.(bucket_of d.d_seconds) <- c.buckets.(bucket_of d.d_seconds) + 1;
+      c.pool_hits <- c.pool_hits + d.d_pool_hits;
+      c.pool_misses <- c.pool_misses + d.d_pool_misses;
+      c.disk_reads <- c.disk_reads + d.d_disk_reads;
+      c.wal_records <- c.wal_records + d.d_wal_records;
+      c.wal_bytes <- c.wal_bytes + d.d_wal_bytes;
+      c.lock_acquires <- c.lock_acquires + d.d_lock_acquires;
+      c.lock_wait_ns <- c.lock_wait_ns + d.d_lock_wait_ns;
+      c.plan_seq <- c.plan_seq + d.d_plan_seq;
+      c.plan_index <- c.plan_index + d.d_plan_index;
+      c.plan_intersect <- c.plan_intersect + d.d_plan_intersect;
+      c.last_seq <- t.seq)
+
+(* Upper bound of the bucket where the cumulative count reaches 95%. *)
+let p95_of (c : cell) : float =
+  if c.calls = 0 then 0.
+  else begin
+    let target = max 1 (Float.to_int (Float.round (0.95 *. Float.of_int c.calls))) in
+    let acc = ref 0 and res = ref (bucket_bound (nbuckets - 1)) in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= target then begin
+             res := bucket_bound i;
+             raise Exit
+           end)
+         c.buckets
+     with Exit -> ());
+    !res
+  end
+
+let snapshot t : entry list =
+  with_mu t (fun () ->
+      Hashtbl.fold
+        (fun _ (c : cell) acc ->
+          {
+            shape = c.shape;
+            calls = c.calls;
+            rows = c.rows;
+            total_s = c.total_s;
+            min_s = (if c.calls = 0 then 0. else c.min_s);
+            max_s = c.max_s;
+            p95_s = p95_of c;
+            pool_hits = c.pool_hits;
+            pool_misses = c.pool_misses;
+            disk_reads = c.disk_reads;
+            wal_records = c.wal_records;
+            wal_bytes = c.wal_bytes;
+            lock_acquires = c.lock_acquires;
+            lock_wait_ns = c.lock_wait_ns;
+            plan_seq = c.plan_seq;
+            plan_index = c.plan_index;
+            plan_intersect = c.plan_intersect;
+          }
+          :: acc)
+        t.cells [])
+  |> List.sort (fun (a : entry) b ->
+         match compare b.calls a.calls with 0 -> String.compare a.shape b.shape | c -> c)
+
+let recorded t = with_mu t (fun () -> t.nrecorded)
+
+let reset t =
+  with_mu t (fun () ->
+      Hashtbl.reset t.cells;
+      t.nrecorded <- 0)

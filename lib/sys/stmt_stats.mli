@@ -1,0 +1,75 @@
+(** Cumulative per-statement-shape statistics (the [SYS_STATEMENTS]
+    source): a bounded ring of aggregates keyed by the statement's
+    normalized text (constants replaced by [?] parameters), in the
+    spirit of [pg_stat_statements].
+
+    Aggregation is cheap enough to run on every statement: one mutex
+    acquisition plus a handful of integer adds.  Timings feed a small
+    logarithmic histogram per shape, so p95 is a bucket scan at
+    snapshot time (upper estimate, <= 2x resolution, same model as the
+    server metrics registry).
+
+    The ring holds at most [cap] shapes.  When a new shape arrives at
+    capacity, the least-recently-updated shape is evicted — cumulative
+    statistics for hot shapes survive, one-off shapes churn. *)
+
+(** Per-statement resource deltas attributed to one execution.  Deltas
+    come from before/after snapshots of the engine's cumulative
+    counters, so attribution under concurrency is approximate (another
+    session's work in the same window is charged here too) — the same
+    contract the trace layer documents. *)
+type delta = {
+  d_seconds : float;
+  d_rows : int;
+  d_pool_hits : int;
+  d_pool_misses : int;
+  d_disk_reads : int;
+  d_wal_records : int;
+  d_wal_bytes : int;
+  d_lock_acquires : int;
+  d_lock_wait_ns : int;
+  d_plan_seq : int;
+  d_plan_index : int;
+  d_plan_intersect : int;
+}
+
+val zero_delta : delta
+
+(** One shape's aggregates, as of a {!snapshot}. *)
+type entry = {
+  shape : string;
+  calls : int;
+  rows : int;
+  total_s : float;
+  min_s : float;
+  max_s : float;
+  p95_s : float;
+  pool_hits : int;
+  pool_misses : int;
+  disk_reads : int;
+  wal_records : int;
+  wal_bytes : int;
+  lock_acquires : int;
+  lock_wait_ns : int;
+  plan_seq : int;
+  plan_index : int;
+  plan_intersect : int;
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] (default 512) bounds the number of distinct shapes kept. *)
+
+val cap : t -> int
+
+val record : t -> shape:string -> delta -> unit
+
+val snapshot : t -> entry list
+(** All kept shapes, most-called first (ties by shape). *)
+
+val recorded : t -> int
+(** Cumulative [record] calls since create / the last {!reset}
+    (exact-count reconciliation in the stress tests). *)
+
+val reset : t -> unit

@@ -1,0 +1,47 @@
+(* Bounded trace ring: a mutex-guarded list of immutable entries,
+   newest first, trimmed to [cap] on admission.  Entries are pure data
+   (flattened spans), so a snapshot is a cheap list copy and a kept
+   entry can never tear — it was fully built before admission. *)
+
+type span = { depth : int; label : string; srows : int; calls : int; us : int }
+
+type entry = {
+  seq : int;
+  sid : int;
+  stmt : string;
+  ms : float;
+  status : string;
+  spans : span list;
+}
+
+type t = {
+  mu : Mutex.t;
+  rcap : int;
+  mutable entries : entry list; (* newest first, length <= rcap *)
+  mutable next_seq : int;
+  mutable nadded : int;
+}
+
+let create ?(cap = 64) () =
+  { mu = Mutex.create (); rcap = max 1 cap; entries = []; next_seq = 1; nadded = 0 }
+
+let cap t = t.rcap
+
+let with_mu t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let add t ~sid ~stmt ~ms ~status spans =
+  with_mu t (fun () ->
+      let e = { seq = t.next_seq; sid; stmt; ms; status; spans } in
+      t.next_seq <- t.next_seq + 1;
+      t.nadded <- t.nadded + 1;
+      t.entries <- e :: (if List.length t.entries >= t.rcap then List.filteri (fun i _ -> i < t.rcap - 1) t.entries else t.entries))
+
+let snapshot t = with_mu t (fun () -> t.entries)
+let added t = with_mu t (fun () -> t.nadded)
+
+let reset t =
+  with_mu t (fun () ->
+      t.entries <- [];
+      t.nadded <- 0)

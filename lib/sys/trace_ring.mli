@@ -1,0 +1,42 @@
+(** Bounded ring of recent slow-query traces (the [SYS_TRACES]
+    source).  Each entry keeps its span tree flattened to a
+    depth-annotated list — pure data, so a ring entry holds no
+    reference into live engine state and an NF² materialization of the
+    ring is just a nested LIST attribute (span order preserved). *)
+
+type span = {
+  depth : int;  (** 0 = statement root *)
+  label : string;
+  srows : int;
+  calls : int;
+  us : int;  (** inclusive elapsed microseconds *)
+}
+
+type entry = {
+  seq : int;  (** 1-based admission number, monotonically increasing *)
+  sid : int;
+  stmt : string;
+  ms : float;
+  status : string;  (** ["ok"] or ["error"] *)
+  spans : span list;  (** pre-order, parents before children *)
+}
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] (default 64) bounds the number of traces kept; admitting
+    past capacity drops the oldest. *)
+
+val cap : t -> int
+
+(** Admit one trace, assigning its [seq]. *)
+val add : t -> sid:int -> stmt:string -> ms:float -> status:string -> span list -> unit
+
+val snapshot : t -> entry list
+(** Kept traces, newest first. *)
+
+val added : t -> int
+(** Cumulative admissions since create / the last {!reset} (exact-count
+    reconciliation in the stress tests). *)
+
+val reset : t -> unit

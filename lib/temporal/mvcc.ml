@@ -260,6 +260,15 @@ let live_tables (s : snapshot) : (string * version) list =
     s.snap_state.s_tables []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let chains (t : t) : (string * bool * version list) list =
+  let st = Atomic.get t.state in
+  SMap.fold (fun k c acc -> (k, c.c_trimmed, c.c_versions) :: acc) st.s_tables []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let pinned_lsns (t : t) : (int * int) list =
+  with_mu t (fun () -> Hashtbl.fold (fun lsn n acc -> (lsn, n) :: acc) t.pins [])
+  |> List.sort compare
+
 let stats (t : t) : stats =
   let st = Atomic.get t.state in
   with_mu t (fun () ->

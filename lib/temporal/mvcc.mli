@@ -125,4 +125,12 @@ val resolve_at : snapshot -> string -> lsn:int -> version option
 val live_tables : snapshot -> (string * version) list
 (** All tables visible at the snapshot, sorted by name. *)
 
+val chains : t -> (string * bool * version list) list
+(** Every chain in the current state, sorted by table name: [(name,
+    trimmed, versions)] with versions newest first.  The introspection
+    dump behind [SYS_MVCC] — one atomic read, no locks. *)
+
+val pinned_lsns : t -> (int * int) list
+(** Currently pinned snapshot LSNs with their refcounts, ascending. *)
+
 val stats : t -> stats

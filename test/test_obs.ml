@@ -142,6 +142,36 @@ let test_prometheus_format () =
   Metrics.add_labeled m "err" [ ("b", "2"); ("a", "1") ] 1;
   Alcotest.(check int) "canonical label order" 2 (Metrics.get_labeled m "err" [ ("a", "1"); ("b", "2") ])
 
+(* Label values carrying the three characters the exposition format
+   escapes (backslash, double quote, newline) must come out
+   backslash-doubled / backslash-quoted / backslash-n — and nothing
+   else may be rewritten (regression: the old printf %S escaping
+   emitted OCaml escapes such as backslash-034). *)
+let test_prometheus_label_escaping () =
+  Alcotest.(check string) "backslash" {|a\\b|} (Metrics.escape_label_value {|a\b|});
+  Alcotest.(check string) "quote" {|say \"hi\"|} (Metrics.escape_label_value {|say "hi"|});
+  Alcotest.(check string) "newline" {|l1\nl2|} (Metrics.escape_label_value "l1\nl2");
+  Alcotest.(check string) "untouched" "tab\t ünï'" (Metrics.escape_label_value "tab\t ünï'");
+  let m = Metrics.create () in
+  Metrics.incr_labeled m "q" [ ("stmt", "SELECT \"x\\y\"\nFROM t") ];
+  Metrics.set_float_labeled m "build_info" [ ("version", "0.9\"\\") ] 1.;
+  let out = Metrics.render_prometheus m in
+  Alcotest.(check bool) "counter series escaped" true
+    (contains out {|aimii_q{stmt="SELECT \"x\\y\"\nFROM t"} 1|});
+  Alcotest.(check bool) "gauge series escaped" true
+    (contains out {|aimii_build_info{version="0.9\"\\"} 1|});
+  (* a raw newline surviving into the exposition would tear a sample
+     into a continuation line starting with neither '#' nor the
+     namespace prefix *)
+  List.iter
+    (fun line ->
+      if
+        String.length line > 0
+        && line.[0] <> '#'
+        && not (String.length line >= 6 && String.sub line 0 6 = "aimii_")
+      then Alcotest.failf "torn exposition line: %s" line)
+    (String.split_on_char '\n' out)
+
 (* --- trace tree ---------------------------------------------------------- *)
 
 let test_trace_accumulation () =
@@ -295,6 +325,7 @@ let () =
           Alcotest.test_case "concurrent observe" `Quick test_concurrent_observe;
           Alcotest.test_case "deterministic render" `Quick test_render_deterministic;
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "prometheus label escaping" `Quick test_prometheus_label_escaping;
         ] );
       ( "trace",
         [

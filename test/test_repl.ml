@@ -144,6 +144,18 @@ let test_catch_up_and_read_only () =
           checkb "link connected" true st.Repl.Primary.connected;
           checki "acked applied LSN caught up" target st.Repl.Primary.applied_lsn;
           checkb "batches shipped" true (st.Repl.Primary.batches >= 1);
+          (* the same link state is queryable as an NF² relation over
+             the wire, ack/lag nested per link (SYS_REPLICATION) *)
+          (match
+             rows c
+               "SELECT r.RID, r.CONNECTED, g.APPLIED_LSN, g.LAG FROM r IN SYS_REPLICATION, g \
+                IN r.PROGRESS"
+           with
+          | [ [ _; connected; applied; lag ] ] ->
+              Alcotest.(check string) "SYS link connected" "TRUE" connected;
+              checki "SYS applied LSN caught up" target (int_of_string applied);
+              checki "SYS lag zero" 0 (int_of_string lag)
+          | l -> Alcotest.fail (Printf.sprintf "expected one SYS_REPLICATION row, got %d" (List.length l)));
           (* a replication frame outside its stream is a protocol error *)
           (match Client.request c (P.Repl_ack { applied_lsn = 0 }) with
           | Some (P.Error { code; _ }) ->
@@ -324,7 +336,11 @@ let test_replica_snapshot_reads () =
           let ry = scan snap "SELECT t.K, t.V FROM t IN Y" in
           Db.release_snapshot rdb snap;
           if rx <> ry then Atomic.incr torn;
-          Atomic.incr reads
+          Atomic.incr reads;
+          (* yield the runtime lock between scans: the readers must load
+             the snapshot path continuously, not starve the applier out
+             of its scheduling slice (systhreads share one lock) *)
+          Thread.yield ()
         done
       in
       let threads = List.init 4 (fun _ -> Thread.create reader ()) in

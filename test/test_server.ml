@@ -44,8 +44,13 @@ let gen_request : P.request QCheck.Gen.t =
           (list_size (int_bound 8) gen_atom);
         map (fun l -> P.Repl_handshake { start_lsn = l }) (int_bound 1_000_000);
         map (fun l -> P.Repl_ack { applied_lsn = l }) (int_bound 1_000_000);
+        (* %.17g encoding round-trips every finite double exactly *)
+        map (fun f -> P.Set_slow_query (Some f)) (float_bound_inclusive 1e6);
         oneofl
-          [ P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit; P.Promote ];
+          [
+            P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit; P.Promote;
+            P.Sys_reset; P.Set_slow_query None;
+          ];
       ])
 
 let gen_response : P.response QCheck.Gen.t =
@@ -106,6 +111,9 @@ let fuzz_corpus =
       P.Repl_handshake { start_lsn = 12345 };
       P.Repl_ack { applied_lsn = 99 };
       P.Promote;
+      P.Sys_reset;
+      P.Set_slow_query (Some 0.25);
+      P.Set_slow_query None;
     ]
   in
   let resps =

@@ -1717,6 +1717,167 @@ let bench_sys () =
   Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
   Printf.printf "appended SYS introspection entries to BENCH_server.json\n%!"
 
+(* ================================================================== *)
+(* SH: horizontal sharding — fan-out qps scaling with shard count      *)
+(* ================================================================== *)
+
+module Shard_map = Nf2_shard.Shard_map
+module Coord = Nf2_shard.Coord
+
+type shard_trial = { sh_shards : int; sh_ops : int; sh_seconds : float; sh_qps : float }
+
+(* [clients] sessions push scan-heavy fan-out reads through a
+   coordinator over [nshards] in-process shards.  Each shard holds
+   ~1/K of the roots and evaluates its scatter leg on its own worker
+   domain, so the per-statement critical path shrinks with K — the
+   scaling the fan-out/fan-in architecture exists for. *)
+let shard_trial ~nshards ~clients ~per_client () : shard_trial =
+  let scfg =
+    {
+      Server.default_config with
+      Server.port = 0;
+      max_sessions = (clients * 2) + 4;
+      lock_timeout = 30.;
+      idle_timeout = 0.;
+      group_window = 0.001;
+      domains = 1;
+    }
+  in
+  let shards = Array.init nshards (fun _ -> Server.start scfg) in
+  let members =
+    List.init nshards (fun id ->
+        {
+          Shard_map.id;
+          primary = { Shard_map.host = "127.0.0.1"; port = Server.port shards.(id) };
+          replica = None;
+        })
+  in
+  let coord =
+    Coord.start
+      { Coord.default_config with max_sessions = clients + 2; gather_deadline = 30.; members }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Coord.stop coord;
+      Array.iter Server.stop shards)
+  @@ fun () ->
+  let setup = SClient.connect ~host:"127.0.0.1" ~port:(Coord.port coord) in
+  (match
+     SClient.request setup (Proto.Query "CREATE TABLE D (K INT, N INT, XS TABLE (X INT))")
+   with
+  | Some (Proto.Row_count _) -> ()
+  | _ -> failwith "shard bench setup failed");
+  let roots = 512 in
+  let batch = 64 in
+  for b = 0 to (roots / batch) - 1 do
+    let rows =
+      String.concat ", "
+        (List.init batch (fun i ->
+             let k = (b * batch) + i + 1 in
+             Printf.sprintf "(%d, %d, {(%d), (%d), (%d), (%d)})" k (k * 7 mod 100) k (k + 1000)
+               (k + 2000) (k + 3000)))
+    in
+    match SClient.request setup (Proto.Query ("INSERT INTO D VALUES " ^ rows)) with
+    | Some (Proto.Row_count _) -> ()
+    | _ -> failwith "shard bench load failed"
+  done;
+  SClient.close setup;
+  let read_sql = "SELECT x.K, y.X FROM x IN D, y IN x.XS WHERE x.N > 50" in
+  let done_ops = Atomic.make 0 and errors = Atomic.make 0 in
+  let worker () =
+    let c = SClient.connect ~host:"127.0.0.1" ~port:(Coord.port coord) in
+    for _ = 1 to per_client do
+      match SClient.request c (Proto.Query read_sql) with
+      | Some (Proto.Result_table _) -> Atomic.incr done_ops
+      | _ -> Atomic.incr errors
+    done;
+    SClient.close c
+  in
+  let (), ns =
+    time_once (fun () ->
+        let threads = List.init clients (fun _ -> Thread.create worker ()) in
+        List.iter Thread.join threads)
+  in
+  if Atomic.get errors > 0 then
+    Printf.printf "  (%d statement(s) failed at %d shard(s))\n" (Atomic.get errors) nshards;
+  let seconds = ns /. 1e9 in
+  {
+    sh_shards = nshards;
+    sh_ops = Atomic.get done_ops;
+    sh_seconds = seconds;
+    sh_qps = float_of_int (Atomic.get done_ops) /. seconds;
+  }
+
+let bench_sharding () =
+  section "SH" "horizontal sharding: fan-out read throughput vs shard count";
+  let cores = Domain.recommended_domain_count () in
+  let clients = 4 and per_client = 30 in
+  let trials = List.map (fun n -> shard_trial ~nshards:n ~clients ~per_client ()) [ 1; 2; 4 ] in
+  subsection
+    (Printf.sprintf "512 roots, subtable-joining fan-out scans (%d clients x %d ops, %d core(s))"
+       clients per_client cores);
+  print_table
+    ~header:[ "shards"; "ops"; "seconds"; "qps" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.sh_shards;
+           string_of_int t.sh_ops;
+           Printf.sprintf "%.2f" t.sh_seconds;
+           Printf.sprintf "%.0f" t.sh_qps;
+         ])
+       trials);
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "all ops completed on %d shard(s)" t.sh_shards)
+        (t.sh_ops = clients * per_client))
+    trials;
+  let qps n = (List.find (fun t -> t.sh_shards = n) trials).sh_qps in
+  let speedup = qps 4 /. qps 1 in
+  Printf.printf "fan-out scaling: qps@4 / qps@1 = %.2f (%d core(s))\n" speedup cores;
+  if cores >= 4 then begin
+    (* with cores to run on, sharding must actually pay: each scatter
+       leg scans 1/K of the data on its own worker domain *)
+    check "2 shards at least hold the 1-shard rate" (qps 2 >= 0.95 *. qps 1);
+    check "4 shards reach >= 1.5x the 1-shard qps" (speedup >= 1.5)
+  end
+  else begin
+    (* on a small host the honest claim is only that the scatter/gather
+       machinery does not collapse throughput as shards are added *)
+    check "2 shards sustain the 1-shard rate" (qps 2 >= 0.6 *. qps 1);
+    check "4 shards sustain the 1-shard rate" (speedup >= 0.6)
+  end;
+  (* append machine-readable entries (see bench_repl for the format) *)
+  let entries =
+    List.map
+      (fun t ->
+        Printf.sprintf
+          "  {\"section\": \"sharding\", \"shards\": %d, \"ops\": %d, \"seconds\": %.4f, \
+           \"qps\": %.1f, \"cores\": %d}"
+          t.sh_shards t.sh_ops t.sh_seconds t.sh_qps cores)
+      trials
+    @ [
+        Printf.sprintf
+          "  {\"section\": \"sharding_speedup\", \"qps_1\": %.1f, \"qps_4\": %.1f, \"speedup\": \
+           %.3f, \"cores\": %d}"
+          (qps 1) (qps 4) speedup cores;
+      ]
+  in
+  let body = String.concat ",\n" entries in
+  let json =
+    if Sys.file_exists "BENCH_server.json" then begin
+      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "appended sharding entries to BENCH_server.json\n%!"
+
 let sections : (string * (unit -> unit)) list =
   [
     ("T1-T8", bench_tables);
@@ -1741,6 +1902,7 @@ let sections : (string * (unit -> unit)) list =
     ("RDS", bench_read_scaling);
     ("QP", bench_qp);
     ("SYS", bench_sys);
+    ("SH", bench_sharding);
   ]
 
 let () =

@@ -4,6 +4,9 @@
      aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
           [--lock-timeout S] [--no-group-commit] [--slow-query S]
           [--domains N] [--demo] [-f init.sql] [--replica-of HOST:PORT]
+     aimd --coordinator --shard HOST:PORT[+RHOST:RPORT] [--shard ...]
+          [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
+          [--gather-deadline S] [--pool N] [--map-version V]
 
    Serves the wire protocol (see docs/SERVER.md); connect with
    `aimsh --connect HOST:PORT`.  Log shipping is always enabled: any
@@ -11,6 +14,10 @@
    --replica-of the node starts as a read-only replica of the given
    primary instead: it catches up over the replication stream, serves
    reads, and `aimsh -e '\promote'` turns it into a standalone primary.
+   With --coordinator the node stores nothing itself: it routes every
+   statement across the given shards by root-key hash, scattering and
+   gathering cross-shard queries (docs/SHARDING.md); `+RHOST:RPORT`
+   names a shard's read replica for failover reads.
    SIGINT/SIGTERM shut down gracefully: in-flight transactions roll
    back, the WAL is checkpointed, and the metrics report is dumped to
    stdout. *)
@@ -18,14 +25,34 @@
 module Db = Nf2.Db
 module Server = Nf2_server.Server
 module Repl = Nf2_repl.Repl
+module Shard_map = Nf2_shard.Shard_map
+module Coord = Nf2_shard.Coord
 
 let () =
   let config = ref Server.default_config in
   let demo = ref false in
   let init_file = ref None in
   let replica_of = ref None in
+  let coordinator = ref false in
+  let shards = ref [] in
+  let ccfg = ref Coord.default_config in
   let rec parse = function
     | [] -> ()
+    | "--coordinator" :: rest ->
+        coordinator := true;
+        parse rest
+    | "--shard" :: addr :: rest ->
+        shards := addr :: !shards;
+        parse rest
+    | "--gather-deadline" :: s :: rest ->
+        ccfg := { !ccfg with Coord.gather_deadline = float_of_string s };
+        parse rest
+    | "--pool" :: n :: rest ->
+        ccfg := { !ccfg with Coord.pool_cap = int_of_string n };
+        parse rest
+    | "--map-version" :: v :: rest ->
+        ccfg := { !ccfg with Coord.map_version = int_of_string v };
+        parse rest
     | "--host" :: h :: rest ->
         config := { !config with Server.host = h };
         parse rest
@@ -70,7 +97,10 @@ let () =
         print_endline
           "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
            [--lock-timeout S] [--no-group-commit] [--slow-query S] [--domains N] [--demo] \
-           [-f init.sql] [--replica-of HOST:PORT]";
+           [-f init.sql] [--replica-of HOST:PORT]\n\
+           \       aimd --coordinator --shard HOST:PORT[+RHOST:RPORT] [--shard ...] [--host H] \
+           [--port P] [--max-sessions N] [--idle-timeout S] [--gather-deadline S] [--pool N] \
+           [--map-version V]";
         exit 0
     | arg :: _ ->
         Printf.eprintf "aimd: unknown argument %s (try --help)\n" arg;
@@ -88,6 +118,42 @@ let () =
       Thread.delay 0.1
     done
   in
+  if !coordinator then begin
+    let members = List.mapi (fun id s -> Shard_map.parse_member ~id s) (List.rev !shards) in
+    if members = [] then begin
+      prerr_endline "aimd: --coordinator needs at least one --shard HOST:PORT";
+      exit 2
+    end;
+    let ccfg =
+      {
+        !ccfg with
+        Coord.host = !config.Server.host;
+        port = !config.Server.port;
+        max_sessions = !config.Server.max_sessions;
+        idle_timeout = !config.Server.idle_timeout;
+        members;
+      }
+    in
+    let coord = Coord.start ccfg in
+    Printf.printf
+      "aimd: coordinator on %s:%d over %d shard(s), map v%d (gather deadline %.1fs)\n%!"
+      ccfg.Coord.host (Coord.port coord) (List.length members) ccfg.Coord.map_version
+      ccfg.Coord.gather_deadline;
+    List.iter
+      (fun (m : Shard_map.member) ->
+        Printf.printf "aimd:   shard %d -> %s%s\n%!" m.Shard_map.id
+          (Shard_map.addr_string m.Shard_map.primary)
+          (match m.Shard_map.replica with
+          | Some r -> " (replica " ^ Shard_map.addr_string r ^ ")"
+          | None -> ""))
+      members;
+    wait_for_stop ();
+    print_endline "aimd: shutting down";
+    Coord.stop coord;
+    print_string (Coord.render_metrics coord);
+    print_endline "aimd: bye";
+    exit 0
+  end;
   match !replica_of with
   | Some (phost, pport) ->
       (* replica mode: an empty read-only database fed from the primary *)

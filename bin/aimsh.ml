@@ -14,6 +14,7 @@
      \timing on|off  print client-side wall-clock time per input
      \sys          list the SYS introspection tables (SELECT-able)
      \slow-query S|off  report inputs taking >= S seconds
+     \shards       shard map + per-shard health (coordinator; remote)
 
    With -d FILE -j JOURNAL the session is durable: it recovers from the
    checkpoint + journal on start, journals every mutation, and \save
@@ -131,6 +132,8 @@ let repl db =
           | [ "\\sys"; "reset" ] ->
               print_endline
                 "nothing to reset: cumulative statement statistics live in aimd (use --connect)"
+          | [ "\\shards" ] ->
+              print_endline "no shard map: embedded engine (use --connect against a coordinator)"
           | [ "\\slow-query"; arg ] -> set_local_slow_query arg
           | _ -> print_endline "unknown meta command");
           loop ()
@@ -165,6 +168,24 @@ let render_table columns rows =
   let rule = String.concat "-+-" (List.map (fun w -> String.make w '-') widths) in
   String.concat "\n" (line columns :: rule :: List.map line rows)
 
+let render_shard_map version (shards : Proto.shard_info list) =
+  let columns = [ "SHARD"; "ADDR"; "STATE"; "ROUTED"; "FANOUT"; "ERRORS" ] in
+  let rows =
+    List.map
+      (fun (s : Proto.shard_info) ->
+        [
+          string_of_int s.Proto.sh_id;
+          s.Proto.sh_addr;
+          s.Proto.sh_state;
+          string_of_int s.Proto.sh_routed;
+          string_of_int s.Proto.sh_fanout;
+          string_of_int s.Proto.sh_errors;
+        ])
+      shards
+  in
+  Printf.printf "shard map v%d (%d shard(s))\n" version (List.length shards);
+  print_endline (render_table columns rows)
+
 let print_remote_response = function
   | Some (Proto.Result_table { columns; rows }) ->
       print_endline (render_table columns rows);
@@ -176,6 +197,7 @@ let print_remote_response = function
   | Some (Proto.Metrics_text s) -> print_string s
   | Some Proto.Bye -> print_endline "server closed the session"
   | Some (Proto.Repl_batch _) -> print_endline "unexpected replication frame"
+  | Some (Proto.Shard_map { version; shards }) -> render_shard_map version shards
   | None -> print_endline "server hung up"
 
 let run_remote client input =
@@ -196,6 +218,7 @@ let remote_meta client trimmed =
   | [ "\\timing"; arg ] -> set_timing (Some arg)
   | [ "\\sys" ] -> run_remote client "SELECT * FROM SYS_TABLES;"
   | [ "\\sys"; "reset" ] -> print_remote_response (Client.request client Proto.Sys_reset)
+  | [ "\\shards" ] -> print_remote_response (Client.request client Proto.Shard_map_get)
   | [ "\\slow-query"; arg ] -> (
       match parse_slow_query arg with
       | Error m -> print_endline m
@@ -203,10 +226,17 @@ let remote_meta client trimmed =
   | _ ->
       print_endline
         "unknown meta command (remote: \\q \\metrics [prom] \\ping \\promote \\sys [reset] \
-         \\slow-query S|off \\timing)"
+         \\shards \\slow-query S|off \\timing)"
 
 let remote_repl client =
   print_endline "connected.  Statements end with ';'.  \\q quits, \\metrics shows server counters.";
+  (* coordinator banner: a plain aimd answers the probe with an error
+     (and keeps the session), a coordinator with its shard map *)
+  (match Client.request client Proto.Shard_map_get with
+  | Some (Proto.Shard_map { version; shards }) ->
+      Printf.printf "coordinator: shard map v%d over %d shard(s) (\\shards for health)\n" version
+        (List.length shards)
+  | _ -> ());
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "aim> " else "...> ");

@@ -1,0 +1,123 @@
+(* Mergeable partial results: the fan-in half of the sharding tier.
+
+   A cross-shard statement yields one partial result per shard, already
+   rendered to wire form (rows of string cells).  The coordinator never
+   re-evaluates the query; it combines the partials with the three
+   operators here, chosen from the statement's shape:
+
+   - [union]: concatenation in shard order, with an optional dedup that
+     restores set semantics (SELECT without ORDER BY, and DISTINCT)
+     across shards — each shard deduplicated only its own partition;
+   - [merge_sorted]: k-way merge of per-shard ORDER BY results.  Each
+     shard returns its partition already sorted, so the global order
+     falls out of a heap-less k-way merge over the sort keys;
+   - [reaggregate]: combine per-shard aggregate rows back into totals
+     (counts add, minima take the min, ...) — used for the affected
+     counts of broadcast DML.  Grouped aggregates in this language are
+     root-local (aggregates range over a row's own subtables, there is
+     no GROUP BY), so they partition cleanly and never need this.
+
+   Cells compare the way the engine's Atom order does, parsed back from
+   their rendered form: both ints, numerically; both floats (or one of
+   each), numerically; NULL first; otherwise bytewise — which is also
+   correct for rendered dates (ISO) and booleans. *)
+
+let is_null (c : string) = c = "NULL"
+
+let compare_cells (a : string) (b : string) : int =
+  if String.equal a b then 0
+  else
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some x, Some y -> compare x y
+    | _ -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some x, Some y -> Float.compare x y
+        | _ ->
+            if is_null a then -1
+            else if is_null b then 1
+            else String.compare a b)
+
+(* Sort keys: 0-based column index plus descending flag, major first. *)
+type key = { index : int; descending : bool }
+
+let compare_rows (keys : key list) (a : string list) (b : string list) : int =
+  let rec go = function
+    | [] -> 0
+    | k :: rest ->
+        let c = compare_cells (List.nth a k.index) (List.nth b k.index) in
+        if c <> 0 then if k.descending then -c else c else go rest
+  in
+  go keys
+
+let union ?(dedup = false) (parts : string list list list) : string list list =
+  let all = List.concat parts in
+  if not dedup then all
+  else begin
+    let seen = Hashtbl.create (List.length all * 2) in
+    List.filter
+      (fun row ->
+        if Hashtbl.mem seen row then false
+        else begin
+          Hashtbl.add seen row ();
+          true
+        end)
+      all
+  end
+
+(* K-way merge of already-sorted partials.  Stable across shards: on
+   equal keys the earlier shard's row goes first, so the merged order
+   is deterministic whatever the partitioning. *)
+let merge_sorted ~(keys : key list) (parts : string list list list) : string list list =
+  let parts = Array.of_list parts in
+  let total = Array.fold_left (fun n p -> n + List.length p) 0 parts in
+  let out = ref [] in
+  let exhausted () = Array.for_all (fun p -> p = []) parts in
+  for _ = 1 to total do
+    if not (exhausted ()) then begin
+      let best = ref (-1) in
+      Array.iteri
+        (fun i p ->
+          match p with
+          | [] -> ()
+          | row :: _ ->
+              if !best < 0 then best := i
+              else if compare_rows keys row (List.hd parts.(!best)) < 0 then best := i)
+        parts;
+      (match parts.(!best) with
+      | row :: rest ->
+          out := row :: !out;
+          parts.(!best) <- rest
+      | [] -> assert false)
+    end
+  done;
+  List.rev !out
+
+(* --- re-aggregation ----------------------------------------------------- *)
+
+type combine = C_sum | C_min | C_max | C_count | C_first
+
+let combine_cells (c : combine) (a : string) (b : string) : string =
+  let num f_int f_float =
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some x, Some y -> string_of_int (f_int x y)
+    | _ -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some x, Some y -> Printf.sprintf "%g" (f_float x y)
+        | _ -> a)
+  in
+  if is_null a then b
+  else if is_null b then a
+  else
+    match c with
+    | C_sum | C_count -> num ( + ) ( +. )
+    | C_min -> if compare_cells a b <= 0 then a else b
+    | C_max -> if compare_cells a b >= 0 then a else b
+    | C_first -> a
+
+(* Fold per-shard single-row aggregates column-wise into one row;
+   [spec] gives one combiner per column.  Empty partials are skipped
+   (a shard holding no roots contributes nothing). *)
+let reaggregate ~(spec : combine list) (parts : string list list) : string list =
+  match List.filter (fun r -> r <> []) parts with
+  | [] -> List.map (fun _ -> "NULL") spec
+  | first :: rest -> List.fold_left (fun acc row -> List.map2 (fun c (a, b) -> combine_cells c a b) spec (List.combine acc row)) first rest

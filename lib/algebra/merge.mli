@@ -1,0 +1,39 @@
+(** Mergeable partial results: the fan-in half of the sharding tier.
+
+    Cross-shard statements yield one partial result per shard, already
+    in wire form (rows of rendered cells).  The coordinator combines
+    them here without re-evaluating the query: {!union} for unordered
+    scans (with dedup restoring cross-shard set semantics),
+    {!merge_sorted} for ORDER BY (each shard's partition arrives
+    sorted; a k-way merge yields the global order), {!reaggregate} for
+    folding per-shard aggregate rows back into totals.  Aggregates in
+    the query language range over a row's own subtables (no GROUP BY),
+    so SELECT aggregates are root-local and partition cleanly —
+    re-aggregation is needed only for combined counters such as
+    broadcast-DML affected counts. *)
+
+(** Rendered-cell comparison matching the engine's Atom order: ints and
+    floats numerically, NULL first, everything else bytewise (correct
+    for ISO dates and booleans). *)
+val compare_cells : string -> string -> int
+
+type key = { index : int; descending : bool }
+(** One ORDER BY sort key: 0-based output-column index, major first. *)
+
+val compare_rows : key list -> string list -> string list -> int
+
+(** Concatenate partials in shard order; [dedup] keeps each row's first
+    occurrence (set semantics / DISTINCT across shards). *)
+val union : ?dedup:bool -> string list list list -> string list list
+
+(** K-way merge of per-shard partials that are each already sorted by
+    [keys].  Stable across shards: equal keys keep the earlier shard's
+    rows first. *)
+val merge_sorted : keys:key list -> string list list list -> string list list
+
+type combine = C_sum | C_min | C_max | C_count | C_first
+
+(** Fold per-shard single-row aggregates column-wise into one row, one
+    combiner per column; empty partials are skipped, NULL cells defer
+    to the other side. *)
+val reaggregate : spec:combine list -> string list list -> string list

@@ -19,7 +19,11 @@
      project          SELECT list evaluation
      sort             ORDER BY
      distinct         set semantics / DISTINCT (sort + dedup)
-     hash-agg         hash aggregation (grouping executor operator) *)
+     hash-agg         hash aggregation (grouping executor operator)
+     shard-scan       one shard's partition of a scattered statement
+                      (coordinator only; children are the shard's own plan)
+     shard-gather     fan-in over all shard-scan children: union, dedup,
+                      or ORDER BY k-way merge (coordinator only) *)
 
 type node = {
   op : string;
@@ -31,6 +35,18 @@ type node = {
 
 let node ?(children = []) ?(detail = "") ~est_rows ~cost op =
   { op; detail; est_rows = max 0 est_rows; cost; children }
+
+(* The coordinator's driver nodes (lib/shard): one shard-scan per
+   scatter leg, one shard-gather fanning them in.  est_rows on the
+   gather is the sum of the per-shard estimates the shards' own
+   planners reported. *)
+let shard_scan ~shard ~addr ~est_rows =
+  node ~est_rows ~cost:0. ~detail:(Printf.sprintf "shard=%d %s" shard addr) "shard-scan"
+
+let shard_gather ?(children = []) ~merge ~est_rows () =
+  node ~children ~est_rows ~cost:0.
+    ~detail:(Printf.sprintf "%d shard(s) merge=%s" (List.length children) merge)
+    "shard-gather"
 
 let describe n = if n.detail = "" then n.op else n.op ^ " " ^ n.detail
 let annot n = Printf.sprintf "est_rows=%d cost=%.1f" n.est_rows n.cost

@@ -13,6 +13,11 @@ let connect ~(host : string) ~(port : int) : t =
      raise e);
   { fd; closed = false }
 
+(* Bound how long [request] may block on the response — the
+   coordinator's scatter/gather deadline.  0 clears the bound. *)
+let set_receive_timeout (c : t) (seconds : float) =
+  Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO (Float.max 0. seconds)
+
 (* One round trip.  [None] means the server hung up before answering.
    When the send fails because the server already closed the socket we
    still drain the pending response (e.g. the admission-control Busy

@@ -6,6 +6,13 @@ type t
 
 val connect : host:string -> port:int -> t
 
+(** Bound how long {!request} may block waiting for the response (a
+    receive timeout on the socket); the wait surfaces as
+    [Unix.Unix_error (EAGAIN | EWOULDBLOCK | ETIMEDOUT, _, _)].  0
+    clears the bound.  The coordinator uses this as its per-statement
+    scatter/gather deadline. *)
+val set_receive_timeout : t -> float -> unit
+
 (** One round trip; [None] means the server hung up before answering. *)
 val request : t -> Protocol.request -> Protocol.response option
 

@@ -25,6 +25,10 @@ let err_read_only = "25006" (* mutation on a read-only replica *)
 let err_snapshot_too_old = "72000" (* ASOF below the MVCC GC horizon *)
 let err_protocol = "08P01" (* malformed or unexpected frame *)
 let err_internal = "XX000"
+let err_feature = "0A000" (* statement not supported on this topology *)
+let err_stale_route = "55S01" (* shard-map version mismatch on a routed statement *)
+let err_shard_down = "57S01" (* shard unreachable (and no replica can serve it) *)
+let err_shard_timeout = "57S02" (* scatter/gather deadline exceeded *)
 
 type request =
   | Query of string  (** one or more ';'-separated statements *)
@@ -48,6 +52,28 @@ type request =
   | Set_slow_query of float option
       (** set or clear the slow-query tracing threshold at runtime (the
           [\slow-query] meta command) *)
+  | Shard_join of { map_version : int; shard_id : int; nshards : int }
+      (** coordinator -> shard handshake: this connection routes for
+          slot [shard_id] of an [nshards]-way map at [map_version];
+          later [Shard_route] frames must carry the same version *)
+  | Shard_route of { map_version : int; sql : string }
+      (** coordinator -> shard: one routed statement; refused with the
+          stale-route SQLSTATE when [map_version] does not match the
+          version this shard joined *)
+  | Shard_map_get
+      (** client -> coordinator: the current shard map with per-shard
+          health (the [\shards] meta command); non-coordinators answer
+          with a plain error and keep the session open *)
+
+(* One shard's row in a [Shard_map] response. *)
+type shard_info = {
+  sh_id : int;
+  sh_addr : string;
+  sh_state : string; (* "up" | "down" | "replica-reads" *)
+  sh_routed : int; (* single-shard statements routed here *)
+  sh_fanout : int; (* scatter legs sent here *)
+  sh_errors : int; (* failed requests against this shard *)
+}
 
 type response =
   | Result_table of { columns : string list; rows : string list list }
@@ -62,6 +88,8 @@ type response =
   | Repl_batch of { records : string; durable_lsn : int }
       (** raw framed WAL records (decodable with [Wal.records_of_string])
           plus the primary's durable LSN; empty [records] is a heartbeat *)
+  | Shard_map of { version : int; shards : shard_info list }
+      (** the coordinator's shard map and per-shard health *)
 
 (* --- pure encode / decode ---------------------------------------------- *)
 
@@ -99,7 +127,17 @@ let encode_request (r : request) : string =
          the threshold, anything else must parse as a float *)
       Codec.put_u8 b 15;
       Codec.put_string b
-        (match thr with None -> "" | Some s -> Printf.sprintf "%.17g" s));
+        (match thr with None -> "" | Some s -> Printf.sprintf "%.17g" s)
+  | Shard_join { map_version; shard_id; nshards } ->
+      Codec.put_u8 b 16;
+      Codec.put_uvarint b map_version;
+      Codec.put_uvarint b shard_id;
+      Codec.put_uvarint b nshards
+  | Shard_route { map_version; sql } ->
+      Codec.put_u8 b 17;
+      Codec.put_uvarint b map_version;
+      Codec.put_string b sql
+  | Shard_map_get -> Codec.put_u8 b 18);
   Codec.contents b
 
 (* Truncated or garbled fields surface as Codec decode errors; at the
@@ -150,6 +188,17 @@ let decode_request (s : string) : request =
             match float_of_string_opt s with
             | Some f when f >= 0. -> Set_slow_query (Some f)
             | _ -> protocol_error "bad slow-query threshold %S" s))
+    | 16 ->
+        let map_version = Codec.get_uvarint src in
+        let shard_id = Codec.get_uvarint src in
+        let nshards = Codec.get_uvarint src in
+        if nshards <= 0 || shard_id < 0 || shard_id >= nshards then
+          protocol_error "implausible shard identity %d/%d" shard_id nshards;
+        Shard_join { map_version; shard_id; nshards }
+    | 17 ->
+        let map_version = Codec.get_uvarint src in
+        Shard_route { map_version; sql = Codec.get_string src }
+    | 18 -> Shard_map_get
     | n -> protocol_error "unknown request tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after request";
@@ -188,7 +237,20 @@ let encode_response (r : response) : string =
   | Repl_batch { records; durable_lsn } ->
       Codec.put_u8 b 8;
       Codec.put_string b records;
-      Codec.put_uvarint b durable_lsn);
+      Codec.put_uvarint b durable_lsn
+  | Shard_map { version; shards } ->
+      Codec.put_u8 b 9;
+      Codec.put_uvarint b version;
+      Codec.put_uvarint b (List.length shards);
+      List.iter
+        (fun s ->
+          Codec.put_uvarint b s.sh_id;
+          Codec.put_string b s.sh_addr;
+          Codec.put_string b s.sh_state;
+          Codec.put_uvarint b s.sh_routed;
+          Codec.put_uvarint b s.sh_fanout;
+          Codec.put_uvarint b s.sh_errors)
+        shards);
   Codec.contents b
 
 let decode_response (s : string) : response =
@@ -221,6 +283,20 @@ let decode_response (s : string) : response =
     | 8 ->
         let records = Codec.get_string src in
         Repl_batch { records; durable_lsn = Codec.get_uvarint src }
+    | 9 ->
+        let version = Codec.get_uvarint src in
+        let n = bounded_count src "shard" (Codec.get_uvarint src) in
+        let shards =
+          List.init n (fun _ ->
+              let sh_id = Codec.get_uvarint src in
+              let sh_addr = Codec.get_string src in
+              let sh_state = Codec.get_string src in
+              let sh_routed = Codec.get_uvarint src in
+              let sh_fanout = Codec.get_uvarint src in
+              let sh_errors = Codec.get_uvarint src in
+              { sh_id; sh_addr; sh_state; sh_routed; sh_fanout; sh_errors })
+        in
+        Shard_map { version; shards }
     | n -> protocol_error "unknown response tag %d" n
   in
   if not (Codec.at_end src) then protocol_error "trailing bytes after response";

@@ -31,6 +31,20 @@ val err_protocol : string  (** 08P01: malformed or unexpected frame *)
 
 val err_internal : string  (** XX000 *)
 
+val err_feature : string
+(** 0A000: statement not supported on this topology (e.g. cross-shard
+    joins or explicit transactions through a coordinator) *)
+
+val err_stale_route : string
+(** 55S01: shard-map version mismatch on a routed statement — the
+    coordinator must re-handshake and retry *)
+
+val err_shard_down : string
+(** 57S01: shard unreachable and no replica can serve the statement *)
+
+val err_shard_timeout : string
+(** 57S02: scatter/gather deadline exceeded waiting on a shard *)
+
 type request =
   | Query of string  (** one or more ';'-separated statements *)
   | Prepare of string  (** statement with '?' placeholders *)
@@ -55,6 +69,25 @@ type request =
       (** set or clear the slow-query tracing threshold at runtime (the
           [\slow-query] meta command); thresholds are non-negative
           seconds *)
+  | Shard_join of { map_version : int; shard_id : int; nshards : int }
+      (** coordinator -> shard handshake: this connection routes for
+          slot [shard_id] of an [nshards]-way map at [map_version] *)
+  | Shard_route of { map_version : int; sql : string }
+      (** coordinator -> shard: one routed statement, refused with
+          {!err_stale_route} on a shard-map version mismatch *)
+  | Shard_map_get
+      (** client -> coordinator: the current shard map with per-shard
+          health (the [\shards] meta command) *)
+
+type shard_info = {
+  sh_id : int;
+  sh_addr : string;
+  sh_state : string;  (** "up" | "down" | "replica-reads" *)
+  sh_routed : int;  (** single-shard statements routed here *)
+  sh_fanout : int;  (** scatter legs sent here *)
+  sh_errors : int;  (** failed requests against this shard *)
+}
+(** One shard's row in a [Shard_map] response. *)
 
 type response =
   | Result_table of { columns : string list; rows : string list list }
@@ -70,6 +103,8 @@ type response =
       (** raw framed WAL records (decodable with
           [Wal.records_of_string]) plus the primary's durable LSN at
           ship time; empty [records] is a heartbeat *)
+  | Shard_map of { version : int; shards : shard_info list }
+      (** the coordinator's shard map and per-shard health *)
 
 (** {1 Pure encoding layer} *)
 

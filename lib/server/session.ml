@@ -88,6 +88,9 @@ type manager = {
   sessions : (int, session) Hashtbl.t; (* open sessions, by sid *)
   stmt_stats : Stmt_stats.t; (* cumulative per-shape statement statistics *)
   traces : Trace_ring.t; (* recent slow-query span trees *)
+  mutable shard_identity : (int * int * int) option;
+      (* (map version, shard id, nshards) once a coordinator has sent
+         Shard_join; routed statements must match the version *)
 }
 
 and session = {
@@ -595,6 +598,7 @@ let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window =
       sessions = Hashtbl.create 16;
       stmt_stats = Stmt_stats.create ();
       traces = Trace_ring.create ();
+      shard_identity = None;
     }
   in
   register_server_sys mgr;
@@ -1062,6 +1066,18 @@ let flatten_trace (tr : Trace.t) : Trace_ring.span list =
   in
   List.rev (go 0 (Trace.root tr) [])
 
+(* Fold a statement the *coordinator* executed on behalf of this
+   session — routed to shards, so never through [run_stmt_observed] —
+   into the same books: the per-kind counters, the cumulative shape
+   statistics and the session's recent ring.  The counter delta is
+   empty by construction (the local engine did no work; the shards'
+   own SYS_STATEMENTS carry the storage attribution). *)
+let note_statement (sess : session) (stmt : Ast.stmt) ~(seconds : float) ~(rows : int)
+    ~(status : string) : unit =
+  count_stmt_metric sess.mgr stmt;
+  let t0 = Unix.gettimeofday () -. seconds in
+  record_statement sess stmt (capture_base sess.mgr) ~t0 ~rows ~status
+
 (* Every statement is measured and aggregated into the cumulative
    shape statistics.  With a slow-query threshold configured the
    statement additionally runs under a trace (storage + lock
@@ -1167,6 +1183,19 @@ let render_prometheus (mgr : manager) : string =
   fold_storage_stats mgr;
   Metrics.render_prometheus mgr.metrics
 
+(* Parse and run a ';'-separated script, answering with the last
+   statement's result — the body of both [Query] and a routed
+   [Shard_route] (which carries exactly one statement). *)
+let run_script (sess : session) (input : string) : P.response =
+  let stmts = Parser.parse_script input in
+  if stmts = [] then refused P.err_syntax "empty query";
+  (* normalise once, here; classification and evaluation both work on
+     the rewritten form *)
+  let stmts = List.map Rewrite.rewrite_stmt stmts in
+  let results = List.map (run_stmt_observed sess) stmts in
+  Metrics.add sess.mgr.metrics "statements_total" (List.length stmts);
+  response_of_result (List.nth results (List.length results - 1))
+
 (* --- request dispatch ---------------------------------------------------- *)
 
 let handle (sess : session) (req : P.request) : P.response =
@@ -1232,15 +1261,30 @@ let handle (sess : session) (req : P.request) : P.response =
   | P.Rollback ->
       run_protected "requests_rollback" "txn_latency" (fun () -> response_of_result (do_rollback sess))
   | P.Query input ->
-      run_protected "requests_query" "query_latency" (fun () ->
-          let stmts = Parser.parse_script input in
-          if stmts = [] then refused P.err_syntax "empty query";
-          (* normalise once, here; classification and evaluation both
-             work on the rewritten form *)
-          let stmts = List.map Rewrite.rewrite_stmt stmts in
-          let results = List.map (run_stmt_observed sess) stmts in
-          Metrics.add mgr.metrics "statements_total" (List.length stmts);
-          response_of_result (List.nth results (List.length results - 1)))
+      run_protected "requests_query" "query_latency" (fun () -> run_script sess input)
+  | P.Shard_join { map_version; shard_id; nshards } ->
+      (* a coordinator claims this node as one slot of its shard map;
+         the identity is node-wide so every pooled connection (and the
+         stale-route check) sees the same version *)
+      Metrics.incr mgr.metrics "requests_shard_join";
+      mgr.shard_identity <- Some (map_version, shard_id, nshards);
+      P.Row_count
+        { affected = 0; message = Printf.sprintf "shard %d/%d at map v%d" shard_id nshards map_version }
+  | P.Shard_route { map_version; sql } ->
+      run_protected "requests_shard_route" "query_latency" (fun () ->
+          match mgr.shard_identity with
+          | None -> refused P.err_stale_route "shard route before a Shard_join handshake"
+          | Some (v, _, _) when v <> map_version ->
+              Metrics.incr mgr.metrics "shard_stale_routes";
+              refused P.err_stale_route
+                "stale shard route: statement carries map v%d, this shard joined v%d" map_version v
+          | Some _ -> run_script sess sql)
+  | P.Shard_map_get ->
+      (* answered for real by the coordinator's own loop; on a plain
+         node it is a recoverable error, which lets aimsh probe for a
+         coordinator banner without losing the session *)
+      Metrics.incr mgr.metrics "errors_total";
+      P.Error { code = P.err_semantic; message = "no shard map: this server is not a coordinator" }
   | P.Prepare input ->
       run_protected "requests_prepare" "query_latency" (fun () ->
           let pstmt, nparams = Parser.parse_prepared input in

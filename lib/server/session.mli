@@ -88,8 +88,37 @@ val with_engine : manager -> (unit -> 'a) -> 'a
 
 (** Serves one request.  Engine / parser / lock errors come back as
     [Protocol.Error] responses; only connection-level exceptions (and
-    {!Nf2_storage.Disk.Crash} from fault injection) escape. *)
+    {!Nf2_storage.Disk.Crash} from fault injection) escape.
+
+    Shard frames are served here too: [Shard_join] records the node's
+    (map version, shard id, nshards) identity manager-wide,
+    [Shard_route] runs its statement only when the carried version
+    matches that identity (else the stale-route SQLSTATE, 55S01), and
+    [Shard_map_get] on a non-coordinator is a recoverable error — the
+    session stays open, which lets aimsh probe for a coordinator. *)
 val handle : session -> Protocol.request -> Protocol.response
+
+(** Parse, rewrite and run a ';'-separated script exactly as a [Query]
+    frame would — observed, latched and recorded — but without the
+    dispatch loop's error trapping: engine / parser / lock exceptions
+    escape to the caller (see {!error_of_exn}).  Exposed for the
+    coordinator, which folds locally-served statements (pure-SYS
+    queries) through the same path. *)
+val run_script : session -> string -> Protocol.response
+
+(** Fold a statement executed *elsewhere on behalf of* this session —
+    the coordinator's routed statements — into the session's books:
+    per-kind statement counters, cumulative shape statistics
+    (SYS_STATEMENTS) and the recent ring (SYS_SESSIONS).  The local
+    storage-counter delta is empty by construction. *)
+val note_statement :
+  session -> Nf2_lang.Ast.stmt -> seconds:float -> rows:int -> status:string -> unit
+
+(** Map an engine / parser / lock exception to the wire error the
+    dispatch loop would send, [None] for connection-level exceptions
+    that must escape.  Exposed for the coordinator, whose routing layer
+    fails with the same exception vocabulary. *)
+val error_of_exn : exn -> Protocol.response option
 
 (** Rolls back an in-flight transaction, releases locks and the
     transaction slot, and drops prepared statements. *)

@@ -1,0 +1,61 @@
+(** The fan-out/fan-in coordinator: N aimd shards behind one wire
+    endpoint.
+
+    Clients connect with the ordinary protocol; every statement routes
+    through the versioned shard map ({!Shard_map}) over pooled shard
+    connections ({!Pool}).  Statements pinning one root (the partition
+    key — a table's first attribute — equated to a literal, or a
+    single-root INSERT) route to exactly one shard; cross-shard SELECTs
+    scatter in parallel and gather through {!Nf2_algebra.Merge} (union
+    + dedup for set results, k-way merge for ORDER BY); DDL broadcasts;
+    broadcast DML re-aggregates affected counts.  Every statement is
+    bounded by a scatter/gather deadline, so shard failures surface as
+    typed errors (57S01 / 57S02), never hangs.  What partitioned
+    evaluation cannot answer correctly is refused with 0A000: joins
+    over more than one stored-table range, explicit transactions,
+    integer-LSN ASOF, partition-key updates.
+
+    Pure-SYS statements run on an embedded coordinator-local engine
+    whose registry adds SYS_SHARDS (per-shard address, state, lag and
+    counters, joinable with the standard session-tier providers).
+    See docs/SHARDING.md. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  max_sessions : int;
+  idle_timeout : float;  (** seconds; 0 disables the idle check *)
+  gather_deadline : float;  (** seconds one statement may wait on shards *)
+  pool_cap : int;  (** idle connections kept per shard *)
+  map_version : int;
+  members : Shard_map.member list;
+}
+
+val default_config : config
+(** 127.0.0.1, ephemeral port, 32 sessions, 300s idle, 5s gather
+    deadline, pool of 8 — and no members: [start] requires at least
+    one. *)
+
+type t
+
+(** Binds, spawns the accept loop, joins nothing yet (shard
+    connections are opened lazily per request).
+    @raise Invalid_argument when [config.members] is empty.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : config -> t
+
+val port : t -> int
+val metrics : t -> Nf2_server.Metrics.t
+val session_manager : t -> Nf2_server.Session.manager
+val shard_map : t -> Shard_map.t
+
+(** The [\metrics] report / Prometheus exposition with the shard
+    gauges (shard_map_version, shards_up, per-shard routed/fanout/
+    errors/replica_reads/stale_retries/up) refreshed first. *)
+val render_metrics : t -> string
+
+val render_prometheus : t -> string
+
+(** Stops accepting, closes live sessions, drains worker threads and
+    closes every pooled shard connection.  Idempotent. *)
+val stop : t -> unit

@@ -1,0 +1,120 @@
+(* The shard map: which shard owns which complex object.
+
+   The paper's complex objects carry their own local address spaces
+   under a single root t-name (§4.1/§4.3), so a root is a closed unit
+   of storage — navigation inside an object never leaves its shard.
+   That makes the root's identity (here: the rendered literal of the
+   table's first attribute, the "root key") a navigation-free partition
+   key.
+
+   Placement is consistent hashing: each shard projects [vnodes]
+   pseudo-random points onto a 64-bit ring (FNV-1a of "addr#i"), and a
+   key belongs to the first shard point at or clockwise after the
+   key's own hash.  Adding or removing one shard therefore moves only
+   the keys in the arcs it owned — the rebalancing/shard-split
+   follow-up in ROADMAP builds on this property.
+
+   The map is versioned.  The coordinator stamps every routed
+   statement with its version and every shard remembers the version it
+   joined, so a route computed against a superseded map is refused
+   with a typed SQLSTATE (55S01) instead of silently landing on the
+   wrong partition. *)
+
+type endpoint = { host : string; port : int }
+
+type member = {
+  id : int; (* slot in the map, 0-based *)
+  primary : endpoint;
+  replica : endpoint option; (* read fallback when the primary drops *)
+}
+
+type t = {
+  version : int;
+  members : member array;
+  ring : (int64 * int) array; (* (point, member id), sorted by point *)
+}
+
+(* Enough virtual nodes that arc lengths concentrate: at 256 per shard
+   the largest/smallest arc ratio stays small, so key balance holds
+   even for single-digit clusters. *)
+let vnodes = 256
+
+(* FNV-1a, 64-bit: tiny, deterministic across runs and platforms —
+   the same key must land on the same shard forever.  Raw FNV-1a ends
+   on xor-then-one-multiply, which barely diffuses the last byte: the
+   common short numeric root keys ("1", "2", …, "20") would hash into
+   narrow bands of the ring and clump onto whoever owns that arc.  A
+   murmur-style finalizer after the fold restores full avalanche. *)
+let fnv1a64 (s : string) : int64 =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  let x = !h in
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xff51afd7ed558ccdL in
+  let x = Int64.logxor x (Int64.shift_right_logical x 33) in
+  let x = Int64.mul x 0xc4ceb9fe1a85ec53L in
+  Int64.logxor x (Int64.shift_right_logical x 33)
+
+let addr_string (e : endpoint) = Printf.sprintf "%s:%d" e.host e.port
+
+let create ?(version = 1) (members : member list) : t =
+  if members = [] then invalid_arg "Shard_map.create: empty member list";
+  let members = Array.of_list members in
+  Array.iteri (fun i m -> if m.id <> i then invalid_arg "Shard_map.create: ids must be 0..n-1") members;
+  let ring =
+    Array.init
+      (Array.length members * vnodes)
+      (fun i ->
+        let m = members.(i / vnodes) in
+        (fnv1a64 (Printf.sprintf "%s#%d" (addr_string m.primary) (i mod vnodes)), m.id))
+  in
+  Array.sort compare ring;
+  { version; members; ring }
+
+let version t = t.version
+let nshards t = Array.length t.members
+let members t = Array.to_list t.members
+let member t id = t.members.(id)
+
+(* First ring point at or after the key's hash, wrapping at the top.
+   The ring is sorted by polymorphic compare (signed Int64 order);
+   the lookup compares the same way, which is all "clockwise" needs. *)
+let shard_of_key (t : t) (key : string) : int =
+  let h = fnv1a64 key in
+  let n = Array.length t.ring in
+  let rec search lo hi =
+    (* smallest index with point >= h, n if none *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Int64.compare (fst t.ring.(mid)) h < 0 then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  snd t.ring.(if i = n then 0 else i)
+
+(* --- address parsing (the aimd command line) ---------------------------- *)
+
+let parse_endpoint (s : string) : endpoint =
+  match String.rindex_opt s ':' with
+  | Some i ->
+      {
+        host = String.sub s 0 i;
+        port = int_of_string (String.sub s (i + 1) (String.length s - i - 1));
+      }
+  | None -> { host = s; port = 5433 }
+
+(* "HOST:PORT" or "HOST:PORT+RHOST:RPORT" (primary+replica). *)
+let parse_member ~(id : int) (s : string) : member =
+  match String.index_opt s '+' with
+  | Some i ->
+      {
+        id;
+        primary = parse_endpoint (String.sub s 0 i);
+        replica = Some (parse_endpoint (String.sub s (i + 1) (String.length s - i - 1)));
+      }
+  | None -> { id; primary = parse_endpoint s; replica = None }

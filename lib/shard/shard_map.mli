@@ -1,0 +1,43 @@
+(** The shard map: which shard owns which complex object.
+
+    The paper's complex objects are closed units under one root t-name
+    (their subtables live in the object's own local address space), so
+    a root's identity — the rendered literal of the table's first
+    attribute — is a navigation-free partition key.  Placement is
+    consistent hashing (FNV-1a over per-shard virtual nodes on a
+    64-bit ring), so growing the cluster moves only the arcs the new
+    shard takes over.  The map is versioned: routed statements carry
+    the version and shards refuse mismatches with the stale-route
+    SQLSTATE (55S01). *)
+
+type endpoint = { host : string; port : int }
+
+type member = {
+  id : int;  (** slot in the map, 0-based *)
+  primary : endpoint;
+  replica : endpoint option;  (** read fallback when the primary drops *)
+}
+
+type t
+
+(** @raise Invalid_argument on an empty list or ids not equal to
+    positions 0..n-1. *)
+val create : ?version:int -> member list -> t
+
+val version : t -> int
+val nshards : t -> int
+val members : t -> member list
+val member : t -> int -> member
+
+(** Deterministic: the same key maps to the same shard for the life of
+    a map version, on every platform. *)
+val shard_of_key : t -> string -> int
+
+val addr_string : endpoint -> string
+val fnv1a64 : string -> int64
+
+(** "HOST:PORT", defaulting the port to 5433. *)
+val parse_endpoint : string -> endpoint
+
+(** "HOST:PORT" or "HOST:PORT+RHOST:RPORT" (primary+replica). *)
+val parse_member : id:int -> string -> member

@@ -46,10 +46,21 @@ let gen_request : P.request QCheck.Gen.t =
         map (fun l -> P.Repl_ack { applied_lsn = l }) (int_bound 1_000_000);
         (* %.17g encoding round-trips every finite double exactly *)
         map (fun f -> P.Set_slow_query (Some f)) (float_bound_inclusive 1e6);
+        (* decode rejects implausible shard identities, so generate
+           only coherent ones: 0 <= shard_id < nshards *)
+        (int_range 1 8 >>= fun nshards ->
+         map2
+           (fun map_version shard_id -> P.Shard_join { map_version; shard_id; nshards })
+           (int_bound 1000)
+           (int_bound (nshards - 1)));
+        map2
+          (fun map_version sql -> P.Shard_route { map_version; sql })
+          (int_bound 1000)
+          (string_size (int_bound 200));
         oneofl
           [
             P.Begin; P.Commit; P.Rollback; P.Ping; P.Metrics; P.Metrics_prom; P.Quit; P.Promote;
-            P.Sys_reset; P.Set_slow_query None;
+            P.Sys_reset; P.Set_slow_query None; P.Shard_map_get;
           ];
       ])
 
@@ -71,6 +82,16 @@ let gen_response : P.response QCheck.Gen.t =
           (fun records durable_lsn -> P.Repl_batch { records; durable_lsn })
           (string_size (int_bound 120))
           (int_bound 1_000_000);
+        map2
+          (fun version shards -> P.Shard_map { version; shards })
+          (int_bound 1000)
+          (list_size (int_bound 6)
+             (map2
+                (fun (sh_id, sh_addr) (sh_state, sh_routed, sh_fanout, sh_errors) ->
+                  { P.sh_id; sh_addr; sh_state; sh_routed; sh_fanout; sh_errors })
+                (pair (int_bound 64) str)
+                (quad (oneofl [ "up"; "down"; "replica-reads" ]) (int_bound 10000)
+                   (int_bound 10000) (int_bound 10000))));
         oneofl [ P.Pong; P.Bye ];
       ])
 
@@ -114,6 +135,9 @@ let fuzz_corpus =
       P.Sys_reset;
       P.Set_slow_query (Some 0.25);
       P.Set_slow_query None;
+      P.Shard_join { map_version = 3; shard_id = 1; nshards = 4 };
+      P.Shard_route { map_version = 3; sql = "SELECT x.A FROM x IN T WHERE x.K = 1" };
+      P.Shard_map_get;
     ]
   in
   let resps =
@@ -126,6 +150,15 @@ let fuzz_corpus =
       P.Bye;
       P.Metrics_text "requests_query 1\n";
       P.Repl_batch { records = String.init 48 (fun i -> Char.chr (i * 5 mod 256)); durable_lsn = 7 };
+      P.Shard_map
+        {
+          version = 2;
+          shards =
+            [
+              { P.sh_id = 0; sh_addr = "127.0.0.1:7501"; sh_state = "up"; sh_routed = 12; sh_fanout = 4; sh_errors = 0 };
+              { P.sh_id = 1; sh_addr = "127.0.0.1:7502"; sh_state = "down"; sh_routed = 3; sh_fanout = 4; sh_errors = 2 };
+            ];
+        };
     ]
   in
   (List.map P.encode_request reqs, List.map P.encode_response resps)

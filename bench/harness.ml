@@ -64,6 +64,56 @@ let check name ok =
   Printf.printf "[%s] %s\n%!" (if ok then "OK  " else "FAIL") name;
   if not ok then exit_code := 1
 
+(* --- machine-readable results (BENCH_server.json) ----------------------- *)
+
+let results_file = "BENCH_server.json"
+
+(* Provenance stamped on every record: runs on different machines or
+   revisions must be distinguishable when tracking numbers over time. *)
+let cores () = Domain.recommended_domain_count ()
+
+let git_rev =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+       let line = try String.trim (input_line ic) with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* Append JSON records (each entry is the object body, sans braces) to
+   the results file, stamping every record with the provenance fields.
+   [fresh] rewrites the file — the first section of a full run uses it;
+   later sections append inside the existing top-level array. *)
+let append_results ?(fresh = false) (entries : string list) =
+  let stamp =
+    Printf.sprintf "\"cores\": %d, \"git_rev\": \"%s\", \"date\": \"%s\"" (cores ())
+      (Lazy.force git_rev) (iso_date ())
+  in
+  let body = String.concat ",\n" (List.map (Printf.sprintf "  {%s, %s}" stamp) entries) in
+  let json =
+    if (not fresh) && Sys.file_exists results_file then begin
+      let old = In_channel.with_open_text results_file In_channel.input_all in
+      let trimmed = String.trim old in
+      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
+        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
+      else "[\n" ^ body ^ "\n]\n"
+    end
+    else "[\n" ^ body ^ "\n]\n"
+  in
+  Out_channel.with_open_text results_file (fun oc -> Out_channel.output_string oc json);
+  Printf.printf "%s %d entries %s %s\n%!"
+    (if fresh then "wrote" else "appended")
+    (List.length entries)
+    (if fresh then "to fresh" else "to")
+    results_file
+
 (* --- page-access accounting ----------------------------------------------- *)
 
 module BP = Nf2_storage.Buffer_pool

@@ -1164,6 +1164,12 @@ let bench_server () =
     ((find 16 true).fsyncs_per_txn < 1.0);
   check "group commit batches grow with concurrency"
     ((find 16 true).avg_batch > (find 1 true).avg_batch || (find 16 true).avg_batch > 1.5);
+  (* a lone committer must not pay a gathering pause: with the window
+     skipped (no other committer pending) and the async appender
+     fsyncing an idle queue immediately, 1-client group commit holds
+     the immediate-sync rate *)
+  check "single-client group commit within 20% of immediate sync"
+    ((find 1 true).qps >= 0.8 *. (find 1 false).qps);
   subsection "per-statement tracing overhead (1 client, read-only queries)";
   let queries = 400 in
   let qps_off = tracing_trial ~slow_query:None ~queries () in
@@ -1179,27 +1185,21 @@ let bench_server () =
      is catching a tracing path gone quadratic, not a 2% regression *)
   check "per-statement tracing does not halve throughput" (overhead_pct < 50.);
   (* machine-readable results for tracking across runs *)
-  let json =
-    "[\n"
-    ^ String.concat ",\n"
-        (List.map
-           (fun t ->
-             Printf.sprintf
-               "  {\"clients\": %d, \"group_commit\": %b, \"txns\": %d, \"seconds\": %.4f, \
-                \"qps\": %.1f, \"fsyncs_per_txn\": %.4f, \"avg_batch\": %s}"
-               t.clients t.group t.txns t.seconds t.qps t.fsyncs_per_txn
-               (if Float.is_nan t.avg_batch then "null" else Printf.sprintf "%.2f" t.avg_batch))
-           trials
-        @ [
-            Printf.sprintf
-              "  {\"section\": \"tracing_overhead\", \"queries\": %d, \"qps_off\": %.1f, \
-               \"qps_on\": %.1f, \"overhead_pct\": %.2f}"
-              queries qps_off qps_on overhead_pct;
-          ])
-    ^ "\n]\n"
-  in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "wrote BENCH_server.json\n%!"
+  append_results ~fresh:true
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "\"clients\": %d, \"group_commit\": %b, \"txns\": %d, \"seconds\": %.4f, \
+            \"qps\": %.1f, \"fsyncs_per_txn\": %.4f, \"avg_batch\": %s"
+           t.clients t.group t.txns t.seconds t.qps t.fsyncs_per_txn
+           (if Float.is_nan t.avg_batch then "null" else Printf.sprintf "%.2f" t.avg_batch))
+       trials
+    @ [
+        Printf.sprintf
+          "\"section\": \"tracing_overhead\", \"queries\": %d, \"qps_off\": %.1f, \
+           \"qps_on\": %.1f, \"overhead_pct\": %.2f"
+          queries qps_off qps_on overhead_pct;
+      ])
 
 (* ================================================================== *)
 (* REPL: log shipping — primary throughput vs replica count, lag      *)
@@ -1318,28 +1318,14 @@ let bench_repl () =
     (List.for_all (fun t -> t.catch_up_s < 30.) trials);
   (* append machine-readable entries to the server results file (the
      SRV section rewrites it at the start of a full run) *)
-  let entries =
-    List.map
-      (fun t ->
-        Printf.sprintf
-          "  {\"section\": \"repl\", \"replicas\": %d, \"txns\": %d, \"seconds\": %.4f, \
-           \"qps\": %.1f, \"max_lag_records\": %d, \"catch_up_seconds\": %.4f}"
-          t.replicas t.r_txns t.r_seconds t.r_qps t.max_lag t.catch_up_s)
-      trials
-  in
-  let body = String.concat ",\n" entries in
-  let json =
-    if Sys.file_exists "BENCH_server.json" then begin
-      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
-      let trimmed = String.trim old in
-      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
-        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
-      else "[\n" ^ body ^ "\n]\n"
-    end
-    else "[\n" ^ body ^ "\n]\n"
-  in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "appended repl entries to BENCH_server.json\n%!"
+  append_results
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "\"section\": \"repl\", \"replicas\": %d, \"txns\": %d, \"seconds\": %.4f, \
+            \"qps\": %.1f, \"max_lag_records\": %d, \"catch_up_seconds\": %.4f"
+           t.replicas t.r_txns t.r_seconds t.r_qps t.max_lag t.catch_up_s)
+       trials)
 
 (* ================================================================== *)
 (* RDS: parallel reads — throughput scaling with client count          *)
@@ -1471,35 +1457,22 @@ let bench_read_scaling () =
      avoid collapse as under the old shared-lock read path *)
   check "95:5 qps@8 within 15% of the read-only floor"
     ((find 8 5).rd_qps >= 0.85 *. qps8);
-  (* append machine-readable entries (see bench_repl for the format) *)
-  let entries =
-    List.map
-      (fun t ->
-        Printf.sprintf
-          "  {\"section\": \"read_scaling\", \"clients\": %d, \"write_pct\": %d, \"ops\": %d, \
-           \"seconds\": %.4f, \"qps\": %.1f, \"cores\": %d, \"domains\": %d}"
-          t.rd_clients t.write_pct t.ops t.rd_seconds t.rd_qps cores domains)
-      trials
+  (* append machine-readable entries (see bench_repl for the format;
+     the shared provenance stamp already carries the core count) *)
+  append_results
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "\"section\": \"read_scaling\", \"clients\": %d, \"write_pct\": %d, \"ops\": %d, \
+            \"seconds\": %.4f, \"qps\": %.1f, \"domains\": %d"
+           t.rd_clients t.write_pct t.ops t.rd_seconds t.rd_qps domains)
+       trials
     @ [
         Printf.sprintf
-          "  {\"section\": \"read_scaling_efficiency\", \"qps_1\": %.1f, \"qps_8\": %.1f, \
-           \"efficiency\": %.3f, \"cores\": %d, \"domains\": %d}"
-          qps1 qps8 efficiency cores domains;
-      ]
-  in
-  let body = String.concat ",\n" entries in
-  let json =
-    if Sys.file_exists "BENCH_server.json" then begin
-      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
-      let trimmed = String.trim old in
-      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
-        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
-      else "[\n" ^ body ^ "\n]\n"
-    end
-    else "[\n" ^ body ^ "\n]\n"
-  in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "appended read-scaling entries to BENCH_server.json\n%!"
+          "\"section\": \"read_scaling_efficiency\", \"qps_1\": %.1f, \"qps_8\": %.1f, \
+           \"efficiency\": %.3f, \"domains\": %d"
+          qps1 qps8 efficiency domains;
+      ])
 
 (* ================================================================== *)
 (* QP: cost-based planner — index-backed vs forced sequential reads    *)
@@ -1598,38 +1571,23 @@ let bench_qp () =
     (Printf.sprintf "index-intersected nested read >= 10x faster (%.1fx)" n_speedup)
     (n_speedup >= 10.0);
   (* append machine-readable entries (see bench_repl for the format) *)
-  let entries =
+  append_results
     [
       Printf.sprintf
-        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"index\", \"seconds\": %.6f}"
-        n (auto_ns /. 1e9);
+        "\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"index\", \"seconds\": %.6f" n
+        (auto_ns /. 1e9);
       Printf.sprintf
-        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq\", \"seconds\": %.6f, \
-         \"speedup\": %.1f}"
+        "\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq\", \"seconds\": %.6f, \
+         \"speedup\": %.1f"
         n (seq_ns /. 1e9) speedup;
       Printf.sprintf
-        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"intersect\", \"seconds\": \
-         %.6f}"
+        "\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"intersect\", \"seconds\": %.6f"
         member_rows (n_auto_ns /. 1e9);
       Printf.sprintf
-        "  {\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq_nested\", \"seconds\": \
-         %.6f, \"speedup\": %.1f}"
+        "\"section\": \"query_planner\", \"rows\": %d, \"mode\": \"seq_nested\", \"seconds\": \
+         %.6f, \"speedup\": %.1f"
         member_rows (n_seq_ns /. 1e9) n_speedup;
     ]
-  in
-  let body = String.concat ",\n" entries in
-  let json =
-    if Sys.file_exists "BENCH_server.json" then begin
-      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
-      let trimmed = String.trim old in
-      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
-        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
-      else "[\n" ^ body ^ "\n]\n"
-    end
-    else "[\n" ^ body ^ "\n]\n"
-  in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "appended query-planner entries to BENCH_server.json\n%!"
 
 (* ================================================================== *)
 (* SYS: introspection schema — pay-for-use, bounded query latency      *)
@@ -1692,30 +1650,14 @@ let bench_sys () =
     (Printf.sprintf "SYS introspection stays interactive (flat %.1fms, nested %.1fms)"
        (flat_ns /. 1e6) (nested_ns /. 1e6))
     (flat_ns < 250. *. 1e6 && nested_ns < 250. *. 1e6);
-  let body =
-    String.concat ",\n"
-      [
-        Printf.sprintf
-          "  {\"section\": \"sys_introspection\", \"mode\": \"flat\", \"seconds\": %.6f}"
-          (flat_ns /. 1e9);
-        Printf.sprintf
-          "  {\"section\": \"sys_introspection\", \"mode\": \"nested\", \"rows\": %d, \
-           \"seconds\": %.6f}"
-          (Rel.cardinality nested) (nested_ns /. 1e9);
-      ]
-  in
-  let json =
-    if Sys.file_exists "BENCH_server.json" then begin
-      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
-      let trimmed = String.trim old in
-      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
-        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
-      else "[\n" ^ body ^ "\n]\n"
-    end
-    else "[\n" ^ body ^ "\n]\n"
-  in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "appended SYS introspection entries to BENCH_server.json\n%!"
+  append_results
+    [
+      Printf.sprintf "\"section\": \"sys_introspection\", \"mode\": \"flat\", \"seconds\": %.6f"
+        (flat_ns /. 1e9);
+      Printf.sprintf
+        "\"section\": \"sys_introspection\", \"mode\": \"nested\", \"rows\": %d, \"seconds\": %.6f"
+        (Rel.cardinality nested) (nested_ns /. 1e9);
+    ]
 
 (* ================================================================== *)
 (* SH: horizontal sharding — fan-out qps scaling with shard count      *)
@@ -1849,34 +1791,274 @@ let bench_sharding () =
     check "4 shards sustain the 1-shard rate" (speedup >= 0.6)
   end;
   (* append machine-readable entries (see bench_repl for the format) *)
-  let entries =
-    List.map
-      (fun t ->
-        Printf.sprintf
-          "  {\"section\": \"sharding\", \"shards\": %d, \"ops\": %d, \"seconds\": %.4f, \
-           \"qps\": %.1f, \"cores\": %d}"
-          t.sh_shards t.sh_ops t.sh_seconds t.sh_qps cores)
-      trials
+  append_results
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "\"section\": \"sharding\", \"shards\": %d, \"ops\": %d, \"seconds\": %.4f, \"qps\": \
+            %.1f"
+           t.sh_shards t.sh_ops t.sh_seconds t.sh_qps)
+       trials
     @ [
         Printf.sprintf
-          "  {\"section\": \"sharding_speedup\", \"qps_1\": %.1f, \"qps_4\": %.1f, \"speedup\": \
-           %.3f, \"cores\": %d}"
-          (qps 1) (qps 4) speedup cores;
-      ]
+          "\"section\": \"sharding_speedup\", \"qps_1\": %.1f, \"qps_4\": %.1f, \"speedup\": %.3f"
+          (qps 1) (qps 4) speedup;
+      ])
+
+(* ================================================================== *)
+(* WA: raw-speed storage path — async WAL appender, partitioned        *)
+(*     buffer-pool latching, data-subtuple page compression            *)
+(* ================================================================== *)
+
+type wa_mode = Wa_immediate | Wa_window | Wa_appender
+
+let wa_mode_name = function
+  | Wa_immediate -> "immediate"
+  | Wa_window -> "window"
+  | Wa_appender -> "appender"
+
+type wa_trial = {
+  wa_mode : wa_mode;
+  wa_threads : int;
+  wa_txns : int;
+  wa_seconds : float;
+  wa_qps : float;
+  wa_fsyncs_per_txn : float;
+  wa_avg_batch : float;
+}
+
+(* Commit throughput straight against the WAL — no TCP, no engine — so
+   the three fsync scheduling policies are compared in isolation:
+   one fsync per commit (immediate), leader/follower with a 2ms
+   gathering window (the seed's group commit), and the async batched
+   appender.  The sync hook charges every fsync a 200us device latency;
+   without it the simulated disk syncs for free and there is nothing
+   for any batching policy to amortize. *)
+let wa_fsync_latency = 2e-4
+
+let wa_commit_trial ~mode ~threads ~per_thread () : wa_trial =
+  let w = Wal.create () in
+  Wal.set_sync_hook w
+    (Some
+       (fun pending ->
+         Thread.delay wa_fsync_latency;
+         pending));
+  (match mode with
+  | Wa_immediate -> ()
+  | Wa_window -> Wal.set_group_commit ~window:(fun () -> Thread.delay 0.002) w true
+  | Wa_appender ->
+      Wal.set_group_commit w true;
+      Wal.set_async_appender w true);
+  let committed = Atomic.make 0 in
+  let worker k () =
+    for n = 1 to per_thread do
+      let tx = Wal.begin_tx w in
+      ignore
+        (Wal.log_update w ~tx ~page:k ~off:0 ~before:"0" ~after:(string_of_int (n mod 10)));
+      Wal.commit w ~tx ~payload:None;
+      Wal.sync_to w (Wal.last_lsn w);
+      Atomic.incr committed
+    done
   in
-  let body = String.concat ",\n" entries in
-  let json =
-    if Sys.file_exists "BENCH_server.json" then begin
-      let old = In_channel.with_open_text "BENCH_server.json" In_channel.input_all in
-      let trimmed = String.trim old in
-      if String.length trimmed >= 2 && trimmed.[String.length trimmed - 1] = ']' then
-        String.sub trimmed 0 (String.length trimmed - 1) ^ ",\n" ^ body ^ "\n]\n"
-      else "[\n" ^ body ^ "\n]\n"
-    end
-    else "[\n" ^ body ^ "\n]\n"
+  let (), ns =
+    time_once (fun () ->
+        let ths = List.init threads (fun k -> Thread.create (worker k) ()) in
+        List.iter Thread.join ths)
   in
-  Out_channel.with_open_text "BENCH_server.json" (fun oc -> Out_channel.output_string oc json);
-  Printf.printf "appended sharding entries to BENCH_server.json\n%!"
+  if mode = Wa_appender then Wal.set_async_appender w false;
+  let s = Wal.stats w in
+  let txns = Atomic.get committed in
+  let batches, batched =
+    match mode with
+    | Wa_appender -> (s.Wal.appender_batches, s.Wal.appender_txns)
+    | _ -> (s.Wal.group_commit_batches, s.Wal.group_commit_txns)
+  in
+  let seconds = ns /. 1e9 in
+  {
+    wa_mode = mode;
+    wa_threads = threads;
+    wa_txns = txns;
+    wa_seconds = seconds;
+    wa_qps = float_of_int txns /. seconds;
+    wa_fsyncs_per_txn =
+      (if txns = 0 then nan else float_of_int s.Wal.flushes /. float_of_int txns);
+    wa_avg_batch = (if batches = 0 then nan else float_of_int batched /. float_of_int batches);
+  }
+
+(* Scan a store whose working set exceeds the pool: REPORTS-style
+   objects with long titles, 32 frames.  Returns the fetched tuples
+   (for the byte-exactness check), the pool stats of the scan, and the
+   store's compression counters. *)
+let wa_scan_trial ~compress ~rows () =
+  let disk = D.create () in
+  let pool = BP.create ~frames:32 disk in
+  let store = OS.create ~compress pool in
+  let tids = List.map (OS.insert store P.reports) rows in
+  BP.reset_stats pool;
+  let fetched, ns =
+    time_once (fun () -> List.map (fun tid -> OS.fetch store P.reports tid) tids)
+  in
+  (fetched, ns, BP.stats pool, OS.stats store)
+
+(* 8 threads pinning disjoint page sets as fast as they can; the
+   contended counter (pin-path latch acquisitions that had to wait)
+   is the figure of merit for the partitioned latching. *)
+let wa_pin_stress ~partitions ~rounds () =
+  let disk = D.create () in
+  let pool = BP.create ~frames:128 ~partitions disk in
+  let pages = Array.init 64 (fun _ -> BP.alloc pool) in
+  Array.iter (fun pg -> BP.read pool pg (fun _ -> ())) pages;
+  BP.reset_stats pool;
+  let worker k () =
+    for n = 0 to rounds - 1 do
+      let pg = pages.((k * 8) + (n mod 8)) in
+      BP.read pool pg (fun b -> ignore (Bytes.get b 0))
+    done
+  in
+  let ths = List.init 8 (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join ths;
+  let agg = BP.stats pool in
+  let parts = BP.partition_stats pool in
+  let sum f = List.fold_left (fun a p -> a + f p) 0 parts in
+  check
+    (Printf.sprintf "per-partition stats reconcile with the aggregate (%d partition(s))"
+       partitions)
+    (sum (fun p -> p.BP.p_hits) = agg.BP.hits
+    && sum (fun p -> p.BP.p_misses) = agg.BP.misses
+    && sum (fun p -> p.BP.p_contended) = agg.BP.contended);
+  agg.BP.contended
+
+let bench_wa () =
+  section "WA" "raw-speed storage: async WAL appender, pool partitions, compression";
+  subsection "commit fsync scheduling (WAL level, 200us device fsync, 2ms legacy window)";
+  let per_thread threads = if threads = 1 then 300 else 40 in
+  let trials =
+    List.concat_map
+      (fun threads ->
+        List.map
+          (fun mode -> wa_commit_trial ~mode ~threads ~per_thread:(per_thread threads) ())
+          [ Wa_immediate; Wa_window; Wa_appender ])
+      [ 1; 16 ]
+  in
+  print_table
+    ~header:[ "threads"; "mode"; "txns"; "txn/s"; "fsyncs/txn"; "avg batch" ]
+    (List.map
+       (fun t ->
+         [
+           string_of_int t.wa_threads;
+           wa_mode_name t.wa_mode;
+           string_of_int t.wa_txns;
+           Printf.sprintf "%.0f" t.wa_qps;
+           Printf.sprintf "%.3f" t.wa_fsyncs_per_txn;
+           (if Float.is_nan t.wa_avg_batch then "-" else Printf.sprintf "%.2f" t.wa_avg_batch);
+         ])
+       trials);
+  let find threads mode =
+    List.find (fun t -> t.wa_threads = threads && t.wa_mode = mode) trials
+  in
+  List.iter
+    (fun t ->
+      check
+        (Printf.sprintf "all %d txns durable (%d threads, %s)"
+           (t.wa_threads * per_thread t.wa_threads)
+           t.wa_threads (wa_mode_name t.wa_mode))
+        (t.wa_txns = t.wa_threads * per_thread t.wa_threads))
+    trials;
+  check "appender at 16 threads >= 2x the windowed group commit"
+    ((find 16 Wa_appender).wa_qps >= 2. *. (find 16 Wa_window).wa_qps);
+  check "appender at 16 threads shares fsyncs (fsyncs/txn < 1)"
+    ((find 16 Wa_appender).wa_fsyncs_per_txn < 1.0);
+  check "appender at 16 threads needs no more fsyncs/txn than the windowed scheme"
+    ((find 16 Wa_appender).wa_fsyncs_per_txn
+    <= (find 16 Wa_window).wa_fsyncs_per_txn +. 0.05);
+  check "appender batches commits at 16 threads (avg batch > 1.5)"
+    ((find 16 Wa_appender).wa_avg_batch > 1.5);
+  check "single-thread windowed group commit within 20% of immediate sync"
+    ((find 1 Wa_window).wa_qps >= 0.8 *. (find 1 Wa_immediate).wa_qps);
+  check "single-thread appender within 20% of immediate sync"
+    ((find 1 Wa_appender).wa_qps >= 0.8 *. (find 1 Wa_immediate).wa_qps);
+  subsection "larger-than-memory scan (32-frame pool, REPORTS-style objects)";
+  let rows =
+    G.reports ~params:{ G.default_report_params with G.reports = 600; title_words = 48 } ()
+  in
+  let plain_fetched, plain_ns, plain_p, _ = wa_scan_trial ~compress:false ~rows () in
+  let comp_fetched, comp_ns, comp_p, comp_s = wa_scan_trial ~compress:true ~rows () in
+  let ratio =
+    if comp_s.OS.comp_stored_bytes = 0 then nan
+    else float_of_int comp_s.OS.comp_raw_bytes /. float_of_int comp_s.OS.comp_stored_bytes
+  in
+  print_table
+    ~header:[ "store"; "scan"; "pool accesses"; "evictions"; "ratio (raw/stored)" ]
+    [
+      [
+        "plain";
+        ns_to_string plain_ns;
+        string_of_int (plain_p.BP.hits + plain_p.BP.misses);
+        string_of_int plain_p.BP.evictions;
+        "-";
+      ];
+      [
+        "compressed";
+        ns_to_string comp_ns;
+        string_of_int (comp_p.BP.hits + comp_p.BP.misses);
+        string_of_int comp_p.BP.evictions;
+        Printf.sprintf "%.2fx" ratio;
+      ];
+    ];
+  let eq_rows fetched =
+    Value.equal_table
+      { Value.kind = Schema.Set; tuples = fetched }
+      { Value.kind = Schema.Set; tuples = rows }
+  in
+  check "working set exceeds the pool: plain scan evicts" (plain_p.BP.evictions > 0);
+  check "working set exceeds the pool: compressed scan evicts" (comp_p.BP.evictions > 0);
+  check "compressed store returns byte-identical objects" (eq_rows comp_fetched && eq_rows plain_fetched);
+  check
+    (Printf.sprintf "data subtuples compress >= 1.3x on paper-style text (%.2fx)" ratio)
+    (ratio >= 1.3);
+  subsection "pin stress: 8 threads on disjoint pages, 1 vs 8 latch partitions";
+  let rounds = 20_000 in
+  let contended1 = wa_pin_stress ~partitions:1 ~rounds () in
+  let contended8 = wa_pin_stress ~partitions:8 ~rounds () in
+  print_table
+    ~header:[ "partitions"; "pin rounds"; "contended latch acquisitions" ]
+    [
+      [ "1"; string_of_int (8 * rounds); string_of_int contended1 ];
+      [ "8"; string_of_int (8 * rounds); string_of_int contended8 ];
+    ];
+  let cores = Harness.cores () in
+  (* real parallel latch contention needs cores; on a small host the
+     systhread scheduler serializes pins and both counters sit near 0 *)
+  if cores >= 4 && contended1 > 0 then
+    check "partitioned latching cuts contention below 10% of a single latch"
+      (float_of_int contended8 < 0.1 *. float_of_int contended1)
+  else
+    Printf.printf "(contention assertion needs >= 4 cores and a contended baseline; %d core(s))\n"
+      cores;
+  append_results
+    (List.map
+       (fun t ->
+         Printf.sprintf
+           "\"section\": \"wal_appender\", \"mode\": \"%s\", \"threads\": %d, \"txns\": %d, \
+            \"seconds\": %.4f, \"qps\": %.1f, \"fsyncs_per_txn\": %.4f, \"avg_batch\": %s"
+           (wa_mode_name t.wa_mode) t.wa_threads t.wa_txns t.wa_seconds t.wa_qps
+           t.wa_fsyncs_per_txn
+           (if Float.is_nan t.wa_avg_batch then "null" else Printf.sprintf "%.2f" t.wa_avg_batch))
+       trials
+    @ [
+        Printf.sprintf
+          "\"section\": \"pool_eviction_scan\", \"compress\": false, \"seconds\": %.4f, \
+           \"evictions\": %d"
+          (plain_ns /. 1e9) plain_p.BP.evictions;
+        Printf.sprintf
+          "\"section\": \"pool_eviction_scan\", \"compress\": true, \"seconds\": %.4f, \
+           \"evictions\": %d, \"ratio\": %.3f"
+          (comp_ns /. 1e9) comp_p.BP.evictions ratio;
+        Printf.sprintf
+          "\"section\": \"pin_stress\", \"rounds\": %d, \"contended_1_part\": %d, \
+           \"contended_8_part\": %d"
+          (8 * rounds) contended1 contended8;
+      ])
 
 let sections : (string * (unit -> unit)) list =
   [
@@ -1903,6 +2085,7 @@ let sections : (string * (unit -> unit)) list =
     ("QP", bench_qp);
     ("SYS", bench_sys);
     ("SH", bench_sharding);
+    ("WA", bench_wa);
   ]
 
 let () =

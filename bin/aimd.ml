@@ -2,7 +2,8 @@
 
    Usage:
      aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
-          [--lock-timeout S] [--no-group-commit] [--slow-query S]
+          [--lock-timeout S] [--no-group-commit] [--no-wal-appender]
+          [--pool-partitions N] [--compress] [--slow-query S]
           [--domains N] [--demo] [-f init.sql] [--replica-of HOST:PORT]
      aimd --coordinator --shard HOST:PORT[+RHOST:RPORT] [--shard ...]
           [--host H] [--port P] [--max-sessions N] [--idle-timeout S]
@@ -34,6 +35,8 @@ let () =
   let init_file = ref None in
   let replica_of = ref None in
   let coordinator = ref false in
+  let pool_partitions = ref None in
+  let compress = ref false in
   let shards = ref [] in
   let ccfg = ref Coord.default_config in
   let rec parse = function
@@ -71,6 +74,15 @@ let () =
     | "--no-group-commit" :: rest ->
         config := { !config with Server.group_commit = false };
         parse rest
+    | "--no-wal-appender" :: rest ->
+        config := { !config with Server.wal_appender = false };
+        parse rest
+    | "--pool-partitions" :: n :: rest ->
+        pool_partitions := Some (int_of_string n);
+        parse rest
+    | "--compress" :: rest ->
+        compress := true;
+        parse rest
     | "--slow-query" :: s :: rest ->
         config := { !config with Server.slow_query = Some (float_of_string s) };
         parse rest
@@ -96,7 +108,8 @@ let () =
     | "--help" :: _ ->
         print_endline
           "usage: aimd [--host H] [--port P] [--max-sessions N] [--idle-timeout S] \
-           [--lock-timeout S] [--no-group-commit] [--slow-query S] [--domains N] [--demo] \
+           [--lock-timeout S] [--no-group-commit] [--no-wal-appender] [--pool-partitions N] \
+           [--compress] [--slow-query S] [--domains N] [--demo] \
            [-f init.sql] [--replica-of HOST:PORT]\n\
            \       aimd --coordinator --shard HOST:PORT[+RHOST:RPORT] [--shard ...] [--host H] \
            [--port P] [--max-sessions N] [--idle-timeout S] [--gather-deadline S] [--pool N] \
@@ -171,7 +184,7 @@ let () =
       print_string (Server.render_metrics srv);
       print_endline "aimd: bye"
   | None ->
-      let db = Db.create ~wal:true () in
+      let db = Db.create ?pool_partitions:!pool_partitions ~compress:!compress ~wal:true () in
       if !demo then Nf2.Demo.load db;
       (match !init_file with
       | Some file -> ignore (Db.exec db (In_channel.with_open_text file In_channel.input_all))

@@ -47,6 +47,7 @@ type t = {
   mutable pool : BP.t;
   layout : MD.layout;
   clustering : bool;
+  compress : bool; (* data-subtuple page compression for every store *)
   tables : (string, table_info) Hashtbl.t; (* key: uppercased name *)
   mutable tnames : Tname.registry;
   mutable last_plan : string list;
@@ -94,6 +95,14 @@ let attach_wal t =
       t.wal <- Some w
 
 let wal t = t.wal
+let compression t = t.compress
+
+let compression_stats t =
+  Hashtbl.fold
+    (fun _ ti (raw, stored) ->
+      let s = OS.stats ti.store in
+      (raw + s.OS.comp_raw_bytes, stored + s.OS.comp_stored_bytes))
+    t.tables (0, 0)
 
 (* --- SYS introspection providers -----------------------------------------
 
@@ -137,13 +146,23 @@ let sys_wal_provider t : Sysr.provider =
         sys_field "FORCED_FSYNCS" Atom.Tint;
         sys_field "GROUP_BATCHES" Atom.Tint;
         sys_field "GROUP_TXNS" Atom.Tint;
+        sys_field "APPENDER" Atom.Tbool;
+        sys_field "BATCHES" Atom.Tint;
+        sys_field "BATCH_TXNS" Atom.Tint;
+        sys_field "BATCH_MAX" Atom.Tint;
         sys_field "DURABLE_LSN" Atom.Tint;
         sys_field "LAST_LSN" Atom.Tint;
       ]
   in
   let materialize () =
     match t.wal with
-    | None -> [ [ vbool false; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0 ] ]
+    | None ->
+        [
+          [
+            vbool false; vint 0; vint 0; vint 0; vint 0; vint 0; vint 0; vbool false; vint 0;
+            vint 0; vint 0; vint 0; vint 0;
+          ];
+        ]
     | Some w ->
         let s = Wal.stats w in
         [
@@ -155,12 +174,64 @@ let sys_wal_provider t : Sysr.provider =
             vint s.Wal.forced_flushes;
             vint s.Wal.group_commit_batches;
             vint s.Wal.group_commit_txns;
+            vbool (Wal.appender_running w);
+            vint s.Wal.appender_batches;
+            vint s.Wal.appender_txns;
+            vint s.Wal.appender_max_batch;
             vint (Wal.durable_lsn w);
             vint (Wal.last_lsn w);
           ];
         ]
   in
   { Sysr.name = "SYS_WAL"; schema; materialize }
+
+(* SYS_POOL: one row per buffer-pool partition, resident frames nested.
+   The flat columns are the per-partition latch/table counters; summing
+   them across rows reproduces the aggregate BP.stats exactly. *)
+let sys_pool_provider t : Sysr.provider =
+  let schema =
+    sys_schema "SYS_POOL"
+      [
+        sys_field "PART" Atom.Tint;
+        sys_field "QUOTA" Atom.Tint;
+        sys_field "RESIDENT" Atom.Tint;
+        sys_field "HITS" Atom.Tint;
+        sys_field "MISSES" Atom.Tint;
+        sys_field "EVICTIONS" Atom.Tint;
+        sys_field "LOG_CAPTURES" Atom.Tint;
+        sys_field "CONTENDED" Atom.Tint;
+        sys_nested "FRAMES" Schema.List
+          [
+            sys_field "SLOT" Atom.Tint;
+            sys_field "PAGE" Atom.Tint;
+            sys_field "DIRTY" Atom.Tbool;
+            sys_field "PINS" Atom.Tint;
+          ];
+      ]
+  in
+  let materialize () =
+    List.map
+      (fun (ps : BP.partition_stat) ->
+        let frames =
+          List.map
+            (fun (fi : BP.frame_info) ->
+              [ vint fi.BP.slot; vint fi.BP.fi_page; vbool fi.BP.fi_dirty; vint fi.BP.fi_pins ])
+            ps.BP.frame_infos
+        in
+        [
+          vint ps.BP.part;
+          vint ps.BP.quota;
+          vint ps.BP.resident;
+          vint ps.BP.p_hits;
+          vint ps.BP.p_misses;
+          vint ps.BP.p_evictions;
+          vint ps.BP.p_log_captures;
+          vint ps.BP.p_contended;
+          vlist frames;
+        ])
+      (BP.partition_stats t.pool)
+  in
+  { Sysr.name = "SYS_POOL"; schema; materialize }
 
 (* SYS_MVCC: one row per version chain, versions nested newest-first.
    A version is PINNED when some pinned snapshot LSN resolves to it. *)
@@ -226,6 +297,7 @@ let sys_tables_provider t : Sysr.provider =
 
 let register_builtin_sys t =
   Sysr.register t.sys (sys_wal_provider t);
+  Sysr.register t.sys (sys_pool_provider t);
   Sysr.register t.sys (sys_mvcc_provider t);
   Sysr.register t.sys (sys_tables_provider t)
 
@@ -264,16 +336,17 @@ let with_sys t (base : Eval.catalog) : Eval.catalog =
                 Hashtbl.replace memo up src;
                 Some src))
 
-let create ?(page_size = 4096) ?(frames = 256) ?(layout = MD.SS3) ?(clustering = true)
-    ?(wal = false) () =
+let create ?(page_size = 4096) ?(frames = 256) ?pool_partitions ?(layout = MD.SS3)
+    ?(clustering = true) ?(compress = false) ?(wal = false) () =
   let disk = Disk.create ~page_size () in
-  let pool = BP.create ~frames disk in
+  let pool = BP.create ~frames ?partitions:pool_partitions disk in
   let t =
     {
       disk;
       pool;
       layout;
       clustering;
+      compress;
       tables = Hashtbl.create 16;
       tnames = Tname.create_registry ();
       last_plan = [];
@@ -614,7 +687,8 @@ let decode_catalog t src =
     let data_pages = get_int_list src in
     let free_pages = get_int_list src in
     let store =
-      OS.restore ~layout:t.layout ~clustering:t.clustering t.pool ~dir_pages ~data_pages ~free_pages
+      OS.restore ~layout:t.layout ~clustering:t.clustering ~compress:t.compress t.pool ~dir_pages
+        ~data_pages ~free_pages
     in
     let nidx = Codec.get_uvarint src in
     let index_specs =
@@ -723,6 +797,7 @@ let wal_payload t : string =
   let b = Codec.create_sink () in
   Codec.put_u8 b (match t.layout with MD.SS1 -> 1 | MD.SS2 -> 2 | MD.SS3 -> 3);
   Codec.put_bool b t.clustering;
+  Codec.put_bool b t.compress;
   encode_catalog b t;
   Codec.contents b
 
@@ -736,11 +811,12 @@ let restore_catalog t (payload : string) =
     | n -> db_error "catalog payload: unknown layout %d" n
   in
   let clustering = Codec.get_bool src in
+  let compress = Codec.get_bool src in
   (* rollback restores always match; a *shipped* payload from a primary
      with a different physical configuration must be refused — the page
      images it describes would be misread under this layout *)
-  if layout <> t.layout || clustering <> t.clustering then
-    db_error "catalog payload: layout/clustering mismatch with this database";
+  if layout <> t.layout || clustering <> t.clustering || compress <> t.compress then
+    db_error "catalog payload: layout/clustering/compression mismatch with this database";
   decode_catalog t src
 
 let begin_wal_txn t w =
@@ -823,7 +899,7 @@ let txn_rollback t = !txn_rollback_ref t
 (* Rebuild a table under a changed schema (ALTER): fresh object store,
    reinserted rows, indexes rebuilt where their paths still resolve. *)
 let rebuild_table t ti (schema' : Schema.t) (tuples : Value.tuple list) =
-  let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+  let store = OS.create ~layout:t.layout ~clustering:t.clustering ~compress:t.compress t.pool in
   List.iter (fun tup -> ignore (OS.insert store schema' tup)) tuples;
   let still_resolves path =
     match Schema.resolve_path schema'.Schema.table path with
@@ -986,7 +1062,7 @@ let exec_stmt ?trace ?rewrite t (stmt : Ast.stmt) : result =
       let schema =
         Schema.validate { Schema.name = String.uppercase_ascii name; table = { Schema.kind = Schema.Set; fields = fields_of_defs fields } }
       in
-      let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+      let store = OS.create ~layout:t.layout ~clustering:t.clustering ~compress:t.compress t.pool in
       let vstore = if versioned then Some (VS.create store t.pool) else None in
       Hashtbl.replace t.tables (String.uppercase_ascii name)
         { schema; versioned; store; vstore; ids = []; indexes = []; text_indexes = []; stat_rows = 0 };
@@ -1338,7 +1414,7 @@ let register_table t (schema : Schema.t) ?(versioned = false) (rows : Value.tupl
   let key = String.uppercase_ascii schema.Schema.name in
   if Hashtbl.mem t.tables key then db_error "table %s already exists" schema.Schema.name;
   logged t (fun () ->
-      let store = OS.create ~layout:t.layout ~clustering:t.clustering t.pool in
+      let store = OS.create ~layout:t.layout ~clustering:t.clustering ~compress:t.compress t.pool in
       let vstore = if versioned then Some (VS.create store t.pool) else None in
       let ti =
         {
@@ -1403,6 +1479,7 @@ let encode_db t : string =
   Codec.put_uvarint b (Disk.page_size t.disk);
   Codec.put_u8 b (match t.layout with MD.SS1 -> 1 | MD.SS2 -> 2 | MD.SS3 -> 3);
   Codec.put_bool b t.clustering;
+  Codec.put_bool b t.compress;
   let pages = Disk.export_pages t.disk in
   Codec.put_uvarint b (Array.length pages);
   Array.iter (fun p -> Buffer.add_bytes b p) pages;
@@ -1412,7 +1489,7 @@ let encode_db t : string =
 let save t (path : string) =
   Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (encode_db t))
 
-let decode_db ?(frames = 256) (data : string) : t =
+let decode_db ?(frames = 256) ?pool_partitions (data : string) : t =
   if String.length data < String.length magic || String.sub data 0 (String.length magic) <> magic
   then db_error "not an AIM-II database image";
   let src = Codec.source_of_string (String.sub data (String.length magic) (String.length data - String.length magic)) in
@@ -1425,18 +1502,20 @@ let decode_db ?(frames = 256) (data : string) : t =
     | n -> Codec.decode_error "Db.load: layout %d" n
   in
   let clustering = Codec.get_bool src in
+  let compress = Codec.get_bool src in
   let npages = Codec.get_uvarint src in
   let pages =
     Array.init npages (fun _ -> Bytes.of_string (Codec.get_fixed src page_size))
   in
   let disk = Disk.of_pages ~page_size pages in
-  let pool = BP.create ~frames disk in
+  let pool = BP.create ~frames ?partitions:pool_partitions disk in
   let t =
     {
       disk;
       pool;
       layout;
       clustering;
+      compress;
       tables = Hashtbl.create 16;
       tnames = Tname.create_registry ();
       last_plan = [];
@@ -1461,8 +1540,8 @@ let decode_db ?(frames = 256) (data : string) : t =
   mvcc_refresh_all t;
   t
 
-let load ?frames (path : string) : t =
-  decode_db ?frames (In_channel.with_open_bin path In_channel.input_all)
+let load ?frames ?pool_partitions (path : string) : t =
+  decode_db ?frames ?pool_partitions (In_channel.with_open_bin path In_channel.input_all)
 
 (* --- transactions ------------------------------------------------------------------
 
@@ -1644,11 +1723,11 @@ let replicate_undo t (images : (int * int * string) list) =
     images;
   mvcc_refresh_all t
 
-let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
+let recover_from_image ?(frames = 256) ?pool_partitions (img : Recovery.image) : t =
   let outcome = Recovery.replay img in
-  let layout, clustering, cat =
+  let layout, clustering, compress, cat =
     match outcome.Recovery.catalog with
-    | None -> (MD.SS3, true, None)
+    | None -> (MD.SS3, true, false, None)
     | Some payload ->
         let src = Codec.source_of_string payload in
         let layout =
@@ -1659,16 +1738,18 @@ let recover_from_image ?(frames = 256) (img : Recovery.image) : t =
           | n -> Codec.decode_error "Db.recover_from_image: layout %d" n
         in
         let clustering = Codec.get_bool src in
-        (layout, clustering, Some src)
+        let compress = Codec.get_bool src in
+        (layout, clustering, compress, Some src)
   in
   let disk = outcome.Recovery.disk in
-  let pool = BP.create ~frames disk in
+  let pool = BP.create ~frames ?partitions:pool_partitions disk in
   let t =
     {
       disk;
       pool;
       layout;
       clustering;
+      compress;
       tables = Hashtbl.create 16;
       tnames = Tname.create_registry ();
       last_plan = [];

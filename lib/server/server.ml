@@ -25,6 +25,7 @@ type config = {
   lock_timeout : float;
   group_commit : bool;
   group_window : float;
+  wal_appender : bool;  (** drain commits through the async batched appender *)
   slow_query : float option;  (** seconds; statements at/over it are logged with their trace *)
   domains : int;  (** worker domains for read evaluation; 0 = derive from the host's cores *)
 }
@@ -38,6 +39,7 @@ let default_config =
     lock_timeout = 2.0;
     group_commit = true;
     group_window = 0.002;
+    wal_appender = true;
     slow_query = None;
     domains = 0;
   }
@@ -191,7 +193,8 @@ let start ?db:(db_opt : Db.t option) (config : config) : t =
   let executor = Executor.create ~domains:(effective_domains config) in
   let mgr =
     Session.create_manager ~lock_timeout:config.lock_timeout ~group_commit:config.group_commit
-      ~group_window:config.group_window ?slow_query:config.slow_query ~executor ~metrics db
+      ~group_window:config.group_window ~wal_appender:config.wal_appender
+      ?slow_query:config.slow_query ~executor ~metrics db
   in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
@@ -239,6 +242,11 @@ let stop (t : t) =
     List.iter (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) live;
     List.iter (fun (th, _) -> try Thread.join th with _ -> ()) live;
     Executor.shutdown t.executor;
+    (* park the appender before the final checkpoint so its thread is
+       joined and the checkpoint flush runs on the caller *)
+    (match Db.wal t.db with
+    | Some w -> ( try Nf2_storage.Wal.set_async_appender w false with _ -> ())
+    | None -> ());
     (try ignore (Db.wal_checkpoint t.db) with _ -> ())
   end
 

@@ -435,6 +435,12 @@ let fold_storage_stats (mgr : manager) =
   Metrics.set m "pool_misses" p.BP.misses;
   Metrics.set m "pool_evictions" p.BP.evictions;
   Metrics.set m "pool_log_captures" p.BP.log_captures;
+  Metrics.set m "pool_partitions" (BP.partitions (Db.pool mgr.db));
+  Metrics.set m "pool_contended" p.BP.contended;
+  Metrics.set m "pool_rebalances" p.BP.rebalances;
+  let craw, cstored = Db.compression_stats mgr.db in
+  Metrics.set m "page_compression_in_bytes" craw;
+  Metrics.set m "page_compression_out_bytes" cstored;
   let d = Disk.stats (Db.disk mgr.db) in
   Metrics.set m "disk_reads" d.Disk.reads;
   Metrics.set m "disk_writes" d.Disk.writes;
@@ -474,7 +480,10 @@ let fold_storage_stats (mgr : manager) =
       Metrics.set m "wal_flushes" s.Wal.flushes;
       Metrics.set m "wal_forced_flushes" s.Wal.forced_flushes;
       Metrics.set m "wal_group_commit_batches" s.Wal.group_commit_batches;
-      Metrics.set m "wal_group_commit_txns" s.Wal.group_commit_txns);
+      Metrics.set m "wal_group_commit_txns" s.Wal.group_commit_txns;
+      Metrics.set m "wal_batch_fsyncs" s.Wal.appender_batches;
+      Metrics.set m "wal_batch_commits" s.Wal.appender_txns;
+      Metrics.set m "wal_batch_max_commits" s.Wal.appender_max_batch);
   Metrics.set_float_labeled m "build_info"
     [ ("version", version); ("ocaml", Sys.ocaml_version) ]
     1.;
@@ -570,13 +579,16 @@ let register_server_sys (mgr : manager) =
   Sysr.register reg (sys_traces_provider mgr)
 
 let create_manager ?(lock_timeout = 2.0) ?(group_commit = true) ?(group_window = 0.002)
-    ?slow_query ?(slow_sink = prerr_endline) ?executor ~(metrics : Metrics.t) (db : Db.t) :
-    manager =
+    ?(wal_appender = true) ?slow_query ?(slow_sink = prerr_endline) ?executor
+    ~(metrics : Metrics.t) (db : Db.t) : manager =
   Db.attach_wal db;
   (match Db.wal db with
   | Some w ->
       let window = if group_window > 0. then fun () -> Thread.delay group_window else fun () -> () in
-      Wal.set_group_commit ~window w group_commit
+      Wal.set_group_commit ~window w group_commit;
+      (* the async appender supersedes the leader/follower scheme when
+         enabled: commits enqueue, one thread fsyncs per batch *)
+      if group_commit && wal_appender then Wal.set_async_appender w true
   | None -> ());
   let mgr =
     {

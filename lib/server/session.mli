@@ -29,7 +29,11 @@ type session
     has none and configuring group commit on it.  [lock_timeout]
     (default 2s) bounds every lock and transaction-slot wait;
     [group_window] (default 2ms) is how long a group-commit leader
-    lingers for followers before fsyncing.  With [slow_query] set,
+    lingers for followers before fsyncing; [wal_appender] (default on,
+    effective with [group_commit]) drains commits through the async
+    batched appender thread instead of the leader/follower scheme —
+    one fsync per batch, no gathering pause for a lone committer (see
+    {!Nf2_storage.Wal.set_async_appender}).  With [slow_query] set,
     every statement runs under a {!Nf2_obs.Trace} and those taking at
     least that many seconds emit one structured line to [slow_sink]
     (default stderr) — see docs/OBSERVABILITY.md for the format.
@@ -40,6 +44,7 @@ val create_manager :
   ?lock_timeout:float ->
   ?group_commit:bool ->
   ?group_window:float ->
+  ?wal_appender:bool ->
   ?slow_query:float ->
   ?slow_sink:(string -> unit) ->
   ?executor:Executor.t ->

@@ -1038,7 +1038,10 @@ let stop (t : t) =
     let live = with_t t (fun () -> Hashtbl.fold (fun _ w acc -> w :: acc) t.workers []) in
     List.iter (fun (_, fd) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ()) live;
     List.iter (fun (th, _) -> try Thread.join th with _ -> ()) live;
-    Array.iter Pool.close_all t.pools
+    Array.iter Pool.close_all t.pools;
+    (match Db.wal t.db with
+    | Some w -> ( try Nf2_storage.Wal.set_async_appender w false with _ -> ())
+    | None -> ())
   end
 
 let render_metrics (t : t) =

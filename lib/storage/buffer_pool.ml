@@ -1,9 +1,24 @@
-(* LRU buffer pool over the simulated disk.
+(* Partitioned LRU buffer pool over the simulated disk.
 
-   Frames are pinned for the duration of a [read]/[write] callback and
-   unpinned afterwards; eviction picks the least recently used unpinned
-   frame and flushes it if dirty.  Counters distinguish logical page
-   accesses (hits + misses) from physical I/O (kept on the disk).
+   The pool is split into N partitions keyed by a multiplicative hash
+   of the page id.  Each partition owns its own latch, page table,
+   frame quota, LRU clock, and counters, so concurrent pins of pages
+   that hash to different partitions never contend — the single pool
+   latch that PR 5 left as "the known next wall" is gone.  Frames are
+   pinned for the duration of a [read]/[write] callback and unpinned
+   afterwards; eviction picks the least recently used unpinned frame
+   of the page's partition and flushes it if dirty.  Counters
+   distinguish logical page accesses (hits + misses) from physical
+   I/O (kept on the disk).
+
+   Frame quotas are rebalanced under pressure: when a partition's
+   frames are all pinned (nested pins — the object store's relocation
+   path reads the source page while the destination is pinned — can
+   exhaust a small quota), a frame is stolen from a sibling partition
+   under a global rebalance mutex and donated to the starved one.
+   The donor's latch and the recipient's latch are never held at the
+   same time, and the normal pin path takes exactly one partition
+   latch, so there is no lock-order cycle.
 
    When a WAL is attached, every dirty callback is bracketed by a
    before-image copy: the byte range the callback changed becomes a
@@ -13,14 +28,16 @@
    (or, in strict mode, raises [Wal_ordering]) whenever the frame's LSN
    is ahead of the log's durable mark.
 
-   Thread safety: a single pool latch covers the map/LRU state — page
-   lookup, pin/unpin, eviction, and the log-capture bookkeeping.  The
-   user callback runs *outside* the latch (its pin keeps the frame
-   resident), which keeps hold times short and lets nested pool calls
-   from inside a callback (the object store's relocation path) re-enter
-   without self-deadlock.  Concurrent readers never mutate frame bytes;
-   mutating callbacks are serialized above the pool by the engine's
-   exclusive latch. *)
+   Thread safety: a partition latch covers that partition's
+   table/frames/tick/stats — page lookup, pin/unpin, eviction, and the
+   log-capture bookkeeping.  The user callback runs *outside* the
+   latch (its pin keeps the frame resident), which keeps hold times
+   short and lets nested pool calls from inside a callback re-enter
+   without self-deadlock.  Concurrent readers never mutate frame
+   bytes; mutating callbacks are serialized above the pool by the
+   engine's exclusive latch.  {!stats} aggregates a snapshot across
+   partitions (taking each latch in turn), so deltas reconcile exactly
+   against per-partition counters. *)
 
 type frame = {
   mutable page : int; (* -1 when frame is empty *)
@@ -36,18 +53,30 @@ type stats = {
   mutable misses : int;
   mutable evictions : int;
   mutable log_captures : int; (* dirty callbacks that produced a log record *)
+  mutable contended : int; (* pin-path latch acquisitions that had to wait *)
+  mutable rebalances : int; (* frames moved between partitions under pressure *)
+}
+
+let zero_stats () =
+  { hits = 0; misses = 0; evictions = 0; log_captures = 0; contended = 0; rebalances = 0 }
+
+type partition = {
+  latch : Mutex.t; (* covers table/frames/tick/pstats; never held during callbacks *)
+  mutable frames : frame array;
+  table : (int, frame) Hashtbl.t; (* page -> resident frame *)
+  mutable tick : int;
+  pstats : stats; (* contended/rebalances unused here; see the Atomics below *)
+  waited : int Atomic.t; (* try_lock failures on the pin path *)
 }
 
 type t = {
   disk : Disk.t;
-  frames : frame array;
-  table : (int, int) Hashtbl.t; (* page -> frame index *)
-  latch : Mutex.t; (* covers table/frames/tick/stats; never held during callbacks *)
-  mutable tick : int;
+  parts : partition array;
+  rebalance_mu : Mutex.t; (* serializes frame donation between partitions *)
+  rebalanced : int Atomic.t;
   mutable wal : Wal.t option;
   mutable wal_tx : Wal.txid; (* transaction charged for captures; Wal.system_tx outside *)
   mutable strict_wal : bool; (* raise instead of forcing the log flush *)
-  stats : stats;
 }
 
 exception Pool_exhausted
@@ -56,37 +85,132 @@ exception Wal_ordering of string
 (** Strict-mode violation of the WAL-before-data rule: a dirty page was
     about to reach disk before its log record. *)
 
-let create ?(frames = 64) disk =
+let mk_frame page_size =
+  { page = -1; buf = Bytes.make page_size '\000'; dirty = false; pins = 0; lru = 0; lsn = 0 }
+
+let create ?(frames = 64) ?partitions disk =
   if frames < 1 then invalid_arg "Buffer_pool.create: frames < 1";
+  let nparts =
+    match partitions with
+    | Some p ->
+        if p < 1 then invalid_arg "Buffer_pool.create: partitions < 1";
+        min p frames
+    | None -> min 8 frames
+  in
+  let page_size = Disk.page_size disk in
   {
     disk;
-    frames =
-      Array.init frames (fun _ ->
-          { page = -1; buf = Bytes.make (Disk.page_size disk) '\000'; dirty = false; pins = 0; lru = 0; lsn = 0 });
-    table = Hashtbl.create (2 * frames);
-    latch = Mutex.create ();
-    tick = 0;
+    parts =
+      Array.init nparts (fun k ->
+          (* spread the quota: the first [frames mod nparts] partitions
+             get one extra frame *)
+          let quota = (frames / nparts) + if k < frames mod nparts then 1 else 0 in
+          {
+            latch = Mutex.create ();
+            frames = Array.init quota (fun _ -> mk_frame page_size);
+            table = Hashtbl.create (2 * quota + 1);
+            tick = 0;
+            pstats = zero_stats ();
+            waited = Atomic.make 0;
+          });
+    rebalance_mu = Mutex.create ();
+    rebalanced = Atomic.make 0;
     wal = None;
     wal_tx = Wal.system_tx;
     strict_wal = false;
-    stats = { hits = 0; misses = 0; evictions = 0; log_captures = 0 };
   }
 
-let stats t = t.stats
 let disk t = t.disk
+let partitions t = Array.length t.parts
 
-let latched t f =
-  Mutex.lock t.latch;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.latch) f
+let part_of t page =
+  (* Fibonacci hash keeps sequentially-allocated page ids spread *)
+  t.parts.(((page * 2654435761) lsr 13) mod Array.length t.parts)
+
+(* Pin-path latch acquisition: a failed try_lock is a contention event
+   (the per-partition counter the 8-domain stress sums). *)
+let latched_pin p f =
+  if not (Mutex.try_lock p.latch) then begin
+    Atomic.incr p.waited;
+    Mutex.lock p.latch
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.latch) f
+
+(* Maintenance paths (stats, flush_all, reset) lock without counting:
+   only real page-access contention should show up in the gauge. *)
+let latched p f =
+  Mutex.lock p.latch;
+  Fun.protect ~finally:(fun () -> Mutex.unlock p.latch) f
+
+let stats t =
+  let agg = zero_stats () in
+  Array.iter
+    (fun p ->
+      latched p (fun () ->
+          agg.hits <- agg.hits + p.pstats.hits;
+          agg.misses <- agg.misses + p.pstats.misses;
+          agg.evictions <- agg.evictions + p.pstats.evictions;
+          agg.log_captures <- agg.log_captures + p.pstats.log_captures);
+      agg.contended <- agg.contended + Atomic.get p.waited)
+    t.parts;
+  agg.rebalances <- Atomic.get t.rebalanced;
+  agg
 
 let reset_stats t =
-  latched t (fun () ->
-      t.stats.hits <- 0;
-      t.stats.misses <- 0;
-      t.stats.evictions <- 0;
-      t.stats.log_captures <- 0)
+  Array.iter
+    (fun p ->
+      latched p (fun () ->
+          p.pstats.hits <- 0;
+          p.pstats.misses <- 0;
+          p.pstats.evictions <- 0;
+          p.pstats.log_captures <- 0);
+      Atomic.set p.waited 0)
+    t.parts;
+  Atomic.set t.rebalanced 0
 
-let logical_accesses t = t.stats.hits + t.stats.misses
+let logical_accesses t =
+  let s = stats t in
+  s.hits + s.misses
+
+(* --- per-partition introspection (SYS_POOL) ----------------------------- *)
+
+type frame_info = { slot : int; fi_page : int; fi_dirty : bool; fi_pins : int }
+
+type partition_stat = {
+  part : int;
+  quota : int; (* frames currently owned by the partition *)
+  resident : int; (* frames holding a page *)
+  p_hits : int;
+  p_misses : int;
+  p_evictions : int;
+  p_log_captures : int;
+  p_contended : int;
+  frame_infos : frame_info list;
+}
+
+let partition_stats t =
+  Array.to_list
+    (Array.mapi
+       (fun k p ->
+         latched p (fun () ->
+             let infos =
+               Array.to_list
+                 (Array.mapi
+                    (fun i f -> { slot = i; fi_page = f.page; fi_dirty = f.dirty; fi_pins = f.pins })
+                    p.frames)
+             in
+             {
+               part = k;
+               quota = Array.length p.frames;
+               resident = Hashtbl.length p.table;
+               p_hits = p.pstats.hits;
+               p_misses = p.pstats.misses;
+               p_evictions = p.pstats.evictions;
+               p_log_captures = p.pstats.log_captures;
+               p_contended = Atomic.get p.waited;
+               frame_infos = infos;
+             }))
+       t.parts)
 
 (* --- WAL attachment ----------------------------------------------------- *)
 
@@ -98,7 +222,7 @@ let set_strict_wal t b = t.strict_wal <- b
 
 (* Log the byte range a dirty callback changed: one physiological
    record spanning the first through last differing byte. *)
-let capture_diff t (w : Wal.t) (before : Bytes.t) (f : frame) =
+let capture_diff t p (w : Wal.t) (before : Bytes.t) (f : frame) =
   let n = Bytes.length before in
   let lo = ref 0 in
   while !lo < n && Bytes.unsafe_get before !lo = Bytes.unsafe_get f.buf !lo do incr lo done;
@@ -112,7 +236,7 @@ let capture_diff t (w : Wal.t) (before : Bytes.t) (f : frame) =
         ~after:(Bytes.sub_string f.buf !lo len)
     in
     f.lsn <- lsn;
-    t.stats.log_captures <- t.stats.log_captures + 1
+    p.pstats.log_captures <- p.pstats.log_captures + 1
   end
 
 (* --- flushing ----------------------------------------------------------- *)
@@ -133,55 +257,112 @@ let flush_frame t f =
     f.dirty <- false
   end
 
-let flush_all t = latched t (fun () -> Array.iter (flush_frame t) t.frames)
+let flush_all t =
+  Array.iter (fun p -> latched p (fun () -> Array.iter (flush_frame t) p.frames)) t.parts
 
-(* Pick a victim frame: empty frame if any, else LRU unpinned. *)
-let victim t =
+(* Pick a victim frame in the partition: empty frame if any, else LRU
+   unpinned; None when every frame is pinned. *)
+let victim p =
   let best = ref (-1) in
   Array.iteri
     (fun i f ->
       if f.pins = 0 then
-        if f.page = -1 then (if !best = -1 || t.frames.(!best).page <> -1 then best := i)
-        else if !best = -1 || (t.frames.(!best).page <> -1 && f.lru < t.frames.(!best).lru) then
+        if f.page = -1 then (if !best = -1 || p.frames.(!best).page <> -1 then best := i)
+        else if !best = -1 || (p.frames.(!best).page <> -1 && f.lru < p.frames.(!best).lru) then
           best := i)
-    t.frames;
-  if !best = -1 then raise Pool_exhausted;
-  !best
+    p.frames;
+  if !best = -1 then None else Some p.frames.(!best)
 
-let load t page =
-  t.tick <- t.tick + 1;
-  match Hashtbl.find_opt t.table page with
-  | Some i ->
-      t.stats.hits <- t.stats.hits + 1;
-      let f = t.frames.(i) in
-      f.lru <- t.tick;
-      (i, f)
-  | None ->
-      t.stats.misses <- t.stats.misses + 1;
-      let i = victim t in
-      let f = t.frames.(i) in
-      if f.page >= 0 then begin
-        t.stats.evictions <- t.stats.evictions + 1;
-        flush_frame t f;
-        Hashtbl.remove t.table f.page
-      end;
-      Disk.read_into t.disk page f.buf;
-      f.page <- page;
-      f.dirty <- false;
-      f.lsn <- 0;
-      f.lru <- t.tick;
-      Hashtbl.replace t.table page i;
-      (i, f)
+(* Look the page up in its partition; load it over a victim frame on a
+   miss.  Runs under [p.latch].  None = every frame pinned. *)
+let try_load t p page =
+  p.tick <- p.tick + 1;
+  match Hashtbl.find_opt p.table page with
+  | Some f ->
+      p.pstats.hits <- p.pstats.hits + 1;
+      f.lru <- p.tick;
+      Some f
+  | None -> (
+      match victim p with
+      | None -> None
+      | Some f ->
+          p.pstats.misses <- p.pstats.misses + 1;
+          if f.page >= 0 then begin
+            p.pstats.evictions <- p.pstats.evictions + 1;
+            flush_frame t f;
+            Hashtbl.remove p.table f.page
+          end;
+          Disk.read_into t.disk page f.buf;
+          f.page <- page;
+          f.dirty <- false;
+          f.lsn <- 0;
+          f.lru <- p.tick;
+          Hashtbl.replace p.table page f;
+          Some f)
+
+(* Take an evictable frame away from [q] (under its latch); the frame
+   leaves the partition empty and unowned. *)
+let steal_from t q =
+  latched q (fun () ->
+      match victim q with
+      | None -> None
+      | Some f ->
+          if f.page >= 0 then begin
+            q.pstats.evictions <- q.pstats.evictions + 1;
+            flush_frame t f;
+            Hashtbl.remove q.table f.page
+          end;
+          f.page <- -1;
+          f.dirty <- false;
+          f.lsn <- 0;
+          let keep = Array.of_seq (Seq.filter (fun g -> g != f) (Array.to_seq q.frames)) in
+          q.frames <- keep;
+          Some f)
+
+(* Pressure-driven quota rebalance: donate one frame to the starved
+   partition [p].  Donors with spare quota are preferred; a partition
+   is drained to zero frames only as a last resort.  Returns false when
+   no partition has an unpinned frame (the pool really is exhausted). *)
+let rebalance t p =
+  Mutex.lock t.rebalance_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.rebalance_mu)
+    (fun () ->
+      let stolen = ref None in
+      let try_pass ~min_quota =
+        Array.iter
+          (fun q ->
+            if !stolen = None && q != p && Array.length q.frames >= min_quota then
+              stolen := steal_from t q)
+          t.parts
+      in
+      try_pass ~min_quota:2;
+      if !stolen = None then try_pass ~min_quota:1;
+      match !stolen with
+      | None -> false
+      | Some f ->
+          latched p (fun () -> p.frames <- Array.append p.frames [| f |]);
+          Atomic.incr t.rebalanced;
+          true)
 
 let with_page t page ~dirty fn =
-  (* lookup/eviction and the pin happen atomically under the latch; the
-     callback itself runs unlatched (the pin keeps the frame resident) *)
-  let f =
-    latched t (fun () ->
-        let _, f = load t page in
-        f.pins <- f.pins + 1;
-        f)
+  let p = part_of t page in
+  (* lookup/eviction and the pin happen atomically under the partition
+     latch; the callback itself runs unlatched (the pin keeps the frame
+     resident).  A fully-pinned partition borrows a frame from a
+     sibling and retries. *)
+  let rec pin () =
+    match latched_pin p (fun () ->
+        match try_load t p page with
+        | Some f ->
+            f.pins <- f.pins + 1;
+            Some f
+        | None -> None)
+    with
+    | Some f -> f
+    | None -> if rebalance t p then pin () else raise Pool_exhausted
   in
+  let f = pin () in
   (* Snapshot for the log: the capture runs in the cleanup path so even
      a callback that raises mid-mutation leaves its changes logged (and
      therefore undoable). *)
@@ -190,9 +371,9 @@ let with_page t page ~dirty fn =
   in
   Fun.protect
     ~finally:(fun () ->
-      latched t (fun () ->
+      latched p (fun () ->
           (match (before, t.wal) with
-          | Some b, Some w -> capture_diff t w b f
+          | Some b, Some w -> capture_diff t p w b f
           | _ -> ());
           f.pins <- f.pins - 1;
           if dirty then f.dirty <- true))

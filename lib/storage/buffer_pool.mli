@@ -1,9 +1,14 @@
-(** LRU buffer pool over the simulated disk.
+(** Partitioned LRU buffer pool over the simulated disk.
 
+    The pool is split into N partitions keyed by a page-id hash; each
+    partition has its own latch, page table, frame quota, and LRU
+    clock, so pins of pages in different partitions never contend.
     Frames are pinned for the duration of a {!read}/{!write} callback;
-    eviction picks the least-recently-used unpinned frame, flushing it
-    if dirty.  [hits + misses] is the logical page-access count;
-    physical I/O is counted by {!Disk}.
+    eviction picks the least-recently-used unpinned frame of the
+    page's partition, flushing it if dirty.  Frame quotas rebalance
+    under pressure: a partition whose frames are all pinned borrows a
+    frame from a sibling.  [hits + misses] is the logical page-access
+    count; physical I/O is counted by {!Disk}.
 
     With a {!Wal} attached, every dirty callback is bracketed by a
     before-image copy and the changed byte range becomes a log record
@@ -11,29 +16,65 @@
     WAL-before-data rule (forced log flush, or {!Wal_ordering} in
     strict mode). *)
 
+(** Aggregated counters.  {!stats} returns a fresh snapshot summed
+    across partitions under their latches, so two snapshots bracketing
+    a quiesced workload reconcile exactly. *)
 type stats = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable log_captures : int;  (** dirty callbacks that produced a log record *)
+  mutable contended : int;  (** pin-path latch acquisitions that had to wait *)
+  mutable rebalances : int;  (** frames donated between partitions under pressure *)
 }
 
 type t
 
 exception Pool_exhausted
-(** Raised when every frame is pinned and a new page is requested. *)
+(** Raised when every frame of every partition is pinned and a new page
+    is requested. *)
 
 exception Wal_ordering of string
 (** Strict-mode violation of the WAL-before-data rule: a dirty page was
     about to reach disk before its log record was durable. *)
 
-(** [create ?frames disk] — default 64 frames. *)
-val create : ?frames:int -> Disk.t -> t
+(** [create ?frames ?partitions disk] — default 64 frames split over
+    [min 8 frames] partitions.  [partitions] is clamped to [frames] so
+    every partition starts with at least one frame. *)
+val create : ?frames:int -> ?partitions:int -> Disk.t -> t
 
 val disk : t -> Disk.t
+
+(** Number of latch partitions. *)
+val partitions : t -> int
+
 val stats : t -> stats
 val reset_stats : t -> unit
 val logical_accesses : t -> int
+
+(** {1 Per-partition introspection (SYS_POOL)} *)
+
+type frame_info = {
+  slot : int;
+  fi_page : int;  (** -1 when the frame is empty *)
+  fi_dirty : bool;
+  fi_pins : int;
+}
+
+type partition_stat = {
+  part : int;
+  quota : int;  (** frames currently owned by the partition *)
+  resident : int;  (** frames holding a page *)
+  p_hits : int;
+  p_misses : int;
+  p_evictions : int;
+  p_log_captures : int;
+  p_contended : int;
+  frame_infos : frame_info list;
+}
+
+(** Latched snapshot of every partition, in partition order. *)
+val partition_stats : t -> partition_stat list
 
 (** {1 Write-ahead logging} *)
 

@@ -1,0 +1,154 @@
+(* Data-subtuple compression: a small LZ77 codec in the LZ4 idiom.
+
+   A block is a tag byte followed by either the raw payload (tag
+   [raw_tag]) or a token stream (tag [lz_tag]).  Each token is one
+   control byte — high nibble literal count, low nibble match length
+   minus [min_match] — with 255-extension bytes for either nibble at
+   15, the literals themselves, and a 2-byte little-endian backref
+   offset.  A block may end after literals with no match, which is how
+   the stream terminates.  Matches may overlap their own output
+   (offset < length), giving run-length coding of repeated bytes for
+   free — the common case for zero padding and repeated atom prefixes
+   in generated NF² workloads.
+
+   The encoder is greedy with a 4-byte rolling hash table of previous
+   positions (no chains: one probe per position keeps the cost of the
+   write path bounded).  Incompressible blocks are stored raw, so
+   compression never costs more than one byte of space. *)
+
+let raw_tag = '\x00'
+let lz_tag = '\x01'
+let min_match = 4
+let max_offset = 0xFFFF
+let hash_bits = 13
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let v =
+    Char.code (String.unsafe_get s i)
+    lor (Char.code (String.unsafe_get s (i + 1)) lsl 8)
+    lor (Char.code (String.unsafe_get s (i + 2)) lsl 16)
+    lor (Char.code (String.unsafe_get s (i + 3)) lsl 24)
+  in
+  ((v * 0x9E3779B1) lsr 15) land (hash_size - 1)
+
+(* Emit a length [n] as a nibble value plus 255-extension bytes. *)
+let put_ext buf n =
+  let n = ref (n - 15) in
+  while !n >= 255 do
+    Buffer.add_char buf '\xFF';
+    n := !n - 255
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+let emit buf s ~lit_start ~lit_len ~match_len ~offset =
+  let lit_nib = if lit_len >= 15 then 15 else lit_len in
+  let mat_nib =
+    if match_len = 0 then 0
+    else if match_len - min_match >= 15 then 15
+    else match_len - min_match
+  in
+  Buffer.add_char buf (Char.chr ((lit_nib lsl 4) lor mat_nib));
+  if lit_len >= 15 then put_ext buf lit_len;
+  Buffer.add_substring buf s lit_start lit_len;
+  if match_len > 0 then begin
+    Buffer.add_char buf (Char.chr (offset land 0xFF));
+    Buffer.add_char buf (Char.chr ((offset lsr 8) land 0xFF));
+    if match_len - min_match >= 15 then put_ext buf (match_len - min_match)
+  end
+
+let compress s =
+  let len = String.length s in
+  if len < min_match + 1 then "\x00" ^ s
+  else begin
+    let buf = Buffer.create (len / 2 + 16) in
+    Buffer.add_char buf lz_tag;
+    let table = Array.make hash_size (-1) in
+    let anchor = ref 0 in
+    let i = ref 0 in
+    let limit = len - min_match in
+    while !i <= limit do
+      let h = hash4 s !i in
+      let cand = table.(h) in
+      table.(h) <- !i;
+      if
+        cand >= 0
+        && !i - cand <= max_offset
+        && String.unsafe_get s cand = String.unsafe_get s !i
+        && String.unsafe_get s (cand + 1) = String.unsafe_get s (!i + 1)
+        && String.unsafe_get s (cand + 2) = String.unsafe_get s (!i + 2)
+        && String.unsafe_get s (cand + 3) = String.unsafe_get s (!i + 3)
+      then begin
+        (* extend the match forward *)
+        let m = ref min_match in
+        while
+          !i + !m < len && String.unsafe_get s (cand + !m) = String.unsafe_get s (!i + !m)
+        do
+          incr m
+        done;
+        emit buf s ~lit_start:!anchor ~lit_len:(!i - !anchor) ~match_len:!m
+          ~offset:(!i - cand);
+        i := !i + !m;
+        anchor := !i
+      end
+      else incr i
+    done;
+    (* trailing literals, no match *)
+    if !anchor < len then
+      emit buf s ~lit_start:!anchor ~lit_len:(len - !anchor) ~match_len:0 ~offset:0;
+    if Buffer.length buf <= len then Buffer.contents buf else "\x00" ^ s
+  end
+
+let get_ext s pos base =
+  let n = ref base and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    if !p >= String.length s then invalid_arg "Compress.decompress: truncated length";
+    let b = Char.code s.[!p] in
+    incr p;
+    n := !n + b;
+    if b <> 255 then continue := false
+  done;
+  (!n, !p)
+
+let decompress s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Compress.decompress: empty input";
+  if s.[0] = raw_tag then String.sub s 1 (len - 1)
+  else if s.[0] <> lz_tag then invalid_arg "Compress.decompress: bad tag"
+  else begin
+    let out = Buffer.create ((len - 1) * 2 + 16) in
+    let p = ref 1 in
+    while !p < len do
+      let token = Char.code s.[!p] in
+      incr p;
+      let lit_nib = token lsr 4 and mat_nib = token land 0xF in
+      let lit_len, p' =
+        if lit_nib = 15 then get_ext s !p 15 else (lit_nib, !p)
+      in
+      p := p';
+      if !p + lit_len > len then invalid_arg "Compress.decompress: truncated literals";
+      Buffer.add_substring out s !p lit_len;
+      p := !p + lit_len;
+      if !p < len then begin
+        if !p + 2 > len then invalid_arg "Compress.decompress: truncated offset";
+        let offset = Char.code s.[!p] lor (Char.code s.[!p + 1] lsl 8) in
+        p := !p + 2;
+        let match_len, p' =
+          if mat_nib = 15 then get_ext s !p (15 + min_match)
+          else (mat_nib + min_match, !p)
+        in
+        p := p';
+        let src = Buffer.length out - offset in
+        if offset = 0 || src < 0 then invalid_arg "Compress.decompress: bad offset";
+        (* byte-by-byte so overlapping matches replicate runs *)
+        for k = 0 to match_len - 1 do
+          Buffer.add_char out (Buffer.nth out (src + k))
+        done
+      end
+      else if mat_nib <> 0 then invalid_arg "Compress.decompress: dangling match"
+    done;
+    Buffer.contents out
+  end
+
+let is_compressed s = String.length s > 0 && s.[0] = lz_tag

@@ -1,0 +1,24 @@
+(** Byte-level compression for data subtuples.
+
+    AIM-II keeps structural information (Mini Directories) and data
+    subtuples strictly separate; only the latter carry user payload
+    bytes worth compressing.  This codec is applied by the object
+    store at the subtuple boundary, so directory pages keep their
+    exact layout and Mini-TID arithmetic is untouched.
+
+    The format is self-describing: the first byte tags the block as
+    stored-raw or LZ-compressed, so {!decompress} accepts any output
+    of {!compress} and {!compress} never expands its input by more
+    than the one tag byte.  Incompressible payloads are stored raw. *)
+
+(** [compress s] encodes [s].  The result is at most
+    [String.length s + 1] bytes and starts with a tag byte. *)
+val compress : string -> string
+
+(** Inverse of {!compress}.
+    @raise Invalid_argument on malformed input. *)
+val decompress : string -> string
+
+(** True iff [compress] chose the LZ encoding for this block (used by
+    tests and the compression-ratio counters). *)
+val is_compressed : string -> bool

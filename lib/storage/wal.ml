@@ -34,6 +34,9 @@ type stats = {
   mutable forced_flushes : int;  (* fsyncs forced by the WAL-before-data rule *)
   mutable group_commit_batches : int;  (* group fsyncs covering >= 1 commit *)
   mutable group_commit_txns : int;  (* commits made durable by those fsyncs *)
+  mutable appender_batches : int;  (* batches drained by the async appender *)
+  mutable appender_txns : int;  (* commits covered by those batches *)
+  mutable appender_max_batch : int;  (* largest single appender batch *)
 }
 
 (* All mutable state is guarded by [mu]: single-session use pays one
@@ -54,6 +57,9 @@ type t = {
   mutable flushing : bool;  (* a leader is performing the group fsync *)
   mutable pending_commits : int;  (* commit records appended since the last flush *)
   mutable crashed : bool;  (* an fsync died; every waiter must observe it *)
+  work : Condition.t;  (* signalled when the async appender has commits to drain *)
+  mutable appender : Thread.t option;  (* dedicated batch-fsync thread *)
+  mutable appender_run : bool;  (* appender drains until this drops *)
   stats : stats;
 }
 
@@ -73,6 +79,9 @@ let create () =
     flushing = false;
     pending_commits = 0;
     crashed = false;
+    work = Condition.create ();
+    appender = None;
+    appender_run = false;
     stats =
       {
         records = 0;
@@ -81,6 +90,9 @@ let create () =
         forced_flushes = 0;
         group_commit_batches = 0;
         group_commit_txns = 0;
+        appender_batches = 0;
+        appender_txns = 0;
+        appender_max_batch = 0;
       };
   }
 
@@ -97,7 +109,10 @@ let reset_stats t =
       t.stats.flushes <- 0;
       t.stats.forced_flushes <- 0;
       t.stats.group_commit_batches <- 0;
-      t.stats.group_commit_txns <- 0)
+      t.stats.group_commit_txns <- 0;
+      t.stats.appender_batches <- 0;
+      t.stats.appender_txns <- 0;
+      t.stats.appender_max_batch <- 0)
 
 let set_sync_hook t hook = with_mu t (fun () -> t.sync_hook <- hook)
 
@@ -261,14 +276,24 @@ let flush_unlocked ?(forced = false) t =
       match t.sync_hook with None -> pending | Some h -> max 0 (min pending (h pending))
     in
     t.durable_len <- t.durable_len + persisted;
-    (* advance durable_lsn to the last record wholly inside the prefix *)
-    List.iter
-      (fun (lsn, end_off, _) ->
-        if end_off <= t.durable_len && lsn > t.durable_lsn then t.durable_lsn <- lsn)
-      t.recs;
+    (* advance durable_lsn to the last record wholly inside the prefix:
+       [recs] is newest-first with monotone end offsets, so the first
+       record that fits is the one — the walk is O(records since the
+       last flush), not O(log) *)
+    let rec advance = function
+      | (lsn, end_off, _) :: rest ->
+          if end_off <= t.durable_len then begin
+            if lsn > t.durable_lsn then t.durable_lsn <- lsn
+          end
+          else advance rest
+      | [] -> ()
+    in
+    advance t.recs;
+    (* every durable-mark advance wakes the waiters in [sync_to]: a
+       forced WAL-before-data flush can make a parked commit durable *)
+    Condition.broadcast t.cond;
     if persisted < pending then begin
       t.crashed <- true;
-      Condition.broadcast t.cond;
       raise (Disk.Crash "simulated fsync failure on the log")
     end
   end
@@ -285,7 +310,13 @@ let flush ?forced t = with_mu t (fun () -> flush_unlocked ?forced t)
 let commit t ~tx ~payload =
   with_mu t (fun () ->
       ignore (append_unlocked t (fun _ -> Commit { tx; payload }));
-      if t.group_commit then t.pending_commits <- t.pending_commits + 1
+      if t.appender_run then begin
+        (* async mode: enqueue for the appender thread and return; the
+           caller parks in [sync_to] on the per-batch durable signal *)
+        t.pending_commits <- t.pending_commits + 1;
+        Condition.signal t.work
+      end
+      else if t.group_commit then t.pending_commits <- t.pending_commits + 1
       else flush_unlocked t)
 
 (* Block until [lsn] is durable, sharing the fsync with every other
@@ -299,17 +330,28 @@ let sync_to t (lsn : lsn) =
       raise (Disk.Crash "simulated fsync failure on the log")
     end
     else if t.durable_lsn >= lsn then Mutex.unlock t.mu
+    else if t.appender_run then begin
+      (* async mode: the dedicated appender owns every fsync — park on
+         the durable-LSN signal it broadcasts per batch *)
+      Condition.signal t.work;
+      Condition.wait t.cond t.mu;
+      loop ()
+    end
     else if t.flushing then begin
       (* follower: a leader's fsync is in flight; wait for its verdict *)
       Condition.wait t.cond t.mu;
       loop ()
     end
     else begin
-      (* leader: pause to gather followers, then fsync the whole tail *)
+      (* leader: pause to gather followers, then fsync the whole tail.
+         With no other committer pending the pause is skipped — a lone
+         client must not pay the gathering window for an empty batch *)
       t.flushing <- true;
-      Mutex.unlock t.mu;
-      t.group_window ();
-      Mutex.lock t.mu;
+      if t.pending_commits > 1 then begin
+        Mutex.unlock t.mu;
+        t.group_window ();
+        Mutex.lock t.mu
+      end;
       let covered = t.pending_commits in
       let finish () =
         t.flushing <- false;
@@ -329,6 +371,84 @@ let sync_to t (lsn : lsn) =
     end
   in
   loop ()
+
+(* --- async batched appender ---------------------------------------------
+
+   A dedicated thread drains the submission queue (the volatile tail)
+   with one write+fsync per batch.  The window is adaptive: woken from
+   an idle wait it fsyncs immediately — a lone committer pays no
+   gathering pause, which is what kills the 1-client group-commit
+   cliff — but when the queue refills while a flush is in flight it
+   yields once so concurrent committers can slip their records into the
+   next batch.  Commit waiters park in [sync_to] on [cond], which
+   [flush_unlocked] broadcasts every time the durable mark advances; a
+   failed fsync sets [crashed], broadcasts, and the waiters raise
+   [Disk.Crash] exactly as in the leader/follower scheme, so the
+   durable-prefix crash model is unchanged. *)
+
+let appender_loop t =
+  Mutex.lock t.mu;
+  let was_busy = ref false in
+  let rec run () =
+    if not t.appender_run then Mutex.unlock t.mu
+    else if Buffer.length t.buf = t.durable_len then begin
+      was_busy := false;
+      Condition.wait t.work t.mu;
+      run ()
+    end
+    else begin
+      if !was_busy then begin
+        (* continuous load: let committers append into this batch *)
+        Mutex.unlock t.mu;
+        Thread.yield ();
+        Mutex.lock t.mu
+      end;
+      let covered = t.pending_commits in
+      match flush_unlocked t with
+      | () ->
+          if covered > 0 then begin
+            t.stats.group_commit_batches <- t.stats.group_commit_batches + 1;
+            t.stats.group_commit_txns <- t.stats.group_commit_txns + covered;
+            t.stats.appender_batches <- t.stats.appender_batches + 1;
+            t.stats.appender_txns <- t.stats.appender_txns + covered;
+            if covered > t.stats.appender_max_batch then
+              t.stats.appender_max_batch <- covered
+          end;
+          was_busy := true;
+          run ()
+      | exception Disk.Crash _ ->
+          (* crashed flag set and waiters woken by flush_unlocked; the
+             appender dies with the simulated machine *)
+          t.appender_run <- false;
+          Mutex.unlock t.mu
+    end
+  in
+  run ()
+
+let set_async_appender t enabled =
+  if enabled then
+    with_mu t (fun () ->
+        if t.appender = None && not t.crashed then begin
+          t.appender_run <- true;
+          t.appender <- Some (Thread.create appender_loop t)
+        end)
+  else begin
+    let th =
+      with_mu t (fun () ->
+          let th = t.appender in
+          t.appender_run <- false;
+          t.appender <- None;
+          Condition.signal t.work;
+          (* waiters parked on [cond] must re-check and fall back to
+             the leader/follower path now that no appender will flush *)
+          Condition.broadcast t.cond;
+          th)
+    in
+    (* join outside the mutex: the appender needs it to exit *)
+    match th with Some th -> Thread.join th | None -> ()
+  end
+
+let appender_running t = with_mu t (fun () -> t.appender_run)
 
 let log_abort t tx = ignore (append t (fun _ -> Abort tx))
 

@@ -40,6 +40,9 @@ type stats = {
   mutable forced_flushes : int;  (** fsyncs forced by WAL-before-data *)
   mutable group_commit_batches : int;  (** group fsyncs covering >= 1 commit *)
   mutable group_commit_txns : int;  (** commits made durable by those fsyncs *)
+  mutable appender_batches : int;  (** batches drained by the async appender *)
+  mutable appender_txns : int;  (** commits covered by those batches *)
+  mutable appender_max_batch : int;  (** largest single appender batch *)
 }
 
 type t
@@ -60,6 +63,23 @@ val reset_stats : t -> unit
     [fun () -> Thread.delay 2e-3]); the default is no pause. *)
 
 val set_group_commit : ?window:(unit -> unit) -> t -> bool -> unit
+
+(** {1 Async batched appender}
+
+    [set_async_appender t true] starts a dedicated thread that drains
+    the submission queue with one fsync per batch; {!commit} then only
+    enqueues, and {!sync_to} parks the caller on the per-batch
+    durable-LSN signal.  The batch window is adaptive: an idle queue is
+    fsynced the moment a commit arrives (a lone client pays no
+    gathering pause), a busy one is coalesced.  Crash semantics are the
+    durable-prefix model unchanged — a failed batch fsync marks the log
+    crashed and every parked committer raises {!Disk.Crash}.
+
+    [set_async_appender t false] stops and joins the thread; pending
+    commits fall back to the leader/follower scheme. *)
+
+val set_async_appender : t -> bool -> unit
+val appender_running : t -> bool
 
 (** Block until [lsn] is durable, sharing the fsync leader/follower
     style.  @raise Disk.Crash when the covering fsync died (whoever

@@ -222,7 +222,8 @@ let test_trace_matches_pool_stats () =
   let db = Db.create () in
   Nf2.Demo.load db;
   let q = Parser.parse_query_string nested_query in
-  (* BP.stats returns the live mutable record: capture the ints *)
+  (* BP.stats aggregates a snapshot across partitions: take one before
+     and one after and compare deltas *)
   let s = BP.stats (Db.pool db) in
   let before_hits = s.BP.hits and before_misses = s.BP.misses in
   let tr = Db.new_trace db in
@@ -238,8 +239,9 @@ let test_trace_matches_pool_stats () =
   let counter name = Option.value ~default:0 (List.assoc_opt name node.Trace.counters) in
   let hits = counter "pool.hits" and misses = counter "pool.misses" in
   Alcotest.(check bool) "pool activity traced" true (hits + misses > 0);
-  Alcotest.(check int) "hits delta matches pool stats" (s.BP.hits - before_hits) hits;
-  Alcotest.(check int) "misses delta matches pool stats" (s.BP.misses - before_misses) misses;
+  let s' = BP.stats (Db.pool db) in
+  Alcotest.(check int) "hits delta matches pool stats" (s'.BP.hits - before_hits) hits;
+  Alcotest.(check int) "misses delta matches pool stats" (s'.BP.misses - before_misses) misses;
   (match Trace.find tr "scan DEPARTMENTS" with
   | Some scan -> Alcotest.(check int) "scan rows" 3 scan.Trace.rows
   | None -> Alcotest.fail "no scan span")

@@ -129,6 +129,229 @@ let test_buffer_pool_hit_counting () =
   checki "hits" 5 (BP.stats pool).BP.hits;
   checki "misses" 0 (BP.stats pool).BP.misses
 
+(* --- partitioned pool ------------------------------------------------- *)
+
+module Wal = Nf2_storage.Wal
+
+(* Summing the per-partition snapshots must reproduce the aggregate
+   counters exactly — the reconciliation guarantee SYS_POOL relies on. *)
+let test_pool_partition_reconcile () =
+  let disk = D.create ~page_size:256 () in
+  let pool = BP.create ~frames:8 ~partitions:4 disk in
+  checki "partition count" 4 (BP.partitions pool);
+  let pages = List.init 16 (fun _ -> BP.alloc pool) in
+  List.iteri (fun i p -> BP.write pool p (fun buf -> Bytes.set buf 0 (Char.chr (i + 1)))) pages;
+  List.iter (fun p -> BP.read pool p (fun _ -> ())) pages;
+  let agg = BP.stats pool in
+  let parts = BP.partition_stats pool in
+  checki "one row per partition" 4 (List.length parts);
+  let sum f = List.fold_left (fun a ps -> a + f ps) 0 parts in
+  checki "hits reconcile" agg.BP.hits (sum (fun p -> p.BP.p_hits));
+  checki "misses reconcile" agg.BP.misses (sum (fun p -> p.BP.p_misses));
+  checki "evictions reconcile" agg.BP.evictions (sum (fun p -> p.BP.p_evictions));
+  checki "log captures reconcile" agg.BP.log_captures (sum (fun p -> p.BP.p_log_captures));
+  checki "contention reconciles" agg.BP.contended (sum (fun p -> p.BP.p_contended));
+  checki "quotas cover the pool" 8 (sum (fun p -> p.BP.quota));
+  checkb "resident within quota" true (List.for_all (fun p -> p.BP.resident <= p.BP.quota) parts);
+  checkb "some page accesses recorded" true (agg.BP.hits + agg.BP.misses > 0)
+
+(* Deterministic eviction under pressure: a pool far smaller than the
+   working set, with a WAL attached so every evicted dirty frame
+   exercises the WAL-before-data rule.  The per-partition eviction
+   counts must account for the aggregate, every page must read back
+   exactly as written (no torn reads), and a pinned page must survive
+   arbitrary pressure on its partition. *)
+let test_pool_eviction_under_pressure () =
+  let disk = D.create ~page_size:256 () in
+  let pool = BP.create ~frames:4 ~partitions:2 disk in
+  let w = Wal.create () in
+  BP.attach_wal pool w;
+  let pages = Array.init 12 (fun _ -> BP.alloc pool) in
+  Array.iteri
+    (fun i p ->
+      BP.write pool p (fun buf -> Bytes.fill buf 0 (Bytes.length buf) (Char.chr (i + 65))))
+    pages;
+  (* twelve dirty pages through four frames: evictions flushed dirty
+     frames, and — nothing was synced by hand — each such flush must
+     have forced the covering log records out first *)
+  checkb "dirty evictions forced log flushes" true ((Wal.stats w).Wal.forced_flushes > 0);
+  let agg = BP.stats pool in
+  checkb "evictions happened" true (agg.BP.evictions > 0);
+  let parts = BP.partition_stats pool in
+  checki "partition evictions account for the aggregate" agg.BP.evictions
+    (List.fold_left (fun a ps -> a + ps.BP.p_evictions) 0 parts);
+  checkb "every partition evicted under pressure" true
+    (List.for_all (fun ps -> ps.BP.p_evictions > 0) parts);
+  (* zero torn reads: every page comes back exactly as written *)
+  Array.iteri
+    (fun i p ->
+      BP.read pool p (fun buf ->
+          checkb
+            (Printf.sprintf "page %d intact" i)
+            true
+            (Bytes.for_all (fun c -> c = Char.chr (i + 65)) buf)))
+    pages;
+  (* pin accounting: while page 0 is pinned its frame may not be
+     reclaimed, however hard the rest of the working set churns *)
+  BP.read pool pages.(0) (fun buf ->
+      Array.iteri (fun i p -> if i > 0 then BP.read pool p (fun _ -> ())) pages;
+      checkb "pinned frame never evicted" true (Bytes.get buf 0 = 'A'))
+
+(* Nested pins past a partition's quota must borrow a frame from a
+   sibling (rebalance) rather than fail; Pool_exhausted is for the
+   moment every frame of every partition is pinned at once. *)
+let test_pool_rebalance_and_exhaustion () =
+  let disk = D.create ~page_size:256 () in
+  let pool = BP.create ~frames:4 ~partitions:2 disk in
+  let pages = Array.init 8 (fun _ -> BP.alloc pool) in
+  (* map each page to its partition via the frame tables *)
+  let part_of p =
+    BP.read pool p (fun _ -> ());
+    let ps =
+      List.find
+        (fun ps -> List.exists (fun f -> f.BP.fi_page = p) ps.BP.frame_infos)
+        (BP.partition_stats pool)
+    in
+    ps.BP.part
+  in
+  let parts = Array.map part_of pages in
+  let of_part k =
+    Array.to_list pages |> List.filteri (fun i _ -> parts.(i) = k)
+  in
+  (* by pigeonhole one of the two partitions owns >= 4 of the 8 pages *)
+  let heavy = if List.length (of_part 0) >= 4 then 0 else 1 in
+  let victims = of_part heavy in
+  checkb "a heavy partition exists" true (List.length victims >= 4);
+  let p0 = List.nth victims 0
+  and p1 = List.nth victims 1
+  and p2 = List.nth victims 2
+  and p3 = List.nth victims 3 in
+  let outside =
+    Array.to_list pages |> List.find (fun p -> not (List.mem p [ p0; p1; p2; p3 ]))
+  in
+  BP.reset_stats pool;
+  BP.read pool p0 (fun _ ->
+      BP.read pool p1 (fun _ ->
+          (* third concurrent pin in a quota-2 partition: a sibling
+             frame must be donated *)
+          BP.read pool p2 (fun _ ->
+              checkb "rebalance donated a frame" true ((BP.stats pool).BP.rebalances > 0);
+              BP.read pool p3 (fun _ ->
+                  (* all four frames of the pool are now pinned *)
+                  checkb "exhausted only when every frame is pinned" true
+                    (try
+                       BP.read pool outside (fun _ -> ());
+                       false
+                     with BP.Pool_exhausted -> true)))));
+  (* the pool recovers once the pins are released *)
+  Array.iter (fun p -> BP.read pool p (fun _ -> ())) pages
+
+(* --- compression ------------------------------------------------------ *)
+
+module Cmp = Nf2_storage.Compress
+
+let test_compress_roundtrip () =
+  let check s =
+    let c = Cmp.compress s in
+    Alcotest.(check string) "roundtrip" s (Cmp.decompress c);
+    checkb "never expands past tag byte" true (String.length c <= String.length s + 1)
+  in
+  check "";
+  check "a";
+  check "abc";
+  check (String.make 5000 '\000');
+  check "hello world hello world hello world";
+  check (String.init 500 (fun i -> Char.chr (i mod 256)));
+  (* a run longer than the 15-nibble limit exercises length extension *)
+  check (String.make 70000 'r');
+  (* repeated NF²-ish payload must actually shrink *)
+  let payload =
+    String.concat ""
+      (List.init 60 (fun i -> Printf.sprintf "DEPT-%04d BUDGET 440000 " (i mod 7)))
+  in
+  let c = Cmp.compress payload in
+  checkb "compressible payload tagged" true (Cmp.is_compressed c);
+  checkb "ratio > 1.3" true
+    (float_of_int (String.length payload) /. float_of_int (String.length c) > 1.3)
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~name:"compress/decompress identity" ~count:500
+    QCheck.(
+      oneof
+        [
+          string_of_size (QCheck.Gen.int_bound 400);
+          (* low-entropy strings hit the match path hard *)
+          string_gen_of_size (QCheck.Gen.int_bound 2000) (QCheck.Gen.map Char.chr (QCheck.Gen.int_bound 3));
+        ])
+    (fun s -> Cmp.decompress (Cmp.compress s) = s)
+
+let test_decompress_rejects_garbage () =
+  List.iter
+    (fun s ->
+      try
+        ignore (Cmp.decompress s);
+        (* decoding may legitimately succeed for some byte strings that
+           happen to parse; only structurally impossible ones must raise *)
+        ()
+      with Invalid_argument _ -> ())
+    [ ""; "\x02"; "\x01\xF0"; "\x01\x0F\x00\x00" ];
+  (* empty input always rejected *)
+  (try
+     ignore (Cmp.decompress "");
+     Alcotest.fail "empty accepted"
+   with Invalid_argument _ -> ());
+  (* bad tag always rejected *)
+  try
+    ignore (Cmp.decompress "\x07abc");
+    Alcotest.fail "bad tag accepted"
+  with Invalid_argument _ -> ()
+
+(* Compression survives persistence: a compressed store restores over
+   the same disk image byte-for-byte, and a checked-out object refuses
+   to check in to a store whose compression setting differs (the page
+   images would not parse there). *)
+let test_compressed_store_persistence () =
+  let disk = D.create ~page_size:4096 () in
+  let pool = BP.create ~frames:64 disk in
+  let store = OS.create ~compress:true pool in
+  let schema =
+    Schema.relation "T" [ Schema.int_ "ID"; Schema.str_ "NOTE"; Schema.set_ "XS" [ Schema.str_ "X" ] ]
+  in
+  let note i = String.concat " " (List.init 40 (fun k -> Printf.sprintf "word%d" ((i + k) mod 7))) in
+  let rows =
+    List.init 5 (fun i ->
+        [ Value.int_ i; Value.str (note i); Value.set [ [ Value.str (note (i + 1)) ] ] ])
+  in
+  let tids = List.map (OS.insert store schema) rows in
+  let s = OS.stats store in
+  checkb "store reports compression on" true (OS.compression store);
+  checkb "repetitive notes compressed" true
+    (s.OS.comp_stored_bytes < s.OS.comp_raw_bytes && s.OS.comp_raw_bytes > 0);
+  BP.flush_all pool;
+  let dir_pages, data_pages, free_pages = OS.export_meta store in
+  let pool2 = BP.create ~frames:64 disk in
+  let store2 = OS.restore ~compress:true pool2 ~dir_pages ~data_pages ~free_pages in
+  List.iter2
+    (fun tid row ->
+      checkb "restored object identical" true (Value.equal_tuple row (OS.fetch store2 schema tid)))
+    tids rows;
+  (* transfer between stores with different compression settings is
+     refused: the shipped pages carry compressed data subtuples *)
+  let shipped = OS.checkout store (List.hd tids) in
+  let _, plain_pool = mk_pool () in
+  let plain = OS.create plain_pool in
+  checkb "checkin refuses compression mismatch" true
+    (try
+       ignore (OS.checkin plain shipped);
+       false
+     with OS.Store_error _ -> true);
+  (* a matching workstation accepts it *)
+  let _, ws_pool = mk_pool () in
+  let ws = OS.create ~compress:true ws_pool in
+  let wroot = OS.checkin ws shipped in
+  checkb "matching checkin identical" true
+    (Value.equal_tuple (List.hd rows) (OS.fetch ws schema wroot))
+
 (* --- heap ------------------------------------------------------------ *)
 
 let test_heap_basic () =
@@ -994,7 +1217,7 @@ let prop_store_vs_model =
 
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_page_model; prop_page_list; prop_object_roundtrip; prop_checkout_roundtrip; prop_store_vs_model ]
+    [ prop_page_model; prop_page_list; prop_object_roundtrip; prop_checkout_roundtrip; prop_store_vs_model; prop_compress_roundtrip ]
 
 let () =
   Alcotest.run "storage"
@@ -1008,6 +1231,10 @@ let () =
         [
           Alcotest.test_case "eviction" `Quick test_buffer_pool_eviction;
           Alcotest.test_case "hit counting" `Quick test_buffer_pool_hit_counting;
+          Alcotest.test_case "partition reconcile" `Quick test_pool_partition_reconcile;
+          Alcotest.test_case "eviction under pressure (WAL)" `Quick
+            test_pool_eviction_under_pressure;
+          Alcotest.test_case "rebalance / exhaustion" `Quick test_pool_rebalance_and_exhaustion;
         ] );
       ( "heap",
         [
@@ -1016,6 +1243,13 @@ let () =
           Alcotest.test_case "chunked records" `Quick test_heap_chunked_records;
         ] );
       ("page list", [ Alcotest.test_case "gaps" `Quick test_page_list_gaps ]);
+      ( "compression",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_compress_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_decompress_rejects_garbage;
+          Alcotest.test_case "compressed store persistence" `Quick
+            test_compressed_store_persistence;
+        ] );
       ( "codecs",
         [
           Alcotest.test_case "record envelope" `Quick test_record_envelope;

@@ -161,6 +161,49 @@ let test_sessions_locks_join () =
       Client.close c1;
       Client.close c2)
 
+(* --- wire: SYS_POOL x SYS_WAL — storage telemetry join ------------------- *)
+
+(* One row per buffer-pool partition joined against the WAL appender
+   state, over the wire: the server runs group commit through the
+   async appender, so the commits above must show up as batches. *)
+let test_pool_wal_join () =
+  with_server (fun srv ->
+      let c = conn srv in
+      exec c "CREATE TABLE T (K INT, A INT)";
+      exec c "INSERT INTO T VALUES (1, 10), (2, 20)";
+      exec c "SELECT t.A FROM t IN T WHERE t.K = 1";
+      let columns, r =
+        rows c
+          "SELECT p.PART, p.RESIDENT, w.APPENDER, w.BATCH_TXNS FROM p IN SYS_POOL, w IN \
+           SYS_WAL WHERE w.ATTACHED = TRUE"
+      in
+      let nparts = Nf2_storage.Buffer_pool.partitions (Db.pool (Server.db srv)) in
+      checki "one row per partition" nparts (List.length r);
+      let ai = col columns "APPENDER" and bi = col columns "BATCH_TXNS" in
+      List.iter
+        (fun row ->
+          Alcotest.(check string) "appender running" "TRUE" (List.nth row ai);
+          checkb "appender batched the commits" true (int_of_string (List.nth row bi) >= 2))
+        r;
+      (* the nested FRAMES subtable enumerates resident pages; with the
+         engine quiesced nothing may be left pinned *)
+      let fcols, fr = rows c "SELECT p.PART, f.PAGE, f.PINS FROM p IN SYS_POOL, f IN p.FRAMES" in
+      checkb "frames enumerated" true (List.length fr >= 1);
+      let pi = col fcols "PINS" in
+      List.iter
+        (fun row -> checki "no pinned frame at rest" 0 (int_of_string (List.nth row pi)))
+        fr;
+      (* RESIDENT reconciles with the frame rows carrying a page (PART
+         is kept in the projection: results are sets, and bare RESIDENT
+         values would collapse duplicates) *)
+      let _, occupied = rows c "SELECT f.PAGE FROM p IN SYS_POOL, f IN p.FRAMES WHERE f.PAGE >= 0" in
+      let rcols, resident = rows c "SELECT p.PART, p.RESIDENT FROM p IN SYS_POOL" in
+      let ri = col rcols "RESIDENT" in
+      checki "resident = occupied frames"
+        (List.fold_left (fun acc row -> acc + int_of_string (List.nth row ri)) 0 resident)
+        (List.length occupied);
+      Client.close c)
+
 (* --- wire: cumulative statement statistics ------------------------------ *)
 
 let sum_calls c =
@@ -377,6 +420,7 @@ let () =
       ( "wire",
         [
           Alcotest.test_case "SYS_SESSIONS x SYS_LOCKS join" `Quick test_sessions_locks_join;
+          Alcotest.test_case "SYS_POOL x SYS_WAL join" `Quick test_pool_wal_join;
           Alcotest.test_case "statement stats persist until reset" `Quick
             test_statements_persistence_and_reset;
           Alcotest.test_case "SYS reads take no locks or counters" `Quick test_sys_reads_take_nothing;

@@ -314,7 +314,10 @@ let test_sync_to_empty () =
   checki "no commit covered, no batch counted" 1 (Wal.stats w).Wal.group_commit_batches
 
 (* The leader's gathering window must cover followers that commit while
-   it is open: one fsync makes every one of them durable. *)
+   it is open: one fsync makes every one of them durable.  A lone
+   pending commit skips the window (see the dedicated test below), so
+   two commits are parked up front to guarantee whoever flushes first
+   sees company and holds the window open. *)
 let test_group_commit_followers () =
   let w = Wal.create () in
   let nfollowers = 3 in
@@ -330,6 +333,8 @@ let test_group_commit_followers () =
   Wal.set_group_commit ~window w true;
   let tx0 = Wal.begin_tx w in
   Wal.commit w ~tx:tx0 ~payload:None;
+  let tx1 = Wal.begin_tx w in
+  Wal.commit w ~tx:tx1 ~payload:None;
   let first_lsn = Wal.last_lsn w in
   let leader = Thread.create (fun () -> Wal.sync_to w first_lsn) () in
   let follower _ =
@@ -348,7 +353,7 @@ let test_group_commit_followers () =
   checkb "everything durable" true (Wal.durable_lsn w = Wal.last_lsn w);
   let s = Wal.stats w in
   checki "one shared fsync" 1 s.Wal.flushes;
-  checki "the batch covered every commit" (nfollowers + 1) s.Wal.group_commit_txns
+  checki "the batch covered every commit" (nfollowers + 2) s.Wal.group_commit_txns
 
 (* Leader crash between append and fsync: the group fsync dies
    persisting nothing, and every committer in the group — the leader
@@ -390,6 +395,103 @@ let test_group_commit_leader_crash () =
   checki "the durable prefix reads back empty" 0
     (List.length (Wal.records_of_string (Wal.durable_contents w)))
 
+(* --- async batched appender ----------------------------------------------- *)
+
+(* Concurrent committers drain through the dedicated appender thread:
+   every commit is covered by some batch, the appender counters
+   populate (mirrored into the group-commit totals the bench derives
+   averages from), and everything is durable once the waiters return. *)
+let test_appender_batches () =
+  let w = Wal.create () in
+  Wal.set_group_commit w true;
+  Wal.set_async_appender w true;
+  checkb "appender reported running" true (Wal.appender_running w);
+  let nthreads = 4 and per_thread = 25 in
+  let worker _ =
+    Thread.create
+      (fun () ->
+        for _ = 1 to per_thread do
+          let tx = Wal.begin_tx w in
+          ignore (Wal.log_update w ~tx ~page:0 ~off:0 ~before:"" ~after:"x");
+          Wal.commit w ~tx ~payload:None;
+          Wal.sync_to w (Wal.last_lsn w)
+        done)
+      ()
+  in
+  let threads = List.init nthreads worker in
+  List.iter Thread.join threads;
+  Wal.set_async_appender w false;
+  checkb "appender stopped" true (not (Wal.appender_running w));
+  checkb "everything durable" true (Wal.durable_lsn w = Wal.last_lsn w);
+  let s = Wal.stats w in
+  checki "every commit covered by a batch" (nthreads * per_thread) s.Wal.appender_txns;
+  checkb "batches counted" true (s.Wal.appender_batches >= 1);
+  checkb "no more batches than commits" true (s.Wal.appender_batches <= nthreads * per_thread);
+  checkb "max batch sane" true
+    (s.Wal.appender_max_batch >= 1 && s.Wal.appender_max_batch <= nthreads * per_thread);
+  checki "appender totals mirror the group-commit totals" s.Wal.appender_txns
+    s.Wal.group_commit_txns;
+  checkb "one fsync per batch" true (s.Wal.flushes <= s.Wal.appender_batches + 1)
+
+(* Appender crash semantics are the durable-prefix model, unchanged: a
+   failed batch fsync kills the machine, every parked committer
+   observes Disk.Crash, and the durable prefix — everything fsynced
+   before the failure — still parses. *)
+let test_appender_crash () =
+  let w = Wal.create () in
+  Wal.set_group_commit w true;
+  Wal.set_async_appender w true;
+  (* one commit becomes durable before the device dies *)
+  let tx0 = Wal.begin_tx w in
+  Wal.commit w ~tx:tx0 ~payload:None;
+  Wal.sync_to w (Wal.last_lsn w);
+  let survivors = List.length (Wal.records_of_string (Wal.durable_contents w)) in
+  checkb "first commit durable" true (survivors > 0);
+  (* now every fsync persists nothing *)
+  Wal.set_sync_hook w (Some (fun _ -> 0));
+  let nthreads = 3 in
+  let crashes = Atomic.make 0 in
+  let worker _ =
+    Thread.create
+      (fun () ->
+        let tx = Wal.begin_tx w in
+        Wal.commit w ~tx ~payload:None;
+        try Wal.sync_to w (Wal.last_lsn w) with D.Crash _ -> Atomic.incr crashes)
+      ()
+  in
+  let threads = List.init nthreads worker in
+  List.iter Thread.join threads;
+  checki "every parked committer observed the crash" nthreads (Atomic.get crashes);
+  checkb "appender died with the machine" true (not (Wal.appender_running w));
+  checkb "post-crash sync_to raises" true
+    (try
+       Wal.sync_to w (Wal.last_lsn w);
+       false
+     with D.Crash _ -> true);
+  (* the prefix fsynced before the failure is intact and decodable *)
+  checki "durable prefix unchanged by the failed batches" survivors
+    (List.length (Wal.records_of_string (Wal.durable_contents w)));
+  Wal.set_async_appender w false
+
+(* A lone committer must not pay the gathering pause: with no other
+   commit pending, the sync_to leader fsyncs immediately and never
+   opens the window — the fix for the 1-client group-commit cliff. *)
+let test_group_window_skipped_when_alone () =
+  let w = Wal.create () in
+  let opened = ref 0 in
+  Wal.set_group_commit ~window:(fun () -> incr opened) w true;
+  for _ = 1 to 5 do
+    let tx = Wal.begin_tx w in
+    Wal.commit w ~tx ~payload:None;
+    Wal.sync_to w (Wal.last_lsn w)
+  done;
+  checki "window never opened for a lone committer" 0 !opened;
+  checkb "all commits durable" true (Wal.durable_lsn w = Wal.last_lsn w);
+  let s = Wal.stats w in
+  checki "one fsync per lone commit" 5 s.Wal.flushes;
+  checki "five singleton batches" 5 s.Wal.group_commit_batches;
+  checki "covering five txns" 5 s.Wal.group_commit_txns
+
 (* WAL stats surface the logging work for the bench harness. *)
 let test_wal_stats () =
   let db = fresh_wal_db () in
@@ -422,6 +524,13 @@ let () =
             test_group_commit_followers;
           Alcotest.test_case "leader crash releases the group" `Quick
             test_group_commit_leader_crash;
+          Alcotest.test_case "lone committer skips the window" `Quick
+            test_group_window_skipped_when_alone;
+        ] );
+      ( "async appender",
+        [
+          Alcotest.test_case "batch counters" `Quick test_appender_batches;
+          Alcotest.test_case "crash releases the waiters" `Quick test_appender_crash;
         ] );
       ( "transactions",
         [
